@@ -1,0 +1,36 @@
+//! `cargo bench` entry point that regenerates every table and figure in the
+//! paper's evaluation section (DESIGN.md per-experiment index), writing the
+//! outputs to `results/` and echoing them to stdout.
+//!
+//! Scale defaults to `Small`; set `IDYLL_SCALE=full` for the larger runs or
+//! `IDYLL_SCALE=test` for a quick smoke pass.
+
+use idyll_bench::{all_figures, Harness, HarnessConfig};
+
+fn main() {
+    // Under `cargo bench -- --test` (or explicit bench filtering) cargo
+    // passes extra args; we regenerate everything regardless, which is the
+    // point of this target.
+    let cfg = HarnessConfig::from_env();
+    eprintln!(
+        "regenerating all paper tables/figures at {:?} scale on {} threads…",
+        cfg.scale, cfg.threads
+    );
+    let h = Harness::new(cfg);
+    std::fs::create_dir_all("results").ok();
+    let mut failures = 0;
+    for (id, figure) in all_figures() {
+        eprintln!("[{id}] running…");
+        match figure(&h) {
+            Ok(out) => {
+                println!("{out}");
+                let _ = std::fs::write(format!("results/{id}.txt"), &out);
+            }
+            Err(e) => {
+                eprintln!("{id}: simulation failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    assert_eq!(failures, 0, "{failures} figure(s) failed to regenerate");
+}

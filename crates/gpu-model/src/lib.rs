@@ -1,0 +1,13 @@
+//! The per-GPU hardware model: compute units with warp-level latency hiding,
+//! the TLB hierarchy, the GMMU (page-walk queue, shared page-walk cache,
+//! multi-threaded walker) and the data path (L1/L2 caches, device DRAM).
+//!
+//! The structures here are passive state with precisely-tested local
+//! semantics; the multi-GPU protocol that connects them (far faults,
+//! migrations, invalidations) is orchestrated event-by-event in
+//! `mgpu-system`.
+
+pub mod cu;
+pub mod gmmu;
+pub mod gpu;
+pub mod scheduler;

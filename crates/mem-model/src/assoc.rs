@@ -1,0 +1,337 @@
+//! Generic set-associative array with true-LRU replacement.
+//!
+//! This is the structural workhorse shared by TLBs, data caches, the
+//! page-walk cache and the VM-Cache: `sets × ways` slots, each holding a
+//! `(tag, payload)` pair, with per-set LRU stamps.
+
+/// A single occupied way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Way<V> {
+    tag: u64,
+    value: V,
+    stamp: u64,
+}
+
+/// What happened on an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inserted<V> {
+    /// The key was already present; its payload was replaced (old payload
+    /// returned) and its recency refreshed.
+    Updated(V),
+    /// A free way was used.
+    Filled,
+    /// The LRU way was evicted; its tag and payload are returned.
+    Evicted { tag: u64, value: V },
+}
+
+/// A set-associative array with per-set true-LRU replacement.
+///
+/// Keys are full tags (the caller is responsible for any tag/index split
+/// beyond set selection, which uses `key % sets`).
+///
+/// # Example
+///
+/// ```
+/// use mem_model::assoc::SetAssoc;
+/// let mut sa: SetAssoc<&str> = SetAssoc::new(1, 2);
+/// sa.insert(10, "a");
+/// sa.insert(20, "b");
+/// sa.get(10); // refresh 10 → 20 becomes LRU
+/// match sa.insert(30, "c") {
+///     mem_model::assoc::Inserted::Evicted { tag, .. } => assert_eq!(tag, 20),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc<V> {
+    sets: Vec<Vec<Way<V>>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl<V> SetAssoc<V> {
+    /// Creates an array of `sets × ways` slots.
+    ///
+    /// # Panics
+    /// Panics if `sets == 0` or `ways == 0`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "need at least one set");
+        assert!(ways > 0, "need at least one way");
+        SetAssoc {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.sets.len() as u64) as usize
+    }
+
+    #[inline]
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `key`, refreshing its LRU position on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let stamp = self.tick();
+        let set = self.set_of(key);
+        let ways = &mut self.sets[set];
+        let idx = ways.iter().position(|w| w.tag == key)?;
+        ways[idx].stamp = stamp;
+        Some(&ways[idx].value)
+    }
+
+    /// Mutable lookup, refreshing LRU position on a hit.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let stamp = self.tick();
+        let set = self.set_of(key);
+        let ways = &mut self.sets[set];
+        let idx = ways.iter().position(|w| w.tag == key)?;
+        ways[idx].stamp = stamp;
+        Some(&mut ways[idx].value)
+    }
+
+    /// Checks presence without disturbing recency (a "probe").
+    pub fn contains(&self, key: u64) -> bool {
+        let set = self.set_of(key);
+        self.sets[set].iter().any(|w| w.tag == key)
+    }
+
+    /// Reads without disturbing recency.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        let set = self.set_of(key);
+        self.sets[set]
+            .iter()
+            .find(|w| w.tag == key)
+            .map(|w| &w.value)
+    }
+
+    /// Inserts `key → value`, evicting the per-set LRU entry if necessary.
+    pub fn insert(&mut self, key: u64, value: V) -> Inserted<V> {
+        let stamp = self.tick();
+        let ways = self.ways;
+        let set = self.set_of(key);
+        let slot = &mut self.sets[set];
+        if let Some(idx) = slot.iter().position(|w| w.tag == key) {
+            slot[idx].stamp = stamp;
+            let old = std::mem::replace(&mut slot[idx].value, value);
+            return Inserted::Updated(old);
+        }
+        if slot.len() < ways {
+            slot.push(Way {
+                tag: key,
+                value,
+                stamp,
+            });
+            return Inserted::Filled;
+        }
+        let lru = slot
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i)
+            .expect("set is full, hence non-empty");
+        let victim = std::mem::replace(
+            &mut slot[lru],
+            Way {
+                tag: key,
+                value,
+                stamp,
+            },
+        );
+        Inserted::Evicted {
+            tag: victim.tag,
+            value: victim.value,
+        }
+    }
+
+    /// Removes `key`, returning its payload.
+    pub fn invalidate(&mut self, key: u64) -> Option<V> {
+        let set = self.set_of(key);
+        let slot = &mut self.sets[set];
+        let idx = slot.iter().position(|w| w.tag == key)?;
+        Some(slot.swap_remove(idx).value)
+    }
+
+    /// Removes every entry matching `pred`, returning the count removed.
+    pub fn invalidate_matching<F: FnMut(u64, &V) -> bool>(&mut self, mut pred: F) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.sets {
+            let before = slot.len();
+            slot.retain(|w| !pred(w.tag, &w.value));
+            removed += before - slot.len();
+        }
+        removed
+    }
+
+    /// Removes all entries.
+    pub fn flush(&mut self) -> usize {
+        let n = self.len();
+        for slot in &mut self.sets {
+            slot.clear();
+        }
+        n
+    }
+
+    /// Iterates over `(tag, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| (w.tag, &w.value)))
+    }
+
+    /// The LRU victim tag for the set `key` maps to, if that set is full.
+    pub fn would_evict(&self, key: u64) -> Option<u64> {
+        let set = self.set_of(key);
+        let slot = &self.sets[set];
+        if slot.len() < self.ways || slot.iter().any(|w| w.tag == key) {
+            return None;
+        }
+        slot.iter().min_by_key(|w| w.stamp).map(|w| w.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_get() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(4, 2);
+        assert_eq!(sa.insert(5, 50), Inserted::Filled);
+        assert_eq!(sa.get(5), Some(&50));
+        assert_eq!(sa.get(6), None);
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sa.capacity(), 8);
+    }
+
+    #[test]
+    fn update_returns_old_value() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(1, 2);
+        sa.insert(1, 10);
+        assert_eq!(sa.insert(1, 11), Inserted::Updated(10));
+        assert_eq!(sa.get(1), Some(&11));
+        assert_eq!(sa.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut sa: SetAssoc<&str> = SetAssoc::new(1, 3);
+        sa.insert(1, "a");
+        sa.insert(2, "b");
+        sa.insert(3, "c");
+        // Touch 1 and 2; 3 becomes LRU.
+        sa.get(1);
+        sa.get(2);
+        match sa.insert(4, "d") {
+            Inserted::Evicted { tag, value } => {
+                assert_eq!(tag, 3);
+                assert_eq!(value, "c");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peek_and_contains_do_not_refresh() {
+        let mut sa: SetAssoc<u8> = SetAssoc::new(1, 2);
+        sa.insert(1, 0);
+        sa.insert(2, 0);
+        // Peek at 1: must NOT refresh, so 1 is still LRU.
+        assert!(sa.contains(1));
+        assert_eq!(sa.peek(1), Some(&0));
+        match sa.insert(3, 0) {
+            Inserted::Evicted { tag, .. } => assert_eq!(tag, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keys_map_to_distinct_sets() {
+        let mut sa: SetAssoc<u8> = SetAssoc::new(2, 1);
+        sa.insert(0, 0); // set 0
+        sa.insert(1, 1); // set 1
+        assert_eq!(sa.len(), 2);
+        // Key 2 maps to set 0 and evicts key 0 only.
+        match sa.insert(2, 2) {
+            Inserted::Evicted { tag, .. } => assert_eq!(tag, 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(sa.contains(1));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut sa: SetAssoc<u8> = SetAssoc::new(4, 4);
+        sa.insert(7, 70);
+        assert_eq!(sa.invalidate(7), Some(70));
+        assert_eq!(sa.invalidate(7), None);
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn invalidate_matching_and_flush() {
+        let mut sa: SetAssoc<u8> = SetAssoc::new(4, 4);
+        for k in 0..12 {
+            sa.insert(k, (k % 3) as u8);
+        }
+        let removed = sa.invalidate_matching(|_, &v| v == 0);
+        assert_eq!(removed, 4);
+        assert_eq!(sa.len(), 8);
+        assert_eq!(sa.flush(), 8);
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn would_evict_matches_actual_eviction() {
+        let mut sa: SetAssoc<u8> = SetAssoc::new(1, 2);
+        sa.insert(1, 0);
+        assert_eq!(sa.would_evict(3), None, "set not yet full");
+        sa.insert(2, 0);
+        let predicted = sa.would_evict(3).unwrap();
+        match sa.insert(3, 0) {
+            Inserted::Evicted { tag, .. } => assert_eq!(tag, predicted),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut sa: SetAssoc<u8> = SetAssoc::new(8, 2);
+        for k in 0..10 {
+            sa.insert(k, k as u8);
+        }
+        let mut tags: Vec<u64> = sa.iter().map(|(t, _)| t).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,186 @@
+//! A small set of GPU ids, backed by a 64-bit mask.
+
+use crate::interconnect::GpuId;
+
+/// A set of up to 64 GPU ids.
+///
+/// Used for invalidation target lists: the baseline broadcasts to all GPUs,
+/// the in-PTE directory narrows the set to (a superset of) the holders.
+///
+/// # Example
+///
+/// ```
+/// use mem_model::gpuset::GpuSet;
+/// let mut s = GpuSet::empty();
+/// s.insert(0);
+/// s.insert(3);
+/// assert!(s.contains(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GpuSet(u64);
+
+impl GpuSet {
+    /// The empty set.
+    pub const fn empty() -> GpuSet {
+        GpuSet(0)
+    }
+
+    /// The set `{0, 1, …, n-1}` — a broadcast to `n` GPUs.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn all(n: usize) -> GpuSet {
+        assert!(n <= 64, "at most 64 GPUs supported");
+        if n == 64 {
+            GpuSet(u64::MAX)
+        } else {
+            GpuSet((1u64 << n) - 1)
+        }
+    }
+
+    /// A singleton set.
+    pub fn single(g: GpuId) -> GpuSet {
+        let mut s = GpuSet::empty();
+        s.insert(g);
+        s
+    }
+
+    /// Adds a GPU.
+    ///
+    /// # Panics
+    /// Panics if `g >= 64`.
+    pub fn insert(&mut self, g: GpuId) {
+        assert!(g < 64, "gpu id out of range");
+        self.0 |= 1u64 << g;
+    }
+
+    /// Removes a GPU; returns whether it was present.
+    pub fn remove(&mut self, g: GpuId) -> bool {
+        let was = self.contains(g);
+        if g < 64 {
+            self.0 &= !(1u64 << g);
+        }
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, g: GpuId) -> bool {
+        g < 64 && self.0 & (1u64 << g) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: GpuSet) -> GpuSet {
+        GpuSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: GpuSet) -> GpuSet {
+        GpuSet(self.0 & other.0)
+    }
+
+    /// Members of `self` not in `other`.
+    pub fn difference(self, other: GpuSet) -> GpuSet {
+        GpuSet(self.0 & !other.0)
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = GpuId> {
+        (0..64usize).filter(move |&g| self.contains(g))
+    }
+
+    /// The raw mask.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a set from a raw mask.
+    pub fn from_mask(mask: u64) -> GpuSet {
+        GpuSet(mask)
+    }
+}
+
+impl FromIterator<GpuId> for GpuSet {
+    fn from_iter<I: IntoIterator<Item = GpuId>>(iter: I) -> GpuSet {
+        let mut s = GpuSet::empty();
+        for g in iter {
+            s.insert(g);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for GpuSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for g in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{g}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = GpuSet::empty();
+        assert!(s.is_empty());
+        s.insert(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn all_and_single() {
+        let s = GpuSet::all(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(GpuSet::single(2).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(GpuSet::all(64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: GpuSet = [0usize, 1, 2].into_iter().collect();
+        let b: GpuSet = [2usize, 3].into_iter().collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersect(b).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: GpuSet = [1usize, 3].into_iter().collect();
+        assert_eq!(s.to_string(), "{1,3}");
+        assert_eq!(GpuSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_id_panics() {
+        let mut s = GpuSet::empty();
+        s.insert(64);
+    }
+}

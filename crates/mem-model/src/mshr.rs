@@ -1,0 +1,174 @@
+//! Miss-status holding registers.
+//!
+//! An MSHR merges concurrent misses to the same block: the first miss
+//! allocates an entry and proceeds down the hierarchy; later misses to the
+//! same key attach themselves as waiters and are woken together when the fill
+//! returns. The paper relies on this behaviour for correctness of the IRMB
+//! bypass (§6.3): "before a new mapping is received, there won't be any
+//! subsequent requests to the same page being sent to GMMU ... because the
+//! original request resides in the L2 TLB MSHR".
+
+use std::collections::HashMap;
+
+/// Outcome of registering a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss for this key: the caller must issue the downstream request.
+    Allocated,
+    /// An entry for this key already exists: the request was queued behind it
+    /// and the caller must NOT issue another downstream request.
+    Merged,
+    /// No free entries: structural stall; the caller must retry later.
+    Full,
+}
+
+/// A table of miss-status holding registers keyed by `u64` (page number or
+/// line address) holding opaque waiter tokens `W`.
+///
+/// # Example
+///
+/// ```
+/// use mem_model::mshr::{Mshr, MshrOutcome};
+/// let mut mshr: Mshr<u32> = Mshr::new(16);
+/// assert_eq!(mshr.register(0x42, 1), MshrOutcome::Allocated);
+/// assert_eq!(mshr.register(0x42, 2), MshrOutcome::Merged);
+/// assert_eq!(mshr.complete(0x42), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<W> {
+    entries: HashMap<u64, Vec<W>>,
+    capacity: usize,
+    merges: u64,
+    stalls: u64,
+    peak: usize,
+}
+
+impl<W> Mshr<W> {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR needs at least one entry");
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+            merges: 0,
+            stalls: 0,
+            peak: 0,
+        }
+    }
+
+    /// Registers a miss on `key` with waiter `w`.
+    pub fn register(&mut self, key: u64, w: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&key) {
+            waiters.push(w);
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() == self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(key, vec![w]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Registers a miss on `key` ignoring the capacity limit. Used by fault
+    /// paths that must never stall (a stalled fault can deadlock a
+    /// migration); the overflow is architecturally backed by the GPU fault
+    /// buffer rather than an MSHR entry.
+    pub fn register_forced(&mut self, key: u64, w: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&key) {
+            waiters.push(w);
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        self.entries.insert(key, vec![w]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss on `key`, returning all waiters in registration
+    /// order (empty if no entry existed).
+    pub fn complete(&mut self, key: u64) -> Vec<W> {
+        self.entries.remove(&key).unwrap_or_default()
+    }
+
+    /// Whether an entry for `key` is outstanding.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether all entries are allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Total merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total structural stalls.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Highest simultaneous occupancy.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete() {
+        let mut m: Mshr<&str> = Mshr::new(4);
+        assert_eq!(m.register(1, "a"), MshrOutcome::Allocated);
+        assert_eq!(m.register(1, "b"), MshrOutcome::Merged);
+        assert_eq!(m.register(2, "c"), MshrOutcome::Allocated);
+        assert!(m.contains(1));
+        assert_eq!(m.complete(1), vec!["a", "b"]);
+        assert!(!m.contains(1));
+        assert_eq!(m.complete(1), Vec::<&str>::new());
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_stalls_new_keys_but_merges_existing() {
+        let mut m: Mshr<u8> = Mshr::new(1);
+        assert_eq!(m.register(1, 0), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.register(2, 0), MshrOutcome::Full);
+        // Same key still merges even when the table is full.
+        assert_eq!(m.register(1, 1), MshrOutcome::Merged);
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut m: Mshr<u8> = Mshr::new(8);
+        m.register(1, 0);
+        m.register(2, 0);
+        m.register(3, 0);
+        m.complete(2);
+        m.complete(3);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.peak(), 3);
+    }
+}

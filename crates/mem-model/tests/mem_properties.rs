@@ -1,0 +1,106 @@
+//! Property-based tests of the memory-side substrates.
+
+use std::collections::{HashMap, HashSet};
+
+use mem_model::assoc::{Inserted, SetAssoc};
+use mem_model::gpuset::GpuSet;
+use mem_model::mshr::{Mshr, MshrOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn set_assoc_agrees_with_map_model(
+        sets in 1usize..8,
+        ways in 1usize..8,
+        ops in prop::collection::vec((0u64..64, 0u32..1000), 1..300),
+    ) {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(sets, ways);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for (key, value) in ops {
+            match sa.insert(key, value) {
+                Inserted::Updated(old) => {
+                    prop_assert_eq!(model.insert(key, value), Some(old));
+                }
+                Inserted::Filled => {
+                    prop_assert_eq!(model.insert(key, value), None);
+                }
+                Inserted::Evicted { tag, value: evicted } => {
+                    prop_assert_eq!(model.remove(&tag), Some(evicted));
+                    prop_assert_eq!(model.insert(key, value), None);
+                    // Victims share the set with the newcomer.
+                    prop_assert_eq!(tag % sets as u64, key % sets as u64);
+                }
+            }
+            prop_assert!(sa.len() <= sets * ways);
+            prop_assert_eq!(sa.len(), model.len());
+        }
+        for (key, value) in &model {
+            prop_assert_eq!(sa.peek(*key), Some(value));
+        }
+    }
+
+    #[test]
+    fn mshr_conserves_waiters(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u64..16, prop::bool::ANY), 1..200),
+    ) {
+        let mut mshr: Mshr<u64> = Mshr::new(capacity);
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut next_token = 0u64;
+        for (key, complete) in ops {
+            if complete {
+                prop_assert_eq!(mshr.complete(key), model.remove(&key).unwrap_or_default());
+            } else {
+                let token = next_token;
+                next_token += 1;
+                match mshr.register(key, token) {
+                    MshrOutcome::Allocated => {
+                        prop_assert!(!model.contains_key(&key));
+                        prop_assert!(model.len() < capacity);
+                        model.insert(key, vec![token]);
+                    }
+                    MshrOutcome::Merged => {
+                        model.get_mut(&key).expect("merge implies entry").push(token);
+                    }
+                    MshrOutcome::Full => {
+                        prop_assert_eq!(model.len(), capacity);
+                        prop_assert!(!model.contains_key(&key));
+                    }
+                }
+            }
+            prop_assert_eq!(mshr.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn gpuset_behaves_like_hash_set(
+        ops in prop::collection::vec((0usize..64, prop::bool::ANY), 1..200),
+    ) {
+        let mut set = GpuSet::empty();
+        let mut model: HashSet<usize> = HashSet::new();
+        for (g, insert) in ops {
+            if insert {
+                set.insert(g);
+                model.insert(g);
+            } else {
+                prop_assert_eq!(set.remove(g), model.remove(&g));
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let mut members: Vec<usize> = model.into_iter().collect();
+        members.sort_unstable();
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), members);
+    }
+
+    #[test]
+    fn gpuset_algebra_laws(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let sa = GpuSet::from_mask(a);
+        let sb = GpuSet::from_mask(b);
+        prop_assert_eq!(sa.union(sb).mask(), a | b);
+        prop_assert_eq!(sa.intersect(sb).mask(), a & b);
+        prop_assert_eq!(sa.difference(sb).mask(), a & !b);
+        prop_assert_eq!(sa.union(sb).len(), sb.union(sa).len());
+        prop_assert!(sa.intersect(sb).len() <= sa.len().min(sb.len()));
+    }
+}

@@ -1,0 +1,281 @@
+//! `mgpu-sim` — command-line front end to the simulator.
+//!
+//! Run any workload × scheme combination and print the full report:
+//!
+//! ```text
+//! mgpu-sim --app PR --gpus 4 --scheme idyll --scale small --seed 42
+//! mgpu-sim --trace dump.trace --scheme baseline
+//! mgpu-sim --app KM --dump-trace km.trace    # export the synthetic trace
+//! ```
+
+use std::process::ExitCode;
+
+use mgpu_system::config::{IdyllConfig, SystemConfig};
+use mgpu_system::System;
+use uvm_driver::policy::MigrationPolicy;
+use workloads::dnn::{generate_dnn, DnnModel, DnnSpec};
+use workloads::{AppId, Scale, Workload, WorkloadSpec};
+
+const USAGE: &str = "\
+mgpu-sim — IDYLL multi-GPU translation simulator
+
+USAGE:
+    mgpu-sim [OPTIONS]
+
+OPTIONS:
+    --app <MT|MM|PR|ST|SC|KM|IM|C2D|BS|VGG16|RESNET18>   workload (default KM)
+    --trace <FILE>          replay a saved .trace file instead of --app
+    --dump-trace <FILE>     write the generated trace to FILE and exit
+    --gpus <N>              number of GPUs (default 4)
+    --scheme <NAME>         baseline | idyll | only-lazy | only-in-pte |
+                            idyll-inmem | zerolat | replication | transfw |
+                            idyll+transfw            (default baseline)
+    --policy <NAME>         counter | first-touch | on-touch (default counter)
+    --threshold <N>         access-counter threshold (default scaled by --scale)
+    --scale <test|small|full>   trace size (default small)
+    --seed <N>              workload seed (default 42)
+    --large-pages           use 2 MiB pages
+    --prefetch              enable fault-driven block prefetching
+    -h, --help              print this help
+";
+
+struct Args {
+    app: String,
+    trace: Option<String>,
+    dump_trace: Option<String>,
+    gpus: usize,
+    scheme: String,
+    policy: String,
+    threshold: Option<u32>,
+    scale: Scale,
+    seed: u64,
+    large_pages: bool,
+    prefetch: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        app: "KM".into(),
+        trace: None,
+        dump_trace: None,
+        gpus: 4,
+        scheme: "baseline".into(),
+        policy: "counter".into(),
+        threshold: None,
+        scale: Scale::Small,
+        seed: 42,
+        large_pages: false,
+        prefetch: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--app" => args.app = value("--app")?.to_uppercase(),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--dump-trace" => args.dump_trace = Some(value("--dump-trace")?),
+            "--gpus" => {
+                args.gpus = value("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?
+            }
+            "--scheme" => args.scheme = value("--scheme")?.to_lowercase(),
+            "--policy" => args.policy = value("--policy")?.to_lowercase(),
+            "--threshold" => {
+                args.threshold = Some(
+                    value("--threshold")?
+                        .parse()
+                        .map_err(|e| format!("--threshold: {e}"))?,
+                )
+            }
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--large-pages" => args.large_pages = true,
+            "--prefetch" => args.prefetch = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_workload(args: &Args) -> Result<Workload, String> {
+    if let Some(path) = &args.trace {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return workloads::serialize::from_text(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    match args.app.as_str() {
+        "VGG16" => Ok(generate_dnn(
+            &DnnSpec::paper_default(DnnModel::Vgg16),
+            args.gpus,
+            args.seed,
+        )),
+        "RESNET18" => Ok(generate_dnn(
+            &DnnSpec::paper_default(DnnModel::Resnet18),
+            args.gpus,
+            args.seed,
+        )),
+        name => {
+            let app = AppId::ALL
+                .into_iter()
+                .find(|a| a.name() == name)
+                .ok_or_else(|| format!("unknown app `{name}`"))?;
+            Ok(workloads::generate(
+                &WorkloadSpec::paper_default(app, args.scale),
+                args.gpus,
+                args.seed,
+            ))
+        }
+    }
+}
+
+fn build_config(args: &Args) -> Result<SystemConfig, String> {
+    let mut cfg = SystemConfig::baseline(args.gpus);
+    let threshold = args
+        .threshold
+        .unwrap_or_else(|| args.scale.counter_threshold());
+    cfg.policy = match args.policy.as_str() {
+        "counter" => MigrationPolicy::AccessCounter { threshold },
+        "first-touch" => MigrationPolicy::FirstTouch,
+        "on-touch" => MigrationPolicy::OnTouch,
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    cfg.seed = args.seed;
+    match args.scheme.as_str() {
+        "baseline" => {}
+        "idyll" => cfg.idyll = Some(IdyllConfig::full()),
+        "only-lazy" => cfg.idyll = Some(IdyllConfig::only_lazy()),
+        "only-in-pte" => cfg.idyll = Some(IdyllConfig::only_directory()),
+        "idyll-inmem" => cfg.idyll = Some(IdyllConfig::in_mem()),
+        "zerolat" => cfg.zero_latency_invalidation = true,
+        "replication" => cfg.replication = true,
+        "transfw" => cfg.transfw = Some(idyll_core::transfw::TransFwConfig::default()),
+        "idyll+transfw" => {
+            cfg.idyll = Some(IdyllConfig::full());
+            cfg.transfw = Some(idyll_core::transfw::TransFwConfig::default());
+        }
+        other => return Err(format!("unknown scheme `{other}`")),
+    }
+    if args.large_pages {
+        cfg = cfg.with_large_pages();
+    }
+    cfg.host.prefetch = args.prefetch;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workload = match build_workload(&args) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.dump_trace {
+        let text = workloads::serialize::to_text(&workload);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} ({} accesses, {} GPUs)",
+            path,
+            workload.total_accesses(),
+            workload.traces.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let cfg = match build_config(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match System::new(cfg, &workload).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary());
+    println!("  execution cycles        : {}", report.exec_cycles);
+    println!("  accesses                : {}", report.accesses);
+    println!("  L2 TLB MPKI             : {:.2}", report.mpki());
+    println!(
+        "  L1/L2 TLB hit rate      : {:.3} / {:.3}",
+        sim_engine::stats::hit_rate(report.l1_tlb_hits, report.l1_tlb_misses),
+        sim_engine::stats::hit_rate(report.l2_tlb_hits, report.l2_tlb_misses)
+    );
+    println!(
+        "  demand miss latency     : {:.0} avg cycles over {} misses",
+        report.demand_miss_latency.mean().unwrap_or(0.0),
+        report.demand_miss_latency.count()
+    );
+    println!("  far faults              : {}", report.far_faults);
+    println!("  migrations              : {}", report.migrations);
+    println!(
+        "  migration waiting       : {:.0} avg cycles",
+        report.migration_waiting.mean().unwrap_or(0.0)
+    );
+    println!(
+        "  invalidation messages   : {}",
+        report.invalidation_messages
+    );
+    println!(
+        "  walker mix              : {} demand / {} necessary / {} unnecessary invalidations",
+        report.walker_mix.demand,
+        report.walker_mix.invalidation_necessary,
+        report.walker_mix.invalidation_unnecessary
+    );
+    if report.irmb_inserts > 0 {
+        println!(
+            "  IRMB                    : {} inserts, {} bypasses, {} evictions, {} superseded",
+            report.irmb_inserts,
+            report.irmb_bypasses,
+            report.irmb_evictions,
+            report.irmb_superseded
+        );
+    }
+    if let Some(rate) = report.vm_cache_hit_rate {
+        println!("  VM-Cache hit rate       : {rate:.3}");
+    }
+    if let Some((probes, hits, false_fw)) = report.transfw {
+        println!("  Trans-FW                : {probes} probes, {hits} hits, {false_fw} false forwards");
+    }
+    println!(
+        "  NVLink / PCIe bytes     : {} / {}",
+        report.nvlink_bytes, report.pcie_bytes
+    );
+    println!("  PWC hit rate            : {:.3}", report.pwc_hit_rate);
+    println!(
+        "  coherence audit         : {} stale translations",
+        report.stale_translations
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,137 @@
+//! CSV export of simulation reports, for plotting outside the harness.
+
+use crate::metrics::SimReport;
+
+/// The column set exported for every report, in order.
+pub const CSV_COLUMNS: [&str; 22] = [
+    "workload",
+    "scheme",
+    "exec_cycles",
+    "accesses",
+    "instructions",
+    "mpki",
+    "l1_tlb_hits",
+    "l1_tlb_misses",
+    "l2_tlb_hits",
+    "l2_tlb_misses",
+    "demand_miss_latency_mean",
+    "demand_miss_latency_sum",
+    "far_faults",
+    "migrations",
+    "migration_waiting_mean",
+    "migration_total_mean",
+    "invalidation_messages",
+    "invalidation_latency_sum",
+    "irmb_inserts",
+    "irmb_bypasses",
+    "nvlink_bytes",
+    "pcie_bytes",
+];
+
+/// Escapes one CSV field (quotes fields containing separators or quotes).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// The CSV header row.
+pub fn header() -> String {
+    CSV_COLUMNS.join(",")
+}
+
+/// Renders one report as a CSV row matching [`CSV_COLUMNS`].
+pub fn row(report: &SimReport) -> String {
+    let cells: Vec<String> = vec![
+        escape(&report.workload),
+        escape(&report.scheme),
+        report.exec_cycles.to_string(),
+        report.accesses.to_string(),
+        report.instructions.to_string(),
+        format!("{:.4}", report.mpki()),
+        report.l1_tlb_hits.to_string(),
+        report.l1_tlb_misses.to_string(),
+        report.l2_tlb_hits.to_string(),
+        report.l2_tlb_misses.to_string(),
+        format!("{:.2}", report.demand_miss_latency.mean().unwrap_or(0.0)),
+        format!("{:.0}", report.demand_miss_latency.sum()),
+        report.far_faults.to_string(),
+        report.migrations.to_string(),
+        format!("{:.2}", report.migration_waiting.mean().unwrap_or(0.0)),
+        format!("{:.2}", report.migration_total.mean().unwrap_or(0.0)),
+        report.invalidation_messages.to_string(),
+        format!("{:.0}", report.invalidation_latency.sum()),
+        report.irmb_inserts.to_string(),
+        report.irmb_bypasses.to_string(),
+        report.nvlink_bytes.to_string(),
+        report.pcie_bytes.to_string(),
+    ];
+    cells.join(",")
+}
+
+/// Renders a whole result set (header + one row per report).
+pub fn table<'a>(reports: impl IntoIterator<Item = &'a SimReport>) -> String {
+    let mut out = header();
+    out.push('\n');
+    for r in reports {
+        out.push_str(&row(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        let mut r = SimReport::default();
+        r.workload = "PR".into();
+        r.scheme = "idyll".into();
+        r.exec_cycles = 1234;
+        r.accesses = 100;
+        r.instructions = 400;
+        r.l2_tlb_misses = 40;
+        r.far_faults = 7;
+        r
+    }
+
+    #[test]
+    fn header_matches_row_arity() {
+        let r = sample();
+        assert_eq!(
+            header().split(',').count(),
+            row(&r).split(',').count(),
+            "header and row column counts must agree"
+        );
+    }
+
+    #[test]
+    fn row_contains_key_values() {
+        let line = row(&sample());
+        assert!(line.starts_with("PR,idyll,1234,100,400,100.0000,"));
+        assert!(line.contains(",7,")); // far faults
+    }
+
+    #[test]
+    fn table_has_header_plus_rows() {
+        let a = sample();
+        let b = sample();
+        let t = table([&a, &b]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.starts_with("workload,scheme,"));
+    }
+
+    #[test]
+    fn escaping_quotes_and_commas() {
+        let mut r = sample();
+        r.workload = "weird,name".into();
+        r.scheme = "has\"quote".into();
+        let line = row(&r);
+        assert!(line.starts_with("\"weird,name\",\"has\"\"quote\","));
+        // Still parses to the right arity when fields are unescaped pairs.
+        assert_eq!(escape("plain"), "plain");
+    }
+}

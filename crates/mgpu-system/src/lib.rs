@@ -1,0 +1,27 @@
+//! The full multi-GPU system simulator: wires the GPU models, the UVM
+//! driver, the interconnect and the IDYLL mechanisms into one deterministic
+//! discrete-event simulation, and provides the experiment runner used by the
+//! per-figure benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use mgpu_system::config::SystemConfig;
+//! use mgpu_system::system::System;
+//! use workloads::{AppId, Scale, WorkloadSpec};
+//!
+//! let cfg = SystemConfig::baseline(2);
+//! let wl = workloads::generate(&WorkloadSpec::paper_default(AppId::Bs, Scale::Test), 2, 1);
+//! let report = System::new(cfg, &wl).run().expect("simulation completes");
+//! assert!(report.exec_cycles > 0);
+//! ```
+
+pub mod config;
+pub mod csv;
+pub mod metrics;
+pub mod runner;
+pub mod system;
+
+pub use config::{DirectoryMode, IdyllConfig, SystemConfig};
+pub use metrics::SimReport;
+pub use system::System;

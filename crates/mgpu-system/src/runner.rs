@@ -1,0 +1,223 @@
+//! Experiment runner: executes scheme × workload grids (in parallel across
+//! OS threads) and formats the paper-style result tables.
+
+use std::collections::BTreeMap;
+
+use workloads::{AppId, Scale, Workload, WorkloadSpec};
+
+use crate::config::SystemConfig;
+use crate::metrics::SimReport;
+use crate::system::{SimError, System};
+
+/// One (scheme, workload) cell to simulate.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Scheme label used in output tables (e.g. "IDYLL", "Baseline").
+    pub scheme: String,
+    /// System configuration.
+    pub config: SystemConfig,
+    /// Workload to run.
+    pub workload: Workload,
+}
+
+/// Runs a set of jobs, using up to `threads` OS threads, preserving job
+/// order in the result.
+///
+/// # Errors
+/// Propagates the first [`SimError`] encountered.
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<(String, SimReport)>, SimError> {
+    let threads = threads.max(1);
+    if threads == 1 || jobs.len() <= 1 {
+        return jobs
+            .into_iter()
+            .map(|job| {
+                let label = job.scheme.clone();
+                System::new(job.config, &job.workload)
+                    .run()
+                    .map(|r| (label, r))
+            })
+            .collect();
+    }
+    let n = jobs.len();
+    let mut results: Vec<Option<Result<(String, SimReport), SimError>>> =
+        (0..n).map(|_| None).collect();
+    let jobs: Vec<(usize, Job)> = jobs.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(jobs);
+    let out = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let job = {
+                    let mut q = queue.lock().expect("queue lock");
+                    q.pop()
+                };
+                let Some((idx, job)) = job else { break };
+                let label = job.scheme.clone();
+                let result = System::new(job.config, &job.workload)
+                    .run()
+                    .map(|r| (label, r));
+                out.lock().expect("out lock")[idx] = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Convenience: run all nine Table 3 applications under each named
+/// configuration and return `results[app][scheme]`.
+///
+/// # Errors
+/// Propagates the first [`SimError`].
+pub fn run_matrix(
+    schemes: &[(&str, SystemConfig)],
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+) -> Result<BTreeMap<String, BTreeMap<String, SimReport>>, SimError> {
+    let mut jobs = Vec::new();
+    for app in AppId::ALL {
+        for (name, cfg) in schemes {
+            let spec = WorkloadSpec::paper_default(app, scale);
+            let workload = workloads::generate(&spec, cfg.n_gpus, seed);
+            jobs.push(Job {
+                scheme: format!("{app}\u{1}{name}"),
+                config: cfg.clone(),
+                workload,
+            });
+        }
+    }
+    let results = run_jobs(jobs, threads)?;
+    let mut table: BTreeMap<String, BTreeMap<String, SimReport>> = BTreeMap::new();
+    for (key, report) in results {
+        let (app, scheme) = key.split_once('\u{1}').expect("composite key");
+        table
+            .entry(app.to_string())
+            .or_default()
+            .insert(scheme.to_string(), report);
+    }
+    Ok(table)
+}
+
+/// Geometric mean of positive values (the paper averages speedups).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Formats a figure-style table: rows = workloads (paper order), columns =
+/// series, cell = formatted value; appends an `Ave.` row using the
+/// arithmetic mean (as the paper's figures do).
+pub fn format_table(
+    title: &str,
+    columns: &[&str],
+    rows: &[(&str, Vec<f64>)],
+    precision: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    s.push_str(&format!("{:<8}", "app"));
+    for c in columns {
+        s.push_str(&format!("{c:>16}"));
+    }
+    s.push('\n');
+    let mut sums = vec![0.0; columns.len()];
+    for (app, values) in rows {
+        s.push_str(&format!("{app:<8}"));
+        for (i, v) in values.iter().enumerate() {
+            s.push_str(&format!("{v:>16.precision$}"));
+            sums[i] += v;
+        }
+        s.push('\n');
+    }
+    if !rows.is_empty() {
+        s.push_str(&format!("{:<8}", "Ave."));
+        for sum in sums {
+            let avg = sum / rows.len() as f64;
+            s.push_str(&format!("{avg:>16.precision$}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The paper's workload ordering in every figure.
+pub const FIGURE_ORDER: [AppId; 9] = AppId::ALL;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn format_table_includes_average() {
+        let out = format_table(
+            "Fig X",
+            &["a", "b"],
+            &[("MT", vec![1.0, 2.0]), ("MM", vec![3.0, 4.0])],
+            2,
+        );
+        assert!(out.contains("Fig X"));
+        assert!(out.contains("MT"));
+        assert!(out.contains("Ave."));
+        assert!(out.contains("2.00")); // average of column a
+        assert!(out.contains("3.00")); // average of column b
+    }
+
+    #[test]
+    fn run_jobs_single_thread_smoke() {
+        let cfg = SystemConfig::test(2);
+        let spec = WorkloadSpec::paper_default(AppId::Bs, Scale::Test);
+        let wl = workloads::generate(&spec, 2, 3);
+        let results = run_jobs(
+            vec![Job {
+                scheme: "baseline".into(),
+                config: cfg,
+                workload: wl,
+            }],
+            1,
+        )
+        .expect("runs");
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.exec_cycles > 0);
+    }
+
+    #[test]
+    fn run_jobs_parallel_preserves_order() {
+        let mut jobs = Vec::new();
+        for (i, app) in [AppId::Bs, AppId::Sc].into_iter().enumerate() {
+            let cfg = SystemConfig::test(2);
+            let wl = workloads::generate(&WorkloadSpec::paper_default(app, Scale::Test), 2, 3);
+            jobs.push(Job {
+                scheme: format!("job{i}"),
+                config: cfg,
+                workload: wl,
+            });
+        }
+        let results = run_jobs(jobs, 4).expect("runs");
+        assert_eq!(results[0].0, "job0");
+        assert_eq!(results[1].0, "job1");
+    }
+}

@@ -1,0 +1,124 @@
+//! Post-translation data path: local cache/DRAM access, remote cacheline
+//! service over NVLink, and the access counters that trigger migrations.
+
+use mem_model::interconnect::Node;
+use sim_engine::Cycle;
+use vm_model::pte::Pte;
+
+use super::{msg, Ev, System};
+
+impl System {
+    /// Starts the data access for a translated request at time `start`.
+    pub(crate) fn start_data_access(&mut self, token: u64, pte: Pte, start: Cycle) {
+        let req = *self.reqs.get(&token).expect("live request");
+        let gpu = req.gpu;
+        // Spread tokens across cache lines within the page so the tag-only
+        // caches see realistic line-level behaviour.
+        let line_offset = (token % (self.page_bytes() / 64)) * 64;
+        let paddr = pte.ppn() * self.page_bytes() + line_offset;
+        let owner = self.memmap.owner(pte.ppn());
+        match owner {
+            Node::Gpu(h) if h == gpu => {
+                // Local: L1 pipeline + L2/DRAM.
+                let lat = self.gpus[gpu].local_data_latency(start, paddr);
+                let done_at = start + self.cfg.gpu.l1_hit_latency + lat;
+                self.events.schedule(done_at, Ev::AccessDone { token });
+            }
+            Node::Gpu(h) => {
+                // Remote: request over NVLink, served from the owner's DRAM
+                // at cacheline granularity, not cached locally (§3.2).
+                // Event-split so every pipe/DRAM reservation happens at its
+                // own simulated time (reserving at future timestamps would
+                // block intervening traffic behind phantom occupancy).
+                self.note_remote_access(gpu, req.vpn);
+                let arrive = self
+                    .net
+                    .send(start, Node::Gpu(gpu), Node::Gpu(h), msg::REMOTE_REQ);
+                self.events.schedule(
+                    arrive,
+                    Ev::RemoteReqArrive {
+                        token,
+                        owner: Node::Gpu(h),
+                        paddr,
+                    },
+                );
+            }
+            Node::Host => {
+                // Transient window (page still host-resident): service over
+                // PCIe.
+                let arrive = self
+                    .net
+                    .send(start, Node::Gpu(gpu), Node::Host, msg::REMOTE_REQ);
+                self.events.schedule(
+                    arrive,
+                    Ev::RemoteReqArrive {
+                        token,
+                        owner: Node::Host,
+                        paddr,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A remote data request reached the owning node: access its memory.
+    pub(crate) fn on_remote_req_arrive(&mut self, token: u64, owner: Node, paddr: u64) {
+        let served = match owner {
+            Node::Gpu(h) => self.now + self.gpus[h].serve_remote_latency(self.now, paddr),
+            // Host memory service latency.
+            Node::Host => self.now + 100,
+        };
+        self.events.schedule(served, Ev::RemoteServed { token, owner });
+    }
+
+    /// The owner's memory returned the line: ship the response back.
+    pub(crate) fn on_remote_served(&mut self, token: u64, owner: Node) {
+        let Some(req) = self.reqs.get(&token).copied() else {
+            return;
+        };
+        let done = self
+            .net
+            .send(self.now, owner, Node::Gpu(req.gpu), msg::REMOTE_RESP);
+        self.remote_data_latency
+            .record(done.saturating_sub(req.issue_at).raw() as f64);
+        self.events.schedule(done, Ev::AccessDone { token });
+    }
+
+    /// Counts a remote access and, when the policy fires, sends a migration
+    /// request to the driver.
+    fn note_remote_access(&mut self, gpu: usize, vpn: vm_model::addr::Vpn) {
+        if self.cfg.replication {
+            // Replication replaces counter-based migration (§7.4): reads
+            // replicate on fault, writes collapse — no counters.
+            return;
+        }
+        if self
+            .counters
+            .record_remote_access(self.cfg.policy, gpu, vpn)
+            && !self.migrations.is_migrating(vpn)
+        {
+            let at = self
+                .net
+                .send(self.now, Node::Gpu(gpu), Node::Host, msg::MIG_REQ);
+            self.events.schedule(at, Ev::MigRequestAtHost { vpn, to: gpu });
+        }
+    }
+
+    /// A data access completed: unblock its warp.
+    pub(crate) fn on_access_done(&mut self, token: u64) {
+        let req = self.reqs.remove(&token).expect("live request");
+        self.accesses_done += 1;
+        self.access_latency
+            .record(self.now.saturating_sub(req.issue_at).raw() as f64);
+        let ready_at =
+            self.gpus[req.gpu].cus[req.cu].complete_access(req.warp, self.now, self.compute_gap);
+        self.events.schedule(
+            ready_at,
+            Ev::WarpReady {
+                gpu: req.gpu,
+                cu: req.cu,
+                warp: req.warp,
+            },
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Driver-side protocol: fault batching, fault resolution, mapping
+//! delivery, and the Trans-FW probe completion path.
+
+use gpu_model::gmmu::WalkClass;
+use mem_model::interconnect::Node;
+use sim_engine::Cycle;
+use uvm_driver::fault::FarFault;
+use uvm_driver::policy::MigrationPolicy;
+use vm_model::addr::Vpn;
+use vm_model::pte::Pte;
+
+use super::{msg, Ev, PendingUpdate, System};
+
+impl System {
+    /// A far fault reaches the driver: batch it (256 per batch) and
+    /// schedule a window flush for stragglers.
+    pub(crate) fn on_fault_at_host(&mut self, fault: FarFault) {
+        // The fault leaves the GPU fault buffer when the driver fetches it.
+        let _ = self.gpus[fault.gpu].fault_buffer.pop();
+        if let Some(batch) = self.batcher.push(fault) {
+            self.process_fault_batch(batch);
+        } else if !self.batch_flush_scheduled {
+            self.batch_flush_scheduled = true;
+            let at = self.now + self.cfg.host.batch_window;
+            self.events.schedule(at, Ev::BatchWindow);
+        }
+    }
+
+    /// Batch-window expiry: flush whatever is pending.
+    pub(crate) fn on_batch_window(&mut self) {
+        self.batch_flush_scheduled = false;
+        if let Some(batch) = self.batcher.flush() {
+            self.process_fault_batch(batch);
+        }
+    }
+
+    /// Resolves each batched fault through the host walker pool.
+    fn process_fault_batch(&mut self, batch: Vec<FarFault>) {
+        let latency = Cycle(self.cfg.host.walk_latency.raw());
+        for fault in batch {
+            let start = self.now.max(self.host_walkers.earliest_free());
+            self.host_walkers
+                .try_acquire(start, latency)
+                .expect("a thread frees by earliest_free");
+            self.events
+                .schedule(start + latency, Ev::FaultResolved { fault });
+        }
+    }
+
+    /// The driver resolved one fault against the centralized page table.
+    pub(crate) fn on_fault_resolved(&mut self, fault: FarFault) {
+        // Faults against a migrating page park until the migration ends.
+        if self.migrations.is_migrating(fault.vpn) {
+            self.migrations.park_waiter(fault);
+            return;
+        }
+        // Optional extension: fault-driven block prefetching. When a block
+        // turns dense, its sibling pages' *translations* are pushed to the
+        // faulting GPU along with the resolution (host-resident siblings
+        // additionally migrate), saving the future far faults the GPU was
+        // about to take one by one.
+        if self.cfg.host.prefetch && !self.cfg.replication {
+            let siblings = self.prefetcher.on_fault(fault.gpu, fault.vpn);
+            for sib in siblings {
+                if self.migrations.is_migrating(sib) {
+                    continue;
+                }
+                match self.host_mem.owner_of(sib) {
+                    Some(Node::Host) => {
+                        if self.host_mem.move_page(sib, Node::Gpu(fault.gpu)).is_ok() {
+                            self.dir_record(sib, fault.gpu);
+                            let ppn = self.host_mem.pte(sib).expect("populated").ppn();
+                            let arrive = self.net.send(
+                                self.now,
+                                Node::Host,
+                                Node::Gpu(fault.gpu),
+                                self.page_bytes(),
+                            );
+                            self.events.schedule(
+                                arrive,
+                                Ev::MappingToGpu {
+                                    gpu: fault.gpu,
+                                    vpn: sib,
+                                    pte: Pte::new_mapped(ppn, true),
+                                },
+                            );
+                        }
+                    }
+                    Some(Node::Gpu(_)) => {
+                        // Push the (possibly remote) translation eagerly.
+                        self.dir_record(sib, fault.gpu);
+                        let ppn = self.host_mem.pte(sib).expect("populated").ppn();
+                        self.send_mapping(
+                            fault.gpu,
+                            sib,
+                            Pte::new_mapped(ppn, true),
+                            msg::MAP,
+                        );
+                    }
+                    None => {}
+                }
+            }
+        }
+        let owner = self.owner_of(fault.vpn);
+        match owner {
+            Node::Host => {
+                // First GPU touch: migrate CPU→GPU (no GPU holds a mapping,
+                // so there is nothing to invalidate — common to all
+                // policies).
+                if self
+                    .host_mem
+                    .move_page(fault.vpn, Node::Gpu(fault.gpu))
+                    .is_err()
+                {
+                    // Device full: fall back to a (slow) host remote map.
+                    let pte = self.host_mem.pte(fault.vpn).expect("populated");
+                    self.send_mapping(fault.gpu, fault.vpn, pte, msg::MAP);
+                    return;
+                }
+                self.dir_record(fault.vpn, fault.gpu);
+                self.broadcast_prt_record(fault.vpn, fault.gpu);
+                let pte = self.host_mem.pte(fault.vpn).expect("populated");
+                let arrive = self
+                    .net
+                    .send(self.now, Node::Host, Node::Gpu(fault.gpu), self.page_bytes());
+                self.events.schedule(
+                    arrive,
+                    Ev::MappingToGpu {
+                        gpu: fault.gpu,
+                        vpn: fault.vpn,
+                        pte: Pte::new_mapped(pte.ppn(), true),
+                    },
+                );
+            }
+            Node::Gpu(h) if h == fault.gpu => {
+                // Already local (stale fault raced a completed migration).
+                let holders = self.replicas.holders(fault.vpn);
+                if self.cfg.replication && fault.is_write && holders.len() > 1 {
+                    // The writer owns the page but read replicas are still
+                    // outstanding: collapse them before granting write
+                    // permission.
+                    let targets = self.replicas.collapse_for_write(fault.vpn, fault.gpu);
+                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets));
+                    self.migrations.park_waiter(fault);
+                    return;
+                }
+                self.dir_record(fault.vpn, fault.gpu);
+                let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+                let writable = !self.cfg.replication || holders.len() <= 1;
+                self.send_mapping(
+                    fault.gpu,
+                    fault.vpn,
+                    Pte::new_mapped(ppn, writable),
+                    msg::MAP,
+                );
+            }
+            Node::Gpu(h) => {
+                if self.cfg.replication && !fault.is_write {
+                    self.grant_replica(fault, h);
+                } else if self.cfg.replication && fault.is_write {
+                    // Write collapse: invalidate all other copies and move
+                    // ownership to the writer. The owner holds a valid local
+                    // mapping even when it was never registered as a replica
+                    // holder (pre-placed pages), so it is always targeted.
+                    let mut targets = self.replicas.collapse_for_write(fault.vpn, fault.gpu);
+                    if h != fault.gpu {
+                        targets.insert(h);
+                    }
+                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets));
+                    self.migrations.park_waiter(fault);
+                } else if self.cfg.policy == MigrationPolicy::OnTouch
+                    && !self.migration_throttled(fault.vpn)
+                {
+                    self.start_migration(fault.vpn, h, fault.gpu, None);
+                    self.migrations.park_waiter(fault);
+                } else {
+                    // Remote mapping: the local page table will point at the
+                    // remote GPU's frame (first-touch and counter-based).
+                    self.dir_record(fault.vpn, fault.gpu);
+                    self.broadcast_prt_record(fault.vpn, h);
+                    let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+                    self.send_mapping(
+                        fault.gpu,
+                        fault.vpn,
+                        Pte::new_mapped(ppn, true),
+                        msg::MAP,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Grants a read replica of `vpn` (owned by `owner`) to the faulting
+    /// GPU: allocate a local frame, ship the page over NVLink, and install a
+    /// read-only mapping. The owner is downgraded to read-only so its next
+    /// write triggers the collapse protocol.
+    fn grant_replica(&mut self, fault: FarFault, owner: usize) {
+        // Already a holder (a stale fault after a TLB shootdown): replay the
+        // existing replica mapping instead of leaking a fresh frame.
+        if self.replicas.holds(fault.vpn, fault.gpu) {
+            if let Some(&ppn) = self.replica_frames.get(&(fault.gpu, fault.vpn)) {
+                self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, false), msg::MAP);
+                return;
+            }
+            // The owner holds the primary copy, not a replica frame.
+            let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+            self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, false), msg::MAP);
+            return;
+        }
+        let Ok(copy_ppn) = self.host_mem.alloc_frame(Node::Gpu(fault.gpu)) else {
+            // Device full: degrade to a remote mapping.
+            self.dir_record(fault.vpn, fault.gpu);
+            let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+            self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, true), msg::MAP);
+            return;
+        };
+        if self.replicas.holders(fault.vpn).is_empty() {
+            // First replication: the owner becomes a tracked (read-only)
+            // holder; downgrade its mapping.
+            self.replicas.add_replica(fault.vpn, owner);
+            let owner_ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+            self.gpus[owner].shootdown(fault.vpn);
+            self.send_mapping(owner, fault.vpn, Pte::new_mapped(owner_ppn, false), msg::MAP);
+        }
+        self.replicas.add_replica(fault.vpn, fault.gpu);
+        self.replica_frames.insert((fault.gpu, fault.vpn), copy_ppn);
+        self.dir_record(fault.vpn, fault.gpu);
+        let arrive =
+            self.net
+                .send(self.now, Node::Gpu(owner), Node::Gpu(fault.gpu), self.page_bytes());
+        self.events.schedule(
+            arrive,
+            Ev::MappingToGpu {
+                gpu: fault.gpu,
+                vpn: fault.vpn,
+                pte: Pte::new_mapped(copy_ppn, false),
+            },
+        );
+    }
+
+    /// Sends a PTE (new mapping) to a GPU over PCIe.
+    pub(crate) fn send_mapping(&mut self, gpu: usize, vpn: Vpn, pte: Pte, bytes: u64) {
+        let arrive = self.net.send(self.now, Node::Host, Node::Gpu(gpu), bytes);
+        self.events.schedule(arrive, Ev::MappingToGpu { gpu, vpn, pte });
+    }
+
+    /// A new mapping arrives at a GPU: check the IRMB (a pending
+    /// invalidation is superseded, §6.3), then queue the PTE update through
+    /// the page-walk queue.
+    pub(crate) fn on_mapping_to_gpu(&mut self, gpu: usize, vpn: Vpn, pte: Pte) {
+        if self.lazy() {
+            self.irmbs[gpu].remove(vpn);
+        }
+        let token = self.next_update;
+        self.next_update += 1;
+        self.updates.insert(token, PendingUpdate { vpn, pte });
+        self.enqueue_walk(gpu, vpn, WalkClass::Update, token);
+    }
+
+    /// Trans-FW: the remote probe returned. If the holder's table really
+    /// has a valid translation, install it locally (bypassing the host);
+    /// otherwise fall back to the host path, paying the wasted round trip.
+    pub(crate) fn on_remote_probe_done(&mut self, _token: u64, fault: FarFault, holder: usize) {
+        let remote_pte = self.gpus[holder].page_table.lookup(fault.vpn);
+        match remote_pte {
+            Some(pte)
+                if pte.is_valid()
+                    && !self.migrations.is_migrating(fault.vpn)
+                    && (!fault.is_write || pte.is_writable()) =>
+            {
+                // Keep the host directory sound: the holder forwards the
+                // translation and notifies the driver off the critical path.
+                self.dir_record(fault.vpn, fault.gpu);
+                self.on_mapping_to_gpu(fault.gpu, fault.vpn, pte);
+            }
+            _ => {
+                self.prts[fault.gpu].report_false_forward(fault.vpn);
+                let at = self.net.send(
+                    self.now,
+                    Node::Gpu(fault.gpu),
+                    Node::Host,
+                    msg::FAULT,
+                );
+                self.events.schedule(at, Ev::FaultAtHost { fault });
+            }
+        }
+    }
+
+    /// Teaches every other GPU's PRT that `holder` has a translation of
+    /// `vpn` (driver notification, state-only).
+    pub(crate) fn broadcast_prt_record(&mut self, vpn: Vpn, holder: usize) {
+        for (g, prt) in self.prts.iter_mut().enumerate() {
+            if g != holder {
+                prt.record(vpn, holder);
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The migration/invalidation protocol — the heart of what IDYLL optimises.
+
+use gpu_model::gmmu::WalkClass;
+use mem_model::gpuset::GpuSet;
+use mem_model::interconnect::Node;
+use sim_engine::Cycle;
+use vm_model::addr::Vpn;
+use vm_model::pte::Pte;
+
+use crate::config::DirectoryMode;
+
+use super::{msg, Ev, System};
+
+impl System {
+    /// A counter-triggered migration request reaches the driver.
+    pub(crate) fn on_mig_request(&mut self, vpn: Vpn, to: usize) {
+        if self.migrations.is_migrating(vpn) || self.migration_throttled(vpn) {
+            return; // in flight or anti-thrash cooldown
+        }
+        let owner = self.owner_of(vpn);
+        if owner == Node::Gpu(to) {
+            return; // stale request: the page already moved here
+        }
+        let Node::Gpu(from) = owner else {
+            return; // still host-resident: first touch will migrate it
+        };
+        self.start_migration(vpn, from, to, None);
+    }
+
+    /// Starts the invalidation phase of a migration. `explicit_targets`
+    /// overrides the directory (used by the replication write-collapse,
+    /// which knows its holders exactly).
+    /// Whether a new migration of `vpn` is throttled by the anti-thrash
+    /// cooldown.
+    pub(crate) fn migration_throttled(&self, vpn: Vpn) -> bool {
+        self.last_migration
+            .get(&vpn)
+            .map(|&t| self.now.saturating_sub(t) < self.cfg.host.migration_cooldown)
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn start_migration(
+        &mut self,
+        vpn: Vpn,
+        from: usize,
+        to: usize,
+        explicit_targets: Option<GpuSet>,
+    ) {
+        if self.migrations.is_migrating(vpn) {
+            return;
+        }
+        self.counters.reset_page(vpn);
+        // Any fingerprint pointing at this page is about to go stale.
+        for prt in &mut self.prts {
+            prt.invalidate(vpn);
+        }
+        let directory = self
+            .cfg
+            .idyll
+            .map(|i| i.directory)
+            .unwrap_or(DirectoryMode::Broadcast);
+        // The driver always performs its own page-table walk for the
+        // invalidation (it must invalidate/update the host PTE).
+        let walk_start = self.now.max(self.host_walkers.earliest_free());
+        let walk_latency = self.cfg.host.walk_latency;
+        self.host_walkers
+            .try_acquire(walk_start, walk_latency)
+            .expect("walker frees by earliest_free");
+        let host_walk_done_at = walk_start + walk_latency;
+
+        match explicit_targets {
+            Some(targets) => {
+                // Write collapse: exact holders known from the replica
+                // directory; send immediately.
+                self.migrations
+                    .start(vpn, Node::Gpu(from), to, targets, self.now);
+                self.events
+                    .schedule(host_walk_done_at, Ev::MigHostWalkDone { vpn });
+                self.send_invalidations(vpn, targets);
+            }
+            None => match directory {
+                DirectoryMode::Broadcast => {
+                    // Baseline: "the UVM driver simply broadcasts page table
+                    // invalidation requests to all GPUs" — before its own
+                    // walk completes.
+                    let targets = GpuSet::all(self.cfg.n_gpus);
+                    self.migrations
+                        .start(vpn, Node::Gpu(from), to, targets, self.now);
+                    self.events
+                        .schedule(host_walk_done_at, Ev::MigHostWalkDone { vpn });
+                    self.send_invalidations(vpn, targets);
+                }
+                DirectoryMode::InPte { .. } => {
+                    // IDYLL: the host walk must complete before the access
+                    // bits are readable; targets are determined (and the
+                    // invalidations sent) in `on_mig_host_walk_done`.
+                    self.migrations
+                        .start(vpn, Node::Gpu(from), to, GpuSet::empty(), self.now);
+                    self.pending_dir_lookup.insert(vpn);
+                    self.events
+                        .schedule(host_walk_done_at, Ev::MigHostWalkDone { vpn });
+                }
+                DirectoryMode::InMem => {
+                    // IDYLL-InMem: the VM-Cache/VM-Table lookup runs in
+                    // parallel with the host walk; invalidations go out as
+                    // soon as the lookup returns, and the driver's state is
+                    // complete at max(walk, lookup).
+                    let vm = self.vm_dir.as_mut().expect("InMem mode");
+                    let (targets, access) = vm.invalidation_targets(vpn, to);
+                    let lookup_latency = if access.cache_hit {
+                        self.cfg.host.vm_cache_latency
+                    } else {
+                        self.cfg.host.vm_cache_latency + self.cfg.host.vm_table_latency
+                    };
+                    self.migrations
+                        .start(vpn, Node::Gpu(from), to, targets, self.now);
+                    self.events
+                        .schedule(self.now + lookup_latency, Ev::MigSendInvals { vpn, targets });
+                    self.events.schedule(
+                        host_walk_done_at.max(self.now + lookup_latency),
+                        Ev::MigHostWalkDone { vpn },
+                    );
+                }
+            },
+        }
+    }
+
+    /// The driver's own walk finished. For the in-PTE directory this is the
+    /// moment the access bits become readable: compute targets, clear the
+    /// bits, and send the (filtered) invalidations.
+    pub(crate) fn on_mig_host_walk_done(&mut self, vpn: Vpn) {
+        if self.pending_dir_lookup.remove(&vpn) {
+            let dir = self.in_pte_dir.expect("pending lookup implies InPte");
+            let pte = self.host_mem.pte_mut(vpn).expect("populated");
+            let targets = dir.invalidation_targets(pte);
+            dir.clear(pte);
+            if let Some(m) = self.migrations.get_mut(vpn) {
+                m.targets = targets;
+                m.pending_acks = targets;
+            }
+            self.send_invalidations(vpn, targets);
+        }
+        if self.migrations.host_walk_done(vpn, self.now) {
+            self.begin_data_transfer(vpn);
+        }
+    }
+
+    /// Fans invalidation requests out to `targets` over PCIe.
+    pub(crate) fn send_invalidations(&mut self, vpn: Vpn, targets: GpuSet) {
+        for g in targets.iter() {
+            let at = self
+                .net
+                .send(self.now, Node::Host, Node::Gpu(g), msg::INVAL);
+            self.events.schedule(at, Ev::InvalArrive { gpu: g, vpn });
+        }
+    }
+
+    /// An invalidation request arrives at a GPU. The TLB shootdown is
+    /// immediate in every scheme; the PTE handling differs:
+    /// baseline walks, IDYLL inserts into the IRMB, the idealised scheme
+    /// updates instantly.
+    pub(crate) fn on_inval_arrive(&mut self, gpu: usize, vpn: Vpn) {
+        self.invalidation_messages += 1;
+        self.gpus[gpu].shootdown(vpn);
+        // If this GPU owns the page's data, its cached lines must go.
+        if let Some(pte) = self.gpus[gpu].page_table.lookup(vpn) {
+            if self.memmap.owner(pte.ppn()) == Node::Gpu(gpu) {
+                let base = pte.ppn() * self.page_bytes();
+                self.gpus[gpu].drop_page_lines(base);
+            }
+        }
+        if self.cfg.zero_latency_invalidation {
+            // Idealised: the PTE is updated instantaneously and the ack is
+            // free.
+            self.inval_done.insert((gpu, vpn));
+            let necessary = self.gpus[gpu].page_table.invalidate(vpn);
+            if necessary {
+                self.walker_mix.invalidation_necessary += 1;
+            } else {
+                self.walker_mix.invalidation_unnecessary += 1;
+            }
+            self.ack_invalidation(gpu, vpn, Cycle::ZERO);
+            return;
+        }
+        if self.lazy() {
+            // IDYLL: buffer in the IRMB and ack immediately; evictions
+            // trigger batched write-back walks. The IRMB entry itself makes
+            // the stale PTE unusable, so the invalidation counts as locally
+            // processed from this point.
+            self.inval_done.insert((gpu, vpn));
+            let outcome = self.irmbs[gpu].insert(vpn);
+            use idyll_core::irmb::InsertOutcome;
+            match outcome {
+                InsertOutcome::EvictedLru(entry) | InsertOutcome::EvictedOffsets(entry) => {
+                    let vpns: Vec<Vpn> = entry.vpns().collect();
+                    for v in vpns {
+                        self.enqueue_walk(gpu, v, WalkClass::IrmbWriteback, 0);
+                    }
+                }
+                _ => {}
+            }
+            self.ack_invalidation(gpu, vpn, self.net.latency(Node::Gpu(gpu), Node::Host));
+            // A write-back opportunity may exist right away.
+            self.dispatch_walks(gpu);
+            return;
+        }
+        // Baseline: a PTE-invalidation walk through the contended GMMU; the
+        // ack is sent when the walk completes (see `on_walk_done`).
+        self.enqueue_walk(gpu, vpn, WalkClass::Invalidation, 0);
+    }
+
+    fn ack_invalidation(&mut self, gpu: usize, vpn: Vpn, latency: Cycle) {
+        if latency == Cycle::ZERO {
+            self.on_ack_at_host(gpu, vpn);
+        } else {
+            let at = self
+                .net
+                .send(self.now, Node::Gpu(gpu), Node::Host, msg::ACK);
+            self.events.schedule(at, Ev::AckAtHost { gpu, vpn });
+        }
+    }
+
+    /// An invalidation ack reaches the driver.
+    pub(crate) fn on_ack_at_host(&mut self, gpu: usize, vpn: Vpn) {
+        if self.migrations.ack(vpn, gpu, self.now) {
+            self.begin_data_transfer(vpn);
+        }
+    }
+
+    /// Invalidation phase complete: record the waiting latency and ship the
+    /// page data.
+    fn begin_data_transfer(&mut self, vpn: Vpn) {
+        let (from, to, waiting) = {
+            let m = self.migrations.get(vpn).expect("in flight");
+            (m.from, m.to, m.waiting_latency().unwrap_or(Cycle::ZERO))
+        };
+        self.migration_waiting.record(waiting.raw() as f64);
+        // If the destination already holds a replica, no bytes move.
+        let arrive = if self.replicas.holds(vpn, to) {
+            self.now
+        } else {
+            self.net
+                .send(self.now, from, Node::Gpu(to), self.page_bytes())
+        };
+        self.events.schedule(arrive, Ev::MigDataDone { vpn });
+    }
+
+    /// Page data landed: move ownership, establish the new mapping, replay
+    /// parked faults.
+    pub(crate) fn on_mig_data_done(&mut self, vpn: Vpn) {
+        let m = self.migrations.complete(vpn).expect("in flight");
+        for g in 0..self.cfg.n_gpus {
+            self.inval_done.remove(&(g, vpn));
+        }
+        // Free every replica frame the collapse invalidated — including the
+        // destination's own replica copy (it receives the migrated primary
+        // frame instead; keeping the copy would leak a frame per collapse).
+        let dropped = self.replicas.forget(vpn);
+        for g in dropped.iter() {
+            if let Some(ppn) = self.replica_frames.remove(&(g, vpn)) {
+                self.host_mem.free_frame(ppn);
+            }
+        }
+        self.replica_frames.remove(&(m.to, vpn));
+        if self
+            .host_mem
+            .move_page(vpn, Node::Gpu(m.to))
+            .is_err()
+        {
+            // Destination out of frames: ownership stays put. Serve every
+            // parked waiter a plain (writable) remote mapping directly so
+            // the system keeps making progress instead of re-entering the
+            // replication policy and re-failing forever.
+            let ppn = self.host_mem.pte(vpn).expect("populated").ppn();
+            for fault in m.waiters {
+                self.dir_record(vpn, fault.gpu);
+                self.send_mapping(fault.gpu, vpn, Pte::new_mapped(ppn, true), msg::MAP);
+            }
+            return;
+        }
+        if self.cfg.replication {
+            self.replicas.add_replica(vpn, m.to);
+        }
+        self.dir_record(vpn, m.to);
+        self.broadcast_prt_record(vpn, m.to);
+        self.last_migration.insert(vpn, self.now);
+        self.migrations_done += 1;
+        self.migration_total
+            .record((self.now.saturating_sub(m.requested_at)).raw() as f64);
+        let new_ppn = self.host_mem.pte(vpn).expect("populated").ppn();
+        // The new mapping is installed at the destination (data already
+        // arrived with the transfer).
+        self.on_mapping_to_gpu(m.to, vpn, Pte::new_mapped(new_ppn, true));
+        // Replay parked far faults.
+        for fault in m.waiters {
+            self.events
+                .schedule(self.now + 1, Ev::FaultResolved { fault });
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! The discrete-event multi-GPU system simulator.
+//!
+//! A [`System`] owns every architectural component and drives them through a
+//! single deterministic event loop. Protocol logic is split across focused
+//! submodules:
+//!
+//! * [`translate`](self) — warp issue, TLB hierarchy, GMMU walks;
+//! * [`host`](self) — fault batching and resolution at the UVM driver;
+//! * [`migrate`](self) — the migration/invalidation protocol IDYLL targets;
+//! * [`data`](self) — the post-translation data path and access counters.
+
+mod data;
+mod host;
+mod migrate;
+mod translate;
+
+use std::collections::HashMap;
+
+use gpu_model::gmmu::{DispatchedWalk, WalkClass};
+use gpu_model::gpu::Gpu;
+use idyll_core::directory::{DirectoryConfig, InPteDirectory};
+use idyll_core::irmb::Irmb;
+use idyll_core::transfw::TransFw;
+use idyll_core::vm_table::VmDirectory;
+use mem_model::gpuset::GpuSet;
+use mem_model::interconnect::{Interconnect, Node};
+use sim_engine::resource::ThreadPool;
+use sim_engine::stats::Accumulator;
+use sim_engine::{Cycle, EventQueue};
+use uvm_driver::fault::{FarFault, FaultBatcher};
+use uvm_driver::host::HostMemory;
+use uvm_driver::migration::MigrationTable;
+use uvm_driver::policy::AccessCounters;
+use uvm_driver::replication::ReplicaDirectory;
+use vm_model::addr::Vpn;
+use vm_model::memmap::MemoryMap;
+use vm_model::pte::Pte;
+use workloads::{Access, Workload};
+
+use crate::config::{DirectoryMode, SystemConfig};
+use crate::metrics::{SimReport, WalkerMix};
+
+/// Message sizes in bytes.
+pub(crate) mod msg {
+    /// Far-fault report GPU→host.
+    pub const FAULT: u64 = 48;
+    /// Invalidation request host→GPU.
+    pub const INVAL: u64 = 32;
+    /// Invalidation ack GPU→host.
+    pub const ACK: u64 = 32;
+    /// PTE-update (new mapping) host→GPU.
+    pub const MAP: u64 = 64;
+    /// Migration request GPU→host.
+    pub const MIG_REQ: u64 = 32;
+    /// Remote data request (header + address flits; fine-grained peer loads
+    /// pay substantial protocol overhead on real NVLink).
+    pub const REMOTE_REQ: u64 = 96;
+    /// Remote data response (one cacheline + header flits).
+    pub const REMOTE_RESP: u64 = 128;
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// A warp wants to issue its next trace access.
+    WarpReady { gpu: usize, cu: usize, warp: usize },
+    /// L1-missed request reaches the L2 TLB (lookup result applied here).
+    L2Lookup { token: u64 },
+    /// Retry a structurally stalled L2 access (MSHR full).
+    MshrRetry { token: u64 },
+    /// Try to start queued page walks on a GPU.
+    DispatchWalks { gpu: usize },
+    /// A page walk finished.
+    WalkDone { gpu: usize, walk: DispatchedWalk },
+    /// A far fault arrived at the UVM driver.
+    FaultAtHost { fault: FarFault },
+    /// Fault-batch window expired: flush the partial batch.
+    BatchWindow,
+    /// The driver finished resolving one fault.
+    FaultResolved { fault: FarFault },
+    /// A new mapping arrived at a GPU (rides the PTE-update path).
+    MappingToGpu { gpu: usize, vpn: Vpn, pte: Pte },
+    /// An invalidation request arrived at a GPU.
+    InvalArrive { gpu: usize, vpn: Vpn },
+    /// An invalidation ack arrived back at the driver.
+    AckAtHost { gpu: usize, vpn: Vpn },
+    /// A counter-triggered migration request arrived at the driver.
+    MigRequestAtHost { vpn: Vpn, to: usize },
+    /// The driver's own page-table walk for a migration finished.
+    MigHostWalkDone { vpn: Vpn },
+    /// Directory lookup produced the target set; send the invalidations.
+    MigSendInvals { vpn: Vpn, targets: GpuSet },
+    /// Page data landed on the destination GPU.
+    MigDataDone { vpn: Vpn },
+    /// A data access completed; unblock its warp.
+    AccessDone { token: u64 },
+    /// A remote data request arrived at the owning node's memory.
+    RemoteReqArrive { token: u64, owner: Node, paddr: u64 },
+    /// The owning node's memory produced the data; send the response.
+    RemoteServed { token: u64, owner: Node },
+    /// Trans-FW: remote page-table probe completed.
+    RemoteProbeDone { token: u64, fault: FarFault, holder: usize },
+}
+
+/// One in-flight translation request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Req {
+    pub gpu: usize,
+    pub cu: usize,
+    pub warp: usize,
+    pub vpn: Vpn,
+    pub is_write: bool,
+    pub issue_at: Cycle,
+    /// Set when the request misses the L2 TLB (start of the demand-miss
+    /// latency window, Figures 6/12).
+    pub l2_miss_at: Option<Cycle>,
+}
+
+/// A driver-sent PTE update awaiting its update walk.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingUpdate {
+    pub vpn: Vpn,
+    pub pte: Pte,
+}
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained before every warp retired — a protocol bug
+    /// or an impossible configuration.
+    Stalled {
+        /// Cycle at which the queue drained.
+        at: Cycle,
+        /// GPUs that had not finished.
+        unfinished_gpus: usize,
+    },
+    /// The event bound was exceeded (runaway simulation).
+    EventLimit(u64),
+    /// The footprint does not fit in the configured device windows.
+    OutOfMemory(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { at, unfinished_gpus } => write!(
+                f,
+                "simulation stalled at {at}: {unfinished_gpus} GPU(s) never finished"
+            ),
+            SimError::EventLimit(n) => write!(f, "event limit of {n} exceeded"),
+            SimError::OutOfMemory(what) => write!(f, "out of simulated memory: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The assembled multi-GPU system.
+pub struct System {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) now: Cycle,
+    pub(crate) events: EventQueue<Ev>,
+    pub(crate) gpus: Vec<Gpu>,
+    pub(crate) net: Interconnect,
+    pub(crate) memmap: MemoryMap,
+    pub(crate) host_mem: HostMemory,
+    pub(crate) host_walkers: ThreadPool,
+    pub(crate) batcher: FaultBatcher,
+    pub(crate) prefetcher: uvm_driver::prefetch::Prefetcher,
+    pub(crate) batch_flush_scheduled: bool,
+    pub(crate) counters: AccessCounters,
+    pub(crate) migrations: MigrationTable,
+    pub(crate) replicas: ReplicaDirectory,
+    /// Physical frames holding read replicas: (gpu, vpn) → ppn.
+    pub(crate) replica_frames: HashMap<(usize, Vpn), u64>,
+    // IDYLL mechanisms.
+    pub(crate) irmbs: Vec<Irmb>,
+    pub(crate) in_pte_dir: Option<InPteDirectory>,
+    pub(crate) vm_dir: Option<VmDirectory>,
+    pub(crate) prts: Vec<TransFw>,
+    // Workload state.
+    pub(crate) traces: Vec<Vec<Access>>,
+    /// Per-(gpu, warp) issue plans into the GPU trace (built by the CTA
+    /// scheduling policy) plus the per-warp cursor:
+    /// `warp_plans[gpu][warp_index]` is the list of trace indices the warp
+    /// issues, `warp_cursors[gpu][warp_index]` the next position in it.
+    pub(crate) warp_plans: Vec<Vec<gpu_model::scheduler::WarpPlan>>,
+    pub(crate) warp_cursors: Vec<Vec<usize>>,
+    pub(crate) compute_gap: Cycle,
+    pub(crate) workload_name: String,
+    pub(crate) instructions: u64,
+    pub(crate) sharing_distribution: Vec<f64>,
+    /// Pages whose in-PTE directory lookup awaits the host walk.
+    pub(crate) pending_dir_lookup: std::collections::HashSet<Vpn>,
+    /// `(gpu, vpn)` pairs whose invalidation for the current migration has
+    /// already been processed locally (walk finished / IRMB insert /
+    /// instantaneous). Used to close the ack-in-flight window in the
+    /// stale-install guard.
+    pub(crate) inval_done: std::collections::HashSet<(usize, Vpn)>,
+    /// Last completed migration per page (anti-thrash cooldown).
+    pub(crate) last_migration: HashMap<Vpn, Cycle>,
+    // Request tracking.
+    pub(crate) inflight_faults: std::collections::HashSet<(usize, Vpn)>,
+    pub(crate) reqs: HashMap<u64, Req>,
+    pub(crate) next_token: u64,
+    pub(crate) updates: HashMap<u64, PendingUpdate>,
+    pub(crate) next_update: u64,
+    /// Walk requests that found the page-walk queue full, per GPU
+    /// (upstream stall buffer, drained before new dispatches).
+    pub(crate) overflow: Vec<std::collections::VecDeque<(Vpn, WalkClass, u64)>>,
+    pub(crate) dispatch_scheduled: Vec<bool>,
+    // Progress tracking.
+    pub(crate) finished_gpus: usize,
+    pub(crate) finish_cycle: Cycle,
+    // Metrics.
+    pub(crate) demand_miss_latency: Accumulator,
+    pub(crate) access_latency: Accumulator,
+    pub(crate) remote_data_latency: Accumulator,
+    pub(crate) invalidation_latency: Accumulator,
+    pub(crate) migration_waiting: Accumulator,
+    pub(crate) migration_total: Accumulator,
+    pub(crate) walker_mix: WalkerMix,
+    pub(crate) invalidation_messages: u64,
+    pub(crate) far_faults: u64,
+    pub(crate) migrations_done: u64,
+    pub(crate) accesses_done: u64,
+    pub(crate) events_processed: u64,
+}
+
+impl System {
+    /// Builds a system for `cfg` loaded with `workload`.
+    ///
+    /// # Panics
+    /// Panics if the workload has a different GPU count than the config.
+    pub fn new(cfg: SystemConfig, workload: &Workload) -> System {
+        assert_eq!(
+            workload.traces.len(),
+            cfg.n_gpus,
+            "workload GPU count must match the system"
+        );
+        let memmap = MemoryMap::new(cfg.n_gpus, cfg.frames_per_device);
+        let mut gpu_cfg = cfg.gpu;
+        gpu_cfg.page_size = cfg.page_size;
+        gpu_cfg.gmmu.levels = cfg.page_size.levels();
+        let gpus: Vec<Gpu> = (0..cfg.n_gpus).map(|g| Gpu::new(g, gpu_cfg)).collect();
+        let lazy = cfg.idyll.map(|i| i.lazy).unwrap_or(false);
+        let irmbs = if lazy {
+            let geometry = cfg.idyll.expect("lazy implies idyll").irmb;
+            (0..cfg.n_gpus).map(|_| Irmb::new(geometry)).collect()
+        } else {
+            Vec::new()
+        };
+        let in_pte_dir = match cfg.idyll.map(|i| i.directory) {
+            Some(DirectoryMode::InPte { access_bits }) => Some(InPteDirectory::new(
+                DirectoryConfig::with_access_bits(cfg.n_gpus, access_bits),
+            )),
+            _ => None,
+        };
+        let vm_dir = match cfg.idyll.map(|i| i.directory) {
+            Some(DirectoryMode::InMem) => Some(VmDirectory::new(cfg.n_gpus)),
+            _ => None,
+        };
+        let prts = match cfg.transfw {
+            Some(tf) => (0..cfg.n_gpus).map(|_| TransFw::new(tf)).collect(),
+            None => Vec::new(),
+        };
+        let mut host_mem = HostMemory::new(memmap, cfg.page_size);
+        // Populate exactly the pages the traces touch (the VA span is
+        // sparse by design — see `workloads::gen::spread`), in deterministic
+        // order.
+        let touched: std::collections::BTreeSet<Vpn> = workload
+            .traces
+            .iter()
+            .flat_map(|t| t.accesses.iter().map(|a| a.vpn))
+            .collect();
+        for &vpn in &touched {
+            host_mem
+                .populate(vpn)
+                .expect("host window must fit the touched footprint");
+        }
+        let mut system = System {
+            now: Cycle::ZERO,
+            events: EventQueue::new(),
+            gpus,
+            net: Interconnect::new(cfg.n_gpus, cfg.interconnect),
+            memmap,
+            host_mem,
+            host_walkers: ThreadPool::new(cfg.host.walk_threads),
+            batcher: FaultBatcher::new(cfg.host.fault_batch),
+            prefetcher: uvm_driver::prefetch::Prefetcher::new(
+                uvm_driver::prefetch::PrefetchConfig::default(),
+            ),
+            batch_flush_scheduled: false,
+            counters: AccessCounters::new(),
+            migrations: MigrationTable::new(),
+            replicas: ReplicaDirectory::new(),
+            replica_frames: HashMap::new(),
+            irmbs,
+            in_pte_dir,
+            vm_dir,
+            prts,
+            traces: workload.traces.iter().map(|t| t.accesses.clone()).collect(),
+            warp_plans: Vec::new(),
+            warp_cursors: Vec::new(),
+            compute_gap: Cycle(workload.compute_gap),
+            workload_name: workload.name.clone(),
+            instructions: workload.total_instructions(),
+            sharing_distribution: workload.access_sharing_distribution(),
+            pending_dir_lookup: std::collections::HashSet::new(),
+            inval_done: std::collections::HashSet::new(),
+            last_migration: HashMap::new(),
+            inflight_faults: std::collections::HashSet::new(),
+            reqs: HashMap::new(),
+            next_token: 0,
+            updates: HashMap::new(),
+            next_update: 0,
+            overflow: (0..cfg.n_gpus)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            dispatch_scheduled: vec![false; cfg.n_gpus],
+            finished_gpus: 0,
+            finish_cycle: Cycle::ZERO,
+            demand_miss_latency: Accumulator::new(),
+            access_latency: Accumulator::new(),
+            remote_data_latency: Accumulator::new(),
+            invalidation_latency: Accumulator::new(),
+            migration_waiting: Accumulator::new(),
+            migration_total: Accumulator::new(),
+            walker_mix: WalkerMix::default(),
+            invalidation_messages: 0,
+            far_faults: 0,
+            migrations_done: 0,
+            accesses_done: 0,
+            events_processed: 0,
+            cfg,
+        };
+        // Pre-place pages first-touch: the paper's OpenCL workloads copy
+        // their buffers to GPU memory before kernel launch (MGPUSim's setup
+        // phase), so simulation starts from the steady state in which each
+        // page lives on the GPU that first touches it, with that GPU's local
+        // page table warm. Remote GPUs still far-fault on first access.
+        {
+            let max_len = system.traces.iter().map(|t| t.len()).max().unwrap_or(0);
+            for pos in 0..max_len {
+                for g in 0..system.cfg.n_gpus {
+                    let Some(access) = system.traces[g].get(pos) else {
+                        continue;
+                    };
+                    let vpn = access.vpn;
+                    if system.host_mem.owner_of(vpn) == Some(Node::Host)
+                        && system.host_mem.move_page(vpn, Node::Gpu(g)).is_ok()
+                    {
+                        let ppn = system.host_mem.pte(vpn).expect("populated").ppn();
+                        system.gpus[g]
+                            .page_table
+                            .insert(vpn, Pte::new_mapped(ppn, true));
+                        system.dir_record(vpn, g);
+                    }
+                }
+            }
+        }
+        // Deal each GPU's trace to its warps under the configured CTA
+        // scheduling policy and prime every warp.
+        let warps_per_gpu = system.cfg.gpu.cus * system.cfg.gpu.warps_per_cu;
+        for gpu in 0..system.cfg.n_gpus {
+            let plans = gpu_model::scheduler::plan_warps(
+                system.traces[gpu].len(),
+                warps_per_gpu.max(1),
+                system.cfg.cta_schedule,
+            );
+            system.warp_cursors.push(vec![0; plans.len()]);
+            system.warp_plans.push(plans);
+        }
+        for gpu in 0..system.cfg.n_gpus {
+            for cu in 0..system.cfg.gpu.cus {
+                for warp in 0..system.cfg.gpu.warps_per_cu {
+                    system.events.schedule(Cycle::ZERO, Ev::WarpReady { gpu, cu, warp });
+                }
+            }
+        }
+        system
+    }
+
+    /// Runs with diagnostics on failure (debug aid for protocol livelocks).
+    ///
+    /// # Errors
+    /// Like [`System::run`], but the error carries a state dump.
+    pub fn run_debug(mut self) -> Result<SimReport, (SimError, String)> {
+        let limit = if self.cfg.max_events > 0 {
+            self.cfg.max_events
+        } else {
+            400 * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
+        };
+        while let Some((at, ev)) = self.events.pop() {
+            self.now = at;
+            self.events_processed += 1;
+            if self.events_processed > limit {
+                let mut d = String::new();
+                d.push_str(&format!("now={} pending_events={}\n", self.now, self.events.len()));
+                d.push_str(&format!("migrations in flight: {}\n", self.migrations.in_flight()));
+                for m in self.migrations.iter() {
+                    d.push_str(&format!("  mig vpn={:#x} from={} to={} phase={:?} acks={} host_walk={}\n",
+                        m.vpn.0, m.from, m.to, m.phase, m.pending_acks, m.host_walk_done));
+                }
+                d.push_str(&format!("live reqs: {}\n", self.reqs.len()));
+                let mut sample: Vec<_> = self.reqs.iter().take(5).collect();
+                sample.sort_by_key(|(t, _)| **t);
+                for (t, r) in sample {
+                    d.push_str(&format!("  req {t}: gpu={} vpn={:#x} write={} issued={}\n",
+                        r.gpu, r.vpn.0, r.is_write, r.issue_at));
+                }
+                d.push_str(&format!("migrations done={} faults={} inval_msgs={}\n",
+                    self.migrations_done, self.far_faults, self.invalidation_messages));
+                for (g, gpu) in self.gpus.iter().enumerate() {
+                    d.push_str(&format!("  gpu{g}: mshr={} queue={} overflow={} cursor_done={}\n",
+                        gpu.l2_mshr.len(), gpu.gmmu.queue_len(), self.overflow[g].len(),
+                        self.warp_cursors[g]
+                            .iter()
+                            .zip(&self.warp_plans[g])
+                            .filter(|(&c, p)| c >= p.len())
+                            .count()));
+                }
+                return Err((SimError::EventLimit(limit), d));
+            }
+            self.handle(ev);
+            if self.finished_gpus == self.cfg.n_gpus {
+                return Ok(self.report());
+            }
+        }
+        Err((SimError::Stalled { at: self.now, unfinished_gpus: self.cfg.n_gpus - self.finished_gpus }, String::new()))
+    }
+
+    /// Runs to completion and also returns interconnect pipe diagnostics.
+    ///
+    /// # Errors
+    /// Same as [`System::run`].
+    pub fn run_with_pipes(
+        mut self,
+    ) -> Result<(SimReport, Vec<(String, u64, u64, Cycle)>), SimError> {
+        let limit = if self.cfg.max_events > 0 {
+            self.cfg.max_events
+        } else {
+            60 * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
+        };
+        while let Some((at, ev)) = self.events.pop() {
+            self.now = at;
+            self.events_processed += 1;
+            if self.events_processed > limit {
+                return Err(SimError::EventLimit(limit));
+            }
+            self.handle(ev);
+            if self.finished_gpus == self.cfg.n_gpus {
+                break;
+            }
+        }
+        let pipes = self.net.pipe_stats();
+        Ok((self.report(), pipes))
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    /// [`SimError::Stalled`] if events drain before all warps retire;
+    /// [`SimError::EventLimit`] on a runaway event count.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        let limit = if self.cfg.max_events > 0 {
+            self.cfg.max_events
+        } else {
+            // Generous default bound: high-sharing workloads at large GPU
+            // counts legitimately spend hundreds of events per access on
+            // migration churn; the bound only exists to catch true
+            // livelocks.
+            400 * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
+        };
+        while let Some((at, ev)) = self.events.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            if self.events_processed > limit {
+                return Err(SimError::EventLimit(limit));
+            }
+            self.handle(ev);
+            if self.finished_gpus == self.cfg.n_gpus {
+                return Ok(self.report());
+            }
+        }
+        if self.finished_gpus == self.cfg.n_gpus {
+            Ok(self.report())
+        } else {
+            Err(SimError::Stalled {
+                at: self.now,
+                unfinished_gpus: self.cfg.n_gpus - self.finished_gpus,
+            })
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::WarpReady { gpu, cu, warp } => self.on_warp_ready(gpu, cu, warp),
+            Ev::L2Lookup { token } => self.on_l2_lookup(token, false),
+            Ev::MshrRetry { token } => self.on_l2_lookup(token, true),
+            Ev::DispatchWalks { gpu } => {
+                self.dispatch_scheduled[gpu] = false;
+                self.dispatch_walks(gpu);
+            }
+            Ev::WalkDone { gpu, walk } => self.on_walk_done(gpu, walk),
+            Ev::FaultAtHost { fault } => self.on_fault_at_host(fault),
+            Ev::BatchWindow => self.on_batch_window(),
+            Ev::FaultResolved { fault } => self.on_fault_resolved(fault),
+            Ev::MappingToGpu { gpu, vpn, pte } => self.on_mapping_to_gpu(gpu, vpn, pte),
+            Ev::InvalArrive { gpu, vpn } => self.on_inval_arrive(gpu, vpn),
+            Ev::AckAtHost { gpu, vpn } => self.on_ack_at_host(gpu, vpn),
+            Ev::MigRequestAtHost { vpn, to } => self.on_mig_request(vpn, to),
+            Ev::MigHostWalkDone { vpn } => self.on_mig_host_walk_done(vpn),
+            Ev::MigSendInvals { vpn, targets } => self.send_invalidations(vpn, targets),
+            Ev::MigDataDone { vpn } => self.on_mig_data_done(vpn),
+            Ev::AccessDone { token } => self.on_access_done(token),
+            Ev::RemoteReqArrive { token, owner, paddr } => {
+                self.on_remote_req_arrive(token, owner, paddr)
+            }
+            Ev::RemoteServed { token, owner } => self.on_remote_served(token, owner),
+            Ev::RemoteProbeDone { token, fault, holder } => {
+                self.on_remote_probe_done(token, fault, holder)
+            }
+        }
+    }
+
+    /// Records that `gpu` now holds a valid translation of `vpn`
+    /// (directory bookkeeping on the host side; no latency — it piggybacks
+    /// on work the driver already does).
+    pub(crate) fn dir_record(&mut self, vpn: Vpn, gpu: usize) {
+        if let Some(dir) = self.in_pte_dir {
+            if let Some(pte) = self.host_mem.pte_mut(vpn) {
+                dir.record_access(pte, gpu);
+            }
+        }
+        if let Some(vm) = self.vm_dir.as_mut() {
+            vm.record_access(vpn, gpu);
+        }
+    }
+
+    /// Whether lazy invalidation (IRMB) is active.
+    pub(crate) fn lazy(&self) -> bool {
+        !self.irmbs.is_empty()
+    }
+
+    fn report(&self) -> SimReport {
+        let mut l1_hits = 0;
+        let mut l1_misses = 0;
+        let mut l2_hits = 0;
+        let mut l2_misses = 0;
+        let mut pwc_hits = 0u64;
+        let mut pwc_misses = 0u64;
+        for gpu in &self.gpus {
+            for tlb in &gpu.l1_tlbs {
+                l1_hits += tlb.hits();
+                l1_misses += tlb.misses();
+            }
+            l2_hits += gpu.l2_tlb.hits();
+            l2_misses += gpu.l2_tlb.misses();
+            pwc_hits += gpu.gmmu.pwc().hits();
+            pwc_misses += gpu.gmmu.pwc().misses();
+        }
+        let irmb_inserts: u64 = self.irmbs.iter().map(|i| i.inserts()).sum();
+        let irmb_bypasses: u64 = self.irmbs.iter().map(|i| i.lookup_hits()).sum();
+        let irmb_evictions: u64 = self
+            .irmbs
+            .iter()
+            .map(|i| i.lru_evictions() + i.offset_evictions())
+            .sum();
+        let irmb_superseded: u64 = self.irmbs.iter().map(|i| i.removed_by_mapping()).sum();
+        SimReport {
+            scheme: self.cfg.scheme_name(),
+            workload: self.workload_name.clone(),
+            exec_cycles: self.finish_cycle.raw(),
+            accesses: self.accesses_done,
+            instructions: self.instructions,
+            l1_tlb_hits: l1_hits,
+            l1_tlb_misses: l1_misses,
+            l2_tlb_hits: l2_hits,
+            l2_tlb_misses: l2_misses,
+            demand_miss_latency: self.demand_miss_latency,
+            access_latency: self.access_latency,
+            remote_data_latency: self.remote_data_latency,
+            walker_mix: self.walker_mix,
+            invalidation_messages: self.invalidation_messages,
+            invalidation_latency: self.invalidation_latency,
+            far_faults: self.far_faults,
+            migrations: self.migrations_done,
+            migration_waiting: self.migration_waiting,
+            migration_total: self.migration_total,
+            irmb_inserts,
+            irmb_bypasses,
+            irmb_evictions,
+            irmb_superseded,
+            pwc_hit_rate: sim_engine::stats::hit_rate(pwc_hits, pwc_misses),
+            vm_cache_hit_rate: self.vm_dir.as_ref().map(|v| v.cache_hit_rate()),
+            transfw: if self.prts.is_empty() {
+                None
+            } else {
+                Some((
+                    self.prts.iter().map(|p| p.probes()).sum(),
+                    self.prts.iter().map(|p| p.hits()).sum(),
+                    self.prts.iter().map(|p| p.false_forwards()).sum(),
+                ))
+            },
+            replication: if self.cfg.replication {
+                Some((self.replicas.replications(), self.replicas.collapses()))
+            } else {
+                None
+            },
+            nvlink_bytes: self.net.nvlink_bytes(),
+            pcie_bytes: self.net.pcie_bytes(),
+            sharing_distribution: self.sharing_distribution.clone(),
+            events_processed: self.events_processed,
+            stale_translations: self.audit_translations(),
+        }
+    }
+
+    /// End-of-run translation-coherence audit (DESIGN.md invariant 1): a
+    /// valid local PTE must agree with the driver's mapping unless a
+    /// migration is still in flight, the IRMB holds a pending invalidation
+    /// for it, or it is a granted read replica.
+    fn audit_translations(&self) -> u64 {
+        let mut stale = 0;
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            for (vpn, pte) in gpu.page_table.iter() {
+                if !pte.is_valid() {
+                    continue;
+                }
+                let Some(host_pte) = self.host_mem.pte(vpn) else {
+                    stale += 1;
+                    continue;
+                };
+                if pte.ppn() == host_pte.ppn() {
+                    continue;
+                }
+                let excused = self.migrations.is_migrating(vpn)
+                    || (self.lazy() && self.irmbs[g].contains(vpn))
+                    || self.replica_frames.get(&(g, vpn)) == Some(&pte.ppn());
+                if !excused {
+                    stale += 1;
+                    if std::env::var("IDYLL_AUDIT_DEBUG").is_ok() {
+                        eprintln!(
+                            "STALE gpu={g} vpn={:#x} pte_ppn={:#x} host_ppn={:#x} replica={:?} holders={}",
+                            vpn.0,
+                            pte.ppn(),
+                            host_pte.ppn(),
+                            self.replica_frames.get(&(g, vpn)),
+                            self.replicas.holders(vpn)
+                        );
+                    }
+                }
+            }
+        }
+        stale
+    }
+
+    /// Interconnect diagnostics (pipe occupancy) — debug aid.
+    pub fn debug_pipe_stats(&self) -> Vec<(String, u64, u64, sim_engine::Cycle)> {
+        self.net.pipe_stats()
+    }
+
+    /// The page size in bytes.
+    pub(crate) fn page_bytes(&self) -> u64 {
+        self.cfg.page_size.bytes()
+    }
+
+    /// Current owner node of a page according to the driver.
+    pub(crate) fn owner_of(&self, vpn: Vpn) -> Node {
+        self.host_mem
+            .owner_of(vpn)
+            .expect("all workload pages populated at init")
+    }
+}

@@ -1,0 +1,406 @@
+//! Warp issue and the translation pipeline: L1 TLB → L2 TLB ∥ IRMB → GMMU.
+
+use gpu_model::gmmu::{DispatchedWalk, WalkClass};
+use mem_model::mshr::MshrOutcome;
+use sim_engine::Cycle;
+use vm_model::addr::Vpn;
+use vm_model::pte::Pte;
+use vm_model::walker::WalkOutcome;
+
+use super::{Ev, Req, System};
+
+impl System {
+    /// A warp asks to issue its next trace access.
+    pub(crate) fn on_warp_ready(&mut self, gpu: usize, cu: usize, warp: usize) {
+        let warp_index = cu * self.cfg.gpu.warps_per_cu + warp;
+        // Plan exhausted → retire the warp.
+        let pos = self.warp_cursors[gpu][warp_index];
+        if pos >= self.warp_plans[gpu][warp_index].len() {
+            self.gpus[gpu].cus[cu].retire(warp);
+            if self.gpus[gpu].all_done() {
+                self.finished_gpus += 1;
+                self.finish_cycle = self.finish_cycle.max(self.now);
+            }
+            return;
+        }
+        // One issue per CU per cycle.
+        if !self.gpus[gpu].cus[cu].try_issue_port(self.now) {
+            self.events.schedule(self.now + 1, Ev::WarpReady { gpu, cu, warp });
+            return;
+        }
+        let access = self.traces[gpu][self.warp_plans[gpu][warp_index][pos]];
+        self.warp_cursors[gpu][warp_index] += 1;
+        self.gpus[gpu].cus[cu].issue(warp);
+        let token = self.next_token;
+        self.next_token += 1;
+        let req = Req {
+            gpu,
+            cu,
+            warp,
+            vpn: access.vpn,
+            is_write: access.is_write,
+            issue_at: self.now,
+            l2_miss_at: None,
+        };
+        self.reqs.insert(token, req);
+        // L1 TLB lookup (1 cycle, counted in the data-access start).
+        let l1 = &mut self.gpus[gpu].l1_tlbs[cu];
+        match l1.lookup(access.vpn) {
+            Some(pte) if pte.is_valid() && (!access.is_write || pte.is_writable()) => {
+                let start = self.now + self.cfg.gpu.l1_tlb.latency;
+                self.start_data_access(token, pte, start);
+            }
+            _ => {
+                // Miss (or permission miss): to the shared L2 after L1+L2
+                // lookup latency.
+                let at = self.now + self.cfg.gpu.l1_tlb.latency + self.cfg.gpu.l2_tlb.latency;
+                self.events.schedule(at, Ev::L2Lookup { token });
+            }
+        }
+    }
+
+    /// L2 TLB lookup (result applied after its latency) with the IRMB
+    /// searched in parallel (§6.3 lookup procedure). `is_retry` marks
+    /// re-executions after an MSHR structural stall: those probe the TLB
+    /// without perturbing hit/miss statistics (the architectural lookup
+    /// already happened).
+    pub(crate) fn on_l2_lookup(&mut self, token: u64, is_retry: bool) {
+        let req = *self.reqs.get(&token).expect("live request");
+        let gpu = req.gpu;
+        let probed = if is_retry {
+            self.gpus[gpu].l2_tlb.peek(req.vpn)
+        } else {
+            self.gpus[gpu].l2_tlb.lookup(req.vpn)
+        };
+        let l2_hit = match probed {
+            Some(pte) if pte.is_valid() && (!req.is_write || pte.is_writable()) => Some(pte),
+            _ => None,
+        };
+        if let Some(pte) = l2_hit {
+            // Scenario 1: L2 hit — IRMB lookup abandoned.
+            self.gpus[gpu].l1_tlbs[req.cu].fill(req.vpn, pte);
+            self.start_data_access(token, pte, self.now);
+            return;
+        }
+        // Record the start of the demand-miss latency window.
+        if let Some(r) = self.reqs.get_mut(&token) {
+            if r.l2_miss_at.is_none() {
+                r.l2_miss_at = Some(self.now);
+            }
+        }
+        // Scenario 3: L2 miss + IRMB hit — the local PTE is stale; bypass
+        // the walk and far-fault straight to the driver (ablatable:
+        // without the bypass the walk proceeds and the stale-PTE guard at
+        // walk completion catches it, wasting the walk).
+        let bypass = self
+            .cfg
+            .idyll
+            .map(|i| i.bypass_on_irmb_hit)
+            .unwrap_or(true);
+        if self.lazy() && bypass && self.irmbs[gpu].lookup(req.vpn) {
+            self.raise_far_fault(gpu, req.vpn, req.is_write, token, false);
+            return;
+        }
+        // Scenario 2: L2 miss + IRMB miss — normal walk path via the MSHR.
+        match self.gpus[gpu].l2_mshr.register(req.vpn.0, token) {
+            MshrOutcome::Merged => {} // ride the in-flight walk/fault
+            MshrOutcome::Allocated => {
+                self.enqueue_walk(gpu, req.vpn, WalkClass::Demand, token);
+            }
+            MshrOutcome::Full => {
+                // Structural stall: retry after a drain interval.
+                self.events
+                    .schedule(self.now + 48, Ev::MshrRetry { token });
+            }
+        }
+    }
+
+    /// Queues a walk (or holds it in the per-GPU overflow buffer when the
+    /// hardware queue is full) and kicks the dispatcher.
+    pub(crate) fn enqueue_walk(&mut self, gpu: usize, vpn: Vpn, class: WalkClass, token: u64) {
+        if !self.overflow[gpu].is_empty() {
+            self.overflow[gpu].push_back((vpn, class, token));
+        } else if self.gpus[gpu]
+            .gmmu
+            .enqueue(vpn, class, token, self.now)
+            .is_err()
+        {
+            self.overflow[gpu].push_back((vpn, class, token));
+        }
+        self.dispatch_walks(gpu);
+    }
+
+    /// Drains the overflow buffer into the walk queue and starts walks while
+    /// walker threads are free. Also performs the IRMB's opportunistic
+    /// write-back when the GMMU goes idle (§6.3 write-back rule 1).
+    pub(crate) fn dispatch_walks(&mut self, gpu: usize) {
+        loop {
+            // Refill the hardware queue from the stall buffer.
+            while !self.overflow[gpu].is_empty() && self.gpus[gpu].gmmu.queue_free() > 0 {
+                let (vpn, class, token) = self.overflow[gpu].pop_front().expect("non-empty");
+                self.gpus[gpu]
+                    .gmmu
+                    .enqueue(vpn, class, token, self.now)
+                    .expect("queue has space");
+            }
+            let now = self.now;
+            let gpu_ref = &mut self.gpus[gpu];
+            // Split borrow: GMMU and page table are sibling fields.
+            let (gmmu, pt) = (&mut gpu_ref.gmmu, &mut gpu_ref.page_table);
+            match gmmu.try_dispatch(now, pt) {
+                Some(walk) => {
+                    if walk.request.class.is_invalidation() {
+                        // The leaf PTE is cleared at dispatch time; record it
+                        // now so a concurrently-completing update walk cannot
+                        // install over the already-processed invalidation.
+                        self.inval_done.insert((gpu, walk.request.vpn));
+                    }
+                    self.events
+                        .schedule(walk.finish_at, Ev::WalkDone { gpu, walk });
+                }
+                None => break,
+            }
+        }
+        // Walkers busy with work still queued → re-dispatch when one frees.
+        if (self.gpus[gpu].gmmu.queue_len() > 0 || !self.overflow[gpu].is_empty())
+            && !self.dispatch_scheduled[gpu]
+        {
+            let at = self.gpus[gpu].gmmu.next_walker_free().max(self.now + 1);
+            self.dispatch_scheduled[gpu] = true;
+            self.events.schedule(at, Ev::DispatchWalks { gpu });
+        }
+        // IRMB opportunistic drain: GMMU fully idle → lazily write back the
+        // LRU merged entry.
+        if self.lazy()
+            && self.gpus[gpu].gmmu.is_idle(self.now)
+            && self.overflow[gpu].is_empty()
+            && !self.irmbs[gpu].is_empty()
+        {
+            if let Some(entry) = self.irmbs[gpu].pop_lru() {
+                let vpns: Vec<Vpn> = entry.vpns().collect();
+                for vpn in vpns {
+                    if self.gpus[gpu]
+                        .gmmu
+                        .enqueue(vpn, WalkClass::IrmbWriteback, 0, self.now)
+                        .is_err()
+                    {
+                        self.overflow[gpu].push_back((vpn, WalkClass::IrmbWriteback, 0));
+                    }
+                }
+                // Dispatch the drained walks (bounded: the IRMB entry was
+                // removed, so this recursion terminates immediately).
+                self.dispatch_walks(gpu);
+            }
+        }
+    }
+
+    /// A page walk finished: act on its class and outcome.
+    pub(crate) fn on_walk_done(&mut self, gpu: usize, walk: DispatchedWalk) {
+        let vpn = walk.request.vpn;
+        match walk.request.class {
+            WalkClass::Demand => {
+                match walk.result.outcome {
+                    WalkOutcome::Mapped(pte) => {
+                        // Stale-PTE guard: an invalidation may have entered
+                        // the IRMB after this walk was enqueued; the merged
+                        // buffer is authoritative (§6.3 correctness).
+                        let stale = self.lazy() && self.irmbs[gpu].contains(vpn);
+                        let write_violation = {
+                            let rep = self.reqs.get(&walk.request.token);
+                            rep.map(|r| r.is_write && !pte.is_writable()).unwrap_or(false)
+                        };
+                        if stale || (write_violation && self.cfg.replication) {
+                            let is_write = self
+                                .reqs
+                                .get(&walk.request.token)
+                                .map(|r| r.is_write)
+                                .unwrap_or(false);
+                            self.raise_far_fault(gpu, vpn, is_write, walk.request.token, true);
+                        } else {
+                            self.complete_translation(gpu, vpn, pte);
+                        }
+                    }
+                    WalkOutcome::InvalidLeaf(_) | WalkOutcome::NotPresent => {
+                        let is_write = self
+                            .reqs
+                            .get(&walk.request.token)
+                            .map(|r| r.is_write)
+                            .unwrap_or(false);
+                        self.raise_far_fault(gpu, vpn, is_write, walk.request.token, true);
+                    }
+                }
+                self.walker_mix.demand += 1;
+            }
+            WalkClass::Invalidation => {
+                self.account_invalidation(walk);
+                // Baseline protocol: ack the driver once the PTE walk is
+                // done.
+                let at = self
+                    .net
+                    .send(self.now, mem_model::interconnect::Node::Gpu(gpu), mem_model::interconnect::Node::Host, super::msg::ACK);
+                self.events.schedule(at, Ev::AckAtHost { gpu, vpn });
+            }
+            WalkClass::IrmbWriteback => {
+                self.account_invalidation(walk);
+            }
+            WalkClass::Update => {
+                let update = self
+                    .updates
+                    .remove(&walk.request.token)
+                    .expect("pending update");
+                self.install_mapping(gpu, update.vpn, update.pte);
+                self.walker_mix.update += 1;
+            }
+        }
+        // The finishing walker can immediately take the next request.
+        self.dispatch_walks(gpu);
+    }
+
+    fn account_invalidation(&mut self, walk: DispatchedWalk) {
+        match walk.necessary {
+            Some(true) => self.walker_mix.invalidation_necessary += 1,
+            Some(false) => self.walker_mix.invalidation_unnecessary += 1,
+            None => {}
+        }
+        self.invalidation_latency
+            .record((walk.queued_for + walk.result.latency).raw() as f64);
+    }
+
+    /// Installs a driver-provided PTE in the local table and completes any
+    /// waiting translation requests.
+    ///
+    /// Guard against the reply/invalidation race: a mapping that was in
+    /// flight when a migration started must not be installed after the
+    /// invalidation has already been processed (the driver versions its
+    /// replies; a stale one is dropped and the page re-resolved so waiting
+    /// requests still complete).
+    pub(crate) fn install_mapping(&mut self, gpu: usize, vpn: Vpn, pte: Pte) {
+        let host_ppn = self.host_mem.pte(vpn).map(|p| p.ppn());
+        let is_replica = self.replica_frames.get(&(gpu, vpn)) == Some(&pte.ppn());
+        let stale = host_ppn != Some(pte.ppn()) && !is_replica;
+        // During a migration's invalidation phase, installing a mapping that
+        // matches the (not-yet-moved) page is safe on a GPU whose
+        // invalidation is still outstanding — the pending invalidation will
+        // clean it up. Anything else would survive the migration as a stale
+        // translation and must be re-resolved instead.
+        let unsafe_during_migration = match self.migrations.get(vpn) {
+            Some(m) => {
+                stale
+                    || !m.targets.contains(gpu)
+                    || self.inval_done.contains(&(gpu, vpn))
+            }
+            None => stale,
+        };
+        if unsafe_during_migration {
+            self.inflight_faults.remove(&(gpu, vpn));
+            let refault = uvm_driver::fault::FarFault {
+                gpu,
+                vpn,
+                is_write: false,
+                raised_at: self.now,
+                token: u64::MAX, // synthetic: wakes only real MSHR waiters
+            };
+            self.inflight_faults.insert((gpu, vpn));
+            self.events
+                .schedule(self.now + 1, Ev::FaultResolved { fault: refault });
+            return;
+        }
+        self.gpus[gpu].page_table.insert(vpn, pte);
+        self.inflight_faults.remove(&(gpu, vpn));
+        self.complete_translation(gpu, vpn, pte);
+    }
+
+    /// Fills the TLBs and wakes every MSHR waiter for `vpn` with `pte`.
+    pub(crate) fn complete_translation(&mut self, gpu: usize, vpn: Vpn, pte: Pte) {
+        self.gpus[gpu].l2_tlb.fill(vpn, pte);
+        let waiters = self.gpus[gpu].l2_mshr.complete(vpn.0);
+        for token in waiters {
+            let Some(req) = self.reqs.get(&token).copied() else {
+                continue;
+            };
+            if req.is_write && !pte.is_writable() {
+                // Write to a read-only (replicated) translation: raise a
+                // write fault for the collapse protocol.
+                self.raise_far_fault(gpu, vpn, true, token, false);
+                continue;
+            }
+            self.gpus[gpu].l1_tlbs[req.cu].fill(vpn, pte);
+            if let Some(miss_at) = req.l2_miss_at {
+                self.demand_miss_latency
+                    .record((self.now.saturating_sub(miss_at)).raw() as f64);
+            }
+            self.start_data_access(token, pte, self.now);
+        }
+    }
+
+    /// Raises a far fault for `token`'s request: parks the request in the
+    /// L2 MSHR (so later requests merge and the mapping reply wakes it) and
+    /// notifies the driver — or, with Trans-FW, first probes the PRT for a
+    /// remote short-circuit. `already_waiting` marks tokens that are still
+    /// registered in the MSHR from their original miss (the walk-fault
+    /// paths); registering those again would wake them twice.
+    pub(crate) fn raise_far_fault(
+        &mut self,
+        gpu: usize,
+        vpn: Vpn,
+        is_write: bool,
+        token: u64,
+        already_waiting: bool,
+    ) {
+        if !already_waiting {
+            // Faults never stall on MSHR capacity (a stalled fault can
+            // deadlock a migration): force-register beyond the limit —
+            // architecturally the overflow lives in the GPU fault buffer.
+            self.gpus[gpu].l2_mshr.register_forced(vpn.0, token);
+        }
+        if !self.inflight_faults.contains(&(gpu, vpn)) {
+            self.send_fault(gpu, vpn, is_write, token);
+        }
+    }
+
+    fn send_fault(&mut self, gpu: usize, vpn: Vpn, is_write: bool, token: u64) {
+        self.far_faults += 1;
+        self.inflight_faults.insert((gpu, vpn));
+        let fault = uvm_driver::fault::FarFault {
+            gpu,
+            vpn,
+            is_write,
+            raised_at: self.now,
+            token,
+        };
+        let _ = self.gpus[gpu].fault_buffer.push(fault);
+        // Trans-FW: probe the PRT before escalating to the host.
+        if !self.prts.is_empty() {
+            if let idyll_core::transfw::PrtProbe::Hit(holder) = self.prts[gpu].probe(vpn) {
+                if holder != gpu {
+                    // Round trip over NVLink plus the forwarded walk of the
+                    // holder's page table (PWC-assisted). Probe messages are
+                    // tiny; bandwidth is accounted only as fixed latency.
+                    let rtt = self
+                        .net
+                        .latency(
+                            mem_model::interconnect::Node::Gpu(gpu),
+                            mem_model::interconnect::Node::Gpu(holder),
+                        )
+                        .raw()
+                        * 2;
+                    let back = self.now + rtt + REMOTE_PROBE_WALK;
+                    self.events
+                        .schedule(back, Ev::RemoteProbeDone { token, fault, holder });
+                    return;
+                }
+            }
+        }
+        let at = self.net.send(
+            self.now,
+            mem_model::interconnect::Node::Gpu(gpu),
+            mem_model::interconnect::Node::Host,
+            super::msg::FAULT,
+        );
+        self.events.schedule(at, Ev::FaultAtHost { fault });
+    }
+}
+
+/// Cost of the remote page-table walk a Trans-FW forward performs at the
+/// holder GPU (two levels' worth: the PRT hit implies warm upper levels).
+const REMOTE_PROBE_WALK: Cycle = Cycle(200);

@@ -1,0 +1,159 @@
+//! Focused system-level behaviours on minimal workloads, where the expected
+//! protocol activity can be reasoned about exactly.
+
+use mgpu_system::config::{IdyllConfig, SystemConfig};
+use mgpu_system::System;
+use uvm_driver::policy::MigrationPolicy;
+use vm_model::addr::Vpn;
+use workloads::{Access, GpuTrace, Workload};
+
+/// Builds a hand-written workload from per-GPU (vpn, is_write) lists.
+fn workload(traces: Vec<Vec<(u64, bool)>>, pages: u64) -> Workload {
+    Workload {
+        name: "hand".into(),
+        traces: traces
+            .into_iter()
+            .map(|t| GpuTrace {
+                accesses: t
+                    .into_iter()
+                    .map(|(v, w)| Access {
+                        vpn: Vpn(v),
+                        is_write: w,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        pages,
+        base_vpn: Vpn(0),
+        compute_gap: 2,
+    }
+}
+
+fn small_cfg(n: usize, threshold: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::test(n);
+    cfg.policy = MigrationPolicy::AccessCounter { threshold };
+    cfg
+}
+
+#[test]
+fn single_gpu_never_migrates_or_invalidates() {
+    let wl = workload(vec![(0..200).map(|i| (i % 40, i % 3 == 0)).collect()], 64);
+    let r = System::new(small_cfg(1, 4), &wl).run().expect("completes");
+    assert_eq!(r.migrations, 0);
+    assert_eq!(r.invalidation_messages, 0);
+    assert_eq!(r.far_faults, 0, "pre-placement warms the only GPU's table");
+    assert_eq!(r.accesses, 200);
+    assert_eq!(r.nvlink_bytes, 0);
+}
+
+#[test]
+fn private_working_sets_never_migrate() {
+    // Each GPU touches only its own pages: sharing never happens.
+    let wl = workload(
+        vec![
+            (0..150).map(|i| (i % 20, false)).collect(),
+            (0..150).map(|i| (100 + i % 20, false)).collect(),
+        ],
+        256,
+    );
+    let r = System::new(small_cfg(2, 2), &wl).run().expect("completes");
+    assert_eq!(r.migrations, 0);
+    assert_eq!(r.invalidation_messages, 0);
+    assert_eq!(r.sharing_distribution[0], 1.0, "all accesses private");
+}
+
+#[test]
+fn remote_hammering_crosses_the_threshold_and_migrates() {
+    // GPU 1 hammers GPU 0's page (pre-placed on GPU 0 by first touch):
+    // with threshold 4 the page must migrate at least once.
+    let mut gpu0 = vec![(0u64, false); 30];
+    gpu0.extend((0..40).map(|i| (50 + i % 8, false))); // keep gpu0 busy elsewhere
+    let gpu1: Vec<(u64, bool)> = (0..120).map(|_| (0u64, false)).collect();
+    let wl = workload(vec![gpu0, gpu1], 128);
+    let r = System::new(small_cfg(2, 4), &wl).run().expect("completes");
+    assert!(r.migrations >= 1, "threshold crossings must migrate");
+    assert!(r.invalidation_messages >= 2, "broadcast to both GPUs");
+    assert_eq!(r.stale_translations, 0);
+}
+
+#[test]
+fn first_touch_pins_pages_despite_hammering() {
+    let gpu0: Vec<(u64, bool)> = (0..50).map(|_| (0u64, false)).collect();
+    let gpu1: Vec<(u64, bool)> = (0..200).map(|_| (0u64, false)).collect();
+    let wl = workload(vec![gpu0, gpu1], 64);
+    let mut cfg = small_cfg(2, 4);
+    cfg.policy = MigrationPolicy::FirstTouch;
+    let r = System::new(cfg, &wl).run().expect("completes");
+    assert_eq!(r.migrations, 0);
+    assert!(r.nvlink_bytes > 0, "GPU 1 must fetch remotely forever");
+}
+
+#[test]
+fn on_touch_migrates_on_first_remote_fault() {
+    let gpu0: Vec<(u64, bool)> = (0..20).map(|i| (10 + i % 4, false)).collect();
+    let gpu1: Vec<(u64, bool)> = (0..20).map(|_| (0u64, false)).collect();
+    let wl = workload(vec![gpu0, gpu1], 64);
+    let mut cfg = small_cfg(2, 4);
+    cfg.policy = MigrationPolicy::OnTouch;
+    // Page 0 is first touched by GPU 0 (position 0 scanning order is
+    // round-robin across GPUs, GPU 0 first) — wait: GPU 0 touches page 10
+    // first; page 0 is first touched by GPU 1, so GPU 1 owns it and never
+    // faults. Give GPU 0 a touch of page 0 first to set up remoteness.
+    let mut traces = wl.traces.clone();
+    traces[0].accesses.insert(
+        0,
+        Access {
+            vpn: Vpn(0),
+            is_write: false,
+        },
+    );
+    let wl = Workload {
+        traces,
+        ..wl
+    };
+    let r = System::new(cfg, &wl).run().expect("completes");
+    assert!(r.migrations >= 1, "on-touch must migrate the shared page");
+}
+
+#[test]
+fn idyll_acks_without_walking() {
+    // Force migrations, then compare invalidation walk counts.
+    let mk = || {
+        let gpu0: Vec<(u64, bool)> = (0..150).map(|i| (i % 10, false)).collect();
+        let gpu1: Vec<(u64, bool)> = (0..150).map(|i| (i % 10, false)).collect();
+        workload(vec![gpu0, gpu1], 64)
+    };
+    let base = System::new(small_cfg(2, 3), &mk()).run().expect("completes");
+    let mut cfg = small_cfg(2, 3);
+    cfg.idyll = Some(IdyllConfig::only_lazy());
+    let lazy = System::new(cfg, &mk()).run().expect("completes");
+    assert!(base.migrations > 0);
+    assert!(lazy.migrations > 0);
+    // Baseline: one Invalidation-class walk per received message. Lazy:
+    // zero Invalidation-class walks (they become IrmbWriteback batches).
+    assert_eq!(
+        base.invalidation_latency.count() as u64,
+        base.walker_mix.invalidations()
+    );
+    assert!(lazy.irmb_inserts > 0);
+}
+
+#[test]
+fn report_counts_are_internally_consistent() {
+    let wl = workload(
+        vec![
+            (0..300).map(|i| (i % 30, i % 4 == 0)).collect(),
+            (0..300).map(|i| (i % 30, false)).collect(),
+        ],
+        64,
+    );
+    let r = System::new(small_cfg(2, 4), &wl).run().expect("completes");
+    assert_eq!(r.accesses, 600);
+    assert!(r.l1_tlb_hits + r.l1_tlb_misses >= r.accesses);
+    assert!(r.l2_tlb_misses <= r.l2_tlb_hits + r.l2_tlb_misses);
+    assert!(r.walker_mix.demand <= r.l2_tlb_misses);
+    assert!(r.events_processed > 0);
+    assert!(r.exec_cycles > 0);
+    // Migration latencies only exist if migrations happened.
+    assert_eq!(r.migration_waiting.count() > 0, r.migrations > 0);
+}

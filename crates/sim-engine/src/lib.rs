@@ -1,0 +1,36 @@
+//! Discrete-event simulation kernel used by every other crate in the IDYLL
+//! reproduction workspace.
+//!
+//! The kernel deliberately contains no domain knowledge: it provides
+//!
+//! * [`Cycle`] — the simulated time base (GPU core cycles at 1 GHz),
+//! * [`EventQueue`] — a deterministic future-event list,
+//! * [`DetRng`] — a seedable, reproducible random number generator,
+//! * [`stats`] — counters, accumulators and histograms used for reporting,
+//! * [`queue::BoundedQueue`] — a bounded FIFO with occupancy statistics,
+//! * [`resource::ThreadPool`] — an abstract pool of latency-occupied threads
+//!   (used to model page-table-walker threads and similar units).
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle(10), "late");
+//! q.schedule(Cycle(5), "early");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (Cycle(5), "early"));
+//! ```
+
+pub mod event;
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod tracelog;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use time::Cycle;

@@ -1,0 +1,161 @@
+//! Simulated time base.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in GPU core cycles (1 GHz in the
+/// baseline configuration, so one cycle is one nanosecond).
+///
+/// `Cycle` is used both for absolute timestamps and for durations; the
+/// arithmetic operators below are the only sanctioned ways of combining them.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::Cycle;
+/// let start = Cycle(100);
+/// let latency = Cycle(10);
+/// assert_eq!(start + latency, Cycle(110));
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: Cycle = Cycle(0);
+    /// The largest representable timestamp, used as an "infinitely far in the
+    /// future" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.max(rhs.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    /// Panics in debug builds if `rhs > self` (time under-flow is a protocol
+    /// bug in the simulator; use [`Cycle::saturating_sub`] when slack is
+    /// legitimately unknown).
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(7);
+        let b = Cycle(3);
+        assert_eq!(a + b, Cycle(10));
+        assert_eq!(a - b, Cycle(4));
+        assert_eq!(a + 3, Cycle(10));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle(10));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycle(3).saturating_sub(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(10).saturating_sub(Cycle(3)), Cycle(7));
+    }
+
+    #[test]
+    fn min_max_order() {
+        assert_eq!(Cycle(3).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(3).min(Cycle(9)), Cycle(3));
+        assert!(Cycle::ZERO < Cycle::MAX);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+        assert_eq!(total.to_string(), "6cy");
+    }
+}

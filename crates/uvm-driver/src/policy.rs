@@ -1,0 +1,193 @@
+//! Page-migration policies and access counters (§3.3).
+
+use std::collections::HashMap;
+
+use mem_model::interconnect::GpuId;
+use vm_model::addr::Vpn;
+
+/// The GPU-to-GPU page-migration policy.
+///
+/// All policies migrate a page from the CPU to a GPU on first GPU touch;
+/// they differ in how they treat subsequent *remote* (GPU-to-GPU) accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPolicy {
+    /// Pin the page to the first GPU that touched it; remote accesses stay
+    /// remote forever.
+    FirstTouch,
+    /// Migrate on every remote access ("ping-pong" prone).
+    OnTouch,
+    /// NVIDIA Volta+-style: migrate when a GPU's access counter for the page
+    /// reaches `threshold` (256 in the open-source UVM driver default).
+    AccessCounter {
+        /// Remote accesses required before migration.
+        threshold: u32,
+    },
+}
+
+impl MigrationPolicy {
+    /// The paper's baseline: access counters with threshold 256.
+    pub fn baseline() -> Self {
+        MigrationPolicy::AccessCounter { threshold: 256 }
+    }
+}
+
+impl std::fmt::Display for MigrationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationPolicy::FirstTouch => write!(f, "first-touch"),
+            MigrationPolicy::OnTouch => write!(f, "on-touch"),
+            MigrationPolicy::AccessCounter { threshold } => {
+                write!(f, "access-counter({threshold})")
+            }
+        }
+    }
+}
+
+/// Per-(GPU, page) remote-access counters.
+///
+/// # Example
+///
+/// ```
+/// use uvm_driver::policy::{AccessCounters, MigrationPolicy};
+/// use vm_model::Vpn;
+///
+/// let policy = MigrationPolicy::AccessCounter { threshold: 2 };
+/// let mut counters = AccessCounters::new();
+/// assert!(!counters.record_remote_access(policy, 0, Vpn(7)));
+/// assert!(counters.record_remote_access(policy, 0, Vpn(7))); // threshold hit
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AccessCounters {
+    counts: HashMap<(GpuId, Vpn), u32>,
+    triggers: u64,
+}
+
+impl AccessCounters {
+    /// Creates an empty counter table.
+    pub fn new() -> Self {
+        AccessCounters::default()
+    }
+
+    /// Records one remote access by `gpu` to `vpn` under `policy`; returns
+    /// whether the policy asks for a migration of `vpn` to `gpu`.
+    pub fn record_remote_access(
+        &mut self,
+        policy: MigrationPolicy,
+        gpu: GpuId,
+        vpn: Vpn,
+    ) -> bool {
+        match policy {
+            MigrationPolicy::FirstTouch => false,
+            MigrationPolicy::OnTouch => {
+                self.triggers += 1;
+                true
+            }
+            MigrationPolicy::AccessCounter { threshold } => {
+                let c = self.counts.entry((gpu, vpn)).or_insert(0);
+                *c += 1;
+                if *c >= threshold {
+                    *c = 0;
+                    self.triggers += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Current counter value (0 when never counted).
+    pub fn count(&self, gpu: GpuId, vpn: Vpn) -> u32 {
+        self.counts.get(&(gpu, vpn)).copied().unwrap_or(0)
+    }
+
+    /// Clears every GPU's counter for `vpn` — done when the page migrates,
+    /// so counting restarts against the new placement.
+    pub fn reset_page(&mut self, vpn: Vpn) {
+        self.counts.retain(|&(_, v), _| v != vpn);
+    }
+
+    /// Total migration triggers raised.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Number of live counters (diagnostic).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no counters are live.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_never_migrates() {
+        let mut c = AccessCounters::new();
+        for _ in 0..1000 {
+            assert!(!c.record_remote_access(MigrationPolicy::FirstTouch, 0, Vpn(1)));
+        }
+        assert_eq!(c.triggers(), 0);
+    }
+
+    #[test]
+    fn on_touch_always_migrates() {
+        let mut c = AccessCounters::new();
+        assert!(c.record_remote_access(MigrationPolicy::OnTouch, 0, Vpn(1)));
+        assert!(c.record_remote_access(MigrationPolicy::OnTouch, 1, Vpn(1)));
+        assert_eq!(c.triggers(), 2);
+    }
+
+    #[test]
+    fn counter_threshold_and_reset_on_trigger() {
+        let p = MigrationPolicy::AccessCounter { threshold: 3 };
+        let mut c = AccessCounters::new();
+        assert!(!c.record_remote_access(p, 0, Vpn(1)));
+        assert!(!c.record_remote_access(p, 0, Vpn(1)));
+        assert!(c.record_remote_access(p, 0, Vpn(1)));
+        // Counter auto-resets after triggering.
+        assert_eq!(c.count(0, Vpn(1)), 0);
+        assert!(!c.record_remote_access(p, 0, Vpn(1)));
+    }
+
+    #[test]
+    fn counters_are_per_gpu_and_per_page() {
+        let p = MigrationPolicy::AccessCounter { threshold: 2 };
+        let mut c = AccessCounters::new();
+        c.record_remote_access(p, 0, Vpn(1));
+        c.record_remote_access(p, 1, Vpn(1));
+        c.record_remote_access(p, 0, Vpn(2));
+        assert_eq!(c.count(0, Vpn(1)), 1);
+        assert_eq!(c.count(1, Vpn(1)), 1);
+        assert_eq!(c.count(0, Vpn(2)), 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reset_page_clears_all_gpus() {
+        let p = MigrationPolicy::AccessCounter { threshold: 10 };
+        let mut c = AccessCounters::new();
+        c.record_remote_access(p, 0, Vpn(1));
+        c.record_remote_access(p, 1, Vpn(1));
+        c.record_remote_access(p, 0, Vpn(2));
+        c.reset_page(Vpn(1));
+        assert_eq!(c.count(0, Vpn(1)), 0);
+        assert_eq!(c.count(1, Vpn(1)), 0);
+        assert_eq!(c.count(0, Vpn(2)), 1, "other pages untouched");
+    }
+
+    #[test]
+    fn baseline_is_256() {
+        assert_eq!(
+            MigrationPolicy::baseline(),
+            MigrationPolicy::AccessCounter { threshold: 256 }
+        );
+        assert_eq!(MigrationPolicy::baseline().to_string(), "access-counter(256)");
+    }
+}

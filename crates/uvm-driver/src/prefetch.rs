@@ -1,0 +1,173 @@
+//! Fault-driven prefetching, modelled after the NVIDIA UVM driver's
+//! tree-based density prefetcher.
+//!
+//! The open-source UVM driver groups the virtual address space into 64 KiB
+//! prefetch blocks (16 pages at 4 KiB) and, when resolving a fault, migrates
+//! the *remaining host-resident pages of the block* along with the faulting
+//! page once the block's touch density crosses a threshold. This is an
+//! optional extension (off in the paper's baseline — MGPUSim does not model
+//! it) exposed for the ablation harness: prefetching shifts work from many
+//! small migrations to fewer larger ones, which changes the invalidation
+//! traffic IDYLL targets.
+
+use std::collections::HashMap;
+
+use mem_model::interconnect::GpuId;
+use vm_model::addr::Vpn;
+
+/// Pages per prefetch block (64 KiB at 4 KiB pages).
+pub const BLOCK_PAGES: u64 = 16;
+
+/// Prefetcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchConfig {
+    /// Fraction of a block that must have faulted (by the same GPU) before
+    /// the rest of the block is pulled along (the driver's density check).
+    pub density_threshold: f64,
+    /// Maximum pages prefetched per fault.
+    pub max_per_fault: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            density_threshold: 0.5,
+            max_per_fault: BLOCK_PAGES as usize,
+        }
+    }
+}
+
+/// The per-GPU fault-density tracker.
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    cfg: PrefetchConfig,
+    /// (gpu, block) → bitmap of faulted pages within the block.
+    touched: HashMap<(GpuId, u64), u16>,
+    suggestions: u64,
+}
+
+impl Prefetcher {
+    /// Creates a prefetcher.
+    pub fn new(cfg: PrefetchConfig) -> Self {
+        Prefetcher {
+            cfg,
+            touched: HashMap::new(),
+            suggestions: 0,
+        }
+    }
+
+    #[inline]
+    fn block_of(vpn: Vpn) -> u64 {
+        vpn.0 / BLOCK_PAGES
+    }
+
+    /// Records a fault by `gpu` on `vpn` and returns the sibling pages the
+    /// driver should migrate along with it (possibly empty). The caller is
+    /// responsible for filtering to pages that are actually host-resident
+    /// or remote.
+    pub fn on_fault(&mut self, gpu: GpuId, vpn: Vpn) -> Vec<Vpn> {
+        let block = Self::block_of(vpn);
+        let bit = 1u16 << (vpn.0 % BLOCK_PAGES);
+        let map = self.touched.entry((gpu, block)).or_insert(0);
+        *map |= bit;
+        let density = map.count_ones() as f64 / BLOCK_PAGES as f64;
+        if density < self.cfg.density_threshold {
+            return Vec::new();
+        }
+        // Dense block: suggest the untouched remainder.
+        let mut out = Vec::new();
+        for i in 0..BLOCK_PAGES {
+            let candidate = Vpn(block * BLOCK_PAGES + i);
+            if *map & (1 << i) == 0 && out.len() < self.cfg.max_per_fault {
+                out.push(candidate);
+            }
+        }
+        if !out.is_empty() {
+            self.suggestions += out.len() as u64;
+            // The whole block is now considered resident for this GPU.
+            *map = u16::MAX;
+        }
+        out
+    }
+
+    /// Forgets a block's density when its pages migrate away from `gpu`.
+    pub fn on_eviction(&mut self, gpu: GpuId, vpn: Vpn) {
+        self.touched.remove(&(gpu, Self::block_of(vpn)));
+    }
+
+    /// Total pages ever suggested.
+    pub fn suggestions(&self) -> u64 {
+        self.suggestions
+    }
+
+    /// Live tracked blocks (diagnostic).
+    pub fn tracked_blocks(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_faults_suggest_nothing() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        assert!(p.on_fault(0, Vpn(0)).is_empty());
+        assert!(p.on_fault(0, Vpn(4)).is_empty());
+        assert_eq!(p.suggestions(), 0);
+    }
+
+    #[test]
+    fn dense_block_suggests_remainder() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        // Fault 8 of 16 pages (density 0.5) in block 0.
+        let mut suggested = Vec::new();
+        for i in 0..8 {
+            suggested = p.on_fault(0, Vpn(i));
+        }
+        assert_eq!(suggested.len(), 8, "the untouched half is suggested");
+        for v in &suggested {
+            assert!(v.0 >= 8 && v.0 < 16);
+        }
+        // The block is now saturated: further faults suggest nothing.
+        assert!(p.on_fault(0, Vpn(9)).is_empty());
+    }
+
+    #[test]
+    fn blocks_and_gpus_are_independent() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        for i in 0..7 {
+            p.on_fault(0, Vpn(i));
+        }
+        // GPU 1 faulting in the same block does not inherit GPU 0's density.
+        assert!(p.on_fault(1, Vpn(7)).is_empty());
+        // A different block is independent too.
+        assert!(p.on_fault(0, Vpn(BLOCK_PAGES)).is_empty());
+    }
+
+    #[test]
+    fn max_per_fault_caps_suggestions() {
+        let mut p = Prefetcher::new(PrefetchConfig {
+            density_threshold: 0.25,
+            max_per_fault: 3,
+        });
+        let mut suggested = Vec::new();
+        for i in 0..4 {
+            suggested = p.on_fault(0, Vpn(i));
+        }
+        assert_eq!(suggested.len(), 3);
+    }
+
+    #[test]
+    fn eviction_resets_density() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        for i in 0..7 {
+            p.on_fault(0, Vpn(i));
+        }
+        p.on_eviction(0, Vpn(3));
+        assert_eq!(p.tracked_blocks(), 0);
+        // Density starts over.
+        assert!(p.on_fault(0, Vpn(7)).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Virtual-memory substrates: addresses, page-table entries, radix page
+//! tables, TLBs, page-walk caches and the page-table-walker latency model.
+//!
+//! The model follows the paper's Figure 8/9 conventions: a 57-bit virtual
+//! address space with five 9-bit radix levels (L5…L1) for 4 KiB pages, the
+//! x86-64 PTE layout with unused bits 62–52 and 11–9, and a page-walk cache
+//! covering the upper levels so that walks sharing a prefix are amortised —
+//! the effect IDYLL's batched lazy invalidation exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use vm_model::addr::{PageSize, Vpn};
+//! use vm_model::page_table::PageTable;
+//! use vm_model::pte::Pte;
+//!
+//! let mut pt = PageTable::new(PageSize::Size4K);
+//! let vpn = Vpn(0x12345);
+//! pt.insert(vpn, Pte::new_mapped(7, true));
+//! assert!(pt.lookup(vpn).unwrap().is_valid());
+//! ```
+
+pub mod addr;
+pub mod memmap;
+pub mod page_table;
+pub mod pte;
+pub mod pwc;
+pub mod tlb;
+pub mod walker;
+
+pub use addr::{PageSize, VirtAddr, Vpn};
+pub use pte::Pte;

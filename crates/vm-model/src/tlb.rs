@@ -1,0 +1,248 @@
+//! Translation lookaside buffers.
+//!
+//! The baseline hierarchy (Table 2): per-CU fully-associative 32-entry L1
+//! TLBs with 1-cycle lookup, and a 512-entry 16-way shared L2 TLB with
+//! 10-cycle lookup, LRU replacement throughout. Shootdowns invalidate
+//! individual VPNs immediately upon a migration's invalidation message —
+//! both in the baseline and in IDYLL (only the *PTE* update is lazy).
+
+use mem_model::assoc::{Inserted, SetAssoc};
+use sim_engine::{stats::Counter, Cycle};
+
+use crate::addr::Vpn;
+use crate::pte::Pte;
+
+/// Geometry and latency of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity. Use `entries` for fully-associative.
+    pub ways: usize,
+    /// Lookup latency in cycles.
+    pub latency: Cycle,
+}
+
+impl TlbConfig {
+    /// The baseline per-CU L1 TLB: 32 entries, fully associative, 1 cycle.
+    pub fn baseline_l1() -> Self {
+        TlbConfig {
+            entries: 32,
+            ways: 32,
+            latency: Cycle(1),
+        }
+    }
+
+    /// The baseline shared L2 TLB: 512 entries, 16-way, 10 cycles.
+    pub fn baseline_l2() -> Self {
+        TlbConfig {
+            entries: 512,
+            ways: 16,
+            latency: Cycle(10),
+        }
+    }
+
+    /// The enlarged L2 TLB studied in §7.2: 2048 entries, 64-way.
+    pub fn large_l2() -> Self {
+        TlbConfig {
+            entries: 2048,
+            ways: 64,
+            latency: Cycle(10),
+        }
+    }
+}
+
+/// A TLB caching leaf PTEs by VPN.
+///
+/// # Example
+///
+/// ```
+/// use vm_model::tlb::{Tlb, TlbConfig};
+/// use vm_model::{Vpn, Pte};
+///
+/// let mut tlb = Tlb::new(TlbConfig::baseline_l1());
+/// assert!(tlb.lookup(Vpn(9)).is_none());
+/// tlb.fill(Vpn(9), Pte::new_mapped(3, true));
+/// assert_eq!(tlb.lookup(Vpn(9)).unwrap().ppn(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: SetAssoc<Pte>,
+    config: TlbConfig,
+    hits: Counter,
+    misses: Counter,
+    shootdowns: Counter,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    /// Panics unless `entries` divides evenly by `ways`.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.entries % config.ways == 0, "entries must divide by ways");
+        Tlb {
+            entries: SetAssoc::new(config.entries / config.ways, config.ways),
+            config,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            shootdowns: Counter::new(),
+        }
+    }
+
+    /// Looks up `vpn`, counting a hit or miss and refreshing recency.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pte> {
+        match self.entries.get(vpn.0) {
+            Some(&pte) => {
+                self.hits.inc();
+                Some(pte)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Probes without statistics or recency update.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.entries.contains(vpn.0)
+    }
+
+    /// Reads an entry without statistics or recency update (used by retry
+    /// paths whose architectural lookup was already counted).
+    pub fn peek(&self, vpn: Vpn) -> Option<Pte> {
+        self.entries.peek(vpn.0).copied()
+    }
+
+    /// Installs a translation, evicting per-set LRU if needed. Returns the
+    /// evicted `(vpn, pte)` if any.
+    pub fn fill(&mut self, vpn: Vpn, pte: Pte) -> Option<(Vpn, Pte)> {
+        match self.entries.insert(vpn.0, pte) {
+            Inserted::Evicted { tag, value } => Some((Vpn(tag), value)),
+            _ => None,
+        }
+    }
+
+    /// Shoots down a single VPN. Returns whether an entry was present.
+    pub fn shootdown(&mut self, vpn: Vpn) -> bool {
+        self.shootdowns.inc();
+        self.entries.invalidate(vpn.0).is_some()
+    }
+
+    /// Flushes the whole TLB, returning entries dropped.
+    pub fn flush(&mut self) -> usize {
+        self.entries.flush()
+    }
+
+    /// Lookup latency of this level.
+    pub fn latency(&self) -> Cycle {
+        self.config.latency
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Shootdown messages processed.
+    pub fn shootdowns(&self) -> u64 {
+        self.shootdowns.get()
+    }
+
+    /// Current number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        sim_engine::stats::hit_rate(self.hits.get(), self.misses.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut tlb = Tlb::new(TlbConfig::baseline_l1());
+        assert!(tlb.lookup(Vpn(1)).is_none());
+        tlb.fill(Vpn(1), Pte::new_mapped(5, true));
+        assert_eq!(tlb.lookup(Vpn(1)).unwrap().ppn(), 5);
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_in_fa_tlb() {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            latency: Cycle(1),
+        });
+        tlb.fill(Vpn(1), Pte::new_mapped(1, true));
+        tlb.fill(Vpn(2), Pte::new_mapped(2, true));
+        tlb.lookup(Vpn(1)); // make 2 the LRU
+        let evicted = tlb.fill(Vpn(3), Pte::new_mapped(3, true)).unwrap();
+        assert_eq!(evicted.0, Vpn(2));
+        assert!(tlb.contains(Vpn(1)));
+        assert!(tlb.contains(Vpn(3)));
+    }
+
+    #[test]
+    fn shootdown_removes_entry() {
+        let mut tlb = Tlb::new(TlbConfig::baseline_l2());
+        tlb.fill(Vpn(0x42), Pte::new_mapped(1, true));
+        assert!(tlb.shootdown(Vpn(0x42)));
+        assert!(!tlb.shootdown(Vpn(0x42)), "second shootdown finds nothing");
+        assert!(tlb.lookup(Vpn(0x42)).is_none());
+        assert_eq!(tlb.shootdowns(), 2);
+    }
+
+    #[test]
+    fn flush_drops_everything() {
+        let mut tlb = Tlb::new(TlbConfig::baseline_l2());
+        for i in 0..100 {
+            tlb.fill(Vpn(i), Pte::new_mapped(i, true));
+        }
+        assert_eq!(tlb.occupancy(), 100);
+        assert_eq!(tlb.flush(), 100);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn set_conflicts_respect_geometry() {
+        // 4 sets x 1 way: VPNs 0 and 4 conflict.
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 1,
+            latency: Cycle(1),
+        });
+        tlb.fill(Vpn(0), Pte::new_mapped(0, true));
+        let ev = tlb.fill(Vpn(4), Pte::new_mapped(4, true)).unwrap();
+        assert_eq!(ev.0, Vpn(0));
+        assert!(tlb.contains(Vpn(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(TlbConfig {
+            entries: 10,
+            ways: 4,
+            latency: Cycle(1),
+        });
+    }
+}

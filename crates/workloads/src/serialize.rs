@@ -1,0 +1,203 @@
+//! Plain-text trace serialisation.
+//!
+//! Workloads can be saved to (and replayed from) a simple line-oriented
+//! format, so traces can be inspected, diffed, shared, or produced by
+//! external tools and fed to the simulator:
+//!
+//! ```text
+//! # idyll-trace v1
+//! name KM
+//! pages 38401
+//! base_vpn 0xab44000
+//! compute_gap 4
+//! gpus 4
+//! gpu 0
+//! R 0xab44000
+//! W 0xab44001
+//! gpu 1
+//! …
+//! ```
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use vm_model::addr::Vpn;
+
+use crate::trace::{Access, GpuTrace, Workload};
+
+/// Errors from parsing the trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The version header is missing or unsupported.
+    BadHeader,
+    /// A required metadata field is missing.
+    MissingField(&'static str),
+    /// A line could not be parsed.
+    BadLine(usize, String),
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::BadHeader => write!(f, "missing or unsupported trace header"),
+            ParseTraceError::MissingField(field) => write!(f, "missing field `{field}`"),
+            ParseTraceError::BadLine(n, line) => write!(f, "cannot parse line {n}: `{line}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serialises a workload to the v1 text format.
+pub fn to_text(workload: &Workload) -> String {
+    let mut s = String::new();
+    s.push_str("# idyll-trace v1\n");
+    let _ = writeln!(s, "name {}", workload.name);
+    let _ = writeln!(s, "pages {}", workload.pages);
+    let _ = writeln!(s, "base_vpn {:#x}", workload.base_vpn.0);
+    let _ = writeln!(s, "compute_gap {}", workload.compute_gap);
+    let _ = writeln!(s, "gpus {}", workload.traces.len());
+    for (g, trace) in workload.traces.iter().enumerate() {
+        let _ = writeln!(s, "gpu {g}");
+        for a in &trace.accesses {
+            let kind = if a.is_write { 'W' } else { 'R' };
+            let _ = writeln!(s, "{kind} {:#x}", a.vpn.0);
+        }
+    }
+    s
+}
+
+fn parse_u64(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        u64::from_str(v).ok()
+    }
+}
+
+/// Parses the v1 text format back into a workload.
+///
+/// # Errors
+/// [`ParseTraceError`] on malformed input.
+pub fn from_text(text: &str) -> Result<Workload, ParseTraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == "# idyll-trace v1" => {}
+        _ => return Err(ParseTraceError::BadHeader),
+    }
+    let mut name = None;
+    let mut pages = None;
+    let mut base_vpn = None;
+    let mut compute_gap = None;
+    let mut gpus: Option<usize> = None;
+    let mut traces: Vec<GpuTrace> = Vec::new();
+    let mut current: Option<usize> = None;
+    for (idx, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || ParseTraceError::BadLine(idx + 1, line.to_string());
+        let mut parts = line.splitn(2, ' ');
+        let key = parts.next().ok_or_else(bad)?;
+        let value = parts.next().unwrap_or("");
+        match key {
+            "name" => name = Some(value.to_string()),
+            "pages" => pages = Some(parse_u64(value).ok_or_else(bad)?),
+            "base_vpn" => base_vpn = Some(parse_u64(value).ok_or_else(bad)?),
+            "compute_gap" => compute_gap = Some(parse_u64(value).ok_or_else(bad)?),
+            "gpus" => {
+                let n = parse_u64(value).ok_or_else(bad)? as usize;
+                gpus = Some(n);
+                traces = (0..n).map(|_| GpuTrace::default()).collect();
+            }
+            "gpu" => {
+                let g = parse_u64(value).ok_or_else(bad)? as usize;
+                if g >= traces.len() {
+                    return Err(bad());
+                }
+                current = Some(g);
+            }
+            "R" | "W" => {
+                let g = current.ok_or_else(bad)?;
+                let vpn = Vpn(parse_u64(value).ok_or_else(bad)?);
+                traces[g].accesses.push(Access {
+                    vpn,
+                    is_write: key == "W",
+                });
+            }
+            _ => return Err(bad()),
+        }
+    }
+    let _ = gpus.ok_or(ParseTraceError::MissingField("gpus"))?;
+    Ok(Workload {
+        name: name.ok_or(ParseTraceError::MissingField("name"))?,
+        traces,
+        pages: pages.ok_or(ParseTraceError::MissingField("pages"))?,
+        base_vpn: Vpn(base_vpn.ok_or(ParseTraceError::MissingField("base_vpn"))?),
+        compute_gap: compute_gap.ok_or(ParseTraceError::MissingField("compute_gap"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppId, Scale, WorkloadSpec};
+
+    #[test]
+    fn roundtrip_generated_workload() {
+        let wl = crate::generate(&WorkloadSpec::paper_default(AppId::Bs, Scale::Test), 3, 5);
+        let text = to_text(&wl);
+        let back = from_text(&text).expect("parses");
+        assert_eq!(back.name, wl.name);
+        assert_eq!(back.pages, wl.pages);
+        assert_eq!(back.base_vpn, wl.base_vpn);
+        assert_eq!(back.compute_gap, wl.compute_gap);
+        assert_eq!(back.traces.len(), wl.traces.len());
+        for (a, b) in back.traces.iter().zip(&wl.traces) {
+            assert_eq!(a.accesses, b.accesses);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(from_text("nope").unwrap_err(), ParseTraceError::BadHeader);
+        assert_eq!(from_text("").unwrap_err(), ParseTraceError::BadHeader);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let text = "# idyll-trace v1\nname x\npages 4\nbase_vpn 0x0\ncompute_gap 1\n";
+        assert_eq!(
+            from_text(text).unwrap_err(),
+            ParseTraceError::MissingField("gpus")
+        );
+    }
+
+    #[test]
+    fn rejects_access_before_gpu_marker() {
+        let text = "# idyll-trace v1\nname x\npages 4\nbase_vpn 0\ncompute_gap 1\ngpus 1\nR 0x5\n";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseTraceError::BadLine(_, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_gpu() {
+        let text = "# idyll-trace v1\nname x\npages 4\nbase_vpn 0\ncompute_gap 1\ngpus 1\ngpu 3\n";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseTraceError::BadLine(_, _))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# idyll-trace v1\nname x\n\n# comment\npages 4\nbase_vpn 0x10\ncompute_gap 2\ngpus 1\ngpu 0\nW 0x11\n";
+        let wl = from_text(text).expect("parses");
+        assert_eq!(wl.traces[0].accesses.len(), 1);
+        assert!(wl.traces[0].accesses[0].is_write);
+        assert_eq!(wl.traces[0].accesses[0].vpn, Vpn(0x11));
+    }
+}

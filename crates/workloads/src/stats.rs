@@ -1,0 +1,246 @@
+//! Workload characterisation: the quantities §5.1 of the paper uses to
+//! explain per-application behaviour (sharing degree, footprint, reuse).
+
+use std::collections::HashMap;
+
+use vm_model::addr::Vpn;
+
+use crate::trace::Workload;
+
+/// Per-page characterisation of one workload.
+#[derive(Debug, Clone, Default)]
+pub struct PageProfile {
+    /// Accesses per page (all GPUs).
+    pub accesses: u64,
+    /// Writes per page.
+    pub writes: u64,
+    /// Bitmask of GPUs that touch the page.
+    pub sharers: u64,
+}
+
+impl PageProfile {
+    /// Number of distinct GPUs touching the page.
+    pub fn sharing_degree(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Whether any GPU writes the page (read-only pages are replication
+    /// candidates, §7.4).
+    pub fn is_written(&self) -> bool {
+        self.writes > 0
+    }
+}
+
+/// Aggregated workload characterisation.
+#[derive(Debug, Clone)]
+pub struct WorkloadStats {
+    /// Per-page profiles.
+    pub pages: HashMap<Vpn, PageProfile>,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Number of GPUs.
+    pub n_gpus: usize,
+}
+
+impl WorkloadStats {
+    /// Characterises a workload.
+    pub fn analyze(workload: &Workload) -> WorkloadStats {
+        let mut pages: HashMap<Vpn, PageProfile> = HashMap::new();
+        let mut accesses = 0;
+        let mut writes = 0;
+        for (g, trace) in workload.traces.iter().enumerate() {
+            for a in &trace.accesses {
+                let p = pages.entry(a.vpn).or_default();
+                p.accesses += 1;
+                p.sharers |= 1 << g;
+                accesses += 1;
+                if a.is_write {
+                    p.writes += 1;
+                    writes += 1;
+                }
+            }
+        }
+        WorkloadStats {
+            pages,
+            accesses,
+            writes,
+            n_gpus: workload.traces.len(),
+        }
+    }
+
+    /// Distinct pages touched (the live footprint).
+    pub fn footprint_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Footprint in bytes at the given page size.
+    pub fn footprint_bytes(&self, page_bytes: u64) -> u64 {
+        self.pages.len() as u64 * page_bytes
+    }
+
+    /// Overall write fraction.
+    pub fn write_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of *pages* shared by at least two GPUs.
+    pub fn shared_page_fraction(&self) -> f64 {
+        if self.pages.is_empty() {
+            return 0.0;
+        }
+        let shared = self
+            .pages
+            .values()
+            .filter(|p| p.sharing_degree() >= 2)
+            .count();
+        shared as f64 / self.pages.len() as f64
+    }
+
+    /// The paper's page-access sharing ratio (§5.1): fraction of *accesses*
+    /// that reference shared pages.
+    pub fn access_sharing_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        let shared: u64 = self
+            .pages
+            .values()
+            .filter(|p| p.sharing_degree() >= 2)
+            .map(|p| p.accesses)
+            .sum();
+        shared as f64 / self.accesses as f64
+    }
+
+    /// Fraction of shared pages that are written — replication's Achilles
+    /// heel (§7.4): every write to a replicated page costs a collapse.
+    pub fn written_shared_fraction(&self) -> f64 {
+        let shared: Vec<&PageProfile> = self
+            .pages
+            .values()
+            .filter(|p| p.sharing_degree() >= 2)
+            .collect();
+        if shared.is_empty() {
+            return 0.0;
+        }
+        let written = shared.iter().filter(|p| p.is_written()).count();
+        written as f64 / shared.len() as f64
+    }
+
+    /// Mean accesses per touched page (reuse proxy; higher = more TLB-
+    /// friendly).
+    pub fn mean_accesses_per_page(&self) -> f64 {
+        if self.pages.is_empty() {
+            0.0
+        } else {
+            self.accesses as f64 / self.pages.len() as f64
+        }
+    }
+
+    /// Histogram of sharing degrees: `hist[d-1]` = pages shared by exactly
+    /// `d` GPUs.
+    pub fn sharing_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.n_gpus.max(1)];
+        let last = hist.len() - 1;
+        for p in self.pages.values() {
+            let d = p.sharing_degree() as usize;
+            if d >= 1 {
+                hist[(d - 1).min(last)] += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppId, Scale, WorkloadSpec};
+    use crate::trace::{Access, GpuTrace};
+
+    fn tiny() -> Workload {
+        Workload {
+            name: "tiny".into(),
+            traces: vec![
+                GpuTrace {
+                    accesses: vec![
+                        Access { vpn: Vpn(1), is_write: false },
+                        Access { vpn: Vpn(1), is_write: true },
+                        Access { vpn: Vpn(2), is_write: false },
+                    ],
+                },
+                GpuTrace {
+                    accesses: vec![
+                        Access { vpn: Vpn(1), is_write: false },
+                        Access { vpn: Vpn(3), is_write: true },
+                    ],
+                },
+            ],
+            pages: 8,
+            base_vpn: Vpn(0),
+            compute_gap: 1,
+        }
+    }
+
+    #[test]
+    fn per_page_profiles() {
+        let s = WorkloadStats::analyze(&tiny());
+        assert_eq!(s.footprint_pages(), 3);
+        assert_eq!(s.footprint_bytes(4096), 3 * 4096);
+        let p1 = &s.pages[&Vpn(1)];
+        assert_eq!(p1.accesses, 3);
+        assert_eq!(p1.writes, 1);
+        assert_eq!(p1.sharing_degree(), 2);
+        assert!(p1.is_written());
+        assert_eq!(s.pages[&Vpn(2)].sharing_degree(), 1);
+    }
+
+    #[test]
+    fn aggregate_ratios() {
+        let s = WorkloadStats::analyze(&tiny());
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.writes, 2);
+        assert!((s.write_fraction() - 0.4).abs() < 1e-9);
+        // Page 1 (3 accesses) is the only shared page of 3.
+        assert!((s.shared_page_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.access_sharing_ratio() - 3.0 / 5.0).abs() < 1e-9);
+        // Shared pages: {1}, which is written.
+        assert!((s.written_shared_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(s.sharing_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn generated_workloads_have_substantial_sharing() {
+        // §5.1: "there exists significant page sharing among multiple GPUs".
+        for app in [AppId::Pr, AppId::Km, AppId::Mm] {
+            let wl = crate::generate(&WorkloadSpec::paper_default(app, Scale::Test), 4, 9);
+            let s = WorkloadStats::analyze(&wl);
+            assert!(
+                s.access_sharing_ratio() > 0.3,
+                "{app}: sharing ratio {:.2}",
+                s.access_sharing_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_all_zeros() {
+        let wl = Workload {
+            name: "empty".into(),
+            traces: vec![GpuTrace::default()],
+            pages: 0,
+            base_vpn: Vpn(0),
+            compute_gap: 0,
+        };
+        let s = WorkloadStats::analyze(&wl);
+        assert_eq!(s.footprint_pages(), 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.access_sharing_ratio(), 0.0);
+        assert_eq!(s.mean_accesses_per_page(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: simulate one multi-GPU workload under the baseline and under
+//! IDYLL, and print the headline numbers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use idyll::prelude::*;
+
+fn main() {
+    // A 4-GPU system with the paper's Table 2 parameters and the scaled
+    // access-counter migration policy.
+    let scale = Scale::Small;
+    let policy = MigrationPolicy::AccessCounter {
+        threshold: scale.counter_threshold(),
+    };
+    let mut baseline = SystemConfig::baseline(4);
+    baseline.policy = policy;
+    let mut idyll_cfg = SystemConfig::idyll(4);
+    idyll_cfg.policy = policy;
+
+    // KMeans: adjacent partitioning with centroid pages shared by all GPUs —
+    // a migration-heavy workload.
+    let spec = WorkloadSpec::paper_default(AppId::Km, scale);
+    let workload = workloads::generate(&spec, 4, 42);
+    println!(
+        "workload: {} ({} accesses over {} pages, {} GPUs)",
+        workload.name,
+        workload.total_accesses(),
+        workload.pages,
+        workload.traces.len()
+    );
+
+    let base = System::new(baseline, &workload)
+        .run()
+        .expect("baseline completes");
+    let idy = System::new(idyll_cfg, &workload)
+        .run()
+        .expect("idyll completes");
+
+    println!("\n{:<28}{:>14}{:>14}", "", "baseline", "IDYLL");
+    let rows: [(&str, f64, f64); 6] = [
+        ("execution cycles", base.exec_cycles as f64, idy.exec_cycles as f64),
+        ("L2 TLB MPKI", base.mpki(), idy.mpki()),
+        ("far faults", base.far_faults as f64, idy.far_faults as f64),
+        ("page migrations", base.migrations as f64, idy.migrations as f64),
+        (
+            "invalidation messages",
+            base.invalidation_messages as f64,
+            idy.invalidation_messages as f64,
+        ),
+        (
+            "demand miss latency (avg)",
+            base.demand_miss_latency.mean().unwrap_or(0.0),
+            idy.demand_miss_latency.mean().unwrap_or(0.0),
+        ),
+    ];
+    for (label, b, i) in rows {
+        println!("{label:<28}{b:>14.1}{i:>14.1}");
+    }
+    println!(
+        "\nIDYLL speedup over baseline: {:.2}x",
+        idy.speedup_vs(&base)
+    );
+}

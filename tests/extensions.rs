@@ -1,0 +1,117 @@
+//! Optional-extension integration: fault-driven prefetching and CTA
+//! scheduling policies compose with the core protocol.
+
+use idyll::gpu::scheduler::CtaSchedule;
+use idyll::prelude::*;
+
+fn cfg(n: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::test(n);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
+    cfg
+}
+
+#[test]
+fn prefetch_reduces_far_faults_on_streaming_remote_reads() {
+    // GPU 1 streams sequentially through GPU 0's pages: without prefetch
+    // every page is a separate far fault; with it, each dense block's
+    // remaining translations are pushed eagerly.
+    use idyll::workloads::{Access, GpuTrace, Workload};
+    use idyll::vm::addr::Vpn;
+    let gpu0: Vec<Access> = (0..128)
+        .map(|i| Access { vpn: Vpn(i % 128), is_write: false })
+        .collect();
+    let gpu1: Vec<Access> = (0..256)
+        .map(|i| Access { vpn: Vpn((i / 2) % 128), is_write: false })
+        .collect();
+    let wl = Workload {
+        name: "stream".into(),
+        traces: vec![GpuTrace { accesses: gpu0 }, GpuTrace { accesses: gpu1 }],
+        pages: 128,
+        base_vpn: Vpn(0),
+        compute_gap: 2,
+    };
+    let mut base_cfg = cfg(2);
+    base_cfg.policy = MigrationPolicy::FirstTouch; // isolate faulting from migration churn
+    let mut pf_cfg = base_cfg.clone();
+    pf_cfg.host.prefetch = true;
+    let base = System::new(base_cfg, &wl).run().expect("completes");
+    let pf = System::new(pf_cfg, &wl).run().expect("completes");
+    assert_eq!(pf.accesses, base.accesses);
+    assert_eq!(pf.stale_translations, 0);
+    assert!(
+        pf.far_faults < base.far_faults,
+        "prefetching translations must cut far faults: {} vs {}",
+        pf.far_faults,
+        base.far_faults
+    );
+}
+
+#[test]
+fn prefetch_composes_with_idyll() {
+    let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
+    let wl = workloads::generate(&spec, 4, 7);
+    let mut combined = cfg(4);
+    combined.host.prefetch = true;
+    combined.idyll = Some(IdyllConfig::full());
+    let r = System::new(combined, &wl).run().expect("completes");
+    assert_eq!(r.accesses, wl.total_accesses());
+    assert_eq!(r.stale_translations, 0);
+}
+
+#[test]
+fn all_cta_schedules_complete_coherently() {
+    let spec = WorkloadSpec::paper_default(AppId::Sc, Scale::Test);
+    let wl = workloads::generate(&spec, 2, 11);
+    for schedule in [
+        CtaSchedule::BlockContiguous,
+        CtaSchedule::RoundRobin,
+        CtaSchedule::BlockCyclic(16),
+    ] {
+        let mut c = cfg(2);
+        c.cta_schedule = schedule;
+        let r = System::new(c, &wl).run().expect("completes");
+        assert_eq!(r.accesses, wl.total_accesses(), "{schedule:?}");
+        assert_eq!(r.stale_translations, 0, "{schedule:?}");
+    }
+}
+
+#[test]
+fn round_robin_stresses_tlbs_harder_than_contiguous() {
+    // Fine-grain interleave destroys per-warp locality: L1 TLB hit rate
+    // must drop relative to contiguous tiles.
+    let spec = WorkloadSpec::paper_default(AppId::Mm, Scale::Test);
+    let wl = workloads::generate(&spec, 2, 3);
+    let run = |schedule| {
+        let mut c = cfg(2);
+        c.cta_schedule = schedule;
+        System::new(c, &wl).run().expect("completes")
+    };
+    let contiguous = run(CtaSchedule::BlockContiguous);
+    let rr = run(CtaSchedule::RoundRobin);
+    let hit = |r: &SimReport| {
+        r.l1_tlb_hits as f64 / (r.l1_tlb_hits + r.l1_tlb_misses).max(1) as f64
+    };
+    assert!(
+        hit(&rr) < hit(&contiguous),
+        "round-robin L1 hit rate {:.3} should trail contiguous {:.3}",
+        hit(&rr),
+        hit(&contiguous)
+    );
+}
+
+#[test]
+fn no_bypass_ablation_still_coherent() {
+    let spec = WorkloadSpec::paper_default(AppId::Mm, Scale::Test);
+    let wl = workloads::generate(&spec, 4, 5);
+    let mut c = cfg(4);
+    c.idyll = Some(IdyllConfig {
+        bypass_on_irmb_hit: false,
+        ..IdyllConfig::full()
+    });
+    let r = System::new(c, &wl).run().expect("completes");
+    assert_eq!(r.accesses, wl.total_accesses());
+    assert_eq!(r.stale_translations, 0);
+    assert_eq!(r.irmb_bypasses, 0, "bypass disabled: no IRMB short-circuits");
+}

@@ -1,0 +1,143 @@
+//! Stress and failure-injection tests: tiny structural resources force the
+//! back-pressure, overflow and out-of-memory paths that normal-sized runs
+//! rarely exercise. Everything must still complete coherently.
+
+use idyll::core::irmb::IrmbConfig;
+use idyll::prelude::*;
+use idyll::vm::tlb::TlbConfig;
+
+fn base() -> SystemConfig {
+    let mut cfg = SystemConfig::test(4);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
+    cfg
+}
+
+fn run(cfg: SystemConfig, app: AppId) -> SimReport {
+    let spec = WorkloadSpec::paper_default(app, Scale::Test);
+    let wl = workloads::generate(&spec, cfg.n_gpus, 42);
+    let expected = wl.total_accesses();
+    let r = System::new(cfg, &wl).run().expect("completes under stress");
+    assert_eq!(r.accesses, expected);
+    assert_eq!(r.stale_translations, 0);
+    r
+}
+
+#[test]
+fn single_entry_walk_queue_backpressures_but_completes() {
+    let mut cfg = base();
+    cfg.gpu.gmmu.walk_queue_entries = 1;
+    run(cfg, AppId::Pr);
+}
+
+#[test]
+fn single_walker_thread_serialises_everything() {
+    let mut cfg = base();
+    cfg.gpu.gmmu.walker_threads = 1;
+    let r = run(cfg, AppId::Km);
+    // With one walker the demand-miss latency must exceed the multi-walker
+    // baseline's.
+    let many = run(base(), AppId::Km);
+    assert!(
+        r.demand_miss_latency.mean().unwrap_or(0.0)
+            >= many.demand_miss_latency.mean().unwrap_or(0.0),
+        "one walker cannot be faster than eight"
+    );
+}
+
+#[test]
+fn tiny_mshr_forces_structural_stalls() {
+    let mut cfg = base();
+    cfg.gpu.l2_mshr_entries = 2;
+    run(cfg, AppId::Mt);
+}
+
+#[test]
+fn minimal_pwc_still_correct() {
+    let mut cfg = base();
+    cfg.gpu.gmmu.pwc_entries = 4;
+    let r = run(cfg, AppId::Pr);
+    assert!(r.pwc_hit_rate < 1.0);
+}
+
+#[test]
+fn one_by_one_irmb_thrashes_but_stays_coherent() {
+    let mut cfg = base();
+    cfg.idyll = Some(IdyllConfig {
+        irmb: IrmbConfig::new(1, 1),
+        ..IdyllConfig::full()
+    });
+    let r = run(cfg, AppId::Mm);
+    assert!(
+        r.irmb_evictions > 0,
+        "a (1,1) IRMB must evict under migration load"
+    );
+}
+
+#[test]
+fn tiny_l1_and_l2_tlbs_complete() {
+    let mut cfg = base();
+    cfg.gpu.l1_tlb = TlbConfig {
+        entries: 2,
+        ways: 2,
+        latency: sim_engine::Cycle(1),
+    };
+    cfg.gpu.l2_tlb = TlbConfig {
+        entries: 16,
+        ways: 4,
+        latency: sim_engine::Cycle(10),
+    };
+    let r = run(cfg, AppId::Sc);
+    assert!(r.l2_tlb_misses > 0);
+}
+
+#[test]
+fn scarce_device_frames_degrade_gracefully() {
+    // Barely more frames per device than the per-GPU footprint share: the
+    // allocator exercises its recycle and failure paths (replication
+    // especially).
+    let mut cfg = base();
+    cfg.frames_per_device = 700;
+    cfg.replication = true;
+    run(cfg, AppId::Bs);
+}
+
+#[test]
+fn tiny_fault_batches_and_windows() {
+    let mut cfg = base();
+    cfg.host.fault_batch = 2;
+    cfg.host.batch_window = sim_engine::Cycle(50);
+    run(cfg, AppId::St);
+}
+
+#[test]
+fn single_host_walker_serialises_driver_work() {
+    let mut cfg = base();
+    cfg.host.walk_threads = 1;
+    run(cfg, AppId::Km);
+}
+
+#[test]
+fn zero_cooldown_allows_maximum_ping_pong() {
+    let mut cfg = base();
+    cfg.host.migration_cooldown = sim_engine::Cycle(0);
+    cfg.policy = MigrationPolicy::OnTouch;
+    // On-touch with no throttle is the worst case; it must still terminate
+    // within the event bound.
+    run(cfg, AppId::Sc);
+}
+
+#[test]
+fn combined_worst_case_configuration() {
+    let mut cfg = base();
+    cfg.gpu.gmmu.walk_queue_entries = 2;
+    cfg.gpu.gmmu.walker_threads = 1;
+    cfg.gpu.l2_mshr_entries = 4;
+    cfg.gpu.gmmu.pwc_entries = 4;
+    cfg.idyll = Some(IdyllConfig {
+        irmb: IrmbConfig::new(2, 2),
+        ..IdyllConfig::full()
+    });
+    run(cfg, AppId::Km);
+}
