@@ -49,7 +49,9 @@ fn main() {
         Default::default();
     for (key, r) in results {
         let (app, scheme) = key.split_once('\u{1}').expect("composite");
-        grid.entry(app.into()).or_default().insert(scheme.to_string(), r);
+        grid.entry(app.into())
+            .or_default()
+            .insert(scheme.to_string(), r);
     }
     let rows: Vec<(&str, Vec<f64>)> = apps
         .iter()

@@ -1,13 +1,103 @@
 //! Regenerates every table and figure in the paper's evaluation, writing
 //! each to `results/<id>.txt` and echoing to stdout.
+//!
+//! ```text
+//! all_figures                         # every figure
+//! all_figures --only fig11           # one figure
+//! all_figures --trace t.json --metrics-json m.json
+//!     # additionally perform one instrumented reference run (IDYLL, KM)
+//!     # and write its Perfetto timeline / metrics registry
+//! ```
 
 use idyll_bench::{all_figures, Harness, HarnessConfig};
+use mgpu_system::System;
+use sim_engine::trace::Tracer;
+use workloads::{AppId, WorkloadSpec};
+
+struct Args {
+    only: Option<String>,
+    trace_out: Option<String>,
+    trace_filter: Option<String>,
+    metrics_json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        only: None,
+        trace_out: None,
+        trace_filter: None,
+        metrics_json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--only" => args.only = Some(value("--only")),
+            "--trace" => args.trace_out = Some(value("--trace")),
+            "--trace-filter" => args.trace_filter = Some(value("--trace-filter")),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")),
+            other => {
+                eprintln!(
+                    "error: unknown option `{other}` (supported: --only <fig>, \
+                     --trace <file>, --trace-filter <cats>, --metrics-json <file>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One fully instrumented reference run (IDYLL scheme, KM workload, 4 GPUs
+/// at the harness scale) whose timeline and metrics registry are written
+/// alongside the figures.
+fn observed_run(h: &Harness, args: &Args) {
+    let cfg = h.idyll(4);
+    let spec = WorkloadSpec::paper_default(AppId::Km, h.config().scale);
+    let wl = workloads::generate(&spec, cfg.n_gpus, h.config().seed);
+    let mut sys = System::new(cfg, &wl);
+    match args.trace_filter.as_deref() {
+        Some(f) => sys.set_tracer(Tracer::with_filter(f)),
+        None => sys.set_tracer(Tracer::enabled()),
+    }
+    if let Err(e) = sys.run() {
+        eprintln!("observed reference run failed: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, sys.tracer().to_chrome_json()).expect("write trace JSON");
+        eprintln!(
+            "wrote {path} ({} trace events; open at ui.perfetto.dev)",
+            sys.tracer().len()
+        );
+    }
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, sys.metrics_registry().to_json()).expect("write metrics JSON");
+        eprintln!("wrote {path} ({} metrics)", sys.metrics_registry().len());
+    }
+}
 
 fn main() {
+    let args = parse_args();
     let h = Harness::new(HarnessConfig::from_env());
+    if args.trace_out.is_some() || args.metrics_json.is_some() {
+        observed_run(&h, &args);
+    }
     std::fs::create_dir_all("results").expect("create results dir");
     let mut failures = 0;
+    let mut matched = false;
     for (id, figure) in all_figures() {
+        if let Some(only) = &args.only {
+            if id != only {
+                continue;
+            }
+        }
+        matched = true;
         eprintln!("[{id}] running…");
         match figure(&h) {
             Ok(out) => {
@@ -18,6 +108,12 @@ fn main() {
                 eprintln!("{id}: simulation failed: {e}");
                 failures += 1;
             }
+        }
+    }
+    if let Some(only) = &args.only {
+        if !matched {
+            eprintln!("error: no figure named `{only}`");
+            failures += 1;
         }
     }
     if failures > 0 {

@@ -6,11 +6,22 @@ use workloads::{AppId, Scale, WorkloadSpec};
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "repl".into());
     let mut cfg = SystemConfig::test(4);
-    let n: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(4);
-    cfg.policy = MigrationPolicy::AccessCounter { threshold: Scale::Test.counter_threshold() };
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
     let app = match mode.as_str() {
-        "repl" => { cfg.replication = true; AppId::Mt }
-        "transfw" => { cfg.transfw = Some(idyll_core::transfw::TransFwConfig::default()); AppId::St }
+        "repl" => {
+            cfg.replication = true;
+            AppId::Mt
+        }
+        "transfw" => {
+            cfg.transfw = Some(idyll_core::transfw::TransFwConfig::default());
+            AppId::St
+        }
         "combined" => {
             cfg.transfw = Some(idyll_core::transfw::TransFwConfig::default());
             cfg.idyll = Some(IdyllConfig::full());
@@ -18,19 +29,39 @@ fn main() {
         }
         "scale16" => {
             cfg = SystemConfig::baseline(n);
-            cfg.policy = MigrationPolicy::AccessCounter { threshold: Scale::Small.counter_threshold() };
+            cfg.policy = MigrationPolicy::AccessCounter {
+                threshold: Scale::Small.counter_threshold(),
+            };
             match std::env::args().nth(3).as_deref() {
-                Some("MT") => AppId::Mt, Some("PR") => AppId::Pr, Some("KM") => AppId::Km,
-                Some("BS") => AppId::Bs, Some("IM") => AppId::Im, Some("ST") => AppId::St,
-                Some("SC") => AppId::Sc, Some("C2D") => AppId::C2d, _ => AppId::Mm }
+                Some("MT") => AppId::Mt,
+                Some("PR") => AppId::Pr,
+                Some("KM") => AppId::Km,
+                Some("BS") => AppId::Bs,
+                Some("IM") => AppId::Im,
+                Some("ST") => AppId::St,
+                Some("SC") => AppId::Sc,
+                Some("C2D") => AppId::C2d,
+                _ => AppId::Mm,
+            }
         }
         _ => AppId::Pr,
     };
-    let scale = if mode == "scale16" { Scale::Small } else { Scale::Test };
+    let scale = if mode == "scale16" {
+        Scale::Small
+    } else {
+        Scale::Test
+    };
     let spec = WorkloadSpec::paper_default(app, scale);
     let wl = workloads::generate(&spec, cfg.n_gpus, 42);
-    match mgpu_system::System::new(cfg, &wl).run_debug() {
-        Ok(r) => println!("stale={} migrations={} accesses={}", r.stale_translations, r.migrations, r.accesses),
+    let mut sys = mgpu_system::System::new(cfg, &wl);
+    // Keep a flight-recorder tail so an audit failure dump shows the
+    // protocol history leading up to it.
+    sys.enable_trace_log(512);
+    match sys.run_debug() {
+        Ok(r) => println!(
+            "stale={} migrations={} accesses={}",
+            r.stale_translations, r.migrations, r.accesses
+        ),
         Err((e, d)) => println!("FAILED {e}\n{d}"),
     }
 }

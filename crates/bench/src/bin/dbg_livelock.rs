@@ -20,9 +20,14 @@ fn main() {
     let app = if mode == "repl" { AppId::Mt } else { AppId::Sc };
     let spec = WorkloadSpec::paper_default(app, Scale::Test);
     let wl = workloads::generate(&spec, cfg.n_gpus, 42);
-    let sys = mgpu_system::System::new(cfg, &wl);
+    let mut sys = mgpu_system::System::new(cfg, &wl);
+    // Keep a flight-recorder tail so a livelock dump shows how we got there.
+    sys.enable_trace_log(512);
     match sys.run_debug() {
-        Ok(r) => println!("completed: {} cycles, {} events", r.exec_cycles, r.events_processed),
+        Ok(r) => println!(
+            "completed: {} cycles, {} events",
+            r.exec_cycles, r.events_processed
+        ),
         Err((e, diag)) => println!("FAILED: {e}\n{diag}"),
     }
 }

@@ -1,0 +1,104 @@
+//! Wall-clock micro harness for the observability overhead budget.
+//!
+//! Runs a fig11-class configuration (baseline and IDYLL, 2 GPUs, SC) with
+//! the tracer disabled and enabled, reporting per-config wall-clock and the
+//! disabled-tracer overhead. The disabled case must stay within a few
+//! percent of the seed build — every instrumentation site reduces to one
+//! branch when no tracer is installed.
+//!
+//! ```text
+//! perf_micro --iters 5          # default 3
+//! IDYLL_SCALE=small perf_micro  # heavier traces (default: test)
+//! ```
+
+use std::time::Instant;
+
+use idyll_bench::HarnessConfig;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::System;
+use sim_engine::trace::Tracer;
+use uvm_driver::policy::MigrationPolicy;
+use workloads::{AppId, WorkloadSpec};
+
+fn run_once(hc: &HarnessConfig, idyll: bool, traced: bool) -> (f64, u64) {
+    let mut cfg = if idyll {
+        SystemConfig::idyll(2)
+    } else {
+        SystemConfig::baseline(2)
+    };
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: hc.scale.counter_threshold(),
+    };
+    cfg.seed = hc.seed;
+    let spec = WorkloadSpec::paper_default(AppId::Sc, hc.scale);
+    let wl = workloads::generate(&spec, 2, hc.seed);
+    let mut sys = System::new(cfg, &wl);
+    if traced {
+        sys.set_tracer(Tracer::enabled());
+    }
+    let start = Instant::now();
+    let report = sys.run().expect("simulation completes");
+    (start.elapsed().as_secs_f64(), report.events_processed)
+}
+
+/// Best-of-N wall-clock (minimum is the least noisy estimator for
+/// throughput micro-measurements).
+fn measure(hc: &HarnessConfig, idyll: bool, traced: bool, iters: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..iters {
+        let (t, n) = run_once(hc, idyll, traced);
+        best = best.min(t);
+        events = n;
+    }
+    (best, events)
+}
+
+fn main() {
+    let mut iters = 3usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--iters" => {
+                iters = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --iters requires a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown option `{other}` (supported: --iters <N>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let hc = HarnessConfig::from_env();
+    println!(
+        "perf_micro: scale={:?} seed={} iters={iters}",
+        hc.scale, hc.seed
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "config", "events", "best (ms)", "Mev/s"
+    );
+    for (label, idyll) in [("baseline/SC/2gpu", false), ("idyll/SC/2gpu", true)] {
+        // Warm-up run so allocator/page-cache effects don't pollute either
+        // measurement.
+        let _ = run_once(&hc, idyll, false);
+        let (off, events) = measure(&hc, idyll, false, iters);
+        let (on, _) = measure(&hc, idyll, true, iters);
+        for (mode, secs) in [("tracer off", off), ("tracer on", on)] {
+            println!(
+                "{:<22} {:>12} {:>12.2} {:>12.2}",
+                format!("{label} {mode}"),
+                events,
+                secs * 1e3,
+                events as f64 / secs / 1e6
+            );
+        }
+        println!(
+            "{:<22} tracing overhead when enabled: {:+.1}%",
+            label,
+            (on / off - 1.0) * 100.0
+        );
+    }
+}

@@ -6,11 +6,17 @@ fn main() {
     let app = AppId::Mt;
     let spec = WorkloadSpec::paper_default(app, Scale::Small);
     let mut cfg = SystemConfig::baseline(4);
-    cfg.policy = uvm_driver::policy::MigrationPolicy::AccessCounter { threshold: Scale::Small.counter_threshold() };
+    cfg.policy = uvm_driver::policy::MigrationPolicy::AccessCounter {
+        threshold: Scale::Small.counter_threshold(),
+    };
     let wl = workloads::generate(&spec, 4, 42);
-    let sys = mgpu_system::System::new(cfg, &wl);
+    let mut sys = mgpu_system::System::new(cfg, &wl);
     let (report, pipes) = sys.run_with_pipes().unwrap();
-    println!("exec={} remote_mean={:.0}", report.exec_cycles, report.remote_data_latency.mean().unwrap_or(0.0));
+    println!(
+        "exec={} remote_mean={:.0}",
+        report.exec_cycles,
+        report.remote_data_latency.mean().unwrap_or(0.0)
+    );
     for (label, n, bytes, free) in pipes {
         println!("{label:>10}: transfers={n:>8} bytes={bytes:>12} next_free={free}");
     }

@@ -19,7 +19,7 @@ fn main() {
     idyll.policy = policy;
     let mut zero = base.clone();
     zero.zero_latency_invalidation = true;
-    let schemes = vec![
+    let schemes = [
         ("baseline".to_string(), base),
         ("idyll".to_string(), idyll),
         ("zerolat".to_string(), zero),
@@ -29,7 +29,11 @@ fn main() {
         let wl = workloads::generate(&spec, n, 42);
         let jobs: Vec<Job> = schemes
             .iter()
-            .map(|(name, cfg)| Job { scheme: name.clone(), config: cfg.clone(), workload: wl.clone() })
+            .map(|(name, cfg)| Job {
+                scheme: name.clone(),
+                config: cfg.clone(),
+                workload: wl.clone(),
+            })
             .collect();
         match run_jobs(jobs, 3) {
             Ok(results) => {
@@ -66,7 +70,6 @@ fn main() {
                         r.remote_data_latency.mean().unwrap_or(0.0),
                         r.remote_data_latency.count(),
                     );
-
                 }
                 let b = &results[0].1;
                 println!(

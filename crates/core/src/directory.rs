@@ -37,7 +37,10 @@ impl DirectoryConfig {
     /// # Panics
     /// Panics if `bits` is zero or exceeds the 11 available unused bits.
     pub fn with_access_bits(n_gpus: usize, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= UNUSED_HI_COUNT, "1..=11 bits available");
+        assert!(
+            (1..=UNUSED_HI_COUNT).contains(&bits),
+            "1..=11 bits available"
+        );
         DirectoryConfig {
             access_bits: bits,
             n_gpus,

@@ -72,7 +72,7 @@ impl VmDirectory {
     /// # Panics
     /// Panics unless `entries` divides evenly by `ways`.
     pub fn with_cache_geometry(n_gpus: usize, entries: usize, ways: usize) -> Self {
-        assert!(entries % ways == 0);
+        assert!(entries.is_multiple_of(ways));
         VmDirectory {
             table: HashMap::new(),
             cache: SetAssoc::new(entries / ways, ways),
@@ -107,13 +107,9 @@ impl VmDirectory {
         // registered in the cache per §6.4).
         let bits = self.table.get(&vpn).copied().unwrap_or(0);
         let mut writeback = false;
-        if let Inserted::Evicted { tag, value } = self.cache.insert(
-            vpn.0,
-            VmLine {
-                bits,
-                dirty: false,
-            },
-        ) {
+        if let Inserted::Evicted { tag, value } =
+            self.cache.insert(vpn.0, VmLine { bits, dirty: false })
+        {
             if value.dirty {
                 self.table.insert(Vpn(tag), value.bits);
                 self.writebacks += 1;

@@ -296,7 +296,10 @@ mod tests {
         assert_eq!(w.result.mem_accesses, 5);
         assert_eq!(w.finish_at, Cycle(500));
         assert_eq!(w.necessary, None);
-        assert!(pt.lookup(Vpn(5)).unwrap().is_valid(), "translate is read-only");
+        assert!(
+            pt.lookup(Vpn(5)).unwrap().is_valid(),
+            "translate is read-only"
+        );
         assert_eq!(g.stats(WalkClass::Demand).count, 1);
     }
 
@@ -304,8 +307,10 @@ mod tests {
     fn invalidation_walk_clears_and_classifies() {
         let mut pt = pt_with(&[5]);
         let mut g = Gmmu::new(GmmuConfig::default());
-        g.enqueue(Vpn(5), WalkClass::Invalidation, 0, Cycle(0)).unwrap();
-        g.enqueue(Vpn(5), WalkClass::Invalidation, 1, Cycle(0)).unwrap();
+        g.enqueue(Vpn(5), WalkClass::Invalidation, 0, Cycle(0))
+            .unwrap();
+        g.enqueue(Vpn(5), WalkClass::Invalidation, 1, Cycle(0))
+            .unwrap();
         let w1 = g.try_dispatch(Cycle(0), &mut pt).unwrap();
         assert_eq!(w1.necessary, Some(true));
         assert!(!pt.lookup(Vpn(5)).unwrap().is_valid());
@@ -322,11 +327,15 @@ mod tests {
             ..GmmuConfig::default()
         });
         for (i, v) in [1u64, 2, 3].iter().enumerate() {
-            g.enqueue(Vpn(*v), WalkClass::Demand, i as u64, Cycle(0)).unwrap();
+            g.enqueue(Vpn(*v), WalkClass::Demand, i as u64, Cycle(0))
+                .unwrap();
         }
         assert!(g.try_dispatch(Cycle(0), &mut pt).is_some());
         assert!(g.try_dispatch(Cycle(0), &mut pt).is_some());
-        assert!(g.try_dispatch(Cycle(0), &mut pt).is_none(), "both walkers busy");
+        assert!(
+            g.try_dispatch(Cycle(0), &mut pt).is_none(),
+            "both walkers busy"
+        );
         assert_eq!(g.queue_len(), 1);
         let free_at = g.next_walker_free();
         assert!(g.try_dispatch(free_at, &mut pt).is_some());
@@ -382,8 +391,10 @@ mod tests {
         // Two write-backs sharing a base: the second hits the PWC.
         let mut pt = pt_with(&[0x200, 0x201]);
         let mut g = Gmmu::new(GmmuConfig::default());
-        g.enqueue(Vpn(0x200), WalkClass::IrmbWriteback, 0, Cycle(0)).unwrap();
-        g.enqueue(Vpn(0x201), WalkClass::IrmbWriteback, 1, Cycle(0)).unwrap();
+        g.enqueue(Vpn(0x200), WalkClass::IrmbWriteback, 0, Cycle(0))
+            .unwrap();
+        g.enqueue(Vpn(0x201), WalkClass::IrmbWriteback, 1, Cycle(0))
+            .unwrap();
         let w1 = g.try_dispatch(Cycle(0), &mut pt).unwrap();
         let w2 = g.try_dispatch(Cycle(0), &mut pt).unwrap();
         assert_eq!(w1.result.mem_accesses, 5);

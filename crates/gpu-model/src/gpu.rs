@@ -111,7 +111,9 @@ impl Gpu {
     pub fn new(id: GpuId, config: GpuConfig) -> Self {
         Gpu {
             id,
-            cus: (0..config.cus).map(|_| Cu::new(config.warps_per_cu)).collect(),
+            cus: (0..config.cus)
+                .map(|_| Cu::new(config.warps_per_cu))
+                .collect(),
             l1_tlbs: (0..config.cus).map(|_| Tlb::new(config.l1_tlb)).collect(),
             l2_tlb: Tlb::new(config.l2_tlb),
             l2_mshr: Mshr::new(config.l2_mshr_entries),
@@ -119,7 +121,11 @@ impl Gpu {
             gmmu: Gmmu::new(config.gmmu),
             fault_buffer: BoundedQueue::new(config.fault_buffer_entries),
             l2_cache: Cache::new(config.l2_cache),
-            dram: Dram::new(config.dram_banks, config.dram_latency, config.dram_occupancy),
+            dram: Dram::new(
+                config.dram_banks,
+                config.dram_latency,
+                config.dram_occupancy,
+            ),
             config,
         }
     }
@@ -152,7 +158,9 @@ impl Gpu {
         if self.l2_cache.access(paddr) {
             self.config.l2_hit_latency
         } else {
-            let done = self.dram.access(now + self.config.l2_hit_latency.raw(), paddr);
+            let done = self
+                .dram
+                .access(now + self.config.l2_hit_latency.raw(), paddr);
             (done + self.config.l2_hit_latency.raw()).saturating_sub(now)
         }
     }

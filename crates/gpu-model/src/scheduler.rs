@@ -48,10 +48,10 @@ pub fn plan_warps(len: usize, warps: usize, schedule: CtaSchedule) -> Vec<WarpPl
     match schedule {
         CtaSchedule::BlockContiguous => {
             let seg = len.div_ceil(warps);
-            for w in 0..warps {
+            for (w, plan) in plans.iter_mut().enumerate() {
                 let start = (w * seg).min(len);
                 let end = ((w + 1) * seg).min(len);
-                plans[w] = (start..end).collect();
+                *plan = (start..end).collect();
             }
         }
         CtaSchedule::RoundRobin => {

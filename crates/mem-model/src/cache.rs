@@ -113,7 +113,8 @@ impl Cache {
     pub fn invalidate_page(&mut self, page_base: u64, page_bytes: u64) -> usize {
         let first = page_base / self.geometry.line_bytes;
         let last = (page_base + page_bytes - 1) / self.geometry.line_bytes;
-        self.lines.invalidate_matching(|tag, _| tag >= first && tag <= last)
+        self.lines
+            .invalidate_matching(|tag, _| tag >= first && tag <= last)
     }
 
     /// Drops all lines.

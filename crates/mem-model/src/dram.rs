@@ -5,7 +5,7 @@
 //! queue behind each other, giving the bandwidth cliff that makes remote
 //! versus local access asymmetry matter.
 
-use sim_engine::{Cycle, stats::Counter};
+use sim_engine::{stats::Counter, Cycle};
 
 /// A banked DRAM device.
 ///

@@ -11,6 +11,9 @@ use sim_engine::{resource::BandwidthPipe, Cycle};
 /// Identifier of a GPU in the system (0-based).
 pub type GpuId = usize;
 
+/// One directed pipe's diagnostics: (label, transfers, bytes, next_free).
+pub type PipeStat = (String, u64, u64, Cycle);
+
 /// An endpoint on the interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Node {
@@ -94,9 +97,7 @@ impl Interconnect {
         let pc = |_: usize| BandwidthPipe::new(config.pcie_bytes_per_cycle, config.pcie_latency);
         Interconnect {
             n_gpus,
-            gpu_links: (0..n_gpus)
-                .map(|_| (0..n_gpus).map(nv).collect())
-                .collect(),
+            gpu_links: (0..n_gpus).map(|_| (0..n_gpus).map(nv).collect()).collect(),
             host_down: (0..n_gpus).map(pc).collect(),
             host_up: (0..n_gpus).map(pc).collect(),
             config,
@@ -152,23 +153,38 @@ impl Interconnect {
     }
 
     /// Per-directed-pipe diagnostics: (label, transfers, bytes, next_free).
-    pub fn pipe_stats(&self) -> Vec<(String, u64, u64, Cycle)> {
+    pub fn pipe_stats(&self) -> Vec<PipeStat> {
         let mut out = Vec::new();
         for (a, row) in self.gpu_links.iter().enumerate() {
             for (b, p) in row.iter().enumerate() {
                 if p.transfers() > 0 {
-                    out.push((format!("g{a}->g{b}"), p.transfers(), p.bytes_total(), p.next_free()));
+                    out.push((
+                        format!("g{a}->g{b}"),
+                        p.transfers(),
+                        p.bytes_total(),
+                        p.next_free(),
+                    ));
                 }
             }
         }
         for (g, p) in self.host_down.iter().enumerate() {
             if p.transfers() > 0 {
-                out.push((format!("host->g{g}"), p.transfers(), p.bytes_total(), p.next_free()));
+                out.push((
+                    format!("host->g{g}"),
+                    p.transfers(),
+                    p.bytes_total(),
+                    p.next_free(),
+                ));
             }
         }
         for (g, p) in self.host_up.iter().enumerate() {
             if p.transfers() > 0 {
-                out.push((format!("g{g}->host"), p.transfers(), p.bytes_total(), p.next_free()));
+                out.push((
+                    format!("g{g}->host"),
+                    p.transfers(),
+                    p.bytes_total(),
+                    p.next_free(),
+                ));
             }
         }
         out
@@ -222,7 +238,10 @@ mod tests {
     #[test]
     fn local_transfer_is_free() {
         let mut n = net();
-        assert_eq!(n.send(Cycle(42), Node::Gpu(2), Node::Gpu(2), 1 << 20), Cycle(42));
+        assert_eq!(
+            n.send(Cycle(42), Node::Gpu(2), Node::Gpu(2), 1 << 20),
+            Cycle(42)
+        );
     }
 
     #[test]

@@ -26,6 +26,6 @@
 pub mod assoc;
 pub mod cache;
 pub mod dram;
-pub mod interconnect;
 pub mod gpuset;
+pub mod interconnect;
 pub mod mshr;

@@ -4,14 +4,16 @@
 //!
 //! ```text
 //! mgpu-sim --app PR --gpus 4 --scheme idyll --scale small --seed 42
-//! mgpu-sim --trace dump.trace --scheme baseline
+//! mgpu-sim --replay dump.trace --scheme baseline
 //! mgpu-sim --app KM --dump-trace km.trace    # export the synthetic trace
+//! mgpu-sim --app KM --scheme idyll --trace out.json --metrics-json m.json
 //! ```
 
 use std::process::ExitCode;
 
 use mgpu_system::config::{IdyllConfig, SystemConfig};
 use mgpu_system::System;
+use sim_engine::trace::Tracer;
 use uvm_driver::policy::MigrationPolicy;
 use workloads::dnn::{generate_dnn, DnnModel, DnnSpec};
 use workloads::{AppId, Scale, Workload, WorkloadSpec};
@@ -24,8 +26,14 @@ USAGE:
 
 OPTIONS:
     --app <MT|MM|PR|ST|SC|KM|IM|C2D|BS|VGG16|RESNET18>   workload (default KM)
-    --trace <FILE>          replay a saved .trace file instead of --app
+    --replay <FILE>         replay a saved .trace file instead of --app
     --dump-trace <FILE>     write the generated trace to FILE and exit
+    --trace <FILE>          write a Chrome-trace/Perfetto timeline JSON
+    --trace-filter <CATS>   record only these trace categories
+                            (comma-separated: tlb,walk,fault,invalidation,
+                            migration,driver,counter)
+    --metrics-json <FILE>   write the flattened metrics registry as JSON
+    --progress <N>          print a progress line every N million events
     --gpus <N>              number of GPUs (default 4)
     --scheme <NAME>         baseline | idyll | only-lazy | only-in-pte |
                             idyll-inmem | zerolat | replication | transfw |
@@ -41,8 +49,12 @@ OPTIONS:
 
 struct Args {
     app: String,
-    trace: Option<String>,
+    replay: Option<String>,
     dump_trace: Option<String>,
+    trace_out: Option<String>,
+    trace_filter: Option<String>,
+    metrics_json: Option<String>,
+    progress: Option<u64>,
     gpus: usize,
     scheme: String,
     policy: String,
@@ -56,8 +68,12 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         app: "KM".into(),
-        trace: None,
+        replay: None,
         dump_trace: None,
+        trace_out: None,
+        trace_filter: None,
+        metrics_json: None,
+        progress: None,
         gpus: 4,
         scheme: "baseline".into(),
         policy: "counter".into(),
@@ -69,14 +85,21 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--app" => args.app = value("--app")?.to_uppercase(),
-            "--trace" => args.trace = Some(value("--trace")?),
+            "--replay" => args.replay = Some(value("--replay")?),
             "--dump-trace" => args.dump_trace = Some(value("--dump-trace")?),
+            "--trace" => args.trace_out = Some(value("--trace")?),
+            "--trace-filter" => args.trace_filter = Some(value("--trace-filter")?),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--progress" => {
+                args.progress = Some(
+                    value("--progress")?
+                        .parse()
+                        .map_err(|e| format!("--progress: {e}"))?,
+                )
+            }
             "--gpus" => {
                 args.gpus = value("--gpus")?
                     .parse()
@@ -117,7 +140,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn build_workload(args: &Args) -> Result<Workload, String> {
-    if let Some(path) = &args.trace {
+    if let Some(path) = &args.replay {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         return workloads::serialize::from_text(&text).map_err(|e| format!("{path}: {e}"));
     }
@@ -216,13 +239,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match System::new(cfg, &workload).run() {
+    let mut sys = System::new(cfg, &workload);
+    if let Some(filter) = &args.trace_filter {
+        sys.set_tracer(Tracer::with_filter(filter));
+    } else if args.trace_out.is_some() {
+        sys.set_tracer(Tracer::enabled());
+    }
+    if let Some(every) = args.progress {
+        sys.set_progress_interval(every.max(1) * 1_000_000);
+    }
+    let report = match sys.run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simulation failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, sys.tracer().to_chrome_json()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path} ({} events; open at ui.perfetto.dev)",
+            sys.tracer().len()
+        );
+    }
+    if let Some(path) = &args.metrics_json {
+        if let Err(e) = std::fs::write(path, sys.metrics_registry().to_json()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} metrics)", sys.metrics_registry().len());
+    }
     println!("{}", report.summary());
     println!("  execution cycles        : {}", report.exec_cycles);
     println!("  accesses                : {}", report.accesses);
@@ -266,7 +315,9 @@ fn main() -> ExitCode {
         println!("  VM-Cache hit rate       : {rate:.3}");
     }
     if let Some((probes, hits, false_fw)) = report.transfw {
-        println!("  Trans-FW                : {probes} probes, {hits} hits, {false_fw} false forwards");
+        println!(
+            "  Trans-FW                : {probes} probes, {hits} hits, {false_fw} false forwards"
+        );
     }
     println!(
         "  NVLink / PCIe bytes     : {} / {}",
@@ -277,5 +328,7 @@ fn main() -> ExitCode {
         "  coherence audit         : {} stale translations",
         report.stale_translations
     );
+    println!("  per-phase latency breakdown:");
+    print!("{}", report.latency_breakdown());
     ExitCode::SUCCESS
 }

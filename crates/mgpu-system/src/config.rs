@@ -223,31 +223,29 @@ impl SystemConfig {
             None => parts.push("baseline"),
             Some(IdyllConfig {
                 lazy, directory, ..
-            }) => {
-                match directory {
-                    DirectoryMode::Broadcast => {
-                        if lazy {
-                            parts.push("only-lazy");
-                        } else {
-                            parts.push("baseline");
-                        }
-                    }
-                    DirectoryMode::InPte { .. } => {
-                        if lazy {
-                            parts.push("idyll");
-                        } else {
-                            parts.push("only-in-pte");
-                        }
-                    }
-                    DirectoryMode::InMem => {
-                        if lazy {
-                            parts.push("idyll-inmem");
-                        } else {
-                            parts.push("inmem-directory");
-                        }
+            }) => match directory {
+                DirectoryMode::Broadcast => {
+                    if lazy {
+                        parts.push("only-lazy");
+                    } else {
+                        parts.push("baseline");
                     }
                 }
-            }
+                DirectoryMode::InPte { .. } => {
+                    if lazy {
+                        parts.push("idyll");
+                    } else {
+                        parts.push("only-in-pte");
+                    }
+                }
+                DirectoryMode::InMem => {
+                    if lazy {
+                        parts.push("idyll-inmem");
+                    } else {
+                        parts.push("inmem-directory");
+                    }
+                }
+            },
         }
         if self.transfw.is_some() {
             parts.push("+trans-fw");

@@ -87,15 +87,16 @@ mod tests {
     use super::*;
 
     fn sample() -> SimReport {
-        let mut r = SimReport::default();
-        r.workload = "PR".into();
-        r.scheme = "idyll".into();
-        r.exec_cycles = 1234;
-        r.accesses = 100;
-        r.instructions = 400;
-        r.l2_tlb_misses = 40;
-        r.far_faults = 7;
-        r
+        SimReport {
+            workload: "PR".into(),
+            scheme: "idyll".into(),
+            exec_cycles: 1234,
+            accesses: 100,
+            instructions: 400,
+            l2_tlb_misses: 40,
+            far_faults: 7,
+            ..SimReport::default()
+        }
     }
 
     #[test]
@@ -133,5 +134,32 @@ mod tests {
         assert!(line.starts_with("\"weird,name\",\"has\"\"quote\","));
         // Still parses to the right arity when fields are unescaped pairs.
         assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn escaping_newlines() {
+        let mut r = sample();
+        r.workload = "two\nlines".into();
+        let line = row(&r);
+        // An embedded newline forces quoting so the row stays one record.
+        assert!(line.starts_with("\"two\nlines\","));
+        assert_eq!(escape("a\nb"), "\"a\nb\"");
+    }
+
+    #[test]
+    fn column_order_is_stable() {
+        // Downstream scripts key on column positions: this golden header is
+        // a compatibility contract. Extend by appending, never reordering.
+        assert_eq!(
+            header(),
+            "workload,scheme,exec_cycles,accesses,instructions,mpki,\
+             l1_tlb_hits,l1_tlb_misses,l2_tlb_hits,l2_tlb_misses,\
+             demand_miss_latency_mean,demand_miss_latency_sum,\
+             far_faults,migrations,migration_waiting_mean,migration_total_mean,\
+             invalidation_messages,invalidation_latency_sum,\
+             irmb_inserts,irmb_bypasses,nvlink_bytes,pcie_bytes"
+        );
+        assert_eq!(CSV_COLUMNS.len(), 22);
+        assert_eq!(header().split(',').count(), CSV_COLUMNS.len());
     }
 }

@@ -171,6 +171,38 @@ impl SimReport {
         self.migration_waiting.sum() / r
     }
 
+    /// Per-phase latency breakdown: one line per translation-path phase
+    /// with sample count, mean, min and max (all in cycles). The phases
+    /// cover the lifecycle the tracer records — demand miss through
+    /// migration — so the table is the aggregate view of the same data a
+    /// Perfetto trace shows per-request.
+    pub fn latency_breakdown(&self) -> String {
+        use std::fmt::Write as _;
+        fn line(out: &mut String, name: &str, a: &Accumulator) {
+            let _ = writeln!(
+                out,
+                "  {name:<24} {:>10}  {:>10.0}  {:>10.0}  {:>10.0}",
+                a.count(),
+                a.mean().unwrap_or(0.0),
+                a.min().unwrap_or(0.0),
+                a.max().unwrap_or(0.0)
+            );
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10}  {:>10}  {:>10}  {:>10}",
+            "phase (cycles)", "samples", "mean", "min", "max"
+        );
+        line(&mut out, "L2 TLB demand miss", &self.demand_miss_latency);
+        line(&mut out, "full access", &self.access_latency);
+        line(&mut out, "remote data", &self.remote_data_latency);
+        line(&mut out, "invalidation walk", &self.invalidation_latency);
+        line(&mut out, "migration waiting", &self.migration_waiting);
+        line(&mut out, "migration total", &self.migration_total);
+        out
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
@@ -212,10 +244,12 @@ mod tests {
 
     #[test]
     fn mpki_and_speedup() {
-        let mut a = SimReport::default();
-        a.instructions = 10_000;
-        a.l2_tlb_misses = 150;
-        a.exec_cycles = 2_000;
+        let a = SimReport {
+            instructions: 10_000,
+            l2_tlb_misses: 150,
+            exec_cycles: 2_000,
+            ..SimReport::default()
+        };
         assert!((a.mpki() - 15.0).abs() < 1e-9);
         let mut b = a.clone();
         b.exec_cycles = 1_000;

@@ -68,7 +68,8 @@ impl System {
             // Host memory service latency.
             Node::Host => self.now + 100,
         };
-        self.events.schedule(served, Ev::RemoteServed { token, owner });
+        self.events
+            .schedule(served, Ev::RemoteServed { token, owner });
     }
 
     /// The owner's memory returned the line: ship the response back.
@@ -100,7 +101,8 @@ impl System {
             let at = self
                 .net
                 .send(self.now, Node::Gpu(gpu), Node::Host, msg::MIG_REQ);
-            self.events.schedule(at, Ev::MigRequestAtHost { vpn, to: gpu });
+            self.events
+                .schedule(at, Ev::MigRequestAtHost { vpn, to: gpu });
         }
     }
 

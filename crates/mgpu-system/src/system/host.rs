@@ -9,6 +9,7 @@ use uvm_driver::policy::MigrationPolicy;
 use vm_model::addr::Vpn;
 use vm_model::pte::Pte;
 
+use super::observe::{HOST_PID, MIG_PID};
 use super::{msg, Ev, PendingUpdate, System};
 
 impl System {
@@ -36,6 +37,27 @@ impl System {
 
     /// Resolves each batched fault through the host walker pool.
     fn process_fault_batch(&mut self, batch: Vec<FarFault>) {
+        if self.tracer.is_enabled() {
+            let track = self.host_track();
+            let now = self.now;
+            self.tracer.instant(
+                "driver",
+                "fault batch",
+                track,
+                now,
+                &[("faults", batch.len() as u64)],
+            );
+            // Counter series sampled at batch points: sim-time-driven, so
+            // the samples stay deterministic across identical runs.
+            self.tracer
+                .counter("driver.batch_size", HOST_PID, now, batch.len() as u64);
+            self.tracer.counter(
+                "migrations.in_flight",
+                MIG_PID,
+                now,
+                self.migrations.in_flight() as u64,
+            );
+        }
         let latency = Cycle(self.cfg.host.walk_latency.raw());
         for fault in batch {
             let start = self.now.max(self.host_walkers.earliest_free());
@@ -54,6 +76,21 @@ impl System {
             self.migrations.park_waiter(fault);
             return;
         }
+        if self.tracer.is_enabled() {
+            // Retroactive: covers raise → this resolution pass. A fault that
+            // escalates to a migration below is replayed afterwards and then
+            // emits a second, longer span covering the full window.
+            let track = self.req_track(fault.token);
+            let now = self.now;
+            self.tracer.span(
+                "fault",
+                "far fault",
+                track,
+                fault.raised_at,
+                now,
+                &[("vpn", fault.vpn.0), ("gpu", fault.gpu as u64)],
+            );
+        }
         // Optional extension: fault-driven block prefetching. When a block
         // turns dense, its sibling pages' *translations* are pushed to the
         // faulting GPU along with the resolution (host-resident siblings
@@ -66,38 +103,33 @@ impl System {
                     continue;
                 }
                 match self.host_mem.owner_of(sib) {
-                    Some(Node::Host) => {
-                        if self.host_mem.move_page(sib, Node::Gpu(fault.gpu)).is_ok() {
-                            self.dir_record(sib, fault.gpu);
-                            let ppn = self.host_mem.pte(sib).expect("populated").ppn();
-                            let arrive = self.net.send(
-                                self.now,
-                                Node::Host,
-                                Node::Gpu(fault.gpu),
-                                self.page_bytes(),
-                            );
-                            self.events.schedule(
-                                arrive,
-                                Ev::MappingToGpu {
-                                    gpu: fault.gpu,
-                                    vpn: sib,
-                                    pte: Pte::new_mapped(ppn, true),
-                                },
-                            );
-                        }
+                    Some(Node::Host)
+                        if self.host_mem.move_page(sib, Node::Gpu(fault.gpu)).is_ok() =>
+                    {
+                        self.dir_record(sib, fault.gpu);
+                        let ppn = self.host_mem.pte(sib).expect("populated").ppn();
+                        let arrive = self.net.send(
+                            self.now,
+                            Node::Host,
+                            Node::Gpu(fault.gpu),
+                            self.page_bytes(),
+                        );
+                        self.events.schedule(
+                            arrive,
+                            Ev::MappingToGpu {
+                                gpu: fault.gpu,
+                                vpn: sib,
+                                pte: Pte::new_mapped(ppn, true),
+                            },
+                        );
                     }
                     Some(Node::Gpu(_)) => {
                         // Push the (possibly remote) translation eagerly.
                         self.dir_record(sib, fault.gpu);
                         let ppn = self.host_mem.pte(sib).expect("populated").ppn();
-                        self.send_mapping(
-                            fault.gpu,
-                            sib,
-                            Pte::new_mapped(ppn, true),
-                            msg::MAP,
-                        );
+                        self.send_mapping(fault.gpu, sib, Pte::new_mapped(ppn, true), msg::MAP);
                     }
-                    None => {}
+                    _ => {}
                 }
             }
         }
@@ -120,9 +152,12 @@ impl System {
                 self.dir_record(fault.vpn, fault.gpu);
                 self.broadcast_prt_record(fault.vpn, fault.gpu);
                 let pte = self.host_mem.pte(fault.vpn).expect("populated");
-                let arrive = self
-                    .net
-                    .send(self.now, Node::Host, Node::Gpu(fault.gpu), self.page_bytes());
+                let arrive = self.net.send(
+                    self.now,
+                    Node::Host,
+                    Node::Gpu(fault.gpu),
+                    self.page_bytes(),
+                );
                 self.events.schedule(
                     arrive,
                     Ev::MappingToGpu {
@@ -179,12 +214,7 @@ impl System {
                     self.dir_record(fault.vpn, fault.gpu);
                     self.broadcast_prt_record(fault.vpn, h);
                     let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
-                    self.send_mapping(
-                        fault.gpu,
-                        fault.vpn,
-                        Pte::new_mapped(ppn, true),
-                        msg::MAP,
-                    );
+                    self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, true), msg::MAP);
                 }
             }
         }
@@ -220,14 +250,22 @@ impl System {
             self.replicas.add_replica(fault.vpn, owner);
             let owner_ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
             self.gpus[owner].shootdown(fault.vpn);
-            self.send_mapping(owner, fault.vpn, Pte::new_mapped(owner_ppn, false), msg::MAP);
+            self.send_mapping(
+                owner,
+                fault.vpn,
+                Pte::new_mapped(owner_ppn, false),
+                msg::MAP,
+            );
         }
         self.replicas.add_replica(fault.vpn, fault.gpu);
         self.replica_frames.insert((fault.gpu, fault.vpn), copy_ppn);
         self.dir_record(fault.vpn, fault.gpu);
-        let arrive =
-            self.net
-                .send(self.now, Node::Gpu(owner), Node::Gpu(fault.gpu), self.page_bytes());
+        let arrive = self.net.send(
+            self.now,
+            Node::Gpu(owner),
+            Node::Gpu(fault.gpu),
+            self.page_bytes(),
+        );
         self.events.schedule(
             arrive,
             Ev::MappingToGpu {
@@ -241,7 +279,8 @@ impl System {
     /// Sends a PTE (new mapping) to a GPU over PCIe.
     pub(crate) fn send_mapping(&mut self, gpu: usize, vpn: Vpn, pte: Pte, bytes: u64) {
         let arrive = self.net.send(self.now, Node::Host, Node::Gpu(gpu), bytes);
-        self.events.schedule(arrive, Ev::MappingToGpu { gpu, vpn, pte });
+        self.events
+            .schedule(arrive, Ev::MappingToGpu { gpu, vpn, pte });
     }
 
     /// A new mapping arrives at a GPU: check the IRMB (a pending
@@ -275,12 +314,9 @@ impl System {
             }
             _ => {
                 self.prts[fault.gpu].report_false_forward(fault.vpn);
-                let at = self.net.send(
-                    self.now,
-                    Node::Gpu(fault.gpu),
-                    Node::Host,
-                    msg::FAULT,
-                );
+                let at = self
+                    .net
+                    .send(self.now, Node::Gpu(fault.gpu), Node::Host, msg::FAULT);
                 self.events.schedule(at, Ev::FaultAtHost { fault });
             }
         }

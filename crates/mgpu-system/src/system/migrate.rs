@@ -114,14 +114,33 @@ impl System {
                     };
                     self.migrations
                         .start(vpn, Node::Gpu(from), to, targets, self.now);
-                    self.events
-                        .schedule(self.now + lookup_latency, Ev::MigSendInvals { vpn, targets });
+                    self.events.schedule(
+                        self.now + lookup_latency,
+                        Ev::MigSendInvals { vpn, targets },
+                    );
                     self.events.schedule(
                         host_walk_done_at.max(self.now + lookup_latency),
                         Ev::MigHostWalkDone { vpn },
                     );
                 }
             },
+        }
+        if self.tracer.is_enabled() {
+            if let Some(id) = self.migrations.get(vpn).map(|m| m.id) {
+                let track = self.mig_track(id);
+                let now = self.now;
+                self.tracer.instant(
+                    "migration",
+                    "migration requested",
+                    track,
+                    now,
+                    &[("vpn", vpn.0), ("from", from as u64), ("to", to as u64)],
+                );
+            }
+        }
+        if self.tlog.is_enabled() {
+            let msg = format!("migration start vpn={:#x} from=gpu{from} to=gpu{to}", vpn.0);
+            self.tlog.push(self.now, "migration", msg);
         }
     }
 
@@ -161,6 +180,21 @@ impl System {
     /// updates instantly.
     pub(crate) fn on_inval_arrive(&mut self, gpu: usize, vpn: Vpn) {
         self.invalidation_messages += 1;
+        if self.tracer.is_enabled() {
+            let track = self.gmmu_track(gpu);
+            let now = self.now;
+            self.tracer.instant(
+                "invalidation",
+                "invalidation arrived",
+                track,
+                now,
+                &[("vpn", vpn.0)],
+            );
+        }
+        if self.tlog.is_enabled() {
+            let msg = format!("invalidation arrived gpu={gpu} vpn={:#x}", vpn.0);
+            self.tlog.push(self.now, "invalidation", msg);
+        }
         self.gpus[gpu].shootdown(vpn);
         // If this GPU owns the page's data, its cached lines must go.
         if let Some(pte) = self.gpus[gpu].page_table.lookup(vpn) {
@@ -222,6 +256,19 @@ impl System {
 
     /// An invalidation ack reaches the driver.
     pub(crate) fn on_ack_at_host(&mut self, gpu: usize, vpn: Vpn) {
+        if self.tracer.is_enabled() {
+            if let Some(id) = self.migrations.get(vpn).map(|m| m.id) {
+                let track = self.mig_track(id);
+                let now = self.now;
+                self.tracer.instant(
+                    "invalidation",
+                    "invalidation ack",
+                    track,
+                    now,
+                    &[("vpn", vpn.0), ("gpu", gpu as u64)],
+                );
+            }
+        }
         if self.migrations.ack(vpn, gpu, self.now) {
             self.begin_data_transfer(vpn);
         }
@@ -249,6 +296,55 @@ impl System {
     /// parked faults.
     pub(crate) fn on_mig_data_done(&mut self, vpn: Vpn) {
         let m = self.migrations.complete(vpn).expect("in flight");
+        if self.tracer.is_enabled() {
+            // The whole lifecycle is emitted retroactively here, from
+            // timestamps the migration table already keeps: request →
+            // invalidation-phase end → data arrival.
+            let inval_done = m.invalidation_done_at.unwrap_or(self.now);
+            let track = self.mig_track(m.id);
+            let now = self.now;
+            let targets = m.targets.iter().count() as u64;
+            self.tracer.span(
+                "migration",
+                "migration",
+                track,
+                m.requested_at,
+                now,
+                &[("vpn", vpn.0), ("to", m.to as u64)],
+            );
+            self.tracer.span(
+                "invalidation",
+                "invalidation broadcast",
+                track,
+                m.requested_at,
+                inval_done,
+                &[("vpn", vpn.0), ("targets", targets)],
+            );
+            self.tracer.span(
+                "migration",
+                "migration data transfer",
+                track,
+                inval_done,
+                now,
+                &[("vpn", vpn.0)],
+            );
+            self.tracer.instant(
+                "migration",
+                "replay parked faults",
+                track,
+                now,
+                &[("waiters", m.waiters.len() as u64)],
+            );
+        }
+        if self.tlog.is_enabled() {
+            let msg = format!(
+                "migration done vpn={:#x} to=gpu{} waiters={}",
+                vpn.0,
+                m.to,
+                m.waiters.len()
+            );
+            self.tlog.push(self.now, "migration", msg);
+        }
         for g in 0..self.cfg.n_gpus {
             self.inval_done.remove(&(g, vpn));
         }
@@ -262,11 +358,7 @@ impl System {
             }
         }
         self.replica_frames.remove(&(m.to, vpn));
-        if self
-            .host_mem
-            .move_page(vpn, Node::Gpu(m.to))
-            .is_err()
-        {
+        if self.host_mem.move_page(vpn, Node::Gpu(m.to)).is_err() {
             // Destination out of frames: ownership stays put. Serve every
             // parked waiter a plain (writable) remote mapping directly so
             // the system keeps making progress instead of re-entering the

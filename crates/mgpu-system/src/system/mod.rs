@@ -12,6 +12,7 @@
 mod data;
 mod host;
 mod migrate;
+mod observe;
 mod translate;
 
 use std::collections::HashMap;
@@ -23,9 +24,11 @@ use idyll_core::irmb::Irmb;
 use idyll_core::transfw::TransFw;
 use idyll_core::vm_table::VmDirectory;
 use mem_model::gpuset::GpuSet;
-use mem_model::interconnect::{Interconnect, Node};
+use mem_model::interconnect::{Interconnect, Node, PipeStat};
 use sim_engine::resource::ThreadPool;
 use sim_engine::stats::Accumulator;
+use sim_engine::trace::Tracer;
+use sim_engine::tracelog::TraceLog;
 use sim_engine::{Cycle, EventQueue};
 use uvm_driver::fault::{FarFault, FaultBatcher};
 use uvm_driver::host::HostMemory;
@@ -99,7 +102,11 @@ pub(crate) enum Ev {
     /// The owning node's memory produced the data; send the response.
     RemoteServed { token: u64, owner: Node },
     /// Trans-FW: remote page-table probe completed.
-    RemoteProbeDone { token: u64, fault: FarFault, holder: usize },
+    RemoteProbeDone {
+        token: u64,
+        fault: FarFault,
+        holder: usize,
+    },
 }
 
 /// One in-flight translation request.
@@ -143,7 +150,10 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Stalled { at, unfinished_gpus } => write!(
+            SimError::Stalled {
+                at,
+                unfinished_gpus,
+            } => write!(
                 f,
                 "simulation stalled at {at}: {unfinished_gpus} GPU(s) never finished"
             ),
@@ -225,6 +235,12 @@ pub struct System {
     pub(crate) migrations_done: u64,
     pub(crate) accesses_done: u64,
     pub(crate) events_processed: u64,
+    // Observability (see `observe` module). All three default to off and
+    // cost one predictable branch per emission site when disabled.
+    pub(crate) tracer: Tracer,
+    pub(crate) tlog: TraceLog,
+    /// Heartbeat period in events (0 = no progress lines).
+    pub(crate) progress_every: u64,
 }
 
 impl System {
@@ -332,6 +348,9 @@ impl System {
             migrations_done: 0,
             accesses_done: 0,
             events_processed: 0,
+            tracer: Tracer::disabled(),
+            tlog: TraceLog::disabled(),
+            progress_every: 0,
             cfg,
         };
         // Pre-place pages first-touch: the paper's OpenCL workloads copy
@@ -374,7 +393,9 @@ impl System {
         for gpu in 0..system.cfg.n_gpus {
             for cu in 0..system.cfg.gpu.cus {
                 for warp in 0..system.cfg.gpu.warps_per_cu {
-                    system.events.schedule(Cycle::ZERO, Ev::WarpReady { gpu, cu, warp });
+                    system
+                        .events
+                        .schedule(Cycle::ZERO, Ev::WarpReady { gpu, cu, warp });
                 }
             }
         }
@@ -384,74 +405,26 @@ impl System {
     /// Runs with diagnostics on failure (debug aid for protocol livelocks).
     ///
     /// # Errors
-    /// Like [`System::run`], but the error carries a state dump.
-    pub fn run_debug(mut self) -> Result<SimReport, (SimError, String)> {
-        let limit = if self.cfg.max_events > 0 {
-            self.cfg.max_events
-        } else {
-            400 * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
-        };
-        while let Some((at, ev)) = self.events.pop() {
-            self.now = at;
-            self.events_processed += 1;
-            if self.events_processed > limit {
-                let mut d = String::new();
-                d.push_str(&format!("now={} pending_events={}\n", self.now, self.events.len()));
-                d.push_str(&format!("migrations in flight: {}\n", self.migrations.in_flight()));
-                for m in self.migrations.iter() {
-                    d.push_str(&format!("  mig vpn={:#x} from={} to={} phase={:?} acks={} host_walk={}\n",
-                        m.vpn.0, m.from, m.to, m.phase, m.pending_acks, m.host_walk_done));
-                }
-                d.push_str(&format!("live reqs: {}\n", self.reqs.len()));
-                let mut sample: Vec<_> = self.reqs.iter().take(5).collect();
-                sample.sort_by_key(|(t, _)| **t);
-                for (t, r) in sample {
-                    d.push_str(&format!("  req {t}: gpu={} vpn={:#x} write={} issued={}\n",
-                        r.gpu, r.vpn.0, r.is_write, r.issue_at));
-                }
-                d.push_str(&format!("migrations done={} faults={} inval_msgs={}\n",
-                    self.migrations_done, self.far_faults, self.invalidation_messages));
-                for (g, gpu) in self.gpus.iter().enumerate() {
-                    d.push_str(&format!("  gpu{g}: mshr={} queue={} overflow={} cursor_done={}\n",
-                        gpu.l2_mshr.len(), gpu.gmmu.queue_len(), self.overflow[g].len(),
-                        self.warp_cursors[g]
-                            .iter()
-                            .zip(&self.warp_plans[g])
-                            .filter(|(&c, p)| c >= p.len())
-                            .count()));
-                }
-                return Err((SimError::EventLimit(limit), d));
-            }
-            self.handle(ev);
-            if self.finished_gpus == self.cfg.n_gpus {
-                return Ok(self.report());
-            }
+    /// Like [`System::run`], but the error carries a state dump (including
+    /// the flight-recorder tail when one was enabled with
+    /// [`System::enable_trace_log`]).
+    pub fn run_debug(&mut self) -> Result<SimReport, (SimError, String)> {
+        match self.run_inner(400) {
+            Ok(()) => Ok(self.report()),
+            Err(e) => Err((e, self.debug_dump())),
         }
-        Err((SimError::Stalled { at: self.now, unfinished_gpus: self.cfg.n_gpus - self.finished_gpus }, String::new()))
     }
 
     /// Runs to completion and also returns interconnect pipe diagnostics.
     ///
     /// # Errors
-    /// Same as [`System::run`].
-    pub fn run_with_pipes(
-        mut self,
-    ) -> Result<(SimReport, Vec<(String, u64, u64, Cycle)>), SimError> {
-        let limit = if self.cfg.max_events > 0 {
-            self.cfg.max_events
-        } else {
-            60 * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
-        };
-        while let Some((at, ev)) = self.events.pop() {
-            self.now = at;
-            self.events_processed += 1;
-            if self.events_processed > limit {
-                return Err(SimError::EventLimit(limit));
-            }
-            self.handle(ev);
-            if self.finished_gpus == self.cfg.n_gpus {
-                break;
-            }
+    /// Same as [`System::run`], except that a drained queue is not an error
+    /// here: partial pipe statistics are still useful when diagnosing the
+    /// stall itself.
+    pub fn run_with_pipes(&mut self) -> Result<(SimReport, Vec<PipeStat>), SimError> {
+        match self.run_inner(60) {
+            Ok(()) | Err(SimError::Stalled { .. }) => {}
+            Err(e) => return Err(e),
         }
         let pipes = self.net.pipe_stats();
         Ok((self.report(), pipes))
@@ -459,19 +432,35 @@ impl System {
 
     /// Runs the simulation to completion.
     ///
+    /// Takes `&mut self` so post-run observability state — the trace
+    /// recorded by [`System::set_tracer`] and the registry built by
+    /// [`System::metrics_registry`] — stays reachable after the report is
+    /// produced.
+    ///
     /// # Errors
     /// [`SimError::Stalled`] if events drain before all warps retire;
     /// [`SimError::EventLimit`] on a runaway event count.
-    pub fn run(mut self) -> Result<SimReport, SimError> {
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        self.run_inner(400)?;
+        Ok(self.report())
+    }
+
+    /// The shared event loop behind the `run*` entry points.
+    ///
+    /// `limit_multiplier` scales the default event bound (events per trace
+    /// access). Generous bounds exist only to catch true livelocks:
+    /// high-sharing workloads at large GPU counts legitimately spend
+    /// hundreds of events per access on migration churn.
+    fn run_inner(&mut self, limit_multiplier: u64) -> Result<(), SimError> {
         let limit = if self.cfg.max_events > 0 {
             self.cfg.max_events
         } else {
-            // Generous default bound: high-sharing workloads at large GPU
-            // counts legitimately spend hundreds of events per access on
-            // migration churn; the bound only exists to catch true
-            // livelocks.
-            400 * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
+            limit_multiplier * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
         };
+        // Wall-clock is only used for stderr progress lines, never for
+        // simulation decisions or exported artifacts, so determinism holds.
+        let started = std::time::Instant::now();
+        let mut next_heartbeat = self.progress_every;
         while let Some((at, ev)) = self.events.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
@@ -479,13 +468,17 @@ impl System {
             if self.events_processed > limit {
                 return Err(SimError::EventLimit(limit));
             }
+            if self.progress_every > 0 && self.events_processed >= next_heartbeat {
+                next_heartbeat += self.progress_every;
+                self.heartbeat(started);
+            }
             self.handle(ev);
             if self.finished_gpus == self.cfg.n_gpus {
-                return Ok(self.report());
+                return Ok(());
             }
         }
         if self.finished_gpus == self.cfg.n_gpus {
-            Ok(self.report())
+            Ok(())
         } else {
             Err(SimError::Stalled {
                 at: self.now,
@@ -515,13 +508,17 @@ impl System {
             Ev::MigSendInvals { vpn, targets } => self.send_invalidations(vpn, targets),
             Ev::MigDataDone { vpn } => self.on_mig_data_done(vpn),
             Ev::AccessDone { token } => self.on_access_done(token),
-            Ev::RemoteReqArrive { token, owner, paddr } => {
-                self.on_remote_req_arrive(token, owner, paddr)
-            }
+            Ev::RemoteReqArrive {
+                token,
+                owner,
+                paddr,
+            } => self.on_remote_req_arrive(token, owner, paddr),
             Ev::RemoteServed { token, owner } => self.on_remote_served(token, owner),
-            Ev::RemoteProbeDone { token, fault, holder } => {
-                self.on_remote_probe_done(token, fault, holder)
-            }
+            Ev::RemoteProbeDone {
+                token,
+                fault,
+                holder,
+            } => self.on_remote_probe_done(token, fault, holder),
         }
     }
 
@@ -657,7 +654,7 @@ impl System {
     }
 
     /// Interconnect diagnostics (pipe occupancy) — debug aid.
-    pub fn debug_pipe_stats(&self) -> Vec<(String, u64, u64, sim_engine::Cycle)> {
+    pub fn debug_pipe_stats(&self) -> Vec<PipeStat> {
         self.net.pipe_stats()
     }
 

@@ -1,0 +1,362 @@
+//! Observability wiring: trace tracks, the metrics registry, progress
+//! heartbeats and the failure-path state dump.
+//!
+//! The simulator's protocol modules emit spans/instants through the track
+//! helpers here; everything stays a single-branch no-op until a caller
+//! installs an enabled [`Tracer`] with [`System::set_tracer`].
+//!
+//! # Track layout
+//!
+//! * `pid = 1 + gpu` — one process per GPU; `tid` is the warp index
+//!   (`cu * warps_per_cu + warp`), so every translation-side span for a warp
+//!   lands on that warp's own timeline. A reserved high `tid` carries walks
+//!   with no requesting warp (invalidation / IRMB write-back / PTE-update
+//!   walks serviced by the GMMU).
+//! * `pid = `[`MIG_PID`] — the migrations process; `tid` is the migration
+//!   id, so one migration's invalidation broadcast and data transfer stack
+//!   on one track.
+//! * `pid = `[`HOST_PID`] — the UVM driver (fault batching, host walkers).
+
+use sim_engine::metrics::MetricsRegistry;
+use sim_engine::trace::{Tracer, Track};
+use sim_engine::tracelog::TraceLog;
+
+use gpu_model::gmmu::WalkClass;
+
+use super::System;
+
+/// Chrome-trace process id hosting one thread per migration id.
+pub(crate) const MIG_PID: u32 = 9000;
+/// Chrome-trace process id for the UVM driver.
+pub(crate) const HOST_PID: u32 = 9001;
+/// Thread id (within a GPU process) for walks without a requesting warp.
+pub(crate) const GMMU_TID: u64 = u64::MAX;
+
+/// Process id of a GPU's translation timeline.
+pub(crate) fn gpu_pid(gpu: usize) -> u32 {
+    1 + gpu as u32
+}
+
+impl System {
+    /// Installs a tracer. With an enabled tracer the protocol modules record
+    /// the full translation lifecycle (L2 TLB miss → walk queue → page walk
+    /// → far fault → batch → invalidation broadcast → data transfer →
+    /// replay) as Perfetto-loadable spans; see [`Tracer::to_chrome_json`].
+    pub fn set_tracer(&mut self, mut tracer: Tracer) {
+        if tracer.is_enabled() {
+            for g in 0..self.cfg.n_gpus {
+                tracer.set_process_name(gpu_pid(g), format!("gpu{g} translation"));
+            }
+            tracer.set_process_name(MIG_PID, "migrations");
+            tracer.set_process_name(HOST_PID, "uvm driver");
+            tracer.set_thread_name(HOST_PID, 0, "fault handling");
+        }
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (export with [`Tracer::to_chrome_json`] after
+    /// the run).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Enables the bounded flight recorder holding the last `capacity`
+    /// protocol records; its tail is appended to [`System::run_debug`]
+    /// failure dumps.
+    pub fn enable_trace_log(&mut self, capacity: usize) {
+        self.tlog = TraceLog::new(capacity);
+    }
+
+    /// The flight recorder (disabled unless
+    /// [`System::enable_trace_log`] was called).
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.tlog
+    }
+
+    /// Emits a progress line to stderr every `every_events` processed
+    /// events (0 disables). Heartbeats never touch exported artifacts, so
+    /// determinism of traces/metrics is unaffected.
+    pub fn set_progress_interval(&mut self, every_events: u64) {
+        self.progress_every = every_events;
+    }
+
+    pub(crate) fn heartbeat(&self, started: std::time::Instant) {
+        let wall = started.elapsed().as_secs_f64().max(1e-9);
+        eprintln!(
+            "[mgpu-sim] {:>12} events | sim cycle {:>13} | {:>11.0} events/s | {:>12.0} sim-cycles/s | faults {} | migrations {}",
+            self.events_processed,
+            self.now.raw(),
+            self.events_processed as f64 / wall,
+            self.now.raw() as f64 / wall,
+            self.far_faults,
+            self.migrations_done,
+        );
+    }
+
+    // --- track helpers (all cheap; only called on enabled-tracer paths) ---
+
+    /// The warp's own timeline; names the thread lazily so only tracks that
+    /// actually carry events appear in the viewer.
+    pub(crate) fn warp_track(&mut self, gpu: usize, cu: usize, warp: usize) -> Track {
+        let pid = gpu_pid(gpu);
+        let tid = (cu * self.cfg.gpu.warps_per_cu + warp) as u64;
+        self.tracer
+            .set_thread_name(pid, tid, format!("cu{cu} warp{warp}"));
+        Track { pid, tid }
+    }
+
+    /// The track of the warp behind a live request token, or the driver
+    /// track when the token no longer maps to a request.
+    pub(crate) fn req_track(&mut self, token: u64) -> Track {
+        match self.reqs.get(&token).copied() {
+            Some(r) => self.warp_track(r.gpu, r.cu, r.warp),
+            None => self.host_track(),
+        }
+    }
+
+    /// The GPU-local lane for walks with no requesting warp.
+    pub(crate) fn gmmu_track(&mut self, gpu: usize) -> Track {
+        let pid = gpu_pid(gpu);
+        self.tracer
+            .set_thread_name(pid, GMMU_TID, "gmmu service walks");
+        Track { pid, tid: GMMU_TID }
+    }
+
+    /// One track per migration id.
+    pub(crate) fn mig_track(&mut self, id: u64) -> Track {
+        self.tracer
+            .set_thread_name(MIG_PID, id, format!("migration {id}"));
+        Track {
+            pid: MIG_PID,
+            tid: id,
+        }
+    }
+
+    /// The UVM driver's track.
+    pub(crate) fn host_track(&self) -> Track {
+        Track {
+            pid: HOST_PID,
+            tid: 0,
+        }
+    }
+
+    /// Records the retroactive span pair for a finished page walk: the
+    /// queue-wait window and the walk itself. Demand walks land on the
+    /// requesting warp's track; service walks (invalidation, IRMB
+    /// write-back, PTE update) on the GPU's GMMU lane.
+    pub(crate) fn trace_walk(&mut self, gpu: usize, walk: &gpu_model::gmmu::DispatchedWalk) {
+        let track = match walk.request.class {
+            WalkClass::Demand => self.req_track(walk.request.token),
+            _ => self.gmmu_track(gpu),
+        };
+        let walk_start = walk.finish_at.saturating_sub(walk.result.latency);
+        let queue_start = walk_start.saturating_sub(walk.queued_for);
+        let vpn = walk.request.vpn.0;
+        if walk.queued_for.raw() > 0 {
+            self.tracer.span(
+                "walk",
+                "walk queue wait",
+                track,
+                queue_start,
+                walk_start,
+                &[("vpn", vpn)],
+            );
+        }
+        let name = match walk.request.class {
+            WalkClass::Demand => "page walk",
+            WalkClass::Invalidation => "invalidation walk",
+            WalkClass::IrmbWriteback => "IRMB write-back walk",
+            WalkClass::Update => "PTE update walk",
+        };
+        self.tracer.span(
+            "walk",
+            name,
+            track,
+            walk_start,
+            walk.finish_at,
+            &[("vpn", vpn), ("token", walk.request.token)],
+        );
+    }
+
+    /// Flattens every component's statistics into a hierarchical registry
+    /// (dotted names, e.g. `gpu0.gmmu.walk_queue.wait_cycles`); the export
+    /// is deterministic and byte-identical for identical runs — see
+    /// [`MetricsRegistry::to_json`].
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        {
+            let mut sim = reg.scope("sim");
+            sim.count("exec_cycles", self.finish_cycle.raw());
+            sim.count("events_processed", self.events_processed);
+            sim.count("accesses", self.accesses_done);
+            sim.count("instructions", self.instructions);
+            sim.count("far_faults", self.far_faults);
+            sim.count("migrations", self.migrations_done);
+            sim.count("invalidation_messages", self.invalidation_messages);
+            sim.count("stale_translations", self.audit_translations());
+        }
+        {
+            let mut lat = reg.scope("latency");
+            lat.accumulator("demand_miss", &self.demand_miss_latency);
+            lat.accumulator("access", &self.access_latency);
+            lat.accumulator("remote_data", &self.remote_data_latency);
+            lat.accumulator("invalidation", &self.invalidation_latency);
+            lat.accumulator("migration_waiting", &self.migration_waiting);
+            lat.accumulator("migration_total", &self.migration_total);
+        }
+        {
+            let mut mix = reg.scope("walker_mix");
+            mix.count("demand", self.walker_mix.demand);
+            mix.count(
+                "invalidation_necessary",
+                self.walker_mix.invalidation_necessary,
+            );
+            mix.count(
+                "invalidation_unnecessary",
+                self.walker_mix.invalidation_unnecessary,
+            );
+            mix.count("update", self.walker_mix.update);
+        }
+        {
+            let mut drv = reg.scope("driver");
+            drv.count("fault_batches", self.batcher.batches_emitted());
+            drv.count("faults_batched", self.batcher.faults_total());
+            drv.count("walkers.busy_cycles", self.host_walkers.busy_cycles());
+            drv.count("walkers.grants", self.host_walkers.grants());
+            drv.count("migrations_started", self.migrations.started());
+            drv.count("migrations_deduped", self.migrations.dropped_duplicates());
+        }
+        {
+            let mut net = reg.scope("net");
+            net.count("nvlink_bytes", self.net.nvlink_bytes());
+            net.count("pcie_bytes", self.net.pcie_bytes());
+        }
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            let mut scope = reg.scope(format!("gpu{g}"));
+            let l1_hits: u64 = gpu.l1_tlbs.iter().map(|t| t.hits()).sum();
+            let l1_misses: u64 = gpu.l1_tlbs.iter().map(|t| t.misses()).sum();
+            {
+                let mut tlb = scope.scope("tlb");
+                tlb.count("l1.hits", l1_hits);
+                tlb.count("l1.misses", l1_misses);
+                tlb.count("l2.hits", gpu.l2_tlb.hits());
+                tlb.count("l2.misses", gpu.l2_tlb.misses());
+                tlb.gauge(
+                    "l2.hit_rate",
+                    sim_engine::stats::hit_rate(gpu.l2_tlb.hits(), gpu.l2_tlb.misses()),
+                );
+            }
+            {
+                let mut mshr = scope.scope("mshr");
+                mshr.count("merges", gpu.l2_mshr.merges());
+                mshr.count("stalls", gpu.l2_mshr.stalls());
+                mshr.count("peak", gpu.l2_mshr.peak() as u64);
+            }
+            {
+                let mut gmmu = scope.scope("gmmu");
+                gmmu.count("pwc.hits", gpu.gmmu.pwc().hits());
+                gmmu.count("pwc.misses", gpu.gmmu.pwc().misses());
+                gmmu.count("walk_queue.rejections", gpu.gmmu.queue_rejections());
+                gmmu.count("walker_busy_cycles", gpu.gmmu.walker_busy_cycles());
+                for class in [
+                    WalkClass::Demand,
+                    WalkClass::Invalidation,
+                    WalkClass::IrmbWriteback,
+                    WalkClass::Update,
+                ] {
+                    let stats = gpu.gmmu.stats(class);
+                    let name = match class {
+                        WalkClass::Demand => "demand",
+                        WalkClass::Invalidation => "invalidation",
+                        WalkClass::IrmbWriteback => "irmb_writeback",
+                        WalkClass::Update => "update",
+                    };
+                    let mut cls = gmmu.scope(name);
+                    cls.count("walks", stats.count);
+                    cls.count("pwc_hits", stats.pwc_hits);
+                    cls.accumulator("walk_latency", &stats.walk_latency);
+                    cls.accumulator("walk_queue.wait_cycles", &stats.queue_latency);
+                }
+            }
+            if self.lazy() {
+                let irmb = &self.irmbs[g];
+                let mut s = scope.scope("irmb");
+                s.count("inserts", irmb.inserts());
+                s.count("bypasses", irmb.lookup_hits());
+                s.count("evictions", irmb.lru_evictions() + irmb.offset_evictions());
+                s.count("superseded", irmb.removed_by_mapping());
+            }
+        }
+        if let Some(vm) = self.vm_dir.as_ref() {
+            reg.gauge("driver.vm_cache.hit_rate", vm.cache_hit_rate());
+        }
+        if !self.prts.is_empty() {
+            let mut tf = reg.scope("transfw");
+            tf.count("probes", self.prts.iter().map(|p| p.probes()).sum());
+            tf.count("hits", self.prts.iter().map(|p| p.hits()).sum());
+            tf.count(
+                "false_forwards",
+                self.prts.iter().map(|p| p.false_forwards()).sum(),
+            );
+        }
+        if self.cfg.replication {
+            let mut rep = reg.scope("replication");
+            rep.count("replications", self.replicas.replications());
+            rep.count("collapses", self.replicas.collapses());
+        }
+        reg
+    }
+
+    /// Renders the livelock/stall state dump used by [`System::run_debug`]:
+    /// in-flight migrations, a sample of live requests, per-GPU queue
+    /// occupancy, and — when the flight recorder is enabled — its tail.
+    pub(crate) fn debug_dump(&self) -> String {
+        let mut d = String::new();
+        d.push_str(&format!(
+            "now={} pending_events={}\n",
+            self.now,
+            self.events.len()
+        ));
+        d.push_str(&format!(
+            "migrations in flight: {}\n",
+            self.migrations.in_flight()
+        ));
+        for m in self.migrations.iter() {
+            d.push_str(&format!(
+                "  mig vpn={:#x} from={} to={} phase={:?} acks={} host_walk={}\n",
+                m.vpn.0, m.from, m.to, m.phase, m.pending_acks, m.host_walk_done
+            ));
+        }
+        d.push_str(&format!("live reqs: {}\n", self.reqs.len()));
+        let mut sample: Vec<_> = self.reqs.iter().take(5).collect();
+        sample.sort_by_key(|(t, _)| **t);
+        for (t, r) in sample {
+            d.push_str(&format!(
+                "  req {t}: gpu={} vpn={:#x} write={} issued={}\n",
+                r.gpu, r.vpn.0, r.is_write, r.issue_at
+            ));
+        }
+        d.push_str(&format!(
+            "migrations done={} faults={} inval_msgs={}\n",
+            self.migrations_done, self.far_faults, self.invalidation_messages
+        ));
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            d.push_str(&format!(
+                "  gpu{g}: mshr={} queue={} overflow={} cursor_done={}\n",
+                gpu.l2_mshr.len(),
+                gpu.gmmu.queue_len(),
+                self.overflow[g].len(),
+                self.warp_cursors[g]
+                    .iter()
+                    .zip(&self.warp_plans[g])
+                    .filter(|(&c, p)| c >= p.len())
+                    .count()
+            ));
+        }
+        if self.tlog.is_enabled() {
+            d.push_str("--- flight recorder (oldest first) ---\n");
+            d.push_str(&self.tlog.dump());
+        }
+        d
+    }
+}

@@ -25,7 +25,8 @@ impl System {
         }
         // One issue per CU per cycle.
         if !self.gpus[gpu].cus[cu].try_issue_port(self.now) {
-            self.events.schedule(self.now + 1, Ev::WarpReady { gpu, cu, warp });
+            self.events
+                .schedule(self.now + 1, Ev::WarpReady { gpu, cu, warp });
             return;
         }
         let access = self.traces[gpu][self.warp_plans[gpu][warp_index][pos]];
@@ -92,11 +93,7 @@ impl System {
         // the walk and far-fault straight to the driver (ablatable:
         // without the bypass the walk proceeds and the stale-PTE guard at
         // walk completion catches it, wasting the walk).
-        let bypass = self
-            .cfg
-            .idyll
-            .map(|i| i.bypass_on_irmb_hit)
-            .unwrap_or(true);
+        let bypass = self.cfg.idyll.map(|i| i.bypass_on_irmb_hit).unwrap_or(true);
         if self.lazy() && bypass && self.irmbs[gpu].lookup(req.vpn) {
             self.raise_far_fault(gpu, req.vpn, req.is_write, token, false);
             return;
@@ -109,8 +106,7 @@ impl System {
             }
             MshrOutcome::Full => {
                 // Structural stall: retry after a drain interval.
-                self.events
-                    .schedule(self.now + 48, Ev::MshrRetry { token });
+                self.events.schedule(self.now + 48, Ev::MshrRetry { token });
             }
         }
     }
@@ -118,13 +114,13 @@ impl System {
     /// Queues a walk (or holds it in the per-GPU overflow buffer when the
     /// hardware queue is full) and kicks the dispatcher.
     pub(crate) fn enqueue_walk(&mut self, gpu: usize, vpn: Vpn, class: WalkClass, token: u64) {
-        if !self.overflow[gpu].is_empty() {
-            self.overflow[gpu].push_back((vpn, class, token));
-        } else if self.gpus[gpu]
-            .gmmu
-            .enqueue(vpn, class, token, self.now)
-            .is_err()
-        {
+        // FIFO order: never bypass an already-overflowed walk.
+        let rejected = !self.overflow[gpu].is_empty()
+            || self.gpus[gpu]
+                .gmmu
+                .enqueue(vpn, class, token, self.now)
+                .is_err();
+        if rejected {
             self.overflow[gpu].push_back((vpn, class, token));
         }
         self.dispatch_walks(gpu);
@@ -197,6 +193,9 @@ impl System {
     /// A page walk finished: act on its class and outcome.
     pub(crate) fn on_walk_done(&mut self, gpu: usize, walk: DispatchedWalk) {
         let vpn = walk.request.vpn;
+        if self.tracer.is_enabled() {
+            self.trace_walk(gpu, &walk);
+        }
         match walk.request.class {
             WalkClass::Demand => {
                 match walk.result.outcome {
@@ -207,7 +206,8 @@ impl System {
                         let stale = self.lazy() && self.irmbs[gpu].contains(vpn);
                         let write_violation = {
                             let rep = self.reqs.get(&walk.request.token);
-                            rep.map(|r| r.is_write && !pte.is_writable()).unwrap_or(false)
+                            rep.map(|r| r.is_write && !pte.is_writable())
+                                .unwrap_or(false)
                         };
                         if stale || (write_violation && self.cfg.replication) {
                             let is_write = self
@@ -235,9 +235,12 @@ impl System {
                 self.account_invalidation(walk);
                 // Baseline protocol: ack the driver once the PTE walk is
                 // done.
-                let at = self
-                    .net
-                    .send(self.now, mem_model::interconnect::Node::Gpu(gpu), mem_model::interconnect::Node::Host, super::msg::ACK);
+                let at = self.net.send(
+                    self.now,
+                    mem_model::interconnect::Node::Gpu(gpu),
+                    mem_model::interconnect::Node::Host,
+                    super::msg::ACK,
+                );
                 self.events.schedule(at, Ev::AckAtHost { gpu, vpn });
             }
             WalkClass::IrmbWriteback => {
@@ -284,11 +287,7 @@ impl System {
         // clean it up. Anything else would survive the migration as a stale
         // translation and must be re-resolved instead.
         let unsafe_during_migration = match self.migrations.get(vpn) {
-            Some(m) => {
-                stale
-                    || !m.targets.contains(gpu)
-                    || self.inval_done.contains(&(gpu, vpn))
-            }
+            Some(m) => stale || !m.targets.contains(gpu) || self.inval_done.contains(&(gpu, vpn)),
             None => stale,
         };
         if unsafe_during_migration {
@@ -328,6 +327,18 @@ impl System {
             if let Some(miss_at) = req.l2_miss_at {
                 self.demand_miss_latency
                     .record((self.now.saturating_sub(miss_at)).raw() as f64);
+                if self.tracer.is_enabled() {
+                    let track = self.warp_track(gpu, req.cu, req.warp);
+                    let now = self.now;
+                    self.tracer.span(
+                        "tlb",
+                        "L2 TLB miss",
+                        track,
+                        miss_at,
+                        now,
+                        &[("vpn", vpn.0), ("token", token)],
+                    );
+                }
             }
             self.start_data_access(token, pte, self.now);
         }
@@ -361,6 +372,25 @@ impl System {
     fn send_fault(&mut self, gpu: usize, vpn: Vpn, is_write: bool, token: u64) {
         self.far_faults += 1;
         self.inflight_faults.insert((gpu, vpn));
+        if self.tracer.is_enabled() {
+            let track = self.req_track(token);
+            let now = self.now;
+            self.tracer.instant(
+                "fault",
+                "far fault raised",
+                track,
+                now,
+                &[
+                    ("vpn", vpn.0),
+                    ("gpu", gpu as u64),
+                    ("write", is_write as u64),
+                ],
+            );
+        }
+        if self.tlog.is_enabled() {
+            let msg = format!("far fault gpu={gpu} vpn={:#x} write={is_write}", vpn.0);
+            self.tlog.push(self.now, "fault", msg);
+        }
         let fault = uvm_driver::fault::FarFault {
             gpu,
             vpn,
@@ -385,8 +415,14 @@ impl System {
                         .raw()
                         * 2;
                     let back = self.now + rtt + REMOTE_PROBE_WALK;
-                    self.events
-                        .schedule(back, Ev::RemoteProbeDone { token, fault, holder });
+                    self.events.schedule(
+                        back,
+                        Ev::RemoteProbeDone {
+                            token,
+                            fault,
+                            holder,
+                        },
+                    );
                     return;
                 }
             }

@@ -107,10 +107,7 @@ fn on_touch_migrates_on_first_remote_fault() {
             is_write: false,
         },
     );
-    let wl = Workload {
-        traces,
-        ..wl
-    };
+    let wl = Workload { traces, ..wl };
     let r = System::new(cfg, &wl).run().expect("completes");
     assert!(r.migrations >= 1, "on-touch must migrate the shared page");
 }
@@ -123,7 +120,9 @@ fn idyll_acks_without_walking() {
         let gpu1: Vec<(u64, bool)> = (0..150).map(|i| (i % 10, false)).collect();
         workload(vec![gpu0, gpu1], 64)
     };
-    let base = System::new(small_cfg(2, 3), &mk()).run().expect("completes");
+    let base = System::new(small_cfg(2, 3), &mk())
+        .run()
+        .expect("completes");
     let mut cfg = small_cfg(2, 3);
     cfg.idyll = Some(IdyllConfig::only_lazy());
     let lazy = System::new(cfg, &mk()).run().expect("completes");
@@ -132,7 +131,7 @@ fn idyll_acks_without_walking() {
     // Baseline: one Invalidation-class walk per received message. Lazy:
     // zero Invalidation-class walks (they become IrmbWriteback batches).
     assert_eq!(
-        base.invalidation_latency.count() as u64,
+        base.invalidation_latency.count(),
         base.walker_mix.invalidations()
     );
     assert!(lazy.irmb_inserts > 0);

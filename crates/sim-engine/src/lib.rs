@@ -9,7 +9,10 @@
 //! * [`stats`] — counters, accumulators and histograms used for reporting,
 //! * [`queue::BoundedQueue`] — a bounded FIFO with occupancy statistics,
 //! * [`resource::ThreadPool`] — an abstract pool of latency-occupied threads
-//!   (used to model page-table-walker threads and similar units).
+//!   (used to model page-table-walker threads and similar units),
+//! * [`trace`] — span/event tracing with a Chrome-trace (Perfetto) exporter,
+//! * [`metrics`] — a hierarchical end-of-run metrics registry with
+//!   deterministic JSON export.
 //!
 //! # Example
 //!
@@ -24,13 +27,17 @@
 //! ```
 
 pub mod event;
+pub mod metrics;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod tracelog;
 
 pub use event::EventQueue;
+pub use metrics::MetricsRegistry;
 pub use rng::DetRng;
 pub use time::Cycle;
+pub use trace::{Tracer, Track};

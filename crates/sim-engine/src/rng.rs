@@ -5,12 +5,7 @@
 //! generator. Identical seeds yield identical simulations on every platform,
 //! which the integration suite relies on for its determinism invariant.
 
-use rand::{Error, RngCore, SeedableRng};
-
 /// A deterministic, seedable random number generator (xoshiro256**).
-///
-/// Implements [`rand::RngCore`] so that the full `rand` distribution
-/// machinery can be used on top of it.
 ///
 /// # Example
 ///
@@ -57,10 +52,7 @@ impl DetRng {
     /// Advances the state and returns the next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let r = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -119,6 +111,25 @@ impl DetRng {
             Some(&xs[self.below(xs.len() as u64) as usize])
         }
     }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
 }
 
 /// A precomputed Zipfian sampler over `[0, n)` with exponent `theta`.
@@ -173,37 +184,6 @@ impl Zipf {
     /// Whether the domain is empty (never true by construction).
     pub fn is_empty(&self) -> bool {
         self.cdf.is_empty()
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (DetRng::next_u64(self) >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&DetRng::next_u64(self).to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = DetRng::next_u64(self).to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for DetRng {
-    type Seed = [u8; 8];
-    fn from_seed(seed: Self::Seed) -> Self {
-        DetRng::seed(u64::from_le_bytes(seed))
     }
 }
 
@@ -298,7 +278,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_covers_remainder() {
+    fn fill_bytes_covers_remainder() {
         let mut rng = DetRng::seed(10);
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);

@@ -311,6 +311,56 @@ mod tests {
     }
 
     #[test]
+    fn histogram_empty_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.approx_quantile(q), None);
+        }
+        for i in 0..64 {
+            assert_eq!(h.bucket(i), 0);
+        }
+        // Out-of-range bucket indices read as empty, not panic.
+        assert_eq!(h.bucket(64), 0);
+        assert_eq!(h.bucket(usize::MAX), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let mut h = Histogram::new();
+        h.record(100); // bucket 6: [64, 128)
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.bucket(6), 1);
+        // Every quantile of a one-sample distribution lands in its bucket:
+        // the reported value is the bucket's upper edge.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.approx_quantile(q), Some(128));
+        }
+    }
+
+    #[test]
+    fn histogram_saturating_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // top bucket (63)
+        h.record(1u64 << 63);
+        assert_eq!(h.bucket(63), 2);
+        // The top bucket's "upper edge" saturates at 2^63 rather than
+        // overflowing the shift.
+        assert_eq!(h.approx_quantile(1.0), Some(1u64 << 63));
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_out_of_range_q() {
+        let mut h = Histogram::new();
+        h.record(10);
+        // q outside [0,1] clamps instead of panicking or returning None.
+        assert_eq!(h.approx_quantile(-1.0), h.approx_quantile(0.0));
+        assert_eq!(h.approx_quantile(2.0), h.approx_quantile(1.0));
+        assert_eq!(h.approx_quantile(f64::NAN), h.approx_quantile(0.0));
+    }
+
+    #[test]
     fn hit_rate_edge_cases() {
         assert_eq!(hit_rate(0, 0), 0.0);
         assert_eq!(hit_rate(10, 0), 1.0);

@@ -43,8 +43,8 @@ impl std::fmt::Display for TraceRecord {
 /// log.push(Cycle(2), "gmmu", "walk start".into());
 /// log.push(Cycle(3), "gmmu", "walk done".into());
 /// let dump = log.dump();
-/// assert_eq!(dump.lines().count(), 2); // oldest record was dropped
 /// assert!(dump.contains("walk done"));
+/// assert!(dump.contains("1 earlier record dropped")); // truncation is visible
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceLog {
@@ -109,9 +109,18 @@ impl TraceLog {
         self.records.iter()
     }
 
-    /// Renders the retained records, one per line, oldest first.
+    /// Renders the retained records, one per line, oldest first. When the
+    /// ring has evicted records, a leading line says how many, so truncated
+    /// evidence is never mistaken for the full history.
     pub fn dump(&self) -> String {
         let mut s = String::new();
+        if self.dropped > 0 {
+            let plural = if self.dropped == 1 { "" } else { "s" };
+            s.push_str(&format!(
+                "... ({} earlier record{plural} dropped)\n",
+                self.dropped
+            ));
+        }
         for r in &self.records {
             s.push_str(&r.to_string());
             s.push('\n');

@@ -122,7 +122,7 @@ mod tests {
         FarFault {
             gpu: (token % 4) as GpuId,
             vpn: Vpn(token * 7),
-            is_write: token % 2 == 0,
+            is_write: token.is_multiple_of(2),
             raised_at: Cycle(token),
             token,
         }

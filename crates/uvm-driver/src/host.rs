@@ -104,7 +104,9 @@ impl HostMemory {
 
     /// Current physical location of a page.
     pub fn owner_of(&self, vpn: Vpn) -> Option<Node> {
-        self.table.lookup(vpn).map(|pte| self.memmap.owner(pte.ppn()))
+        self.table
+            .lookup(vpn)
+            .map(|pte| self.memmap.owner(pte.ppn()))
     }
 
     /// Reads the host PTE.
@@ -126,7 +128,10 @@ impl HostMemory {
     /// [`HostMemError::UnknownPage`] for unpopulated pages,
     /// [`HostMemError::OutOfFrames`] when `to` is full.
     pub fn move_page(&mut self, vpn: Vpn, to: Node) -> Result<(u64, u64), HostMemError> {
-        let pte = self.table.lookup(vpn).ok_or(HostMemError::UnknownPage(vpn))?;
+        let pte = self
+            .table
+            .lookup(vpn)
+            .ok_or(HostMemError::UnknownPage(vpn))?;
         let old_ppn = pte.ppn();
         let from = self.memmap.owner(old_ppn);
         if from == to {

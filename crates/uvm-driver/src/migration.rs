@@ -249,7 +249,10 @@ mod tests {
         assert!(!t.host_walk_done(Vpn(7), Cycle(120)));
         assert!(!t.ack(Vpn(7), 1, Cycle(150)));
         assert!(t.ack(Vpn(7), 2, Cycle(170)));
-        assert_eq!(t.get(Vpn(7)).unwrap().invalidation_done_at, Some(Cycle(170)));
+        assert_eq!(
+            t.get(Vpn(7)).unwrap().invalidation_done_at,
+            Some(Cycle(170))
+        );
     }
 
     #[test]

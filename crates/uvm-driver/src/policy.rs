@@ -70,12 +70,7 @@ impl AccessCounters {
 
     /// Records one remote access by `gpu` to `vpn` under `policy`; returns
     /// whether the policy asks for a migration of `vpn` to `gpu`.
-    pub fn record_remote_access(
-        &mut self,
-        policy: MigrationPolicy,
-        gpu: GpuId,
-        vpn: Vpn,
-    ) -> bool {
+    pub fn record_remote_access(&mut self, policy: MigrationPolicy, gpu: GpuId, vpn: Vpn) -> bool {
         match policy {
             MigrationPolicy::FirstTouch => false,
             MigrationPolicy::OnTouch => {
@@ -188,6 +183,9 @@ mod tests {
             MigrationPolicy::baseline(),
             MigrationPolicy::AccessCounter { threshold: 256 }
         );
-        assert_eq!(MigrationPolicy::baseline().to_string(), "access-counter(256)");
+        assert_eq!(
+            MigrationPolicy::baseline().to_string(),
+            "access-counter(256)"
+        );
     }
 }

@@ -55,7 +55,10 @@ impl ReplicaDirectory {
 
     /// GPUs currently holding a copy.
     pub fn holders(&self, vpn: Vpn) -> GpuSet {
-        self.replicas.get(&vpn).copied().unwrap_or_else(GpuSet::empty)
+        self.replicas
+            .get(&vpn)
+            .copied()
+            .unwrap_or_else(GpuSet::empty)
     }
 
     /// Whether `gpu` holds a copy.

@@ -15,7 +15,7 @@ use crate::addr::Vpn;
 
 /// Packs `(level, prefix)` into a single tag. Levels fit in 3 bits.
 fn key(level: u32, prefix: u64) -> u64 {
-    debug_assert!(level >= 2 && level <= 7);
+    debug_assert!((2..=7).contains(&level));
     (prefix << 3) | level as u64
 }
 
@@ -48,7 +48,10 @@ impl PageWalkCache {
     /// # Panics
     /// Panics if `capacity < 4` or not divisible by 4, or `levels < 2`.
     pub fn new(capacity: usize, levels: u32) -> Self {
-        assert!(capacity >= 4 && capacity % 4 == 0, "capacity must be 4-way");
+        assert!(
+            capacity >= 4 && capacity.is_multiple_of(4),
+            "capacity must be 4-way"
+        );
         assert!(levels >= 2);
         PageWalkCache {
             entries: SetAssoc::new(capacity / 4, 4),
@@ -67,7 +70,11 @@ impl PageWalkCache {
         for level in 2..=self.levels {
             // An entry cached "at level L" is the entry *inside* the level-L
             // node, keyed by the prefix identifying that node.
-            if self.entries.get(key(level, vpn.prefix_at(level - 1))).is_some() {
+            if self
+                .entries
+                .get(key(level, vpn.prefix_at(level - 1)))
+                .is_some()
+            {
                 self.hits.inc();
                 return Some(level);
             }
@@ -87,7 +94,8 @@ impl PageWalkCache {
     pub fn fill_path(&mut self, vpn: Vpn, levels_walked: u32) {
         let deepest = (self.levels + 1 - levels_walked).max(2);
         for level in deepest..=self.levels {
-            self.entries.insert(key(level, vpn.prefix_at(level - 1)), ());
+            self.entries
+                .insert(key(level, vpn.prefix_at(level - 1)), ());
         }
     }
 

@@ -80,7 +80,10 @@ impl Tlb {
     /// # Panics
     /// Panics unless `entries` divides evenly by `ways`.
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.entries % config.ways == 0, "entries must divide by ways");
+        assert!(
+            config.entries.is_multiple_of(config.ways),
+            "entries must divide by ways"
+        );
         Tlb {
             entries: SetAssoc::new(config.entries / config.ways, config.ways),
             config,

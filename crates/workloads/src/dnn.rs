@@ -29,9 +29,7 @@ impl DnnModel {
     fn weight_pages(self) -> &'static [u64] {
         match self {
             // VGG16: conv blocks grow 64→512 channels, then giant FC layers.
-            DnnModel::Vgg16 => &[
-                4, 4, 8, 8, 16, 16, 16, 32, 32, 32, 32, 32, 32, 256, 48, 12,
-            ],
+            DnnModel::Vgg16 => &[4, 4, 8, 8, 16, 16, 16, 32, 32, 32, 32, 32, 32, 256, 48, 12],
             // ResNet18: stem + 8 basic blocks (channel-doubling) + FC.
             DnnModel::Resnet18 => &[
                 6, 8, 8, 8, 8, 16, 16, 16, 16, 32, 32, 32, 32, 64, 64, 64, 64, 10,

@@ -198,7 +198,11 @@ fn generate_gpu(
                             // Halo exchange with ring neighbours: the band at
                             // the start of our chunk (shared with g-1) or of
                             // the next chunk (shared with g+1).
-                            let target = if rng.chance(0.5) { g } else { (g + 1) % n_gpus as u64 };
+                            let target = if rng.chance(0.5) {
+                                g
+                            } else {
+                                (g + 1) % n_gpus as u64
+                            };
                             layout.halo_page(target, rng)
                         } else {
                             cursor += 1;

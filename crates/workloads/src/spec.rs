@@ -381,10 +381,7 @@ mod tests {
     fn instruction_accounting() {
         let spec = WorkloadSpec::paper_default(AppId::Bs, Scale::Test);
         assert_eq!(spec.instructions_per_access(), 17);
-        assert_eq!(
-            spec.instructions_per_gpu(),
-            spec.accesses_per_gpu * 17
-        );
+        assert_eq!(spec.instructions_per_gpu(), spec.accesses_per_gpu * 17);
     }
 
     #[test]

@@ -169,15 +169,30 @@ mod tests {
             traces: vec![
                 GpuTrace {
                     accesses: vec![
-                        Access { vpn: Vpn(1), is_write: false },
-                        Access { vpn: Vpn(1), is_write: true },
-                        Access { vpn: Vpn(2), is_write: false },
+                        Access {
+                            vpn: Vpn(1),
+                            is_write: false,
+                        },
+                        Access {
+                            vpn: Vpn(1),
+                            is_write: true,
+                        },
+                        Access {
+                            vpn: Vpn(2),
+                            is_write: false,
+                        },
                     ],
                 },
                 GpuTrace {
                     accesses: vec![
-                        Access { vpn: Vpn(1), is_write: false },
-                        Access { vpn: Vpn(3), is_write: true },
+                        Access {
+                            vpn: Vpn(1),
+                            is_write: false,
+                        },
+                        Access {
+                            vpn: Vpn(3),
+                            is_write: true,
+                        },
                     ],
                 },
             ],

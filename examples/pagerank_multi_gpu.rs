@@ -32,8 +32,14 @@ fn main() {
     };
     let schemes = [
         ("baseline", mk(None, false)),
-        ("only lazy (IRMB)", mk(Some(IdyllConfig::only_lazy()), false)),
-        ("only in-PTE directory", mk(Some(IdyllConfig::only_directory()), false)),
+        (
+            "only lazy (IRMB)",
+            mk(Some(IdyllConfig::only_lazy()), false),
+        ),
+        (
+            "only in-PTE directory",
+            mk(Some(IdyllConfig::only_directory()), false),
+        ),
         ("IDYLL-InMem", mk(Some(IdyllConfig::in_mem()), false)),
         ("IDYLL", mk(Some(IdyllConfig::full()), false)),
         ("zero-latency invalidation", mk(None, true)),

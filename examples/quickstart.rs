@@ -38,10 +38,18 @@ fn main() {
 
     println!("\n{:<28}{:>14}{:>14}", "", "baseline", "IDYLL");
     let rows: [(&str, f64, f64); 6] = [
-        ("execution cycles", base.exec_cycles as f64, idy.exec_cycles as f64),
+        (
+            "execution cycles",
+            base.exec_cycles as f64,
+            idy.exec_cycles as f64,
+        ),
         ("L2 TLB MPKI", base.mpki(), idy.mpki()),
         ("far faults", base.far_faults as f64, idy.far_faults as f64),
-        ("page migrations", base.migrations as f64, idy.migrations as f64),
+        (
+            "page migrations",
+            base.migrations as f64,
+            idy.migrations as f64,
+        ),
         (
             "invalidation messages",
             base.invalidation_messages as f64,

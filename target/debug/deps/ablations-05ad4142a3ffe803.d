@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-05ad4142a3ffe803.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-05ad4142a3ffe803: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

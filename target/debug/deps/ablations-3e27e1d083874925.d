@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3e27e1d083874925.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3e27e1d083874925: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

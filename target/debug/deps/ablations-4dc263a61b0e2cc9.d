@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-4dc263a61b0e2cc9.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-4dc263a61b0e2cc9.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-55c868e1e03d7182.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-55c868e1e03d7182: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-e9aee9e9c2394201.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-e9aee9e9c2394201: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg_audit-11a75ffe3550b581.d: crates/bench/src/bin/dbg_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg_audit-11a75ffe3550b581.rmeta: crates/bench/src/bin/dbg_audit.rs Cargo.toml
+
+crates/bench/src/bin/dbg_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_audit-2967f76660254d47.d: crates/bench/src/bin/dbg_audit.rs
+
+/root/repo/target/debug/deps/dbg_audit-2967f76660254d47: crates/bench/src/bin/dbg_audit.rs
+
+crates/bench/src/bin/dbg_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_audit-76ea9f2841beda6a.d: crates/bench/src/bin/dbg_audit.rs
+
+/root/repo/target/debug/deps/dbg_audit-76ea9f2841beda6a: crates/bench/src/bin/dbg_audit.rs
+
+crates/bench/src/bin/dbg_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg_livelock-0c7b9fa09d1220d2.d: crates/bench/src/bin/dbg_livelock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg_livelock-0c7b9fa09d1220d2.rmeta: crates/bench/src/bin/dbg_livelock.rs Cargo.toml
+
+crates/bench/src/bin/dbg_livelock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

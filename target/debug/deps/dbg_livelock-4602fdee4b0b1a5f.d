@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg_livelock-4602fdee4b0b1a5f.d: crates/bench/src/bin/dbg_livelock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg_livelock-4602fdee4b0b1a5f.rmeta: crates/bench/src/bin/dbg_livelock.rs Cargo.toml
+
+crates/bench/src/bin/dbg_livelock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_livelock-a7c4c9474f4e171e.d: crates/bench/src/bin/dbg_livelock.rs
+
+/root/repo/target/debug/deps/dbg_livelock-a7c4c9474f4e171e: crates/bench/src/bin/dbg_livelock.rs
+
+crates/bench/src/bin/dbg_livelock.rs:

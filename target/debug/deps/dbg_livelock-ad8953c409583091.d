@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_livelock-ad8953c409583091.d: crates/bench/src/bin/dbg_livelock.rs
+
+/root/repo/target/debug/deps/dbg_livelock-ad8953c409583091: crates/bench/src/bin/dbg_livelock.rs
+
+crates/bench/src/bin/dbg_livelock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9e637c6b0fd44338.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-9e637c6b0fd44338: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/directory_properties-2375c42893539329.d: crates/core/tests/directory_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdirectory_properties-2375c42893539329.rmeta: crates/core/tests/directory_properties.rs Cargo.toml
+
+crates/core/tests/directory_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/directory_properties-e3f520b55344ab04.d: crates/core/tests/directory_properties.rs
+
+/root/repo/target/debug/deps/directory_properties-e3f520b55344ab04: crates/core/tests/directory_properties.rs
+
+crates/core/tests/directory_properties.rs:

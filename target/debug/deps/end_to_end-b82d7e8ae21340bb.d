@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b82d7e8ae21340bb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b82d7e8ae21340bb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

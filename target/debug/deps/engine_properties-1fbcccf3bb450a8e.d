@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-1fbcccf3bb450a8e.d: crates/sim-engine/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-1fbcccf3bb450a8e.rmeta: crates/sim-engine/tests/engine_properties.rs Cargo.toml
+
+crates/sim-engine/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

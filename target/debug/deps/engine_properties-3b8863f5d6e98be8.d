@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-3b8863f5d6e98be8.d: crates/sim-engine/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-3b8863f5d6e98be8: crates/sim-engine/tests/engine_properties.rs
+
+crates/sim-engine/tests/engine_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-068d57d7779b1154.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-068d57d7779b1154: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-d756809d87310838.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-d756809d87310838.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-33e9ae9678c4929b.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-33e9ae9678c4929b.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

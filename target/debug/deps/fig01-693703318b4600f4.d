@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-693703318b4600f4.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-693703318b4600f4: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-d17c1562b120cd31.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-d17c1562b120cd31: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-0a1fb9e5e0d2e637.d: crates/bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-0a1fb9e5e0d2e637.rmeta: crates/bench/src/bin/fig02.rs Cargo.toml
+
+crates/bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

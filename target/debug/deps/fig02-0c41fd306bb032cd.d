@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-0c41fd306bb032cd.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-0c41fd306bb032cd: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-a04b5d0f27f5e02c.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-a04b5d0f27f5e02c: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

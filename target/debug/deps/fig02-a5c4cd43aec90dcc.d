@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-a5c4cd43aec90dcc.d: crates/bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-a5c4cd43aec90dcc.rmeta: crates/bench/src/bin/fig02.rs Cargo.toml
+
+crates/bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

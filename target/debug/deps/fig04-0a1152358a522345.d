@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-0a1152358a522345.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-0a1152358a522345.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

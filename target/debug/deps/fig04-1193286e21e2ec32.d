@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-1193286e21e2ec32.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-1193286e21e2ec32: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-1f3d6b7f5005b0f4.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-1f3d6b7f5005b0f4: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

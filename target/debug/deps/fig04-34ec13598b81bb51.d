@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-34ec13598b81bb51.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-34ec13598b81bb51.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-1b16b94767655c0d.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-1b16b94767655c0d.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-838e38e1686c8b82.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-838e38e1686c8b82.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

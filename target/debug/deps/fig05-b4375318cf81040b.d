@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-b4375318cf81040b.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-b4375318cf81040b: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-de6487dc00743513.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-de6487dc00743513: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-0b81d8990e054906.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-0b81d8990e054906: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-141baf40eab64e74.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-141baf40eab64e74: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

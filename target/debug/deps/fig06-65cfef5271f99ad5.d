@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-65cfef5271f99ad5.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-65cfef5271f99ad5.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-1246d507687fc93d.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-1246d507687fc93d: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

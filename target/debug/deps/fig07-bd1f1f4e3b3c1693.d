@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-bd1f1f4e3b3c1693.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-bd1f1f4e3b3c1693: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-e137cbd886995e65.d: crates/bench/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-e137cbd886995e65.rmeta: crates/bench/src/bin/fig07.rs Cargo.toml
+
+crates/bench/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-ed9aa11f81781923.d: crates/bench/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-ed9aa11f81781923.rmeta: crates/bench/src/bin/fig07.rs Cargo.toml
+
+crates/bench/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

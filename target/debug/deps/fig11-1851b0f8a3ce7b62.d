@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-1851b0f8a3ce7b62.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-1851b0f8a3ce7b62: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-6a9c626975c1b512.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-6a9c626975c1b512: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-eced5a3fcaed9b07.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-eced5a3fcaed9b07.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-16a7e5077c06e8de.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-16a7e5077c06e8de.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

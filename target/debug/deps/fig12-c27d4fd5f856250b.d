@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-c27d4fd5f856250b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-c27d4fd5f856250b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-f46ad17e84f51eb0.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-f46ad17e84f51eb0: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

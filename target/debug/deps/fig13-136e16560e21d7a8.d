@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-136e16560e21d7a8.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-136e16560e21d7a8: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-8379a7ad9c68c192.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-8379a7ad9c68c192: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-34d4268018271d2f.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-34d4268018271d2f.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

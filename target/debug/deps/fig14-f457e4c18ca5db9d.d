@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-f457e4c18ca5db9d.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-f457e4c18ca5db9d: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

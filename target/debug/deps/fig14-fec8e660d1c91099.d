@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-fec8e660d1c91099.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-fec8e660d1c91099: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-a13f5a645353258a.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-a13f5a645353258a: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-c0410b193640fdc4.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-c0410b193640fdc4: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-1c659cdba1d3f52f.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-1c659cdba1d3f52f.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-b1cc748c484266bb.d: crates/bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-b1cc748c484266bb.rmeta: crates/bench/src/bin/fig16.rs Cargo.toml
+
+crates/bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

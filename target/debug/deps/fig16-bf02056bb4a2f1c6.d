@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-bf02056bb4a2f1c6.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-bf02056bb4a2f1c6: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-d70da0bf20a7a9d7.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-d70da0bf20a7a9d7: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17-2f5e79a4daa55b7d.d: crates/bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17-2f5e79a4daa55b7d.rmeta: crates/bench/src/bin/fig17.rs Cargo.toml
+
+crates/bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

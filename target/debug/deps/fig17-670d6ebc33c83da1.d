@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17-670d6ebc33c83da1.d: crates/bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17-670d6ebc33c83da1.rmeta: crates/bench/src/bin/fig17.rs Cargo.toml
+
+crates/bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-85f320a684be7a26.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-85f320a684be7a26: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-b1cb9e301dd1a466.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-b1cb9e301dd1a466: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18-4a527ab4a4e53bb1.d: crates/bench/src/bin/fig18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18-4a527ab4a4e53bb1.rmeta: crates/bench/src/bin/fig18.rs Cargo.toml
+
+crates/bench/src/bin/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-b4a127bb9241b9d1.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-b4a127bb9241b9d1: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

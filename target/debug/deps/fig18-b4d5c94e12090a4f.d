@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18-b4d5c94e12090a4f.d: crates/bench/src/bin/fig18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18-b4d5c94e12090a4f.rmeta: crates/bench/src/bin/fig18.rs Cargo.toml
+
+crates/bench/src/bin/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-b61075cf7bbb0c3a.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-b61075cf7bbb0c3a: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-06d46fa67e8751d1.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-06d46fa67e8751d1: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-47543f25cd954364.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-47543f25cd954364: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

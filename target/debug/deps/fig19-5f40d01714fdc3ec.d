@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-5f40d01714fdc3ec.d: crates/bench/src/bin/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-5f40d01714fdc3ec.rmeta: crates/bench/src/bin/fig19.rs Cargo.toml
+
+crates/bench/src/bin/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

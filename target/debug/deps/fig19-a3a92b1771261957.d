@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-a3a92b1771261957.d: crates/bench/src/bin/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-a3a92b1771261957.rmeta: crates/bench/src/bin/fig19.rs Cargo.toml
+
+crates/bench/src/bin/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20-a4d0d43b69fe4f25.d: crates/bench/src/bin/fig20.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20-a4d0d43b69fe4f25.rmeta: crates/bench/src/bin/fig20.rs Cargo.toml
+
+crates/bench/src/bin/fig20.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

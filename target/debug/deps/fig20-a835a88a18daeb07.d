@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-a835a88a18daeb07.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-a835a88a18daeb07: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

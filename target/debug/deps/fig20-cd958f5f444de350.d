@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20-cd958f5f444de350.d: crates/bench/src/bin/fig20.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20-cd958f5f444de350.rmeta: crates/bench/src/bin/fig20.rs Cargo.toml
+
+crates/bench/src/bin/fig20.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

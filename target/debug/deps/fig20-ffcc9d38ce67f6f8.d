@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-ffcc9d38ce67f6f8.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/fig20-ffcc9d38ce67f6f8: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

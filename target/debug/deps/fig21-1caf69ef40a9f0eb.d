@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-1caf69ef40a9f0eb.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-1caf69ef40a9f0eb: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

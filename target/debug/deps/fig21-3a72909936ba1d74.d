@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21-3a72909936ba1d74.d: crates/bench/src/bin/fig21.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21-3a72909936ba1d74.rmeta: crates/bench/src/bin/fig21.rs Cargo.toml
+
+crates/bench/src/bin/fig21.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

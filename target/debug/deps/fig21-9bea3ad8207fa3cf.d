@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21-9bea3ad8207fa3cf.d: crates/bench/src/bin/fig21.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21-9bea3ad8207fa3cf.rmeta: crates/bench/src/bin/fig21.rs Cargo.toml
+
+crates/bench/src/bin/fig21.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-fcf8f16bdf000920.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/fig21-fcf8f16bdf000920: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

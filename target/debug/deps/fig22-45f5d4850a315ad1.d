@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22-45f5d4850a315ad1.d: crates/bench/src/bin/fig22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22-45f5d4850a315ad1.rmeta: crates/bench/src/bin/fig22.rs Cargo.toml
+
+crates/bench/src/bin/fig22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22-560d6344570b50ba.d: crates/bench/src/bin/fig22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22-560d6344570b50ba.rmeta: crates/bench/src/bin/fig22.rs Cargo.toml
+
+crates/bench/src/bin/fig22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-9656fcb890d9f551.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/fig22-9656fcb890d9f551: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-e7626cc99b3faf02.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/fig22-e7626cc99b3faf02: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23-0a9194401e63a5d2.d: crates/bench/src/bin/fig23.rs
+
+/root/repo/target/debug/deps/fig23-0a9194401e63a5d2: crates/bench/src/bin/fig23.rs
+
+crates/bench/src/bin/fig23.rs:

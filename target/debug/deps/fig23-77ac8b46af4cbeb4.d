@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig23-77ac8b46af4cbeb4.d: crates/bench/src/bin/fig23.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig23-77ac8b46af4cbeb4.rmeta: crates/bench/src/bin/fig23.rs Cargo.toml
+
+crates/bench/src/bin/fig23.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

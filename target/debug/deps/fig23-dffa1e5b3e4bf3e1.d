@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23-dffa1e5b3e4bf3e1.d: crates/bench/src/bin/fig23.rs
+
+/root/repo/target/debug/deps/fig23-dffa1e5b3e4bf3e1: crates/bench/src/bin/fig23.rs
+
+crates/bench/src/bin/fig23.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig24-5249c5b88d27cb2f.d: crates/bench/src/bin/fig24.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig24-5249c5b88d27cb2f.rmeta: crates/bench/src/bin/fig24.rs Cargo.toml
+
+crates/bench/src/bin/fig24.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

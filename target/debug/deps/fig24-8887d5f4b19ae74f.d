@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig24-8887d5f4b19ae74f.d: crates/bench/src/bin/fig24.rs
+
+/root/repo/target/debug/deps/fig24-8887d5f4b19ae74f: crates/bench/src/bin/fig24.rs
+
+crates/bench/src/bin/fig24.rs:

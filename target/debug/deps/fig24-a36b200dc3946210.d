@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig24-a36b200dc3946210.d: crates/bench/src/bin/fig24.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig24-a36b200dc3946210.rmeta: crates/bench/src/bin/fig24.rs Cargo.toml
+
+crates/bench/src/bin/fig24.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig24-dd5535de79a49fb8.d: crates/bench/src/bin/fig24.rs
+
+/root/repo/target/debug/deps/fig24-dd5535de79a49fb8: crates/bench/src/bin/fig24.rs
+
+crates/bench/src/bin/fig24.rs:

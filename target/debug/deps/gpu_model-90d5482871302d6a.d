@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpu_model-90d5482871302d6a.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+/root/repo/target/debug/deps/libgpu_model-90d5482871302d6a.rlib: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+/root/repo/target/debug/deps/libgpu_model-90d5482871302d6a.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/cu.rs:
+crates/gpu-model/src/gmmu.rs:
+crates/gpu-model/src/gpu.rs:
+crates/gpu-model/src/scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_model-a4c3388570fe0b67.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+/root/repo/target/debug/deps/gpu_model-a4c3388570fe0b67: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/cu.rs:
+crates/gpu-model/src/gmmu.rs:
+crates/gpu-model/src/gpu.rs:
+crates/gpu-model/src/scheduler.rs:

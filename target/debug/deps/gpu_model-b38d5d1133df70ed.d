@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpu_model-b38d5d1133df70ed.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_model-b38d5d1133df70ed.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs Cargo.toml
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/cu.rs:
+crates/gpu-model/src/gmmu.rs:
+crates/gpu-model/src/gpu.rs:
+crates/gpu-model/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

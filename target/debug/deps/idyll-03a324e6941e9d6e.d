@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idyll-03a324e6941e9d6e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidyll-03a324e6941e9d6e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

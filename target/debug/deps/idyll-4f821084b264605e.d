@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/idyll-4f821084b264605e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libidyll-4f821084b264605e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libidyll-4f821084b264605e.rmeta: src/lib.rs
+
+src/lib.rs:

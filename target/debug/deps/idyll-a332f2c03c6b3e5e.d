@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idyll-a332f2c03c6b3e5e.d: src/lib.rs
+
+/root/repo/target/debug/deps/idyll-a332f2c03c6b3e5e: src/lib.rs
+
+src/lib.rs:

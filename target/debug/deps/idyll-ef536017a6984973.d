@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idyll-ef536017a6984973.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidyll-ef536017a6984973.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/idyll_bench-021959ad35fd0b11.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libidyll_bench-021959ad35fd0b11.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libidyll_bench-021959ad35fd0b11.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idyll_bench-49b0fca8b4489545.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidyll_bench-49b0fca8b4489545.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

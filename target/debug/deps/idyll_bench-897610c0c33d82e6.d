@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idyll_bench-897610c0c33d82e6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidyll_bench-897610c0c33d82e6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

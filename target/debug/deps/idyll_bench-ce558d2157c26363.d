@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idyll_bench-ce558d2157c26363.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/idyll_bench-ce558d2157c26363: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

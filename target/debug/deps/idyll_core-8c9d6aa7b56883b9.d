@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/idyll_core-8c9d6aa7b56883b9.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidyll_core-8c9d6aa7b56883b9.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/directory.rs:
+crates/core/src/irmb.rs:
+crates/core/src/transfw.rs:
+crates/core/src/vm_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

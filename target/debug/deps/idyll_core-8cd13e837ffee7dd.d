@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/idyll_core-8cd13e837ffee7dd.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+/root/repo/target/debug/deps/libidyll_core-8cd13e837ffee7dd.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+/root/repo/target/debug/deps/libidyll_core-8cd13e837ffee7dd.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/directory.rs:
+crates/core/src/irmb.rs:
+crates/core/src/transfw.rs:
+crates/core/src/vm_table.rs:

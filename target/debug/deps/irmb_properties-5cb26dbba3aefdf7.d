@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/irmb_properties-5cb26dbba3aefdf7.d: crates/core/tests/irmb_properties.rs
+
+/root/repo/target/debug/deps/irmb_properties-5cb26dbba3aefdf7: crates/core/tests/irmb_properties.rs
+
+crates/core/tests/irmb_properties.rs:

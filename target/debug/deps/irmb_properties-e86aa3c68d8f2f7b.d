@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/irmb_properties-e86aa3c68d8f2f7b.d: crates/core/tests/irmb_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libirmb_properties-e86aa3c68d8f2f7b.rmeta: crates/core/tests/irmb_properties.rs Cargo.toml
+
+crates/core/tests/irmb_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

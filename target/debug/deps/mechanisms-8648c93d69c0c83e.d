@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mechanisms-8648c93d69c0c83e.d: tests/mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmechanisms-8648c93d69c0c83e.rmeta: tests/mechanisms.rs Cargo.toml
+
+tests/mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

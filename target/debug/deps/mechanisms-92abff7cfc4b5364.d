@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanisms-92abff7cfc4b5364.d: tests/mechanisms.rs
+
+/root/repo/target/debug/deps/mechanisms-92abff7cfc4b5364: tests/mechanisms.rs
+
+tests/mechanisms.rs:

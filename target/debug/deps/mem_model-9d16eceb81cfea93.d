@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mem_model-9d16eceb81cfea93.d: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem_model-9d16eceb81cfea93.rmeta: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs Cargo.toml
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/assoc.rs:
+crates/mem-model/src/cache.rs:
+crates/mem-model/src/dram.rs:
+crates/mem-model/src/gpuset.rs:
+crates/mem-model/src/interconnect.rs:
+crates/mem-model/src/mshr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mem_properties-a8f63d6b2b215e92.d: crates/mem-model/tests/mem_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem_properties-a8f63d6b2b215e92.rmeta: crates/mem-model/tests/mem_properties.rs Cargo.toml
+
+crates/mem-model/tests/mem_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem_properties-bd61a9839e31e912.d: crates/mem-model/tests/mem_properties.rs
+
+/root/repo/target/debug/deps/mem_properties-bd61a9839e31e912: crates/mem-model/tests/mem_properties.rs
+
+crates/mem-model/tests/mem_properties.rs:

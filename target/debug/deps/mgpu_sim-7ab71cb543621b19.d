@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_sim-7ab71cb543621b19.d: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+/root/repo/target/debug/deps/mgpu_sim-7ab71cb543621b19: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_sim-b34373d50bb34287.d: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+/root/repo/target/debug/deps/mgpu_sim-b34373d50bb34287: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:

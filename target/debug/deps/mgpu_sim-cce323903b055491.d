@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgpu_sim-cce323903b055491.d: crates/mgpu-system/src/bin/mgpu-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_sim-cce323903b055491.rmeta: crates/mgpu-system/src/bin/mgpu-sim.rs Cargo.toml
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgpu_sim-fc05699250b292fa.d: crates/mgpu-system/src/bin/mgpu-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_sim-fc05699250b292fa.rmeta: crates/mgpu-system/src/bin/mgpu-sim.rs Cargo.toml
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mgpu_system-f9bc0082738c1ef6.d: crates/mgpu-system/src/lib.rs crates/mgpu-system/src/config.rs crates/mgpu-system/src/csv.rs crates/mgpu-system/src/metrics.rs crates/mgpu-system/src/runner.rs crates/mgpu-system/src/system/mod.rs crates/mgpu-system/src/system/data.rs crates/mgpu-system/src/system/host.rs crates/mgpu-system/src/system/migrate.rs crates/mgpu-system/src/system/observe.rs crates/mgpu-system/src/system/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_system-f9bc0082738c1ef6.rmeta: crates/mgpu-system/src/lib.rs crates/mgpu-system/src/config.rs crates/mgpu-system/src/csv.rs crates/mgpu-system/src/metrics.rs crates/mgpu-system/src/runner.rs crates/mgpu-system/src/system/mod.rs crates/mgpu-system/src/system/data.rs crates/mgpu-system/src/system/host.rs crates/mgpu-system/src/system/migrate.rs crates/mgpu-system/src/system/observe.rs crates/mgpu-system/src/system/translate.rs Cargo.toml
+
+crates/mgpu-system/src/lib.rs:
+crates/mgpu-system/src/config.rs:
+crates/mgpu-system/src/csv.rs:
+crates/mgpu-system/src/metrics.rs:
+crates/mgpu-system/src/runner.rs:
+crates/mgpu-system/src/system/mod.rs:
+crates/mgpu-system/src/system/data.rs:
+crates/mgpu-system/src/system/host.rs:
+crates/mgpu-system/src/system/migrate.rs:
+crates/mgpu-system/src/system/observe.rs:
+crates/mgpu-system/src/system/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_micro-21d03e8292277e70.d: crates/bench/src/bin/perf_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_micro-21d03e8292277e70.rmeta: crates/bench/src/bin/perf_micro.rs Cargo.toml
+
+crates/bench/src/bin/perf_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_micro-a7bf375e53ac8192.d: crates/bench/src/bin/perf_micro.rs
+
+/root/repo/target/debug/deps/perf_micro-a7bf375e53ac8192: crates/bench/src/bin/perf_micro.rs
+
+crates/bench/src/bin/perf_micro.rs:

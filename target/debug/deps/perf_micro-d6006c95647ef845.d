@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_micro-d6006c95647ef845.d: crates/bench/src/bin/perf_micro.rs
+
+/root/repo/target/debug/deps/perf_micro-d6006c95647ef845: crates/bench/src/bin/perf_micro.rs
+
+crates/bench/src/bin/perf_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipes-0c38fea65cbb98c8.d: crates/bench/src/bin/pipes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipes-0c38fea65cbb98c8.rmeta: crates/bench/src/bin/pipes.rs Cargo.toml
+
+crates/bench/src/bin/pipes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipes-35a95fb978147158.d: crates/bench/src/bin/pipes.rs
+
+/root/repo/target/debug/deps/pipes-35a95fb978147158: crates/bench/src/bin/pipes.rs
+
+crates/bench/src/bin/pipes.rs:

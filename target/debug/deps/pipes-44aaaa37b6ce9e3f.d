@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipes-44aaaa37b6ce9e3f.d: crates/bench/src/bin/pipes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipes-44aaaa37b6ce9e3f.rmeta: crates/bench/src/bin/pipes.rs Cargo.toml
+
+crates/bench/src/bin/pipes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

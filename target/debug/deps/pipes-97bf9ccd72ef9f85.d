@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipes-97bf9ccd72ef9f85.d: crates/bench/src/bin/pipes.rs
+
+/root/repo/target/debug/deps/pipes-97bf9ccd72ef9f85: crates/bench/src/bin/pipes.rs
+
+crates/bench/src/bin/pipes.rs:

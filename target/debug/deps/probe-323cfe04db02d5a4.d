@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-323cfe04db02d5a4.d: crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-323cfe04db02d5a4.rmeta: crates/bench/src/bin/probe.rs Cargo.toml
+
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-4011a5b7c87ed92c.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-4011a5b7c87ed92c: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-6cbc4f37f1eff8cb.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-6cbc4f37f1eff8cb: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-e98a78171c8b3f14.d: crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-e98a78171c8b3f14.rmeta: crates/bench/src/bin/probe.rs Cargo.toml
+
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

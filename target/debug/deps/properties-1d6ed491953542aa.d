@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1d6ed491953542aa.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1d6ed491953542aa: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-1039e04d724fef8c.d: tests/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-1039e04d724fef8c.rmeta: tests/scaling.rs Cargo.toml
+
+tests/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

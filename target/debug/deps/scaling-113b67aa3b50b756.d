@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-113b67aa3b50b756.d: tests/scaling.rs
+
+/root/repo/target/debug/deps/scaling-113b67aa3b50b756: tests/scaling.rs
+
+tests/scaling.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sim_engine-9a6236f242165f16.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_engine-9a6236f242165f16.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs Cargo.toml
+
+crates/sim-engine/src/lib.rs:
+crates/sim-engine/src/event.rs:
+crates/sim-engine/src/metrics.rs:
+crates/sim-engine/src/queue.rs:
+crates/sim-engine/src/resource.rs:
+crates/sim-engine/src/rng.rs:
+crates/sim-engine/src/stats.rs:
+crates/sim-engine/src/time.rs:
+crates/sim-engine/src/trace.rs:
+crates/sim-engine/src/tracelog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

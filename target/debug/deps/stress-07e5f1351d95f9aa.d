@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-07e5f1351d95f9aa.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-07e5f1351d95f9aa: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-0f9c343fe5198356.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-0f9c343fe5198356.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

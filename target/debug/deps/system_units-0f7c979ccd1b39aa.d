@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_units-0f7c979ccd1b39aa.d: crates/mgpu-system/tests/system_units.rs
+
+/root/repo/target/debug/deps/system_units-0f7c979ccd1b39aa: crates/mgpu-system/tests/system_units.rs
+
+crates/mgpu-system/tests/system_units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_units-4b7ecb9481de216c.d: crates/mgpu-system/tests/system_units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_units-4b7ecb9481de216c.rmeta: crates/mgpu-system/tests/system_units.rs Cargo.toml
+
+crates/mgpu-system/tests/system_units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

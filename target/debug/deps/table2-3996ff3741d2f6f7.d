@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3996ff3741d2f6f7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3996ff3741d2f6f7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

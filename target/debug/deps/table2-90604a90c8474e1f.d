@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-90604a90c8474e1f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-90604a90c8474e1f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-55844a5498d24898.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-55844a5498d24898: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

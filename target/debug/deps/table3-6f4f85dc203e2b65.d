@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-6f4f85dc203e2b65.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-6f4f85dc203e2b65: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uvm_driver-0ac3899f421d59f3.d: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+/root/repo/target/debug/deps/libuvm_driver-0ac3899f421d59f3.rlib: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+/root/repo/target/debug/deps/libuvm_driver-0ac3899f421d59f3.rmeta: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+crates/uvm-driver/src/lib.rs:
+crates/uvm-driver/src/fault.rs:
+crates/uvm-driver/src/host.rs:
+crates/uvm-driver/src/migration.rs:
+crates/uvm-driver/src/policy.rs:
+crates/uvm-driver/src/prefetch.rs:
+crates/uvm-driver/src/replication.rs:

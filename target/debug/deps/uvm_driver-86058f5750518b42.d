@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uvm_driver-86058f5750518b42.d: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuvm_driver-86058f5750518b42.rmeta: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs Cargo.toml
+
+crates/uvm-driver/src/lib.rs:
+crates/uvm-driver/src/fault.rs:
+crates/uvm-driver/src/host.rs:
+crates/uvm-driver/src/migration.rs:
+crates/uvm-driver/src/policy.rs:
+crates/uvm-driver/src/prefetch.rs:
+crates/uvm-driver/src/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

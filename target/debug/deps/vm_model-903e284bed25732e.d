@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vm_model-903e284bed25732e.d: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+/root/repo/target/debug/deps/vm_model-903e284bed25732e: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+crates/vm-model/src/lib.rs:
+crates/vm-model/src/addr.rs:
+crates/vm-model/src/memmap.rs:
+crates/vm-model/src/page_table.rs:
+crates/vm-model/src/pte.rs:
+crates/vm-model/src/pwc.rs:
+crates/vm-model/src/tlb.rs:
+crates/vm-model/src/walker.rs:

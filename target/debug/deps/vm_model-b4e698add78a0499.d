@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vm_model-b4e698add78a0499.d: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_model-b4e698add78a0499.rmeta: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs Cargo.toml
+
+crates/vm-model/src/lib.rs:
+crates/vm-model/src/addr.rs:
+crates/vm-model/src/memmap.rs:
+crates/vm-model/src/page_table.rs:
+crates/vm-model/src/pte.rs:
+crates/vm-model/src/pwc.rs:
+crates/vm-model/src/tlb.rs:
+crates/vm-model/src/walker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vm_model-f20164ac53835ccc.d: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+/root/repo/target/debug/deps/libvm_model-f20164ac53835ccc.rlib: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+/root/repo/target/debug/deps/libvm_model-f20164ac53835ccc.rmeta: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+crates/vm-model/src/lib.rs:
+crates/vm-model/src/addr.rs:
+crates/vm-model/src/memmap.rs:
+crates/vm-model/src/page_table.rs:
+crates/vm-model/src/pte.rs:
+crates/vm-model/src/pwc.rs:
+crates/vm-model/src/tlb.rs:
+crates/vm-model/src/walker.rs:

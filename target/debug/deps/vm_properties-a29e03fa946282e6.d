@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_properties-a29e03fa946282e6.d: crates/vm-model/tests/vm_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_properties-a29e03fa946282e6.rmeta: crates/vm-model/tests/vm_properties.rs Cargo.toml
+
+crates/vm-model/tests/vm_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_properties-b76026b932fdcb2f.d: crates/vm-model/tests/vm_properties.rs
+
+/root/repo/target/debug/deps/vm_properties-b76026b932fdcb2f: crates/vm-model/tests/vm_properties.rs
+
+crates/vm-model/tests/vm_properties.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-0ff9f14193891bee.d: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-0ff9f14193891bee.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/serialize.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

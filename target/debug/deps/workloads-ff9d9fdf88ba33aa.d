@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-ff9d9fdf88ba33aa.d: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libworkloads-ff9d9fdf88ba33aa.rlib: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libworkloads-ff9d9fdf88ba33aa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/serialize.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dnn_training-1c28c7be16fbfd1f.d: examples/dnn_training.rs
+
+/root/repo/target/debug/examples/dnn_training-1c28c7be16fbfd1f: examples/dnn_training.rs
+
+examples/dnn_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dnn_training-6d32712552dd7d56.d: examples/dnn_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdnn_training-6d32712552dd7d56.rmeta: examples/dnn_training.rs Cargo.toml
+
+examples/dnn_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/migration_policies-0d5c09f44df2da0d.d: examples/migration_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmigration_policies-0d5c09f44df2da0d.rmeta: examples/migration_policies.rs Cargo.toml
+
+examples/migration_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

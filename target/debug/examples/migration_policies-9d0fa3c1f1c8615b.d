@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_policies-9d0fa3c1f1c8615b.d: examples/migration_policies.rs
+
+/root/repo/target/debug/examples/migration_policies-9d0fa3c1f1c8615b: examples/migration_policies.rs
+
+examples/migration_policies.rs:

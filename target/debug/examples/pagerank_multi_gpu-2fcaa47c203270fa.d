@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagerank_multi_gpu-2fcaa47c203270fa.d: examples/pagerank_multi_gpu.rs
+
+/root/repo/target/debug/examples/pagerank_multi_gpu-2fcaa47c203270fa: examples/pagerank_multi_gpu.rs
+
+examples/pagerank_multi_gpu.rs:

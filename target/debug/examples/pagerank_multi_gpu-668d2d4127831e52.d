@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pagerank_multi_gpu-668d2d4127831e52.d: examples/pagerank_multi_gpu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpagerank_multi_gpu-668d2d4127831e52.rmeta: examples/pagerank_multi_gpu.rs Cargo.toml
+
+examples/pagerank_multi_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

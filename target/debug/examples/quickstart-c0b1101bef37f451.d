@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c0b1101bef37f451.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c0b1101bef37f451: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-ebe221bfa5fc11b9.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-ebe221bfa5fc11b9.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

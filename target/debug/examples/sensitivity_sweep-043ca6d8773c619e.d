@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity_sweep-043ca6d8773c619e.d: examples/sensitivity_sweep.rs
+
+/root/repo/target/debug/examples/sensitivity_sweep-043ca6d8773c619e: examples/sensitivity_sweep.rs
+
+examples/sensitivity_sweep.rs:

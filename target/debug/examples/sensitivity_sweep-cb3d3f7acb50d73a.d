@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity_sweep-cb3d3f7acb50d73a.d: examples/sensitivity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity_sweep-cb3d3f7acb50d73a.rmeta: examples/sensitivity_sweep.rs Cargo.toml
+
+examples/sensitivity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

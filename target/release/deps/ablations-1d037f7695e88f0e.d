@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1d037f7695e88f0e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1d037f7695e88f0e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-6222d20200a8c542.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-6222d20200a8c542: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_audit-6a28b33bcd3033e5.d: crates/bench/src/bin/dbg_audit.rs
+
+/root/repo/target/release/deps/dbg_audit-6a28b33bcd3033e5: crates/bench/src/bin/dbg_audit.rs
+
+crates/bench/src/bin/dbg_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_livelock-76d1a1686cbcbd91.d: crates/bench/src/bin/dbg_livelock.rs
+
+/root/repo/target/release/deps/dbg_livelock-76d1a1686cbcbd91: crates/bench/src/bin/dbg_livelock.rs
+
+crates/bench/src/bin/dbg_livelock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-a009bfb7f3e996bc.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-a009bfb7f3e996bc: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-f6365ef66942cc9b.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-f6365ef66942cc9b: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

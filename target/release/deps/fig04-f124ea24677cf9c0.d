@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-f124ea24677cf9c0.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-f124ea24677cf9c0: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

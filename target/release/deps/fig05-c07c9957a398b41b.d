@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-c07c9957a398b41b.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-c07c9957a398b41b: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-a422af3b4ebfbc62.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-a422af3b4ebfbc62: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

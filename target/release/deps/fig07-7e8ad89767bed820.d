@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-7e8ad89767bed820.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-7e8ad89767bed820: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-7d47cabfc219c9b3.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-7d47cabfc219c9b3: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-104be8507d190e6e.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-104be8507d190e6e: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

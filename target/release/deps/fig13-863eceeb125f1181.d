@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-863eceeb125f1181.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-863eceeb125f1181: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

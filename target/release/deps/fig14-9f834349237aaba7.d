@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-9f834349237aaba7.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-9f834349237aaba7: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-58f26ac3e0c117d1.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-58f26ac3e0c117d1: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-e5939f5bd978bb13.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-e5939f5bd978bb13: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-f1f84245e73d0602.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-f1f84245e73d0602: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-f8add6666f11c990.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-f8add6666f11c990: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

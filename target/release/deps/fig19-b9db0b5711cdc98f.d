@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19-b9db0b5711cdc98f.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/release/deps/fig19-b9db0b5711cdc98f: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

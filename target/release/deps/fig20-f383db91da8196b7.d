@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-f383db91da8196b7.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-f383db91da8196b7: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21-4259f275ca29ca26.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/release/deps/fig21-4259f275ca29ca26: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22-421597bfd4dba535.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/release/deps/fig22-421597bfd4dba535: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig23-6fbd229c082f832f.d: crates/bench/src/bin/fig23.rs
+
+/root/repo/target/release/deps/fig23-6fbd229c082f832f: crates/bench/src/bin/fig23.rs
+
+crates/bench/src/bin/fig23.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig24-ca2092b33121bfa5.d: crates/bench/src/bin/fig24.rs
+
+/root/repo/target/release/deps/fig24-ca2092b33121bfa5: crates/bench/src/bin/fig24.rs
+
+crates/bench/src/bin/fig24.rs:

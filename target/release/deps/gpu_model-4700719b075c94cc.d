@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gpu_model-4700719b075c94cc.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+/root/repo/target/release/deps/libgpu_model-4700719b075c94cc.rlib: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+/root/repo/target/release/deps/libgpu_model-4700719b075c94cc.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/cu.rs:
+crates/gpu-model/src/gmmu.rs:
+crates/gpu-model/src/gpu.rs:
+crates/gpu-model/src/scheduler.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/idyll-482cac362b8fcfb3.d: src/lib.rs
+
+/root/repo/target/release/deps/libidyll-482cac362b8fcfb3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libidyll-482cac362b8fcfb3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/idyll_core-0281037bc0fd83e9.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+/root/repo/target/release/deps/libidyll_core-0281037bc0fd83e9.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+/root/repo/target/release/deps/libidyll_core-0281037bc0fd83e9.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/directory.rs:
+crates/core/src/irmb.rs:
+crates/core/src/transfw.rs:
+crates/core/src/vm_table.rs:

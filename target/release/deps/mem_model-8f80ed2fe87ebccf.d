@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mem_model-8f80ed2fe87ebccf.d: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs
+
+/root/repo/target/release/deps/libmem_model-8f80ed2fe87ebccf.rlib: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs
+
+/root/repo/target/release/deps/libmem_model-8f80ed2fe87ebccf.rmeta: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/assoc.rs:
+crates/mem-model/src/cache.rs:
+crates/mem-model/src/dram.rs:
+crates/mem-model/src/gpuset.rs:
+crates/mem-model/src/interconnect.rs:
+crates/mem-model/src/mshr.rs:

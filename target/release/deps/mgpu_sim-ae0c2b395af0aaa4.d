@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mgpu_sim-ae0c2b395af0aaa4.d: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+/root/repo/target/release/deps/mgpu_sim-ae0c2b395af0aaa4: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_micro-a7744bb33a0f1d95.d: crates/bench/src/bin/perf_micro.rs
+
+/root/repo/target/release/deps/perf_micro-a7744bb33a0f1d95: crates/bench/src/bin/perf_micro.rs
+
+crates/bench/src/bin/perf_micro.rs:

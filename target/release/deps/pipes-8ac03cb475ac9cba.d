@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipes-8ac03cb475ac9cba.d: crates/bench/src/bin/pipes.rs
+
+/root/repo/target/release/deps/pipes-8ac03cb475ac9cba: crates/bench/src/bin/pipes.rs
+
+crates/bench/src/bin/pipes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-1887fa41e0bd16ee.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-1887fa41e0bd16ee: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-2d0987aee1c69e23.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-2d0987aee1c69e23: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b393be6f7ef746eb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-b393be6f7ef746eb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uvm_driver-24ae7a7960403727.d: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+/root/repo/target/release/deps/libuvm_driver-24ae7a7960403727.rlib: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+/root/repo/target/release/deps/libuvm_driver-24ae7a7960403727.rmeta: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+crates/uvm-driver/src/lib.rs:
+crates/uvm-driver/src/fault.rs:
+crates/uvm-driver/src/host.rs:
+crates/uvm-driver/src/migration.rs:
+crates/uvm-driver/src/policy.rs:
+crates/uvm-driver/src/prefetch.rs:
+crates/uvm-driver/src/replication.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vm_model-f24321553af2936f.d: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+/root/repo/target/release/deps/libvm_model-f24321553af2936f.rlib: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+/root/repo/target/release/deps/libvm_model-f24321553af2936f.rmeta: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+crates/vm-model/src/lib.rs:
+crates/vm-model/src/addr.rs:
+crates/vm-model/src/memmap.rs:
+crates/vm-model/src/page_table.rs:
+crates/vm-model/src/pte.rs:
+crates/vm-model/src/pwc.rs:
+crates/vm-model/src/tlb.rs:
+crates/vm-model/src/walker.rs:

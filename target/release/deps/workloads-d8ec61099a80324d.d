@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/workloads-d8ec61099a80324d.d: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libworkloads-d8ec61099a80324d.rlib: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libworkloads-d8ec61099a80324d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/serialize.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/trace.rs:

@@ -1,7 +1,9 @@
 //! Determinism invariant (DESIGN.md invariant 5): identical seed and
-//! configuration produce bit-identical results; different seeds diverge.
+//! configuration produce bit-identical results — including the trace and
+//! metrics exports — and different seeds diverge.
 
 use idyll::prelude::*;
+use idyll::sim::trace::{validate_json, Tracer};
 
 fn run_once(seed: u64, idyll_on: bool) -> SimReport {
     let mut cfg = SystemConfig::test(4);
@@ -14,6 +16,28 @@ fn run_once(seed: u64, idyll_on: bool) -> SimReport {
     let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
     let wl = workloads::generate(&spec, 4, seed);
     System::new(cfg, &wl).run().expect("completes")
+}
+
+/// Same configuration, with the tracer installed; returns the two exported
+/// artifacts alongside the report.
+fn observed_run_once(seed: u64, idyll_on: bool) -> (String, String, SimReport) {
+    let mut cfg = SystemConfig::test(4);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
+    if idyll_on {
+        cfg.idyll = Some(IdyllConfig::full());
+    }
+    let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
+    let wl = workloads::generate(&spec, 4, seed);
+    let mut sys = System::new(cfg, &wl);
+    sys.set_tracer(Tracer::enabled());
+    let report = sys.run().expect("completes");
+    (
+        sys.tracer().to_chrome_json(),
+        sys.metrics_registry().to_json(),
+        report,
+    )
 }
 
 #[test]
@@ -46,6 +70,84 @@ fn different_seeds_diverge() {
         a.exec_cycles != b.exec_cycles || a.events_processed != b.events_processed,
         "seeds 1 and 2 produced identical simulations"
     );
+}
+
+#[test]
+fn trace_and_metrics_exports_are_byte_identical() {
+    for idyll_on in [false, true] {
+        let (trace_a, metrics_a, _) = observed_run_once(11, idyll_on);
+        let (trace_b, metrics_b, _) = observed_run_once(11, idyll_on);
+        assert_eq!(trace_a, trace_b, "trace export must be byte-identical");
+        assert_eq!(
+            metrics_a, metrics_b,
+            "metrics export must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let plain = run_once(11, true);
+    let (_, _, traced) = observed_run_once(11, true);
+    assert_eq!(plain.exec_cycles, traced.exec_cycles);
+    assert_eq!(plain.events_processed, traced.events_processed);
+    assert_eq!(plain.far_faults, traced.far_faults);
+    assert_eq!(plain.migrations, traced.migrations);
+}
+
+#[test]
+fn trace_export_is_valid_and_covers_the_lifecycle() {
+    let (trace, metrics, report) = observed_run_once(11, true);
+    validate_json(&trace).expect("trace export must be valid JSON");
+    validate_json(&metrics).expect("metrics export must be valid JSON");
+    assert!(report.migrations > 0, "workload must exercise migrations");
+    // The full translation lifecycle must appear as connected spans.
+    for span in [
+        "\"L2 TLB miss\"",
+        "\"page walk\"",
+        "\"walk queue wait\"",
+        "\"far fault\"",
+        "\"far fault raised\"",
+        "\"fault batch\"",
+        "\"invalidation broadcast\"",
+        "\"migration data transfer\"",
+        "\"migration requested\"",
+    ] {
+        assert!(trace.contains(span), "trace missing {span}");
+    }
+    // Track metadata names the processes the spans land on.
+    for name in ["gpu0 translation", "migrations", "uvm driver"] {
+        assert!(trace.contains(name), "trace missing process {name}");
+    }
+    // The registry flattens per-component stats under dotted names.
+    for metric in [
+        "\"sim.events_processed\"",
+        "\"gpu0.tlb.l2.misses\"",
+        "\"gpu0.gmmu.demand.walk_queue.wait_cycles\"",
+        "\"latency.demand_miss\"",
+        "\"driver.fault_batches\"",
+    ] {
+        assert!(metrics.contains(metric), "metrics missing {metric}");
+    }
+}
+
+#[test]
+fn trace_filter_restricts_categories() {
+    let mut cfg = SystemConfig::test(4);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
+    cfg.idyll = Some(IdyllConfig::full());
+    let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
+    let wl = workloads::generate(&spec, 4, 11);
+    let mut sys = System::new(cfg, &wl);
+    sys.set_tracer(Tracer::with_filter("migration"));
+    sys.run().expect("completes");
+    let trace = sys.tracer().to_chrome_json();
+    validate_json(&trace).unwrap();
+    assert!(trace.contains("\"migration data transfer\""));
+    assert!(!trace.contains("\"L2 TLB miss\""));
+    assert!(!trace.contains("\"page walk\""));
 }
 
 #[test]

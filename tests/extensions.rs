@@ -17,13 +17,19 @@ fn prefetch_reduces_far_faults_on_streaming_remote_reads() {
     // GPU 1 streams sequentially through GPU 0's pages: without prefetch
     // every page is a separate far fault; with it, each dense block's
     // remaining translations are pushed eagerly.
-    use idyll::workloads::{Access, GpuTrace, Workload};
     use idyll::vm::addr::Vpn;
+    use idyll::workloads::{Access, GpuTrace, Workload};
     let gpu0: Vec<Access> = (0..128)
-        .map(|i| Access { vpn: Vpn(i % 128), is_write: false })
+        .map(|i| Access {
+            vpn: Vpn(i % 128),
+            is_write: false,
+        })
         .collect();
     let gpu1: Vec<Access> = (0..256)
-        .map(|i| Access { vpn: Vpn((i / 2) % 128), is_write: false })
+        .map(|i| Access {
+            vpn: Vpn((i / 2) % 128),
+            is_write: false,
+        })
         .collect();
     let wl = Workload {
         name: "stream".into(),
@@ -90,9 +96,8 @@ fn round_robin_stresses_tlbs_harder_than_contiguous() {
     };
     let contiguous = run(CtaSchedule::BlockContiguous);
     let rr = run(CtaSchedule::RoundRobin);
-    let hit = |r: &SimReport| {
-        r.l1_tlb_hits as f64 / (r.l1_tlb_hits + r.l1_tlb_misses).max(1) as f64
-    };
+    let hit =
+        |r: &SimReport| r.l1_tlb_hits as f64 / (r.l1_tlb_hits + r.l1_tlb_misses).max(1) as f64;
     assert!(
         hit(&rr) < hit(&contiguous),
         "round-robin L1 hit rate {:.3} should trail contiguous {:.3}",
@@ -113,5 +118,8 @@ fn no_bypass_ablation_still_coherent() {
     let r = System::new(c, &wl).run().expect("completes");
     assert_eq!(r.accesses, wl.total_accesses());
     assert_eq!(r.stale_translations, 0);
-    assert_eq!(r.irmb_bypasses, 0, "bypass disabled: no IRMB short-circuits");
+    assert_eq!(
+        r.irmb_bypasses, 0,
+        "bypass disabled: no IRMB short-circuits"
+    );
 }

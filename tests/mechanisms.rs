@@ -160,10 +160,9 @@ fn idyll_filters_unnecessary_invalidations() {
     let mut cfg = base_cfg(4);
     cfg.idyll = Some(IdyllConfig::full());
     let idy = run(SHARED_APP, cfg);
-    let base_unnec = base.walker_mix.invalidation_unnecessary as f64
-        / base.migrations.max(1) as f64;
-    let idy_unnec =
-        idy.walker_mix.invalidation_unnecessary as f64 / idy.migrations.max(1) as f64;
+    let base_unnec =
+        base.walker_mix.invalidation_unnecessary as f64 / base.migrations.max(1) as f64;
+    let idy_unnec = idy.walker_mix.invalidation_unnecessary as f64 / idy.migrations.max(1) as f64;
     assert!(
         idy_unnec < base_unnec,
         "per-migration unnecessary invalidations: idyll {idy_unnec:.2} vs base {base_unnec:.2}"

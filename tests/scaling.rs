@@ -54,8 +54,14 @@ fn sharing_distribution_widens_with_more_gpus() {
     let wl8 = workloads::generate(&spec4, 8, 42);
     let top4 = wl4.access_sharing_distribution()[3..].iter().sum::<f64>();
     let top8 = wl8.access_sharing_distribution()[5..].iter().sum::<f64>();
-    assert!(top4 > 0.3, "PR at 4 GPUs should be widely shared: {top4:.2}");
-    assert!(top8 > 0.2, "PR at 8 GPUs should still be widely shared: {top8:.2}");
+    assert!(
+        top4 > 0.3,
+        "PR at 4 GPUs should be widely shared: {top4:.2}"
+    );
+    assert!(
+        top8 > 0.2,
+        "PR at 8 GPUs should still be widely shared: {top8:.2}"
+    );
 }
 
 #[test]
