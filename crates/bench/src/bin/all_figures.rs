@@ -9,7 +9,7 @@
 //!     # and write its Perfetto timeline / metrics registry
 //! ```
 
-use idyll_bench::{all_figures, Harness, HarnessConfig};
+use idyll_bench::{all_figures, grid_metrics, Harness, HarnessConfig};
 use mgpu_system::System;
 use sim_engine::trace::Tracer;
 use workloads::{AppId, WorkloadSpec};
@@ -115,6 +115,18 @@ fn main() {
             eprintln!("error: no figure named `{only}`");
             failures += 1;
         }
+    }
+    // Host-side throughput of everything the figures just ran (ROADMAP:
+    // per-run wall-clock + events/s from the fan-out).
+    let summary = grid_metrics::summary_line();
+    if !summary.is_empty() {
+        std::fs::write(
+            "results/grid_metrics.json",
+            grid_metrics::registry().to_json(),
+        )
+        .expect("write grid metrics JSON");
+        eprintln!("{summary}");
+        eprintln!("wrote results/grid_metrics.json");
     }
     if failures > 0 {
         std::process::exit(1);

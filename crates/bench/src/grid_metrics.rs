@@ -1,0 +1,176 @@
+//! Process-wide recorder for grid-run throughput (ROADMAP: surface per-run
+//! wall-clock and events-per-second from the `all_figures` fan-out).
+//!
+//! Every grid the [`Harness`](crate::Harness) runs appends one
+//! [`RunRecord`] per job via [`record`]. The `all_figures` binary drains the
+//! recorder at the end into a [`MetricsRegistry`] JSON export
+//! (`results/grid_metrics.json`) so host-side simulation throughput can be
+//! tracked across commits alongside the figure outputs.
+//!
+//! Wall-clock numbers are host measurements and intentionally live outside
+//! the simulation: they never feed model state, and the determinism suite
+//! does not cover them (two runs of the same grid legitimately differ here).
+
+// Event counts are far below 2^52, so u64 → f64 throughput math is exact
+// enough for human-facing reporting.
+#![allow(clippy::cast_precision_loss)]
+
+use std::sync::Mutex;
+
+use mgpu_system::runner::TimedRun;
+use sim_engine::metrics::MetricsRegistry;
+
+/// Host-side cost of one completed grid job.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Job label with the internal `\u{1}` app/scheme separator replaced by
+    /// `.` so it is printable and JSON-friendly (e.g. `KM.idyll`).
+    pub label: String,
+    /// Wall-clock seconds the job took on its worker thread.
+    pub wall_secs: f64,
+    /// Simulation events the job processed.
+    pub events: u64,
+}
+
+impl RunRecord {
+    /// Events per host second (0 for a zero-length run).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+static RECORDS: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
+
+// Lock poisoning cannot corrupt the Vec (pushes are atomic enough for a
+// best-effort recorder), so all three accessors just take the data back.
+fn lock() -> std::sync::MutexGuard<'static, Vec<RunRecord>> {
+    RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Appends one record per timed run to the process-wide recorder.
+pub fn record(runs: &[TimedRun]) {
+    let mut records = lock();
+    for run in runs {
+        records.push(RunRecord {
+            label: run.scheme.replace('\u{1}', "."),
+            wall_secs: run.wall_secs,
+            events: run.report.events_processed,
+        });
+    }
+}
+
+/// Clears the recorder (tests and long-lived processes starting a new batch).
+pub fn clear() {
+    lock().clear();
+}
+
+/// A copy of everything recorded so far, in completion-batch order.
+#[must_use]
+pub fn snapshot() -> Vec<RunRecord> {
+    lock().clone()
+}
+
+/// Renders the recorder into a registry: aggregate totals under `grid.*`
+/// plus per-run entries under `grid.run.<index>.*` (indexed, not
+/// label-keyed, because the same app/scheme pair can run in several grids).
+#[must_use]
+pub fn registry() -> MetricsRegistry {
+    let records = snapshot();
+    let mut reg = MetricsRegistry::new();
+    let total_secs: f64 = records.iter().map(|r| r.wall_secs).sum();
+    let total_events: u64 = records.iter().map(|r| r.events).sum();
+    reg.count("grid.runs", records.len() as u64);
+    reg.gauge("grid.wall_secs", total_secs);
+    reg.count("grid.events", total_events);
+    reg.gauge(
+        "grid.events_per_sec",
+        if total_secs > 0.0 {
+            total_events as f64 / total_secs
+        } else {
+            0.0
+        },
+    );
+    for (i, r) in records.iter().enumerate() {
+        let mut scope = reg.scope(format!("grid.run.{i:04}.{}", r.label));
+        scope.gauge("wall_secs", r.wall_secs);
+        scope.count("events", r.events);
+        scope.gauge("events_per_sec", r.events_per_sec());
+    }
+    reg
+}
+
+/// One-line human summary for stderr (`all_figures` prints it after the
+/// figure loop). Empty string when nothing was recorded.
+#[must_use]
+pub fn summary_line() -> String {
+    let records = snapshot();
+    if records.is_empty() {
+        return String::new();
+    }
+    let total_secs: f64 = records.iter().map(|r| r.wall_secs).sum();
+    let total_events: u64 = records.iter().map(|r| r.events).sum();
+    let eps = if total_secs > 0.0 {
+        total_events as f64 / total_secs
+    } else {
+        0.0
+    };
+    format!(
+        "grid throughput: {} runs, {total_events} events in {total_secs:.2}s of worker time ({eps:.0} events/s)",
+        records.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_system::SimReport;
+
+    fn timed(label: &str, secs: f64, events: u64) -> TimedRun {
+        TimedRun {
+            scheme: label.to_string(),
+            report: SimReport {
+                events_processed: events,
+                ..Default::default()
+            },
+            wall_secs: secs,
+        }
+    }
+
+    // The recorder is process-global and other bench tests run grids in
+    // parallel, so assertions are containment/≥-style, never exact counts.
+    #[test]
+    fn record_sanitizes_labels_and_registry_exports_them() {
+        record(&[
+            timed("KM\u{1}idyll", 2.0, 1000),
+            timed("BS\u{1}base", 0.0, 7),
+        ]);
+        let snap = snapshot();
+        assert!(snap
+            .iter()
+            .any(|r| r.label == "KM.idyll" && r.events == 1000));
+        assert!(
+            snap.iter().all(|r| !r.label.contains('\u{1}')),
+            "labels must be sanitized"
+        );
+        let zero = snap
+            .iter()
+            .find(|r| r.label == "BS.base")
+            .expect("recorded");
+        assert!(
+            zero.events_per_sec().abs() < 1e-12,
+            "zero wall time must not divide"
+        );
+        let json = registry().to_json();
+        assert!(json.contains("\"grid.runs\""));
+        assert!(json.contains("\"grid.events_per_sec\""));
+        assert!(json.contains("KM.idyll.wall_secs"));
+        assert!(!summary_line().is_empty());
+    }
+}

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use idyll_core::irmb::IrmbConfig;
 use idyll_core::transfw::TransFwConfig;
 use mgpu_system::config::{DirectoryMode, IdyllConfig, SystemConfig};
-use mgpu_system::runner::{format_table, run_jobs, Job};
+use mgpu_system::runner::{format_table, run_jobs_timed, Job};
 use mgpu_system::system::SimError;
 use mgpu_system::SimReport;
 use uvm_driver::policy::MigrationPolicy;
@@ -78,6 +78,8 @@ impl Default for HarnessConfig {
     }
 }
 
+pub mod grid_metrics;
+
 /// `results[app][scheme]` for a completed grid.
 pub type Grid = BTreeMap<String, BTreeMap<String, SimReport>>;
 
@@ -127,6 +129,14 @@ impl Harness {
         cfg
     }
 
+    /// Runs jobs on the grid's thread pool, recording per-run wall-clock and
+    /// event counts into [`grid_metrics`] before stripping the timing.
+    fn run_jobs_recorded(&self, jobs: Vec<Job>) -> Result<Vec<(String, SimReport)>, SimError> {
+        let timed = run_jobs_timed(jobs, self.cfg.threads)?;
+        grid_metrics::record(&timed);
+        Ok(timed.into_iter().map(|t| (t.scheme, t.report)).collect())
+    }
+
     /// Runs `schemes` over the given apps at this harness's scale; returns
     /// `results[app][scheme]`.
     ///
@@ -149,7 +159,7 @@ impl Harness {
                 });
             }
         }
-        collect_grid(run_jobs(jobs, self.cfg.threads)?)
+        collect_grid(self.run_jobs_recorded(jobs)?)
     }
 
     fn rows(
@@ -711,7 +721,7 @@ impl Harness {
                 });
             }
         }
-        let grid = collect_grid(run_jobs(jobs, self.cfg.threads)?)?;
+        let grid = collect_grid(self.run_jobs_recorded(jobs)?)?;
         let rows = self.rows(&AppId::ALL, &grid, &["speedup"], |per, _| {
             per["idyll2M"].speedup_vs(&per["base2M"])
         });
@@ -796,7 +806,7 @@ impl Harness {
                 });
             }
         }
-        let grid = collect_grid(run_jobs(jobs, self.cfg.threads)?)?;
+        let grid = collect_grid(self.run_jobs_recorded(jobs)?)?;
         let mut s = String::from(
             "Figure 24: IDYLL on DNN workloads (paper: VGG16 +15.9%, ResNet18 +12.0%)\n",
         );

@@ -7,11 +7,10 @@
 //! and LRU absorbs most lookups; the paper reports a 60.2 % average hit
 //! rate.
 
-use std::collections::HashMap;
-
 use mem_model::assoc::{Inserted, SetAssoc};
 use mem_model::gpuset::GpuSet;
 use mem_model::interconnect::GpuId;
+use sim_engine::collections::DetHashMap;
 use vm_model::addr::Vpn;
 
 /// Number of access bits per VM-Table entry (19 in the paper).
@@ -51,7 +50,7 @@ pub struct VmAccess {
 #[derive(Debug, Clone)]
 pub struct VmDirectory {
     /// The in-memory VM-Table: authoritative access bits per VPN.
-    table: HashMap<Vpn, u32>,
+    table: DetHashMap<Vpn, u32>,
     /// The VM-Cache: 64 entries, 4-way (16 sets), LRU, write-back.
     cache: SetAssoc<VmLine>,
     n_gpus: usize,
@@ -74,7 +73,7 @@ impl VmDirectory {
     pub fn with_cache_geometry(n_gpus: usize, entries: usize, ways: usize) -> Self {
         assert!(entries.is_multiple_of(ways));
         VmDirectory {
-            table: HashMap::new(),
+            table: DetHashMap::default(),
             cache: SetAssoc::new(entries / ways, ways),
             n_gpus,
             hits: 0,

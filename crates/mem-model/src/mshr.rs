@@ -8,7 +8,7 @@
 //! subsequent requests to the same page being sent to GMMU ... because the
 //! original request resides in the L2 TLB MSHR".
 
-use std::collections::HashMap;
+use sim_engine::collections::DetHashMap;
 
 /// Outcome of registering a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mshr<W> {
-    entries: HashMap<u64, Vec<W>>,
+    entries: DetHashMap<u64, Vec<W>>,
     capacity: usize,
     merges: u64,
     stalls: u64,
@@ -51,7 +51,7 @@ impl<W> Mshr<W> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR needs at least one entry");
         Mshr {
-            entries: HashMap::new(),
+            entries: DetHashMap::default(),
             capacity,
             merges: 0,
             stalls: 0,

@@ -20,27 +20,77 @@ pub struct Job {
     pub workload: Workload,
 }
 
+/// One completed grid cell with its host-side cost: how long the job took
+/// on the wall and how many simulation events it processed. Throughput
+/// (events per second) is the grid-regression metric the `all_figures`
+/// fan-out exports.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Scheme label from the [`Job`].
+    pub scheme: String,
+    /// The simulation result.
+    pub report: SimReport,
+    /// Host wall-clock seconds spent constructing and running the system.
+    pub wall_secs: f64,
+}
+
+impl TimedRun {
+    /// Simulation events processed per host second (0 for a zero-length run).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // event counts are far below 2^52
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.report.events_processed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_one(job: Job) -> Result<TimedRun, SimError> {
+    // Wall-clock measures host throughput for the grid-metrics export; it
+    // never feeds simulation state or determinism-tested artifacts.
+    // simlint: allow(wall-clock) — harness throughput metric only
+    let t0 = std::time::Instant::now();
+    let Job {
+        scheme,
+        config,
+        workload,
+    } = job;
+    System::new(config, &workload).run().map(|report| TimedRun {
+        scheme,
+        report,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
 /// Runs a set of jobs, using up to `threads` OS threads, preserving job
 /// order in the result.
 ///
 /// # Errors
 /// Propagates the first [`SimError`] encountered.
 pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<(String, SimReport)>, SimError> {
+    Ok(run_jobs_timed(jobs, threads)?
+        .into_iter()
+        .map(|t| (t.scheme, t.report))
+        .collect())
+}
+
+/// Like [`run_jobs`], but each result carries its wall-clock cost so callers
+/// can surface per-run throughput (see `bench`'s grid-metrics export).
+///
+/// # Errors
+/// Propagates the first [`SimError`] encountered.
+///
+/// # Panics
+/// If a worker thread panics (poisoning the internal queue locks).
+pub fn run_jobs_timed(jobs: Vec<Job>, threads: usize) -> Result<Vec<TimedRun>, SimError> {
     let threads = threads.max(1);
     if threads == 1 || jobs.len() <= 1 {
-        return jobs
-            .into_iter()
-            .map(|job| {
-                let label = job.scheme.clone();
-                System::new(job.config, &job.workload)
-                    .run()
-                    .map(|r| (label, r))
-            })
-            .collect();
+        return jobs.into_iter().map(run_one).collect();
     }
     let n = jobs.len();
-    let mut results: Vec<Option<Result<(String, SimReport), SimError>>> =
-        (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<TimedRun, SimError>>> = (0..n).map(|_| None).collect();
     let jobs: Vec<(usize, Job)> = jobs.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(jobs);
     let out = std::sync::Mutex::new(&mut results);
@@ -52,10 +102,7 @@ pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<(String, SimReport
                     q.pop()
                 };
                 let Some((idx, job)) = job else { break };
-                let label = job.scheme.clone();
-                let result = System::new(job.config, &job.workload)
-                    .run()
-                    .map(|r| (label, r));
+                let result = run_one(job);
                 out.lock().expect("out lock")[idx] = Some(result);
             });
         }
@@ -71,6 +118,9 @@ pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<(String, SimReport
 ///
 /// # Errors
 /// Propagates the first [`SimError`].
+///
+/// # Panics
+/// If a worker thread panics (see [`run_jobs_timed`]).
 pub fn run_matrix(
     schemes: &[(&str, SystemConfig)],
     scale: Scale,
@@ -102,6 +152,8 @@ pub fn run_matrix(
 }
 
 /// Geometric mean of positive values (the paper averages speedups).
+#[must_use]
+#[allow(clippy::cast_precision_loss)] // figure tables have < 2^52 rows
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
@@ -111,6 +163,8 @@ pub fn geomean(values: &[f64]) -> f64 {
 }
 
 /// Arithmetic mean.
+#[must_use]
+#[allow(clippy::cast_precision_loss)] // figure tables have < 2^52 rows
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
@@ -122,34 +176,37 @@ pub fn mean(values: &[f64]) -> f64 {
 /// Formats a figure-style table: rows = workloads (paper order), columns =
 /// series, cell = formatted value; appends an `Ave.` row using the
 /// arithmetic mean (as the paper's figures do).
+#[must_use]
+#[allow(clippy::cast_precision_loss)] // figure tables have < 2^52 rows
 pub fn format_table(
     title: &str,
     columns: &[&str],
     rows: &[(&str, Vec<f64>)],
     precision: usize,
 ) -> String {
+    use std::fmt::Write as _;
     let mut s = String::new();
     s.push_str(title);
     s.push('\n');
-    s.push_str(&format!("{:<8}", "app"));
+    let _ = write!(s, "{:<8}", "app");
     for c in columns {
-        s.push_str(&format!("{c:>16}"));
+        let _ = write!(s, "{c:>16}");
     }
     s.push('\n');
     let mut sums = vec![0.0; columns.len()];
     for (app, values) in rows {
-        s.push_str(&format!("{app:<8}"));
+        let _ = write!(s, "{app:<8}");
         for (i, v) in values.iter().enumerate() {
-            s.push_str(&format!("{v:>16.precision$}"));
+            let _ = write!(s, "{v:>16.precision$}");
             sums[i] += v;
         }
         s.push('\n');
     }
     if !rows.is_empty() {
-        s.push_str(&format!("{:<8}", "Ave."));
+        let _ = write!(s, "{:<8}", "Ave.");
         for sum in sums {
             let avg = sum / rows.len() as f64;
-            s.push_str(&format!("{avg:>16.precision$}"));
+            let _ = write!(s, "{avg:>16.precision$}");
         }
         s.push('\n');
     }
@@ -167,8 +224,8 @@ mod tests {
     fn geomean_and_mean() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
-        assert_eq!(geomean(&[]), 0.0);
-        assert_eq!(mean(&[]), 0.0);
+        assert!(geomean(&[]).abs() < 1e-12);
+        assert!(mean(&[]).abs() < 1e-12);
     }
 
     #[test]

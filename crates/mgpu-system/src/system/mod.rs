@@ -15,8 +15,6 @@ mod migrate;
 mod observe;
 mod translate;
 
-use std::collections::HashMap;
-
 use gpu_model::gmmu::{DispatchedWalk, WalkClass};
 use gpu_model::gpu::Gpu;
 use idyll_core::directory::{DirectoryConfig, InPteDirectory};
@@ -25,6 +23,7 @@ use idyll_core::transfw::TransFw;
 use idyll_core::vm_table::VmDirectory;
 use mem_model::gpuset::GpuSet;
 use mem_model::interconnect::{Interconnect, Node, PipeStat};
+use sim_engine::collections::{DetHashMap, DetHashSet};
 use sim_engine::resource::ThreadPool;
 use sim_engine::stats::Accumulator;
 use sim_engine::trace::Tracer;
@@ -182,7 +181,7 @@ pub struct System {
     pub(crate) migrations: MigrationTable,
     pub(crate) replicas: ReplicaDirectory,
     /// Physical frames holding read replicas: (gpu, vpn) → ppn.
-    pub(crate) replica_frames: HashMap<(usize, Vpn), u64>,
+    pub(crate) replica_frames: DetHashMap<(usize, Vpn), u64>,
     // IDYLL mechanisms.
     pub(crate) irmbs: Vec<Irmb>,
     pub(crate) in_pte_dir: Option<InPteDirectory>,
@@ -201,19 +200,19 @@ pub struct System {
     pub(crate) instructions: u64,
     pub(crate) sharing_distribution: Vec<f64>,
     /// Pages whose in-PTE directory lookup awaits the host walk.
-    pub(crate) pending_dir_lookup: std::collections::HashSet<Vpn>,
+    pub(crate) pending_dir_lookup: DetHashSet<Vpn>,
     /// `(gpu, vpn)` pairs whose invalidation for the current migration has
     /// already been processed locally (walk finished / IRMB insert /
     /// instantaneous). Used to close the ack-in-flight window in the
     /// stale-install guard.
-    pub(crate) inval_done: std::collections::HashSet<(usize, Vpn)>,
+    pub(crate) inval_done: DetHashSet<(usize, Vpn)>,
     /// Last completed migration per page (anti-thrash cooldown).
-    pub(crate) last_migration: HashMap<Vpn, Cycle>,
+    pub(crate) last_migration: DetHashMap<Vpn, Cycle>,
     // Request tracking.
-    pub(crate) inflight_faults: std::collections::HashSet<(usize, Vpn)>,
-    pub(crate) reqs: HashMap<u64, Req>,
+    pub(crate) inflight_faults: DetHashSet<(usize, Vpn)>,
+    pub(crate) reqs: DetHashMap<u64, Req>,
     pub(crate) next_token: u64,
-    pub(crate) updates: HashMap<u64, PendingUpdate>,
+    pub(crate) updates: DetHashMap<u64, PendingUpdate>,
     pub(crate) next_update: u64,
     /// Walk requests that found the page-walk queue full, per GPU
     /// (upstream stall buffer, drained before new dispatches).
@@ -310,7 +309,7 @@ impl System {
             counters: AccessCounters::new(),
             migrations: MigrationTable::new(),
             replicas: ReplicaDirectory::new(),
-            replica_frames: HashMap::new(),
+            replica_frames: DetHashMap::default(),
             irmbs,
             in_pte_dir,
             vm_dir,
@@ -322,13 +321,13 @@ impl System {
             workload_name: workload.name.clone(),
             instructions: workload.total_instructions(),
             sharing_distribution: workload.access_sharing_distribution(),
-            pending_dir_lookup: std::collections::HashSet::new(),
-            inval_done: std::collections::HashSet::new(),
-            last_migration: HashMap::new(),
-            inflight_faults: std::collections::HashSet::new(),
-            reqs: HashMap::new(),
+            pending_dir_lookup: DetHashSet::default(),
+            inval_done: DetHashSet::default(),
+            last_migration: DetHashMap::default(),
+            inflight_faults: DetHashSet::default(),
+            reqs: DetHashMap::default(),
             next_token: 0,
-            updates: HashMap::new(),
+            updates: DetHashMap::default(),
             next_update: 0,
             overflow: (0..cfg.n_gpus)
                 .map(|_| std::collections::VecDeque::new())
@@ -459,6 +458,7 @@ impl System {
         };
         // Wall-clock is only used for stderr progress lines, never for
         // simulation decisions or exported artifacts, so determinism holds.
+        // simlint: allow(wall-clock) — heartbeat progress reporting only
         let started = std::time::Instant::now();
         let mut next_heartbeat = self.progress_every;
         while let Some((at, ev)) = self.events.pop() {

@@ -321,15 +321,21 @@ impl System {
             "migrations in flight: {}\n",
             self.migrations.in_flight()
         ));
-        for m in self.migrations.iter() {
+        let mut migs: Vec<_> = self.migrations.iter().collect();
+        migs.sort_by_key(|m| m.vpn);
+        for m in migs {
             d.push_str(&format!(
                 "  mig vpn={:#x} from={} to={} phase={:?} acks={} host_walk={}\n",
                 m.vpn.0, m.from, m.to, m.phase, m.pending_acks, m.host_walk_done
             ));
         }
         d.push_str(&format!("live reqs: {}\n", self.reqs.len()));
-        let mut sample: Vec<_> = self.reqs.iter().take(5).collect();
+        // Collect everything before sorting so the sample is the 5 oldest
+        // tokens, not 5 arbitrary bucket-order entries.
+        // simlint: allow(unordered-iter) — sorted by token before use
+        let mut sample: Vec<_> = self.reqs.iter().collect();
         sample.sort_by_key(|(t, _)| **t);
+        sample.truncate(5);
         for (t, r) in sample {
             d.push_str(&format!(
                 "  req {t}: gpu={} vpn={:#x} write={} issued={}\n",

@@ -1,0 +1,306 @@
+//! Deterministic hash collections for the model crates.
+//!
+//! `std::collections::HashMap` seeds its hasher from process entropy
+//! (`RandomState`), so bucket — and therefore iteration — order varies
+//! between runs and platforms. One `for (k, v) in map` over such a map on a
+//! path that schedules events or exports statistics silently breaks the
+//! byte-identical-replay invariant (DESIGN.md invariant 5). Model crates
+//! therefore use [`DetHashMap`]/[`DetHashSet`]: the same `std` tables with a
+//! fixed-seed FxHash-style hasher that behaves identically on every platform
+//! and in every process.
+//!
+//! These aliases keep hash-map lookup costs (the reason we are not using
+//! `BTreeMap` everywhere) while removing the entropy. Iteration order is
+//! *stable*, not *meaningful*: code whose output depends on visit order
+//! should still sort or use a `BTreeMap`. The `simlint` rule
+//! `unordered-iter` polices exactly that.
+//!
+//! # Hostile-seed testing
+//!
+//! The fixed seed can be perturbed via the `IDYLL_HASH_SEED` environment
+//! variable (decimal or `0x`-prefixed hex). Exports must not change when the
+//! seed does — `tests/determinism.rs` runs the full system under a hostile
+//! seed to prove no result depends on bucket order. The variable exists to
+//! *attack* determinism in tests, never to tune it.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::collections::DetHashMap;
+//!
+//! // Note `::default()`, not `::new()`: the aliases carry a non-default
+//! // hasher type parameter, so `new()` is not available.
+//! let mut m: DetHashMap<u64, &str> = DetHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+// simlint: allow(default-hasher-map) — this module defines the deterministic replacements
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// `HashMap` with a fixed-seed deterministic hasher.
+// simlint: allow(default-hasher-map) — alias definition, not a use site
+pub type DetHashMap<K, V> = HashMap<K, V, DetState>;
+
+/// `HashSet` with a fixed-seed deterministic hasher.
+// simlint: allow(default-hasher-map) — alias definition, not a use site
+pub type DetHashSet<T> = HashSet<T, DetState>;
+
+/// `FxHash` multiplier (the Firefox/rustc hash constant).
+const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// [`BuildHasher`] with an explicit seed; `Default` uses a fixed seed (or
+/// `IDYLL_HASH_SEED` when set, for hostile-seed determinism tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetState {
+    seed: u64,
+}
+
+impl DetState {
+    /// A build-hasher with the given seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        DetState { seed }
+    }
+
+    /// The seed in use.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Default for DetState {
+    fn default() -> Self {
+        DetState { seed: env_seed() }
+    }
+}
+
+/// Reads `IDYLL_HASH_SEED` fresh on every map construction (no caching), so
+/// tests can flip it mid-process. Absent or unparsable values fall back to
+/// seed 0, the cross-platform default.
+fn env_seed() -> u64 {
+    match std::env::var("IDYLL_HASH_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse::<u64>()
+            };
+            parsed.unwrap_or(0)
+        }
+        Err(_) => 0,
+    }
+}
+
+impl BuildHasher for DetState {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
+
+/// The `FxHash` function: rotate, xor, multiply per word. Not DoS-resistant —
+/// which is the point: identical inputs hash identically everywhere.
+#[derive(Debug, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (chunk, tail) = rest.split_at(8);
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            // Pad the tail into one word, length-tagged so "ab" != "ab\0".
+            let mut word = rest.len() as u64;
+            for &b in rest {
+                word = (word << 8) | u64::from(b);
+            }
+            self.add(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // both halves are hashed
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        // Cast through u64 so 32- and 64-bit platforms hash identically.
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add(u64::from(i.cast_unsigned()));
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add(u64::from(i.cast_unsigned()));
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add(u64::from(i.cast_unsigned()));
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i.cast_unsigned());
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add(i.cast_unsigned() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T, state: DetState) -> u64 {
+        state.hash_one(v)
+    }
+
+    #[test]
+    fn hashes_are_reproducible_within_and_across_states() {
+        let s = DetState::with_seed(0);
+        assert_eq!(hash_of(&42u64, s), hash_of(&42u64, s));
+        assert_eq!(
+            hash_of(&(3usize, 9u64), s),
+            hash_of(&(3usize, 9u64), DetState::with_seed(0))
+        );
+        assert_ne!(hash_of(&1u64, s), hash_of(&2u64, s));
+    }
+
+    #[test]
+    fn known_vector_pins_the_function_cross_platform() {
+        // Golden value: changing the hash function (accidentally or not)
+        // re-buckets every map and must be a conscious decision.
+        assert_eq!(hash_of(&0xdead_beefu64, DetState::with_seed(0)), {
+            let mut h = FxHasher { hash: 0 };
+            h.add(0xdead_beef);
+            h.finish()
+        });
+        assert_eq!(
+            hash_of(&0u64, DetState::with_seed(0)),
+            0u64.wrapping_mul(FX_K)
+        );
+    }
+
+    #[test]
+    fn byte_strings_tail_is_length_tagged() {
+        let s = DetState::with_seed(0);
+        assert_ne!(hash_of(&"ab", s), hash_of(&"ab\0", s));
+        assert_ne!(hash_of(&"abcdefgh", s), hash_of(&"abcdefg", s));
+    }
+
+    #[test]
+    fn seed_changes_hashes() {
+        assert_ne!(
+            hash_of(&7u64, DetState::with_seed(0)),
+            hash_of(&7u64, DetState::with_seed(1))
+        );
+    }
+
+    fn filled(state: DetState) -> Vec<(u64, u64)> {
+        let mut m: DetHashMap<u64, u64> = DetHashMap::with_hasher(state);
+        for i in 0..512 {
+            m.insert(i * 2_654_435_761 % 1009, i);
+        }
+        m.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    #[test]
+    fn iteration_order_is_identical_across_instances() {
+        // Explicit seed (not Default) so a concurrent test touching
+        // IDYLL_HASH_SEED cannot race the two constructions.
+        assert_eq!(
+            filled(DetState::with_seed(0)),
+            filled(DetState::with_seed(0))
+        );
+    }
+
+    #[test]
+    fn hostile_seed_really_perturbs_bucket_order() {
+        // The determinism suite's hostile-seed test is only meaningful if a
+        // different seed actually produces a different iteration order.
+        let a = filled(DetState::with_seed(0));
+        let b = filled(DetState::with_seed(0xdead_beef));
+        assert_eq!(a.len(), b.len(), "same contents regardless of seed");
+        assert_ne!(a, b, "seed must change bucket order");
+    }
+
+    #[test]
+    fn default_state_reads_the_env_seed() {
+        // set_var is safe in edition 2021. Other tests in this module use
+        // explicit seeds, so the brief flip cannot perturb them.
+        std::env::set_var("IDYLL_HASH_SEED", "0xBEEF");
+        let hex = DetState::default();
+        std::env::set_var("IDYLL_HASH_SEED", "48879");
+        let dec = DetState::default();
+        std::env::set_var("IDYLL_HASH_SEED", "not-a-number");
+        let junk = DetState::default();
+        std::env::remove_var("IDYLL_HASH_SEED");
+        let unset = DetState::default();
+        assert_eq!(hex.seed(), 0xBEEF);
+        assert_eq!(dec.seed(), 48879);
+        assert_eq!(junk.seed(), 0, "unparsable values fall back to 0");
+        assert_eq!(unset.seed(), 0);
+    }
+
+    #[test]
+    fn set_alias_works() {
+        let mut s: DetHashSet<(usize, u64)> = DetHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+    }
+}

@@ -12,7 +12,9 @@
 //!   (used to model page-table-walker threads and similar units),
 //! * [`trace`] — span/event tracing with a Chrome-trace (Perfetto) exporter,
 //! * [`metrics`] — a hierarchical end-of-run metrics registry with
-//!   deterministic JSON export.
+//!   deterministic JSON export,
+//! * [`collections`] — fixed-seed hash maps/sets ([`DetHashMap`],
+//!   [`DetHashSet`]) so model state never depends on process entropy.
 //!
 //! # Example
 //!
@@ -26,6 +28,7 @@
 //! assert_eq!((t, e), (Cycle(5), "early"));
 //! ```
 
+pub mod collections;
 pub mod event;
 pub mod metrics;
 pub mod queue;
@@ -36,6 +39,7 @@ pub mod time;
 pub mod trace;
 pub mod tracelog;
 
+pub use collections::{DetHashMap, DetHashSet};
 pub use event::EventQueue;
 pub use metrics::MetricsRegistry;
 pub use rng::DetRng;

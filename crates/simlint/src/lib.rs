@@ -1,0 +1,884 @@
+//! Source-level determinism lint for the IDYLL workspace.
+//!
+//! The simulator's core invariant — identical seed and configuration produce
+//! byte-identical results (DESIGN.md invariant 5) — is enforced dynamically
+//! by `tests/determinism.rs`, but only *after* a bug manifests. This crate
+//! enforces it statically: a line-scanner (no `syn`, no rustc plugin) walks
+//! the workspace sources and flags constructs that smuggle process entropy,
+//! wall-clock time, or unordered iteration into model code.
+//!
+//! # Rules
+//!
+//! | id | severity | meaning |
+//! |----|----------|---------|
+//! | `default-hasher-map` | error | `HashMap`/`HashSet` with the entropy-seeded default hasher in a model crate; use `sim_engine::collections::{DetHashMap, DetHashSet}` or `BTreeMap` |
+//! | `wall-clock` | error | `Instant::now` / `SystemTime` outside `bench`; simulated time is `Cycle` |
+//! | `ambient-rng` | error | `thread_rng`, `rand::`, `fastrand`, `getrandom`; randomness must flow through `DetRng` |
+//! | `float-ord-key` | error | `f32`/`f64` keys in ordered containers (`BinaryHeap`, `BTreeMap`, `BTreeSet`) |
+//! | `unordered-iter` | error | `.iter()`/`.keys()`/`.values()`/`.drain()` over a known hash map in a model crate; visit order must never reach event scheduling or exports |
+//! | `bare-allow` | warning | a `simlint: allow(...)` escape without a reason, or naming an unknown rule |
+//!
+//! # Escape hatch
+//!
+//! A finding is waived by an inline comment on the same line or on the
+//! directly preceding comment-only line:
+//!
+//! ```text
+//! // simlint: allow(wall-clock) — heartbeat progress reporting only
+//! let started = std::time::Instant::now();
+//! ```
+//!
+//! The reason after the closing parenthesis is mandatory (a bare allow is
+//! itself reported). Grandfathered sites that cannot carry a comment live in
+//! the committed `simlint.baseline` file, keyed by `(rule, path)`.
+//!
+//! # Scope
+//!
+//! Model crates (everything the simulation's results flow through) get all
+//! rules; other workspace crates get the wall-clock/randomness/float rules.
+//! `bench` (harness timing is its job), the vendored `proptest` stub, and
+//! `simlint` itself are exempt. `tests/` directories and everything after a
+//! `#[cfg(test)]` line are skipped: tests may use whatever they like.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources feed simulation results: all rules apply.
+/// `idyll` is the workspace root package (`src/`).
+pub const MODEL_CRATES: &[&str] = &[
+    "core",
+    "gpu-model",
+    "idyll",
+    "mem-model",
+    "mgpu-system",
+    "sim-engine",
+    "uvm-driver",
+    "vm-model",
+    "workloads",
+];
+
+/// Crates the scanner never enters.
+pub const EXEMPT_CRATES: &[&str] = &["bench", "proptest", "simlint"];
+
+/// Diagnostic severity; only errors fail `--check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported but non-fatal.
+    Warning,
+    /// Fails the lint run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The lint rules. See the crate docs for the registry table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// Entropy-seeded `HashMap`/`HashSet` in a model crate.
+    DefaultHasherMap,
+    /// `Instant::now` / `SystemTime` outside bench.
+    WallClock,
+    /// `thread_rng` / `rand::` / `fastrand` / `getrandom`.
+    AmbientRng,
+    /// `f32`/`f64` keys in an ordered container.
+    FloatOrdKey,
+    /// Unordered-map iteration in a model crate.
+    UnorderedIter,
+    /// Malformed or reason-less `allow` escape.
+    BareAllow,
+}
+
+impl Rule {
+    /// Every rule, in diagnostic-id order.
+    pub const ALL: [Rule; 6] = [
+        Rule::AmbientRng,
+        Rule::BareAllow,
+        Rule::DefaultHasherMap,
+        Rule::FloatOrdKey,
+        Rule::UnorderedIter,
+        Rule::WallClock,
+    ];
+
+    /// The stable id used in diagnostics, `allow(...)` lists and baselines.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DefaultHasherMap => "default-hasher-map",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::FloatOrdKey => "float-ord-key",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::BareAllow => "bare-allow",
+        }
+    }
+
+    /// Parses a rule id.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    /// Per-rule severity.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::BareAllow => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::DefaultHasherMap => {
+                "no entropy-seeded HashMap/HashSet in model crates; use DetHashMap/DetHashSet or BTreeMap"
+            }
+            Rule::WallClock => "no Instant::now/SystemTime outside bench; simulated time is Cycle",
+            Rule::AmbientRng => "no thread_rng/rand::/fastrand/getrandom; randomness flows through DetRng",
+            Rule::FloatOrdKey => "no f32/f64 keys in BinaryHeap/BTreeMap/BTreeSet ordering",
+            Rule::UnorderedIter => {
+                "no iter()/keys()/values()/drain() over unordered maps in model crates"
+            }
+            Rule::BareAllow => "simlint allow escapes must name known rules and carry a reason",
+        }
+    }
+}
+
+/// One finding, anchored to a `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong, with the offending token named.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.path,
+            self.line,
+            self.rule.severity(),
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// A parsed `simlint: allow(...)` escape.
+#[derive(Debug, Clone, Default)]
+struct AllowSpec {
+    /// Rule ids listed inside the parentheses (may include unknown ids).
+    rules: Vec<String>,
+    /// Whether explanatory text follows the closing parenthesis.
+    has_reason: bool,
+    /// Whether the comment contained `simlint:` but failed to parse.
+    malformed: bool,
+}
+
+impl AllowSpec {
+    fn covers(&self, rule: Rule) -> bool {
+        self.rules.iter().any(|r| r == rule.id())
+    }
+}
+
+/// Extracts the `allow` spec from a comment, if any.
+fn parse_allow(comment: &str) -> Option<AllowSpec> {
+    let idx = comment.find("simlint:")?;
+    let rest = comment[idx + "simlint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(AllowSpec {
+            malformed: true,
+            ..AllowSpec::default()
+        });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(AllowSpec {
+            malformed: true,
+            ..AllowSpec::default()
+        });
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let reason = rest[close + 1..].trim_matches([' ', '\t', '—', '–', '-', ':', ','].as_slice());
+    Some(AllowSpec {
+        has_reason: !reason.is_empty(),
+        malformed: rules.is_empty(),
+        rules,
+    })
+}
+
+/// One source line after preprocessing: comments split off, escapes parsed.
+#[derive(Debug)]
+struct LineInfo {
+    /// 1-based line number.
+    number: usize,
+    /// The line with any `//` comment removed.
+    code: String,
+    /// `allow` escape found in this line's comment, if any.
+    allow: Option<AllowSpec>,
+    /// Whether the line holds no code at all (blank or comment-only).
+    comment_only: bool,
+}
+
+/// Splits a file into [`LineInfo`]s, stopping at the first `#[cfg(test)]`
+/// (everything after is test code, outside the lint's scope). A minimal
+/// block-comment tracker keeps `/* ... */` bodies out of the code channel.
+fn preprocess(source: &str) -> Vec<LineInfo> {
+    let mut out = Vec::new();
+    let mut in_block = false;
+    for (i, raw) in source.lines().enumerate() {
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut rest = raw;
+        loop {
+            if in_block {
+                match rest.find("*/") {
+                    Some(end) => {
+                        in_block = false;
+                        rest = &rest[end + 2..];
+                    }
+                    None => break,
+                }
+            } else if let Some(block) = rest.find("/*") {
+                let line = rest.find("//").filter(|&c| c < block);
+                if let Some(c) = line {
+                    comment.push_str(&rest[c + 2..]);
+                    break;
+                }
+                code.push_str(&rest[..block]);
+                in_block = true;
+                rest = &rest[block + 2..];
+            } else {
+                match rest.find("//") {
+                    Some(c) => {
+                        code.push_str(&rest[..c]);
+                        comment.push_str(&rest[c + 2..]);
+                    }
+                    None => code.push_str(rest),
+                }
+                break;
+            }
+        }
+        if code.trim() == "#[cfg(test)]" {
+            break;
+        }
+        out.push(LineInfo {
+            number: i + 1,
+            comment_only: code.trim().is_empty(),
+            allow: parse_allow(&comment),
+            code,
+        });
+    }
+    out
+}
+
+/// Is `c` part of an identifier?
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `hay` at a word boundary on both sides, starting the
+/// search at byte offset `from`. Needles ending in non-ident chars (`::`)
+/// only need the leading boundary.
+fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    let mut at = from;
+    while let Some(rel) = hay[at..].find(needle) {
+        let pos = at + rel;
+        let lead_ok = hay[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
+        let tail = &hay[pos + needle.len()..];
+        let needle_tail_ident = needle.chars().next_back().is_some_and(is_ident);
+        let tail_ok = !needle_tail_ident || tail.chars().next().is_none_or(|c| !is_ident(c));
+        if lead_ok && tail_ok {
+            return Some(pos);
+        }
+        at = pos + needle.len();
+    }
+    None
+}
+
+fn contains_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle, 0).is_some()
+}
+
+/// Backscans the text before a map-type token for the identifier being
+/// declared (`reqs: HashMap<...>`, `let mut holders = DetHashMap::...`).
+fn decl_ident(before: &str) -> Option<String> {
+    let s = before.trim_end();
+    let s = s
+        .strip_suffix(':')
+        .or_else(|| s.strip_suffix('='))?
+        .trim_end();
+    let ident: String = s
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Map-type tokens rule 4 tracks declarations of. `BTreeMap` is deliberately
+/// absent: its iteration order is defined.
+const MAP_TYPES: &[&str] = &["DetHashMap", "DetHashSet", "HashMap", "HashSet"];
+
+/// Method suffixes whose results expose bucket order. `retain`/`entry`/`get`
+/// are absent: they do not leak order to the caller.
+const ORDER_LEAKS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+];
+
+/// Wall-clock patterns (rule 2).
+const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
+
+/// Ambient-randomness patterns (rule 2's sibling).
+const RNG_PATTERNS: &[&str] = &["thread_rng", "rand::", "fastrand", "getrandom"];
+
+/// Ordered containers that must not key on floats (rule 3).
+const ORDERED_CONTAINERS: &[&str] = &["BinaryHeap<", "BTreeMap<", "BTreeSet<"];
+
+/// Lints one crate given `(workspace-relative path, source)` pairs.
+///
+/// Runs two passes: the first collects identifiers declared with hash-map
+/// types anywhere in the crate (fields in one file are iterated in another),
+/// the second scans each line against the rule set.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one linear match per rule; splitting obscures the scan order
+pub fn lint_crate(crate_name: &str, files: &[(String, String)]) -> Vec<Diagnostic> {
+    let model = MODEL_CRATES.contains(&crate_name);
+    let pre: Vec<(&str, Vec<LineInfo>)> = files
+        .iter()
+        .map(|(p, s)| (p.as_str(), preprocess(s)))
+        .collect();
+
+    // Pass 1: identifiers declared as hash maps anywhere in the crate.
+    let mut map_idents: Vec<String> = Vec::new();
+    if model {
+        for (_, lines) in &pre {
+            for l in lines {
+                for ty in MAP_TYPES {
+                    let mut from = 0;
+                    while let Some(pos) = find_word(&l.code, ty, from) {
+                        if let Some(id) = decl_ident(&l.code[..pos]) {
+                            if !map_idents.contains(&id) {
+                                map_idents.push(id);
+                            }
+                        }
+                        from = pos + ty.len();
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: per-line checks.
+    let mut diags = Vec::new();
+    for (path, lines) in &pre {
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(allow) = &l.allow {
+                if allow.malformed {
+                    diags.push(Diagnostic {
+                        rule: Rule::BareAllow,
+                        path: (*path).to_string(),
+                        line: l.number,
+                        message: "malformed simlint comment; expected `simlint: allow(<rule>) — <reason>`".into(),
+                    });
+                } else {
+                    for r in &allow.rules {
+                        if Rule::from_id(r).is_none() {
+                            diags.push(Diagnostic {
+                                rule: Rule::BareAllow,
+                                path: (*path).to_string(),
+                                line: l.number,
+                                message: format!("allow names unknown rule `{r}`"),
+                            });
+                        }
+                    }
+                    if !allow.has_reason {
+                        diags.push(Diagnostic {
+                            rule: Rule::BareAllow,
+                            path: (*path).to_string(),
+                            line: l.number,
+                            message: "allow without a reason; explain why the escape is sound"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            if l.comment_only {
+                continue;
+            }
+            // An allow on this line, or on a directly preceding comment-only
+            // line, waives findings here.
+            let allowed = |rule: Rule| -> bool {
+                let own = l.allow.as_ref().is_some_and(|a| a.covers(rule));
+                let prev = i
+                    .checked_sub(1)
+                    .and_then(|j| lines.get(j))
+                    .filter(|p| p.comment_only)
+                    .and_then(|p| p.allow.as_ref())
+                    .is_some_and(|a| a.covers(rule));
+                own || prev
+            };
+            let mut push = |rule: Rule, message: String| {
+                if !allowed(rule) {
+                    diags.push(Diagnostic {
+                        rule,
+                        path: (*path).to_string(),
+                        line: l.number,
+                        message,
+                    });
+                }
+            };
+
+            if model {
+                for word in ["HashMap", "HashSet"] {
+                    if contains_word(&l.code, word) {
+                        push(
+                            Rule::DefaultHasherMap,
+                            format!(
+                                "entropy-seeded `{word}` in model crate; use `sim_engine::collections::Det{word}` or `BTreeMap`"
+                            ),
+                        );
+                    }
+                }
+            }
+            for pat in CLOCK_PATTERNS {
+                if contains_word(&l.code, pat) {
+                    push(
+                        Rule::WallClock,
+                        format!("wall-clock `{pat}` outside bench; simulated time must come from `Cycle`"),
+                    );
+                }
+            }
+            for pat in RNG_PATTERNS {
+                if contains_word(&l.code, pat) {
+                    push(
+                        Rule::AmbientRng,
+                        format!(
+                            "ambient randomness `{pat}`; all randomness must flow through `DetRng`"
+                        ),
+                    );
+                }
+            }
+            {
+                let squeezed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+                for container in ORDERED_CONTAINERS {
+                    let mut from = 0;
+                    while let Some(rel) = squeezed[from..].find(container) {
+                        let after = &squeezed[from + rel + container.len()..];
+                        let key = after.trim_start_matches(['(', '&']);
+                        if key.starts_with("f32") || key.starts_with("f64") {
+                            push(
+                                Rule::FloatOrdKey,
+                                format!(
+                                    "float key in `{}`; floats are not totally ordered",
+                                    container.trim_end_matches('<')
+                                ),
+                            );
+                        }
+                        from += rel + container.len();
+                    }
+                }
+            }
+            if model {
+                for ident in &map_idents {
+                    let mut from = 0;
+                    while let Some(pos) = find_word(&l.code, ident, from) {
+                        let after = &l.code[pos + ident.len()..];
+                        if let Some(leak) = ORDER_LEAKS.iter().find(|s| after.starts_with(**s)) {
+                            push(
+                                Rule::UnorderedIter,
+                                format!(
+                                    "`{ident}{leak}` iterates an unordered map; sort, aggregate order-insensitively, or use `BTreeMap`",
+                                    leak = leak.trim_end_matches(['(', ')'])
+                                ),
+                            );
+                        }
+                        from = pos + ident.len();
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Committed waivers for grandfathered sites, keyed by `(rule, path)`.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: Vec<(Rule, String, String)>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format: one `<rule-id> <path> — <reason>`
+    /// per line, `#` comments and blanks ignored.
+    ///
+    /// # Errors
+    /// Returns a line-numbered message for an unknown rule id, a missing
+    /// path, or a missing reason.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default();
+            let path = parts.next().unwrap_or_default();
+            let reason = parts
+                .next()
+                .unwrap_or_default()
+                .trim_matches([' ', '—', '–', '-', ':'].as_slice());
+            let rule = Rule::from_id(rule)
+                .ok_or_else(|| format!("baseline line {}: unknown rule `{rule}`", i + 1))?;
+            if path.is_empty() {
+                return Err(format!("baseline line {}: missing path", i + 1));
+            }
+            if reason.is_empty() {
+                return Err(format!(
+                    "baseline line {}: missing reason (format: <rule> <path> — <reason>)",
+                    i + 1
+                ));
+            }
+            entries.push((rule, path.to_string(), reason.to_string()));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Whether a diagnostic is grandfathered.
+    #[must_use]
+    pub fn suppresses(&self, d: &Diagnostic) -> bool {
+        self.entries
+            .iter()
+            .any(|(rule, path, _)| *rule == d.rule && *path == d.path)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders a baseline covering `diags`, one entry per `(rule, path)`.
+    #[must_use]
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut out = String::from(
+            "# simlint baseline — grandfathered findings, one `<rule-id> <path> — <reason>` per line.\n\
+             # Remove entries as sites are migrated; never add one without a reason.\n",
+        );
+        let mut seen: Vec<(Rule, &str)> = Vec::new();
+        for d in diags {
+            if d.rule.severity() == Severity::Error && !seen.contains(&(d.rule, d.path.as_str())) {
+                seen.push((d.rule, d.path.as_str()));
+                out.push_str(d.rule.id());
+                out.push(' ');
+                out.push_str(&d.path);
+                out.push_str(" — TODO: justify or migrate\n");
+            }
+        }
+        out
+    }
+}
+
+/// Result of a workspace scan.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// All findings, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Crates scanned.
+    pub crates_scanned: usize,
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans a workspace rooted at `root`: the root package's `src/` (as crate
+/// `idyll`) plus every `crates/<name>/src/` with `<name>` not exempt.
+///
+/// # Errors
+/// Propagates I/O failures reading the workspace tree.
+pub fn lint_workspace(root: &Path) -> io::Result<ScanReport> {
+    let mut targets: Vec<(String, PathBuf)> = Vec::new();
+    if root.join("src").is_dir() {
+        targets.push(("idyll".to_string(), root.join("src")));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if EXEMPT_CRATES.contains(&name.as_str()) {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                targets.push((name, src));
+            }
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0;
+    for (name, src) in &targets {
+        let mut paths = Vec::new();
+        collect_rs(src, &mut paths)?;
+        let mut files = Vec::with_capacity(paths.len());
+        for p in &paths {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push((rel, fs::read_to_string(p)?));
+        }
+        files_scanned += files.len();
+        diagnostics.extend(lint_crate(name, &files));
+    }
+    diagnostics
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(ScanReport {
+        diagnostics,
+        files_scanned,
+        crates_scanned: targets.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crate_of(name: &str, src: &str) -> Vec<Diagnostic> {
+        lint_crate(
+            name,
+            &[("crates/x/src/lib.rs".to_string(), src.to_string())],
+        )
+    }
+
+    #[test]
+    fn flags_default_hasher_in_model_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        let d = crate_of("mgpu-system", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::DefaultHasherMap);
+        assert_eq!(d[0].line, 1);
+        assert!(crate_of("some-tool", src).is_empty());
+    }
+
+    #[test]
+    fn det_aliases_do_not_trip_the_word_boundary() {
+        let src = "use sim_engine::collections::{DetHashMap, DetHashSet};\n\
+                   struct S { m: DetHashMap<u64, u64> }\n";
+        assert!(crate_of("mgpu-system", src).is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_and_rng_everywhere() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n\
+                   fn g() -> u64 { rand::random() }\n\
+                   fn h() { let _ = std::time::SystemTime::UNIX_EPOCH; }\n";
+        let d = crate_of("some-tool", src);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].rule, Rule::WallClock);
+        assert_eq!(d[1].rule, Rule::AmbientRng);
+        assert_eq!(d[2].rule, Rule::WallClock);
+        // `operand::x` must not trip the `rand::` pattern.
+        assert!(crate_of("some-tool", "use operand::x;\n").is_empty());
+    }
+
+    #[test]
+    fn flags_float_ordering_keys() {
+        let src = "use std::collections::BinaryHeap;\n\
+                   struct Q { q: BinaryHeap<f64>, m: std::collections::BTreeMap<f32, u32> }\n\
+                   struct R { q: BinaryHeap<(f64, u64)> }\n\
+                   struct Ok { q: BinaryHeap<u64> }\n";
+        let d = crate_of("some-tool", src);
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::FloatOrdKey).count(), 3);
+    }
+
+    #[test]
+    fn flags_unordered_iteration_cross_file() {
+        let files = vec![
+            (
+                "crates/x/src/state.rs".to_string(),
+                "pub struct S { pub(crate) reqs: HashMap<u64, u32> }\n".to_string(),
+            ),
+            (
+                "crates/x/src/dump.rs".to_string(),
+                "fn f(s: &super::S) { for (k, v) in s.reqs.iter() { drop((k, v)); } }\n\
+                 fn g(s: &super::S) -> usize { s.reqs.len() }\n"
+                    .to_string(),
+            ),
+        ];
+        let d = lint_crate("mgpu-system", &files);
+        let iters: Vec<_> = d.iter().filter(|d| d.rule == Rule::UnorderedIter).collect();
+        assert_eq!(iters.len(), 1);
+        assert_eq!(iters[0].path, "crates/x/src/dump.rs");
+        assert_eq!(iters[0].line, 1);
+    }
+
+    #[test]
+    fn tracks_det_map_declarations_for_unordered_iter() {
+        let src = "struct S { m: DetHashMap<u64, u64> }\n\
+                   fn f(s: &S) { for k in s.m.keys() { drop(k); } }\n";
+        let d = crate_of("mgpu-system", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn allow_escape_waives_same_and_next_line() {
+        let src =
+            "use std::collections::HashMap; // simlint: allow(default-hasher-map) — test fixture\n\
+                   // simlint: allow(wall-clock) — harness timing only\n\
+                   fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(crate_of("mgpu-system", src).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_one_line() {
+        let src = "// simlint: allow(wall-clock) — only the next line\n\
+                   fn ok() { let t = std::time::Instant::now(); }\n\
+                   fn bad() { let t = std::time::Instant::now(); }\n";
+        let d = crate_of("mgpu-system", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn bare_or_unknown_allow_is_reported() {
+        let src = "// simlint: allow(wall-clock)\n\
+                   fn f() { let t = std::time::Instant::now(); }\n\
+                   // simlint: allow(no-such-rule) — whatever\n\
+                   fn g() {}\n";
+        let d = crate_of("some-tool", src);
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::BareAllow && d.message.contains("without a reason")));
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::BareAllow && d.message.contains("no-such-rule")));
+        // The reason-less allow still waives the wall-clock finding.
+        assert!(!d.iter().any(|d| d.rule == Rule::WallClock));
+    }
+
+    #[test]
+    fn cfg_test_stops_the_scan() {
+        let src = "fn real() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests { use std::collections::HashMap; }\n";
+        assert!(crate_of("mgpu-system", src).is_empty());
+    }
+
+    #[test]
+    fn comments_are_not_scanned_for_violations() {
+        let src = "// HashMap is banned here, Instant::now too\n\
+                   /* rand::random() in a block comment\n\
+                      spanning lines with HashMap */\n\
+                   fn f() {}\n";
+        assert!(crate_of("mgpu-system", src).is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_suppression() {
+        let d = Diagnostic {
+            rule: Rule::DefaultHasherMap,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: String::new(),
+        };
+        let text = Baseline::render(std::slice::from_ref(&d));
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed.suppresses(&d));
+        let other = Diagnostic {
+            path: "crates/y/src/lib.rs".into(),
+            ..d
+        };
+        assert!(!parsed.suppresses(&other));
+    }
+
+    #[test]
+    fn baseline_rejects_junk() {
+        assert!(Baseline::parse("no-such-rule a/b.rs — x\n").is_err());
+        assert!(Baseline::parse("wall-clock\n").is_err());
+        assert!(Baseline::parse("wall-clock a/b.rs\n").is_err());
+        assert!(Baseline::parse("# comment\n\nwall-clock a/b.rs — ok\n").is_ok());
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+            assert!(!r.summary().is_empty());
+        }
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! cargo run -p simlint -- --check            # lint the workspace (CI entrypoint)
+//! cargo run -p simlint -- --list-rules       # print the rule registry
+//! cargo run -p simlint -- --write-baseline   # grandfather current findings
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings outside the baseline, `2` usage or
+//! I/O error.
+
+use std::path::PathBuf;
+
+use simlint::{Baseline, Rule, Severity};
+
+const USAGE: &str = "usage: simlint [--check] [--list-rules] [--write-baseline] \
+                     [--root <dir>] [--baseline <file>]";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--list-rules" => list_rules = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(f) => baseline_path = Some(PathBuf::from(f)),
+                None => return usage_error("--baseline needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in Rule::ALL {
+            println!(
+                "{:<20} {:<8} {}",
+                rule.id(),
+                rule.severity().to_string(),
+                rule.summary()
+            );
+        }
+        return 0;
+    }
+
+    let Some(root) = root.or_else(find_root) else {
+        eprintln!(
+            "simlint: no workspace root found (looked for a `crates/` directory); pass --root"
+        );
+        return 2;
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("simlint.baseline"));
+
+    let report = match simlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return 2;
+        }
+    };
+
+    if write_baseline {
+        let text = Baseline::render(&report.diagnostics);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("simlint: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        let n = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        println!(
+            "simlint: wrote {n} baseline entr{} to {}",
+            if n == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return 0;
+    }
+
+    let baseline = if baseline_path.is_file() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simlint: cannot read {}: {e}", baseline_path.display());
+                return 2;
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("simlint: {}: {e}", baseline_path.display());
+                return 2;
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut baselined = 0usize;
+    for d in &report.diagnostics {
+        if baseline.suppresses(d) {
+            baselined += 1;
+            continue;
+        }
+        println!("{d}");
+        match d.rule.severity() {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+    }
+    println!(
+        "simlint: {} error(s), {} warning(s), {} baselined across {} file(s) in {} crate(s)",
+        errors, warnings, baselined, report.files_scanned, report.crates_scanned
+    );
+    i32::from(errors > 0)
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("simlint: {msg}\n{USAGE}");
+    2
+}
+
+/// Walks up from the current directory to the first one that has a `crates/`
+/// subdirectory (the workspace root, however deep the invocation).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_locates_this_workspace() {
+        // cargo test runs with cwd = crate dir; the workspace root is two up.
+        let root = find_root().expect("workspace root");
+        assert!(root.join("crates").join("simlint").is_dir());
+    }
+}

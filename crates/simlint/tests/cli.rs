@@ -1,0 +1,101 @@
+//! End-to-end CLI tests: exit codes and diagnostics against the fixture
+//! workspaces under `tests/fixtures/`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(args)
+        .output()
+        .expect("simlint binary runs")
+}
+
+#[test]
+fn bad_workspace_fails_with_findings() {
+    let ws = fixture("bad_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit non-zero");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Model-crate rules fire in the model fixture...
+    assert!(stdout.contains("error[default-hasher-map]"), "{stdout}");
+    assert!(stdout.contains("error[unordered-iter]"), "{stdout}");
+    // ...everywhere-rules fire in the non-model fixture...
+    assert!(stdout.contains("crates/tools/src/lib.rs"), "{stdout}");
+    assert!(stdout.contains("error[wall-clock]"), "{stdout}");
+    assert!(stdout.contains("error[ambient-rng]"), "{stdout}");
+    assert!(stdout.contains("error[float-ord-key]"), "{stdout}");
+    // ...the model-only map rule does NOT fire for the non-model crate...
+    assert!(
+        !stdout.contains("crates/tools/src/lib.rs:4: error[default-hasher-map]"),
+        "{stdout}"
+    );
+    // ...and a reason-less escape both waives its rule and warns.
+    assert!(stdout.contains("warning[bare-allow]"), "{stdout}");
+    assert!(
+        !stdout.contains("src/lib.rs:18: error[wall-clock]"),
+        "bare allow must still waive: {stdout}"
+    );
+    // Diagnostics carry clickable file:line anchors.
+    assert!(
+        stdout.contains("crates/mgpu-system/src/lib.rs:4: error[default-hasher-map]"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn clean_workspace_exits_zero_via_escapes_and_baseline() {
+    let ws = fixture("clean_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    // legacy.rs trips the rule on three lines; one (rule, path) baseline
+    // entry covers them all.
+    assert!(stdout.contains("3 baselined"), "{stdout}");
+}
+
+#[test]
+fn explicit_baseline_flag_overrides_the_default() {
+    // Pointing the bad workspace at the clean fixture's baseline changes
+    // nothing (different paths), so it still fails.
+    let ws = fixture("bad_ws");
+    let bl = fixture("clean_ws").join("simlint.baseline");
+    let out = run(&[
+        "--check",
+        "--root",
+        ws.to_str().unwrap(),
+        "--baseline",
+        bl.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn list_rules_prints_the_registry() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "default-hasher-map",
+        "wall-clock",
+        "ambient-rng",
+        "float-ord-key",
+        "unordered-iter",
+        "bare-allow",
+    ] {
+        assert!(stdout.contains(id), "missing {id}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,19 @@
+//! Fixture model crate: every model-crate rule fires at least once.
+//! Never compiled — scanned textually by the simlint tests.
+
+use std::collections::HashMap;
+
+pub struct State {
+    pub reqs: HashMap<u64, u32>,
+}
+
+pub fn dump(s: &State) {
+    for (k, v) in s.reqs.iter() {
+        println!("{k} {v}");
+    }
+}
+
+pub fn bare_allow_still_waives() -> std::time::Instant {
+    // simlint: allow(wall-clock)
+    std::time::Instant::now()
+}

@@ -1,0 +1,14 @@
+//! Fixture non-model crate: the everywhere-rules fire, the model-only
+//! rules (default-hasher-map, unordered-iter) stay silent.
+
+use std::collections::{BinaryHeap, HashMap};
+
+pub struct Sched {
+    pub q: BinaryHeap<f64>,
+    pub m: HashMap<u64, u64>,
+}
+
+pub fn stamp() -> u64 {
+    let _ = std::time::SystemTime::now();
+    rand::random()
+}

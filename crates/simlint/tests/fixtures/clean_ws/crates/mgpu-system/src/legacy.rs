@@ -1,0 +1,8 @@
+//! Grandfathered file: the default-hasher finding here is suppressed by the
+//! workspace-level `simlint.baseline`, not by inline escapes.
+
+use std::collections::HashMap;
+
+pub fn legacy_table() -> HashMap<u64, u64> {
+    HashMap::new()
+}

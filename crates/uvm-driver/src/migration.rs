@@ -13,10 +13,9 @@
 //! Far faults that arrive for a migrating page park here and are replayed
 //! when the migration completes.
 
-use std::collections::HashMap;
-
 use mem_model::gpuset::GpuSet;
 use mem_model::interconnect::{GpuId, Node};
+use sim_engine::collections::DetHashMap;
 use sim_engine::Cycle;
 use vm_model::addr::Vpn;
 
@@ -78,7 +77,7 @@ impl Migration {
 /// been reset anyway).
 #[derive(Debug, Clone, Default)]
 pub struct MigrationTable {
-    active: HashMap<Vpn, Migration>,
+    active: DetHashMap<Vpn, Migration>,
     next_id: u64,
     started: u64,
     dropped_duplicates: u64,
@@ -204,8 +203,11 @@ impl MigrationTable {
         self.dropped_duplicates
     }
 
-    /// Iterates over in-flight migrations.
+    /// Iterates over in-flight migrations, in unspecified order. Callers
+    /// must not let visit order reach simulation state or exports (the only
+    /// caller aggregates order-insensitively for debug dumps).
     pub fn iter(&self) -> impl Iterator<Item = &Migration> {
+        // simlint: allow(unordered-iter) — debug/aggregate-only; order never escapes
         self.active.values()
     }
 }

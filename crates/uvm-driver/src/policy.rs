@@ -1,8 +1,7 @@
 //! Page-migration policies and access counters (§3.3).
 
-use std::collections::HashMap;
-
 use mem_model::interconnect::GpuId;
+use sim_engine::collections::DetHashMap;
 use vm_model::addr::Vpn;
 
 /// The GPU-to-GPU page-migration policy.
@@ -58,7 +57,7 @@ impl std::fmt::Display for MigrationPolicy {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AccessCounters {
-    counts: HashMap<(GpuId, Vpn), u32>,
+    counts: DetHashMap<(GpuId, Vpn), u32>,
     triggers: u64,
 }
 

@@ -10,9 +10,8 @@
 //! small migrations to fewer larger ones, which changes the invalidation
 //! traffic IDYLL targets.
 
-use std::collections::HashMap;
-
 use mem_model::interconnect::GpuId;
+use sim_engine::collections::DetHashMap;
 use vm_model::addr::Vpn;
 
 /// Pages per prefetch block (64 KiB at 4 KiB pages).
@@ -42,7 +41,7 @@ impl Default for PrefetchConfig {
 pub struct Prefetcher {
     cfg: PrefetchConfig,
     /// (gpu, block) → bitmap of faulted pages within the block.
-    touched: HashMap<(GpuId, u64), u16>,
+    touched: DetHashMap<(GpuId, u64), u16>,
     suggestions: u64,
 }
 
@@ -51,7 +50,7 @@ impl Prefetcher {
     pub fn new(cfg: PrefetchConfig) -> Self {
         Prefetcher {
             cfg,
-            touched: HashMap::new(),
+            touched: DetHashMap::default(),
             suggestions: 0,
         }
     }

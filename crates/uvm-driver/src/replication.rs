@@ -6,10 +6,9 @@
 //! paper finds replication loses to IDYLL on write-intensive applications
 //! (IM, C2D) while being competitive on read-heavy ones (PR, ST, SC).
 
-use std::collections::HashMap;
-
 use mem_model::gpuset::GpuSet;
 use mem_model::interconnect::GpuId;
+use sim_engine::collections::DetHashMap;
 use vm_model::addr::Vpn;
 
 /// Tracks which GPUs hold (read-only) replicas of each page, including the
@@ -31,7 +30,7 @@ use vm_model::addr::Vpn;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaDirectory {
-    replicas: HashMap<Vpn, GpuSet>,
+    replicas: DetHashMap<Vpn, GpuSet>,
     replications: u64,
     collapses: u64,
 }

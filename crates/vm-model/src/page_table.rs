@@ -10,7 +10,7 @@
 //! matching the paper's model where a PTE "exists but is invalid" and an
 //! unnecessary invalidation still walks the full tree.
 
-use std::collections::{HashMap, HashSet};
+use sim_engine::collections::{DetHashMap, DetHashSet};
 
 use crate::addr::{PageSize, Vpn};
 use crate::pte::Pte;
@@ -42,10 +42,10 @@ pub struct WalkPath {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_size: PageSize,
-    leaves: HashMap<Vpn, Pte>,
+    leaves: DetHashMap<Vpn, Pte>,
     /// Materialised interior nodes, keyed by `(level, prefix)` where
     /// `level` runs from `levels` (root's children table) down to 2.
-    nodes: HashSet<(u32, u64)>,
+    nodes: DetHashSet<(u32, u64)>,
     insertions: u64,
     invalidations: u64,
 }
@@ -55,8 +55,8 @@ impl PageTable {
     pub fn new(page_size: PageSize) -> Self {
         PageTable {
             page_size,
-            leaves: HashMap::new(),
-            nodes: HashSet::new(),
+            leaves: DetHashMap::default(),
+            nodes: DetHashSet::default(),
             insertions: 0,
             invalidations: 0,
         }
@@ -141,8 +141,10 @@ impl PageTable {
         }
     }
 
-    /// Iterates over all `(vpn, pte)` leaves in unspecified order.
+    /// Iterates over all `(vpn, pte)` leaves in unspecified order. Callers
+    /// must aggregate order-insensitively (counts, sums) or sort.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        // simlint: allow(unordered-iter) — callers count stale PTEs, order-insensitive
         self.leaves.iter().map(|(&v, &p)| (v, p))
     }
 

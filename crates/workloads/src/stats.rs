@@ -1,7 +1,7 @@
 //! Workload characterisation: the quantities §5.1 of the paper uses to
 //! explain per-application behaviour (sharing degree, footprint, reuse).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vm_model::addr::Vpn;
 
@@ -34,8 +34,9 @@ impl PageProfile {
 /// Aggregated workload characterisation.
 #[derive(Debug, Clone)]
 pub struct WorkloadStats {
-    /// Per-page profiles.
-    pub pages: HashMap<Vpn, PageProfile>,
+    /// Per-page profiles, in page order (aggregations below iterate this,
+    /// so the order must be defined — hence `BTreeMap`, not a hash map).
+    pub pages: BTreeMap<Vpn, PageProfile>,
     /// Total accesses.
     pub accesses: u64,
     /// Total writes.
@@ -47,7 +48,7 @@ pub struct WorkloadStats {
 impl WorkloadStats {
     /// Characterises a workload.
     pub fn analyze(workload: &Workload) -> WorkloadStats {
-        let mut pages: HashMap<Vpn, PageProfile> = HashMap::new();
+        let mut pages: BTreeMap<Vpn, PageProfile> = BTreeMap::new();
         let mut accesses = 0;
         let mut writes = 0;
         for (g, trace) in workload.traces.iter().enumerate() {

@@ -78,9 +78,9 @@ impl Workload {
     /// GPUs. Returns `shares[d-1] = fraction of accesses to pages shared by
     /// exactly d GPUs`.
     pub fn access_sharing_distribution(&self) -> Vec<f64> {
-        use std::collections::HashMap;
+        use sim_engine::collections::DetHashMap;
         let n = self.traces.len();
-        let mut holders: HashMap<u64, u64> = HashMap::new();
+        let mut holders: DetHashMap<u64, u64> = DetHashMap::default();
         for (g, trace) in self.traces.iter().enumerate() {
             for a in &trace.accesses {
                 *holders.entry(a.vpn.0).or_insert(0) |= 1u64 << g;

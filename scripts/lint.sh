@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Workspace determinism lint — the same invocation CI runs.
+#
+#   scripts/lint.sh              # check against the committed baseline
+#   scripts/lint.sh --write-baseline   # grandfather current findings (use sparingly)
+#
+# Exit codes: 0 clean, 1 findings outside the baseline, 2 usage/IO error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+exec cargo run -q -p simlint -- --check "$@"

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-3a39bff9625a0500.d: crates/simlint/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-3a39bff9625a0500.rmeta: crates/simlint/tests/cli.rs Cargo.toml
+
+crates/simlint/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_simlint=placeholder:simlint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simlint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

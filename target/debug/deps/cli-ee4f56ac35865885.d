@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-ee4f56ac35865885.d: crates/simlint/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-ee4f56ac35865885: crates/simlint/tests/cli.rs
+
+crates/simlint/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_simlint=/root/repo/target/debug/simlint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simlint

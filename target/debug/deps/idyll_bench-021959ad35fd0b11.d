@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/idyll_bench-021959ad35fd0b11.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/idyll_bench-021959ad35fd0b11.d: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
-/root/repo/target/debug/deps/libidyll_bench-021959ad35fd0b11.rlib: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libidyll_bench-021959ad35fd0b11.rlib: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
-/root/repo/target/debug/deps/libidyll_bench-021959ad35fd0b11.rmeta: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libidyll_bench-021959ad35fd0b11.rmeta: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/grid_metrics.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/idyll_bench-897610c0c33d82e6.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/idyll_bench-897610c0c33d82e6.d: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs Cargo.toml
 
-/root/repo/target/debug/deps/libidyll_bench-897610c0c33d82e6.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libidyll_bench-897610c0c33d82e6.rmeta: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/grid_metrics.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/idyll_bench-ce558d2157c26363.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/idyll_bench-ce558d2157c26363.d: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
-/root/repo/target/debug/deps/idyll_bench-ce558d2157c26363: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/idyll_bench-ce558d2157c26363: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/grid_metrics.rs:

@@ -11,5 +11,5 @@ crates/mem-model/src/interconnect.rs:
 crates/mem-model/src/mshr.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

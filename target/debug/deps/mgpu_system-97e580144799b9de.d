@@ -15,5 +15,5 @@ crates/mgpu-system/src/system/observe.rs:
 crates/mgpu-system/src/system/translate.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

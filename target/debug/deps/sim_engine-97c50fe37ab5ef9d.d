@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/sim_engine-97c50fe37ab5ef9d.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs
+/root/repo/target/debug/deps/sim_engine-97c50fe37ab5ef9d.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/collections.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs
 
-/root/repo/target/debug/deps/sim_engine-97c50fe37ab5ef9d: crates/sim-engine/src/lib.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs
+/root/repo/target/debug/deps/sim_engine-97c50fe37ab5ef9d: crates/sim-engine/src/lib.rs crates/sim-engine/src/collections.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs
 
 crates/sim-engine/src/lib.rs:
+crates/sim-engine/src/collections.rs:
 crates/sim-engine/src/event.rs:
 crates/sim-engine/src/metrics.rs:
 crates/sim-engine/src/queue.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/sim_engine-ca60ee25e2ccb035.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs Cargo.toml
+/root/repo/target/debug/deps/sim_engine-ca60ee25e2ccb035.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/collections.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsim_engine-ca60ee25e2ccb035.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs Cargo.toml
+/root/repo/target/debug/deps/libsim_engine-ca60ee25e2ccb035.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/collections.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs Cargo.toml
 
 crates/sim-engine/src/lib.rs:
+crates/sim-engine/src/collections.rs:
 crates/sim-engine/src/event.rs:
 crates/sim-engine/src/metrics.rs:
 crates/sim-engine/src/queue.rs:
@@ -14,5 +15,5 @@ crates/sim-engine/src/trace.rs:
 crates/sim-engine/src/tracelog.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simlint-1bf07aef1899b518.d: crates/simlint/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimlint-1bf07aef1899b518.rmeta: crates/simlint/src/lib.rs Cargo.toml
+
+crates/simlint/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-2d5a44be8e6203c5.d: crates/simlint/src/lib.rs
+
+/root/repo/target/debug/deps/simlint-2d5a44be8e6203c5: crates/simlint/src/lib.rs
+
+crates/simlint/src/lib.rs:

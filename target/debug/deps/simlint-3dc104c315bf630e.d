@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simlint-3dc104c315bf630e.d: crates/simlint/src/lib.rs
+
+/root/repo/target/debug/deps/libsimlint-3dc104c315bf630e.rlib: crates/simlint/src/lib.rs
+
+/root/repo/target/debug/deps/libsimlint-3dc104c315bf630e.rmeta: crates/simlint/src/lib.rs
+
+crates/simlint/src/lib.rs:

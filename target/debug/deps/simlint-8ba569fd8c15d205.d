@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simlint-8ba569fd8c15d205.d: crates/simlint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimlint-8ba569fd8c15d205.rmeta: crates/simlint/src/main.rs Cargo.toml
+
+crates/simlint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-b820958f1c8edd23.d: crates/simlint/src/main.rs
+
+/root/repo/target/debug/deps/simlint-b820958f1c8edd23: crates/simlint/src/main.rs
+
+crates/simlint/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simlint-b8b2d5cb0c8c5aed.d: crates/simlint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimlint-b8b2d5cb0c8c5aed.rmeta: crates/simlint/src/main.rs Cargo.toml
+
+crates/simlint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-cec1cb0bcdc294c1.d: crates/simlint/src/main.rs
+
+/root/repo/target/debug/deps/simlint-cec1cb0bcdc294c1: crates/simlint/src/main.rs
+
+crates/simlint/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simlint-fb067b30e05f1a42.d: crates/simlint/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimlint-fb067b30e05f1a42.rmeta: crates/simlint/src/lib.rs Cargo.toml
+
+crates/simlint/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workspace_clean-21c33ff75add4a2e.d: crates/simlint/tests/workspace_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_clean-21c33ff75add4a2e.rmeta: crates/simlint/tests/workspace_clean.rs Cargo.toml
+
+crates/simlint/tests/workspace_clean.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simlint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

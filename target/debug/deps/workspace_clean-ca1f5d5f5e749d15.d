@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-ca1f5d5f5e749d15.d: crates/simlint/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/workspace_clean-ca1f5d5f5e749d15: crates/simlint/tests/workspace_clean.rs
+
+crates/simlint/tests/workspace_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simlint

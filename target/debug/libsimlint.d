@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsimlint.rlib: /root/repo/crates/simlint/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/simlint: /root/repo/crates/simlint/src/lib.rs /root/repo/crates/simlint/src/main.rs

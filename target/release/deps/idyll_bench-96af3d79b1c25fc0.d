@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/idyll_bench-96af3d79b1c25fc0.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/idyll_bench-96af3d79b1c25fc0.d: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
-/root/repo/target/release/deps/libidyll_bench-96af3d79b1c25fc0.rlib: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libidyll_bench-96af3d79b1c25fc0.rlib: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
-/root/repo/target/release/deps/libidyll_bench-96af3d79b1c25fc0.rmeta: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libidyll_bench-96af3d79b1c25fc0.rmeta: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/grid_metrics.rs:

@@ -85,6 +85,37 @@ fn trace_and_metrics_exports_are_byte_identical() {
     }
 }
 
+/// Hash-seed independence: model crates use `DetHashMap`/`DetHashSet`
+/// (fixed-seed FxHash), and nothing may depend on bucket order. Setting
+/// `IDYLL_HASH_SEED` perturbs every map's bucket layout — a hostile seed —
+/// and the exported artifacts must still be byte-identical. A failure here
+/// means some result flows through hash-map iteration order.
+#[test]
+fn exports_are_independent_of_hash_seed() {
+    let (trace_a, metrics_a, report_a) = observed_run_once(11, true);
+    // set_var is safe in edition 2021; DetState::default re-reads the
+    // variable on every map construction, so the flip takes effect for all
+    // maps built after this point.
+    std::env::set_var("IDYLL_HASH_SEED", "0xdeadbeef");
+    let (trace_b, metrics_b, report_b) = observed_run_once(11, true);
+    std::env::remove_var("IDYLL_HASH_SEED");
+    assert_eq!(
+        trace_a, trace_b,
+        "trace export must not depend on hash-map bucket order"
+    );
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics export must not depend on hash-map bucket order"
+    );
+    assert_eq!(report_a.exec_cycles, report_b.exec_cycles);
+    assert_eq!(report_a.events_processed, report_b.events_processed);
+    assert_eq!(report_a.migrations, report_b.migrations);
+    assert_eq!(
+        report_a.invalidation_messages,
+        report_b.invalidation_messages
+    );
+}
+
 #[test]
 fn tracing_does_not_perturb_the_simulation() {
     let plain = run_once(11, true);
