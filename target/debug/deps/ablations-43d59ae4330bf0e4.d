@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-43d59ae4330bf0e4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-43d59ae4330bf0e4.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

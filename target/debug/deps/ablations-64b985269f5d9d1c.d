@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-64b985269f5d9d1c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-64b985269f5d9d1c.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-eee4e266f2fcd33e.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/liball_figures-eee4e266f2fcd33e.rmeta: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

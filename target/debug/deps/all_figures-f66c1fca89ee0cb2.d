@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-f66c1fca89ee0cb2.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/liball_figures-f66c1fca89ee0cb2.rmeta: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-19ae05e26e295c7c.d: crates/simlint/tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-19ae05e26e295c7c.rmeta: crates/simlint/tests/cli.rs
+
+crates/simlint/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_simlint=placeholder:simlint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simlint

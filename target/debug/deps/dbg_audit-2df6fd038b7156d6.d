@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_audit-2df6fd038b7156d6.d: crates/bench/src/bin/dbg_audit.rs
+
+/root/repo/target/debug/deps/libdbg_audit-2df6fd038b7156d6.rmeta: crates/bench/src/bin/dbg_audit.rs
+
+crates/bench/src/bin/dbg_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_audit-a079da66b053c7d9.d: crates/bench/src/bin/dbg_audit.rs
+
+/root/repo/target/debug/deps/libdbg_audit-a079da66b053c7d9.rmeta: crates/bench/src/bin/dbg_audit.rs
+
+crates/bench/src/bin/dbg_audit.rs:

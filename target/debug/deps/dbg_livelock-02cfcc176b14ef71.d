@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_livelock-02cfcc176b14ef71.d: crates/bench/src/bin/dbg_livelock.rs
+
+/root/repo/target/debug/deps/libdbg_livelock-02cfcc176b14ef71.rmeta: crates/bench/src/bin/dbg_livelock.rs
+
+crates/bench/src/bin/dbg_livelock.rs:

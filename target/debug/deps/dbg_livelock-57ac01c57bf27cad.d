@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_livelock-57ac01c57bf27cad.d: crates/bench/src/bin/dbg_livelock.rs
+
+/root/repo/target/debug/deps/libdbg_livelock-57ac01c57bf27cad.rmeta: crates/bench/src/bin/dbg_livelock.rs
+
+crates/bench/src/bin/dbg_livelock.rs:

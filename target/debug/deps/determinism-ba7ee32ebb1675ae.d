@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ba7ee32ebb1675ae.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-ba7ee32ebb1675ae.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/directory_properties-eaa206cb5e2e2ddb.d: crates/core/tests/directory_properties.rs
+
+/root/repo/target/debug/deps/libdirectory_properties-eaa206cb5e2e2ddb.rmeta: crates/core/tests/directory_properties.rs
+
+crates/core/tests/directory_properties.rs:

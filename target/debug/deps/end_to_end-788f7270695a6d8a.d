@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-788f7270695a6d8a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-788f7270695a6d8a.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-0bf0a35e7bdaa677.d: crates/sim-engine/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/libengine_properties-0bf0a35e7bdaa677.rmeta: crates/sim-engine/tests/engine_properties.rs
+
+crates/sim-engine/tests/engine_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-55986963c5b19a79.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-55986963c5b19a79.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

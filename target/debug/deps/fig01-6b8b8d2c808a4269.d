@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-6b8b8d2c808a4269.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/libfig01-6b8b8d2c808a4269.rmeta: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-b01b4caabc0de64b.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/libfig01-b01b4caabc0de64b.rmeta: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

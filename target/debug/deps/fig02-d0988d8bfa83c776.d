@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-d0988d8bfa83c776.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/libfig02-d0988d8bfa83c776.rmeta: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

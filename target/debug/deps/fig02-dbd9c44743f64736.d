@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-dbd9c44743f64736.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/libfig02-dbd9c44743f64736.rmeta: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-70a4403f398948d2.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/libfig04-70a4403f398948d2.rmeta: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

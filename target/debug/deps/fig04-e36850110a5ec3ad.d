@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-e36850110a5ec3ad.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/libfig04-e36850110a5ec3ad.rmeta: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

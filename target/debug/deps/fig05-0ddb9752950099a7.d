@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-0ddb9752950099a7.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-0ddb9752950099a7.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-ec2f0d780198993c.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-ec2f0d780198993c.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

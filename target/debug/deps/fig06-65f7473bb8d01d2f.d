@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-65f7473bb8d01d2f.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/libfig06-65f7473bb8d01d2f.rmeta: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-b4595e2f99618f7e.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/libfig06-b4595e2f99618f7e.rmeta: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

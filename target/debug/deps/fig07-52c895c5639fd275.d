@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-52c895c5639fd275.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/libfig07-52c895c5639fd275.rmeta: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-f9f89526b2d4cc55.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/libfig07-f9f89526b2d4cc55.rmeta: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-aaa942a193fd8e43.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-aaa942a193fd8e43.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-b944a5bda68be7cd.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-b944a5bda68be7cd.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-940b011f99160823.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-940b011f99160823.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-972b3f222ae5a7c2.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-972b3f222ae5a7c2.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-057265aa419d4aaa.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-057265aa419d4aaa.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-6b6cd29ae5267038.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-6b6cd29ae5267038.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

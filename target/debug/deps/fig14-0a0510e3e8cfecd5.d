@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-0a0510e3e8cfecd5.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/libfig14-0a0510e3e8cfecd5.rmeta: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-b5e41b8ae79132bb.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/libfig14-b5e41b8ae79132bb.rmeta: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

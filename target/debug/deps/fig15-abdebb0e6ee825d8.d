@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-abdebb0e6ee825d8.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/libfig15-abdebb0e6ee825d8.rmeta: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-fc24ae98b94cad96.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/libfig15-fc24ae98b94cad96.rmeta: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

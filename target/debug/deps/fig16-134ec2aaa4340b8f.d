@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-134ec2aaa4340b8f.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/libfig16-134ec2aaa4340b8f.rmeta: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-bfc7aab584b14bea.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/libfig16-bfc7aab584b14bea.rmeta: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-b5f089d3e12200cb.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/libfig17-b5f089d3e12200cb.rmeta: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-f77000156d64a74f.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/libfig17-f77000156d64a74f.rmeta: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

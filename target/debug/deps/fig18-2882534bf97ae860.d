@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-2882534bf97ae860.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/libfig18-2882534bf97ae860.rmeta: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

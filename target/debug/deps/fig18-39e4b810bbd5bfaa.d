@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-39e4b810bbd5bfaa.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/libfig18-39e4b810bbd5bfaa.rmeta: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-346a04ee2b519a07.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/libfig19-346a04ee2b519a07.rmeta: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-c9873848b1a1cb46.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/libfig19-c9873848b1a1cb46.rmeta: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

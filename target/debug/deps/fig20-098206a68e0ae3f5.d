@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-098206a68e0ae3f5.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/libfig20-098206a68e0ae3f5.rmeta: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-0fe0c4b522bf3822.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/debug/deps/libfig20-0fe0c4b522bf3822.rmeta: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-240bf8c29f04dc41.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/libfig21-240bf8c29f04dc41.rmeta: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

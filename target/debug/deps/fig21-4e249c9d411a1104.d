@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-4e249c9d411a1104.d: crates/bench/src/bin/fig21.rs
+
+/root/repo/target/debug/deps/libfig21-4e249c9d411a1104.rmeta: crates/bench/src/bin/fig21.rs
+
+crates/bench/src/bin/fig21.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-5cc1c9f86e2b1316.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/libfig22-5cc1c9f86e2b1316.rmeta: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-c802c6c615ab5d8c.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/debug/deps/libfig22-c802c6c615ab5d8c.rmeta: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23-aa53988f1a334bc9.d: crates/bench/src/bin/fig23.rs
+
+/root/repo/target/debug/deps/libfig23-aa53988f1a334bc9.rmeta: crates/bench/src/bin/fig23.rs
+
+crates/bench/src/bin/fig23.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23-e933229f380742db.d: crates/bench/src/bin/fig23.rs
+
+/root/repo/target/debug/deps/libfig23-e933229f380742db.rmeta: crates/bench/src/bin/fig23.rs
+
+crates/bench/src/bin/fig23.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig24-565c0a9c03de9b9c.d: crates/bench/src/bin/fig24.rs
+
+/root/repo/target/debug/deps/libfig24-565c0a9c03de9b9c.rmeta: crates/bench/src/bin/fig24.rs
+
+crates/bench/src/bin/fig24.rs:

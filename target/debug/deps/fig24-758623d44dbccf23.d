@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig24-758623d44dbccf23.d: crates/bench/src/bin/fig24.rs
+
+/root/repo/target/debug/deps/libfig24-758623d44dbccf23.rmeta: crates/bench/src/bin/fig24.rs
+
+crates/bench/src/bin/fig24.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_model-3bf530c0d979b889.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+/root/repo/target/debug/deps/libgpu_model-3bf530c0d979b889.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/cu.rs crates/gpu-model/src/gmmu.rs crates/gpu-model/src/gpu.rs crates/gpu-model/src/scheduler.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/cu.rs:
+crates/gpu-model/src/gmmu.rs:
+crates/gpu-model/src/gpu.rs:
+crates/gpu-model/src/scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idyll-cfb892461aaff64c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libidyll-cfb892461aaff64c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idyll-ea45922eb3854e9f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libidyll-ea45922eb3854e9f.rmeta: src/lib.rs
+
+src/lib.rs:

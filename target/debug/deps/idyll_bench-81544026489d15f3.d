@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/idyll_bench-81544026489d15f3.d: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
+
+/root/repo/target/debug/deps/libidyll_bench-81544026489d15f3.rmeta: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid_metrics.rs:

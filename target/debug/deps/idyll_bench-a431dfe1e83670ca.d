@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/idyll_bench-a431dfe1e83670ca.d: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
+
+/root/repo/target/debug/deps/libidyll_bench-a431dfe1e83670ca.rmeta: crates/bench/src/lib.rs crates/bench/src/grid_metrics.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid_metrics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/idyll_core-0bff1deb8c3aa968.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+/root/repo/target/debug/deps/libidyll_core-0bff1deb8c3aa968.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/directory.rs crates/core/src/irmb.rs crates/core/src/transfw.rs crates/core/src/vm_table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/directory.rs:
+crates/core/src/irmb.rs:
+crates/core/src/transfw.rs:
+crates/core/src/vm_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/irmb_properties-6076d28ac16fc201.d: crates/core/tests/irmb_properties.rs
+
+/root/repo/target/debug/deps/libirmb_properties-6076d28ac16fc201.rmeta: crates/core/tests/irmb_properties.rs
+
+crates/core/tests/irmb_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanisms-1bddf6158f804538.d: tests/mechanisms.rs
+
+/root/repo/target/debug/deps/libmechanisms-1bddf6158f804538.rmeta: tests/mechanisms.rs
+
+tests/mechanisms.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mem_model-ef712ff7e8fdcf49.d: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs
+
+/root/repo/target/debug/deps/libmem_model-ef712ff7e8fdcf49.rmeta: crates/mem-model/src/lib.rs crates/mem-model/src/assoc.rs crates/mem-model/src/cache.rs crates/mem-model/src/dram.rs crates/mem-model/src/gpuset.rs crates/mem-model/src/interconnect.rs crates/mem-model/src/mshr.rs
+
+crates/mem-model/src/lib.rs:
+crates/mem-model/src/assoc.rs:
+crates/mem-model/src/cache.rs:
+crates/mem-model/src/dram.rs:
+crates/mem-model/src/gpuset.rs:
+crates/mem-model/src/interconnect.rs:
+crates/mem-model/src/mshr.rs:

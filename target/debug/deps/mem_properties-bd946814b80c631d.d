@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem_properties-bd946814b80c631d.d: crates/mem-model/tests/mem_properties.rs
+
+/root/repo/target/debug/deps/libmem_properties-bd946814b80c631d.rmeta: crates/mem-model/tests/mem_properties.rs
+
+crates/mem-model/tests/mem_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_sim-1764bd51b45ef377.d: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+/root/repo/target/debug/deps/libmgpu_sim-1764bd51b45ef377.rmeta: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_sim-5254068d8380137a.d: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+/root/repo/target/debug/deps/libmgpu_sim-5254068d8380137a.rmeta: crates/mgpu-system/src/bin/mgpu-sim.rs
+
+crates/mgpu-system/src/bin/mgpu-sim.rs:

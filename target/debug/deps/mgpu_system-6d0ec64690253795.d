@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mgpu_system-6d0ec64690253795.d: crates/mgpu-system/src/lib.rs crates/mgpu-system/src/config.rs crates/mgpu-system/src/csv.rs crates/mgpu-system/src/metrics.rs crates/mgpu-system/src/runner.rs crates/mgpu-system/src/system/mod.rs crates/mgpu-system/src/system/data.rs crates/mgpu-system/src/system/host.rs crates/mgpu-system/src/system/migrate.rs crates/mgpu-system/src/system/observe.rs crates/mgpu-system/src/system/translate.rs
+
+/root/repo/target/debug/deps/libmgpu_system-6d0ec64690253795.rmeta: crates/mgpu-system/src/lib.rs crates/mgpu-system/src/config.rs crates/mgpu-system/src/csv.rs crates/mgpu-system/src/metrics.rs crates/mgpu-system/src/runner.rs crates/mgpu-system/src/system/mod.rs crates/mgpu-system/src/system/data.rs crates/mgpu-system/src/system/host.rs crates/mgpu-system/src/system/migrate.rs crates/mgpu-system/src/system/observe.rs crates/mgpu-system/src/system/translate.rs
+
+crates/mgpu-system/src/lib.rs:
+crates/mgpu-system/src/config.rs:
+crates/mgpu-system/src/csv.rs:
+crates/mgpu-system/src/metrics.rs:
+crates/mgpu-system/src/runner.rs:
+crates/mgpu-system/src/system/mod.rs:
+crates/mgpu-system/src/system/data.rs:
+crates/mgpu-system/src/system/host.rs:
+crates/mgpu-system/src/system/migrate.rs:
+crates/mgpu-system/src/system/observe.rs:
+crates/mgpu-system/src/system/translate.rs:

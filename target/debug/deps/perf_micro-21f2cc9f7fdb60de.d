@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_micro-21f2cc9f7fdb60de.d: crates/bench/src/bin/perf_micro.rs
+
+/root/repo/target/debug/deps/libperf_micro-21f2cc9f7fdb60de.rmeta: crates/bench/src/bin/perf_micro.rs
+
+crates/bench/src/bin/perf_micro.rs:

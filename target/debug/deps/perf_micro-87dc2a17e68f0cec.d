@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_micro-87dc2a17e68f0cec.d: crates/bench/src/bin/perf_micro.rs
+
+/root/repo/target/debug/deps/libperf_micro-87dc2a17e68f0cec.rmeta: crates/bench/src/bin/perf_micro.rs
+
+crates/bench/src/bin/perf_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipes-aec89be44b74aafc.d: crates/bench/src/bin/pipes.rs
+
+/root/repo/target/debug/deps/libpipes-aec89be44b74aafc.rmeta: crates/bench/src/bin/pipes.rs
+
+crates/bench/src/bin/pipes.rs:

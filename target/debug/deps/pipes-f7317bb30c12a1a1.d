@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipes-f7317bb30c12a1a1.d: crates/bench/src/bin/pipes.rs
+
+/root/repo/target/debug/deps/libpipes-f7317bb30c12a1a1.rmeta: crates/bench/src/bin/pipes.rs
+
+crates/bench/src/bin/pipes.rs:

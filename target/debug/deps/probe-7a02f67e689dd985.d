@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-7a02f67e689dd985.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/libprobe-7a02f67e689dd985.rmeta: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-f09320f3a0aa4997.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/libprobe-f09320f3a0aa4997.rmeta: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

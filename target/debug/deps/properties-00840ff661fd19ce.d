@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-00840ff661fd19ce.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-00840ff661fd19ce.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e940d3077d659ee4.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e940d3077d659ee4.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-e192b61730d15331.d: tests/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-e192b61730d15331.rmeta: tests/scaling.rs
+
+tests/scaling.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sim_engine-ab6dc51b5435576d.d: crates/sim-engine/src/lib.rs crates/sim-engine/src/collections.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs
+
+/root/repo/target/debug/deps/libsim_engine-ab6dc51b5435576d.rmeta: crates/sim-engine/src/lib.rs crates/sim-engine/src/collections.rs crates/sim-engine/src/event.rs crates/sim-engine/src/metrics.rs crates/sim-engine/src/queue.rs crates/sim-engine/src/resource.rs crates/sim-engine/src/rng.rs crates/sim-engine/src/stats.rs crates/sim-engine/src/time.rs crates/sim-engine/src/trace.rs crates/sim-engine/src/tracelog.rs
+
+crates/sim-engine/src/lib.rs:
+crates/sim-engine/src/collections.rs:
+crates/sim-engine/src/event.rs:
+crates/sim-engine/src/metrics.rs:
+crates/sim-engine/src/queue.rs:
+crates/sim-engine/src/resource.rs:
+crates/sim-engine/src/rng.rs:
+crates/sim-engine/src/stats.rs:
+crates/sim-engine/src/time.rs:
+crates/sim-engine/src/trace.rs:
+crates/sim-engine/src/tracelog.rs:

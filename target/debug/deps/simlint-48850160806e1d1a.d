@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-48850160806e1d1a.d: crates/simlint/src/lib.rs
+
+/root/repo/target/debug/deps/libsimlint-48850160806e1d1a.rmeta: crates/simlint/src/lib.rs
+
+crates/simlint/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-6337e1fba71f98c4.d: crates/simlint/src/lib.rs
+
+/root/repo/target/debug/deps/libsimlint-6337e1fba71f98c4.rmeta: crates/simlint/src/lib.rs
+
+crates/simlint/src/lib.rs:

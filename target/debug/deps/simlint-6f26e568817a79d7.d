@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-6f26e568817a79d7.d: crates/simlint/src/main.rs
+
+/root/repo/target/debug/deps/libsimlint-6f26e568817a79d7.rmeta: crates/simlint/src/main.rs
+
+crates/simlint/src/main.rs:

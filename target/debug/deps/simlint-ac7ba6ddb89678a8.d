@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simlint-ac7ba6ddb89678a8.d: crates/simlint/src/main.rs
+
+/root/repo/target/debug/deps/libsimlint-ac7ba6ddb89678a8.rmeta: crates/simlint/src/main.rs
+
+crates/simlint/src/main.rs:

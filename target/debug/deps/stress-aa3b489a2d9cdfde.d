@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-aa3b489a2d9cdfde.d: tests/stress.rs
+
+/root/repo/target/debug/deps/libstress-aa3b489a2d9cdfde.rmeta: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_units-259aa86550836e92.d: crates/mgpu-system/tests/system_units.rs
+
+/root/repo/target/debug/deps/libsystem_units-259aa86550836e92.rmeta: crates/mgpu-system/tests/system_units.rs
+
+crates/mgpu-system/tests/system_units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1239131c2efdbc63.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-1239131c2efdbc63.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a267512cc9815d5e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-a267512cc9815d5e.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

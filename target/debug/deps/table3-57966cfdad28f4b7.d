@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-57966cfdad28f4b7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-57966cfdad28f4b7.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

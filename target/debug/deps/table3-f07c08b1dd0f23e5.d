@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f07c08b1dd0f23e5.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-f07c08b1dd0f23e5.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

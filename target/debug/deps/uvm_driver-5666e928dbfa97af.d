@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uvm_driver-5666e928dbfa97af.d: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+/root/repo/target/debug/deps/libuvm_driver-5666e928dbfa97af.rmeta: crates/uvm-driver/src/lib.rs crates/uvm-driver/src/fault.rs crates/uvm-driver/src/host.rs crates/uvm-driver/src/migration.rs crates/uvm-driver/src/policy.rs crates/uvm-driver/src/prefetch.rs crates/uvm-driver/src/replication.rs
+
+crates/uvm-driver/src/lib.rs:
+crates/uvm-driver/src/fault.rs:
+crates/uvm-driver/src/host.rs:
+crates/uvm-driver/src/migration.rs:
+crates/uvm-driver/src/policy.rs:
+crates/uvm-driver/src/prefetch.rs:
+crates/uvm-driver/src/replication.rs:

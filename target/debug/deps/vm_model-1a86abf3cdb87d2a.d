@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vm_model-1a86abf3cdb87d2a.d: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+/root/repo/target/debug/deps/libvm_model-1a86abf3cdb87d2a.rmeta: crates/vm-model/src/lib.rs crates/vm-model/src/addr.rs crates/vm-model/src/memmap.rs crates/vm-model/src/page_table.rs crates/vm-model/src/pte.rs crates/vm-model/src/pwc.rs crates/vm-model/src/tlb.rs crates/vm-model/src/walker.rs
+
+crates/vm-model/src/lib.rs:
+crates/vm-model/src/addr.rs:
+crates/vm-model/src/memmap.rs:
+crates/vm-model/src/page_table.rs:
+crates/vm-model/src/pte.rs:
+crates/vm-model/src/pwc.rs:
+crates/vm-model/src/tlb.rs:
+crates/vm-model/src/walker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_properties-723e02e32c85572a.d: crates/vm-model/tests/vm_properties.rs
+
+/root/repo/target/debug/deps/libvm_properties-723e02e32c85572a.rmeta: crates/vm-model/tests/vm_properties.rs
+
+crates/vm-model/tests/vm_properties.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-43b1e6fabee0e068.d: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libworkloads-43b1e6fabee0e068.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dnn.rs crates/workloads/src/gen.rs crates/workloads/src/serialize.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/serialize.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/trace.rs:

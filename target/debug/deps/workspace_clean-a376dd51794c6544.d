@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-a376dd51794c6544.d: crates/simlint/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/libworkspace_clean-a376dd51794c6544.rmeta: crates/simlint/tests/workspace_clean.rs
+
+crates/simlint/tests/workspace_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/simlint

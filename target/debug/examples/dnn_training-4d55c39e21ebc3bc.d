@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dnn_training-4d55c39e21ebc3bc.d: examples/dnn_training.rs
+
+/root/repo/target/debug/examples/libdnn_training-4d55c39e21ebc3bc.rmeta: examples/dnn_training.rs
+
+examples/dnn_training.rs:

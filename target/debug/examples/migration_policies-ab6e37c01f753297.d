@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_policies-ab6e37c01f753297.d: examples/migration_policies.rs
+
+/root/repo/target/debug/examples/libmigration_policies-ab6e37c01f753297.rmeta: examples/migration_policies.rs
+
+examples/migration_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagerank_multi_gpu-1aaaae2113c799ed.d: examples/pagerank_multi_gpu.rs
+
+/root/repo/target/debug/examples/libpagerank_multi_gpu-1aaaae2113c799ed.rmeta: examples/pagerank_multi_gpu.rs
+
+examples/pagerank_multi_gpu.rs:

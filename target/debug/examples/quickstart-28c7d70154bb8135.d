@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28c7d70154bb8135.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-28c7d70154bb8135.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

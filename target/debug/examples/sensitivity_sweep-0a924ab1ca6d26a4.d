@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity_sweep-0a924ab1ca6d26a4.d: examples/sensitivity_sweep.rs
+
+/root/repo/target/debug/examples/libsensitivity_sweep-0a924ab1ca6d26a4.rmeta: examples/sensitivity_sweep.rs
+
+examples/sensitivity_sweep.rs:
