@@ -137,6 +137,46 @@ impl Harness {
         Ok(timed.into_iter().map(|t| (t.scheme, t.report)).collect())
     }
 
+    /// Runs spec-level grid cells, preferring a running experiment daemon.
+    ///
+    /// When `IDYLL_SERVE_ADDR` names a reachable `idyll-serve` daemon the
+    /// cells are submitted there — repeat sweeps then come back from its
+    /// content-addressed result cache byte-identical to local runs. On any
+    /// daemon error (unreachable, draining, failed job) the grid falls
+    /// back to local execution: the daemon is an accelerator, never a
+    /// requirement. Local and remote paths produce identical reports
+    /// because workloads regenerate deterministically from `(spec, n_gpus,
+    /// seed)` on either side.
+    fn run_cells_recorded(
+        &self,
+        cells: Vec<idyll_serve::RemoteCell>,
+    ) -> Result<Vec<(String, SimReport)>, SimError> {
+        if let Ok(addr) = std::env::var("IDYLL_SERVE_ADDR") {
+            if !addr.is_empty() {
+                match idyll_serve::run_cells(&addr, &cells) {
+                    Ok(timed) => {
+                        grid_metrics::record(&timed);
+                        return Ok(timed.into_iter().map(|t| (t.scheme, t.report)).collect());
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "idyll-bench: daemon at {addr} unavailable ({e}); running locally"
+                        );
+                    }
+                }
+            }
+        }
+        let jobs = cells
+            .into_iter()
+            .map(|cell| Job {
+                workload: workloads::generate(&cell.spec, cell.config.n_gpus, cell.seed),
+                scheme: cell.scheme,
+                config: cell.config,
+            })
+            .collect();
+        self.run_jobs_recorded(jobs)
+    }
+
     /// Runs `schemes` over the given apps at this harness's scale; returns
     /// `results[app][scheme]`.
     ///
@@ -147,19 +187,18 @@ impl Harness {
         apps: &[AppId],
         schemes: &[(&str, SystemConfig)],
     ) -> Result<Grid, SimError> {
-        let mut jobs = Vec::new();
+        let mut cells = Vec::new();
         for &app in apps {
             for (name, cfg) in schemes {
-                let spec = WorkloadSpec::paper_default(app, self.cfg.scale);
-                let workload = workloads::generate(&spec, cfg.n_gpus, self.cfg.seed);
-                jobs.push(Job {
+                cells.push(idyll_serve::RemoteCell {
                     scheme: format!("{app}\u{1}{name}"),
                     config: cfg.clone(),
-                    workload,
+                    spec: WorkloadSpec::paper_default(app, self.cfg.scale),
+                    seed: self.cfg.seed,
                 });
             }
         }
-        collect_grid(self.run_jobs_recorded(jobs)?)
+        collect_grid(self.run_cells_recorded(cells)?)
     }
 
     fn rows(
@@ -709,19 +748,19 @@ impl Harness {
         let idy = self.idyll(4).with_large_pages();
         let schemes = [("base2M", base), ("idyll2M", idy)];
         // Enlarged inputs (§7.3) to stress the 2 MiB reach.
-        let mut jobs = Vec::new();
+        let mut cells = Vec::new();
         for app in AppId::ALL {
             let spec = WorkloadSpec::paper_default(app, self.cfg.scale).enlarged(4);
             for (name, cfg) in &schemes {
-                let workload = workloads::generate(&spec, cfg.n_gpus, self.cfg.seed);
-                jobs.push(Job {
+                cells.push(idyll_serve::RemoteCell {
                     scheme: format!("{app}\u{1}{name}"),
                     config: cfg.clone(),
-                    workload,
+                    spec: spec.clone(),
+                    seed: self.cfg.seed,
                 });
             }
         }
-        let grid = collect_grid(self.run_jobs_recorded(jobs)?)?;
+        let grid = collect_grid(self.run_cells_recorded(cells)?)?;
         let rows = self.rows(&AppId::ALL, &grid, &["speedup"], |per, _| {
             per["idyll2M"].speedup_vs(&per["base2M"])
         });

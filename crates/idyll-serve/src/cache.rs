@@ -1,0 +1,167 @@
+//! Content-addressed result cache.
+//!
+//! Keys are the 128-bit content addresses from [`mgpu_system::canon::job_key`]
+//! — a fixed-seed hash of the canonical `(config, spec, seed)` encoding —
+//! and values are canonical report documents. Because the simulator is
+//! deterministic, a cached report is byte-identical to re-running the cell,
+//! so serving from cache is indistinguishable from simulating (minus the
+//! wall-clock).
+//!
+//! The cache is two-level: an in-memory map for the running daemon, backed
+//! by one file per key under a cache directory (`results/cache/` by
+//! default) so results survive restarts. Writes go through a temp file and
+//! an atomic rename; concurrent writers of the same key race benignly
+//! because they write identical bytes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use sim_engine::collections::DetHashMap;
+
+/// The report store. All methods take `&self`; the internal map is locked.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    map: Mutex<DetHashMap<String, String>>,
+}
+
+impl ResultCache {
+    /// An in-memory cache with no persistence.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ResultCache {
+            dir: None,
+            map: Mutex::new(DetHashMap::default()),
+        }
+    }
+
+    /// Opens (creating if needed) a persistent cache rooted at `dir`,
+    /// loading every existing entry eagerly. Files whose names are not
+    /// 32 hex digits are ignored.
+    ///
+    /// # Errors
+    /// Propagates directory creation/read failures.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let mut map = DetHashMap::default();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(key) = name.to_str() else { continue };
+            if key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit()) {
+                if let Ok(report) = fs::read_to_string(entry.path()) {
+                    map.insert(key.to_string(), report);
+                }
+            }
+        }
+        Ok(ResultCache {
+            dir: Some(dir.to_path_buf()),
+            map: Mutex::new(map),
+        })
+    }
+
+    /// Number of cached results.
+    ///
+    /// # Panics
+    /// If the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the canonical report for `key`.
+    ///
+    /// # Panics
+    /// If the internal lock is poisoned.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Stores the canonical report for `key`, persisting it when the cache
+    /// is file-backed. Persistence failures are reported but do not evict
+    /// the in-memory entry.
+    ///
+    /// # Errors
+    /// Propagates file write/rename failures.
+    ///
+    /// # Panics
+    /// If the internal lock is poisoned.
+    pub fn put(&self, key: &str, report: &str) -> std::io::Result<()> {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), report.to_string());
+        if let Some(dir) = &self.dir {
+            let tmp = dir.join(format!("{key}.tmp.{}", std::process::id()));
+            fs::write(&tmp, report)?;
+            fs::rename(&tmp, dir.join(key))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "idyll-serve-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_cache_stores_and_serves() {
+        let cache = ResultCache::in_memory();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("0".repeat(32).as_str()), None);
+        cache.put(&"a".repeat(32), "report body\n").unwrap();
+        assert_eq!(cache.get(&"a".repeat(32)).as_deref(), Some("report body\n"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn persistent_cache_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let key = "0123456789abcdef0123456789abcdef";
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache
+                .put(key, "# idyll-canon report v1\nscheme x\n")
+                .unwrap();
+        }
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(
+            reopened.get(key).as_deref(),
+            Some("# idyll-canon report v1\nscheme x\n")
+        );
+        // Non-key files are ignored, not loaded.
+        fs::write(dir.join("README"), "not a result").unwrap();
+        let again = ResultCache::open(&dir).unwrap();
+        assert_eq!(again.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_rewrites_are_benign() {
+        let dir = temp_dir("rewrite");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = "ffffffffffffffffffffffffffffffff";
+        cache.put(key, "same bytes").unwrap();
+        cache.put(key, "same bytes").unwrap();
+        assert_eq!(cache.get(key).as_deref(), Some("same bytes"));
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

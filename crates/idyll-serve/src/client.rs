@@ -1,0 +1,225 @@
+//! Thin synchronous client for the experiment service.
+//!
+//! One [`Client`] wraps one TCP connection; requests and responses are
+//! strictly alternating, so the client is a line-in/line-out loop. The
+//! high-level [`run_cells`] helper is what `idyll_bench` uses to route a
+//! grid through a running daemon: it submits, backs off on `busy`, waits
+//! for every result and rebuilds `TimedRun`s that are drop-in replacements
+//! for `run_jobs_timed` output.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mgpu_system::canon;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::runner::TimedRun;
+use workloads::WorkloadSpec;
+
+use crate::proto::{JobSpec, Request, Response};
+
+/// One simulation cell described by value, ready to submit.
+#[derive(Debug, Clone)]
+pub struct RemoteCell {
+    /// Display label copied into the report's `scheme` field.
+    pub scheme: String,
+    /// Full system configuration.
+    pub config: SystemConfig,
+    /// Workload spec (the daemon regenerates the trace deterministically).
+    pub spec: WorkloadSpec,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RemoteCell {
+    fn to_job_spec(&self) -> JobSpec {
+        JobSpec {
+            scheme: self.scheme.clone(),
+            config: canon::encode_config(&self.config),
+            spec: canon::encode_spec(&self.spec),
+            seed: self.seed,
+        }
+    }
+}
+
+fn protocol_error(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    /// I/O failures, or `InvalidData` when the response line is malformed
+    /// or the connection closes mid-exchange.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(protocol_error("server closed the connection"));
+        }
+        Response::decode(line.trim_end()).map_err(protocol_error)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// I/O or protocol failures.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(protocol_error(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Submits a batch, sleeping out `busy` backpressure until the daemon
+    /// accepts it. Returns `(ids, cached)` in submission order.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, or the server's `error` response.
+    pub fn submit_with_backoff(
+        &mut self,
+        jobs: &[JobSpec],
+    ) -> std::io::Result<(Vec<u64>, Vec<bool>)> {
+        loop {
+            match self.request(&Request::Submit(jobs.to_vec()))? {
+                Response::Submitted { ids, cached } => return Ok((ids, cached)),
+                Response::Busy { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(10, 5_000)));
+                }
+                Response::Error { message } => {
+                    return Err(protocol_error(format!("submit rejected: {message}")))
+                }
+                other => {
+                    return Err(protocol_error(format!(
+                        "unexpected submit response: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Blocks until job `id` completes; returns `(canonical report,
+    /// wall_secs, cached)`.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, or the job's failure message.
+    pub fn wait_result(&mut self, id: u64) -> std::io::Result<(String, f64, bool)> {
+        match self.request(&Request::Result { id, wait: true })? {
+            Response::JobResult {
+                report,
+                wall_secs,
+                cached,
+                ..
+            } => Ok((report, wall_secs, cached)),
+            Response::Error { message } => {
+                Err(protocol_error(format!("job {id} failed: {message}")))
+            }
+            other => Err(protocol_error(format!(
+                "unexpected result response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the service metrics registry as JSON.
+    ///
+    /// # Errors
+    /// I/O or protocol failures.
+    pub fn metrics_json(&mut self) -> std::io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(protocol_error(format!(
+                "unexpected metrics response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    /// I/O or protocol failures.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(protocol_error(format!(
+                "unexpected shutdown response: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Runs a set of cells through the daemon at `addr` on one connection:
+/// submit with backoff, wait for every result, return them in cell order
+/// as [`TimedRun`]s (cache hits report `wall_secs` 0).
+///
+/// # Errors
+/// I/O or protocol failures, a rejected batch, or any failed job.
+pub fn run_cells(addr: &str, cells: &[RemoteCell]) -> std::io::Result<Vec<TimedRun>> {
+    let mut client = Client::connect(addr)?;
+    let jobs: Vec<JobSpec> = cells.iter().map(RemoteCell::to_job_spec).collect();
+    let (ids, _cached) = client.submit_with_backoff(&jobs)?;
+    if ids.len() != cells.len() {
+        return Err(protocol_error(format!(
+            "submitted {} cells, got {} ids",
+            cells.len(),
+            ids.len()
+        )));
+    }
+    let mut runs = Vec::with_capacity(ids.len());
+    for (cell, id) in cells.iter().zip(ids) {
+        let (report_text, wall_secs, _cached) = client.wait_result(id)?;
+        let report = canon::decode_report(&report_text)
+            .map_err(|e| protocol_error(format!("job {id}: bad report: {e}")))?;
+        runs.push(TimedRun {
+            scheme: cell.scheme.clone(),
+            report,
+            wall_secs,
+        });
+    }
+    Ok(runs)
+}
+
+/// Reads one `Count` metric out of a metrics-registry JSON document; the
+/// registry's flat `"name": value` rendering makes this a string scan, not
+/// a JSON walk.
+#[must_use]
+pub fn metric_count(metrics_json: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\": ");
+    let start = metrics_json.find(&needle)? + needle.len();
+    let rest = &metrics_json[start..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_count_scans_registry_json() {
+        let json = "{\n  \"serve.cache_hits\": 42,\n  \"serve.cache_misses\": 7\n}\n";
+        assert_eq!(metric_count(json, "serve.cache_hits"), Some(42));
+        assert_eq!(metric_count(json, "serve.cache_misses"), Some(7));
+        assert_eq!(metric_count(json, "serve.absent"), None);
+    }
+}

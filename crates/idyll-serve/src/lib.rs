@@ -1,0 +1,41 @@
+//! Persistent experiment service for the IDYLL simulator.
+//!
+//! A long-lived daemon that accepts simulation jobs over a line-delimited
+//! JSON protocol (`proto`), runs them on a bounded worker pool
+//! (`server`), and answers repeat submissions from a content-addressed
+//! result cache (`cache`) keyed by `mgpu_system::canon::job_key` — the
+//! fixed-seed hash of the canonical `(config, spec, seed)` encoding.
+//! Because the simulator is deterministic, a cached answer is
+//! byte-identical to re-running the cell; the cache turns repeated grid
+//! sweeps (the common workflow while reproducing paper figures) into
+//! lookups.
+//!
+//! The same binary is also the client (`client`): `idyll-serve serve`
+//! starts a daemon, everything else talks to one. `idyll_bench` routes
+//! grid runs through a daemon when `IDYLL_SERVE_ADDR` is set.
+//!
+//! # Example
+//!
+//! ```
+//! use idyll_serve::server::{self, ServerConfig};
+//! use idyll_serve::client::Client;
+//!
+//! let handle = server::spawn(ServerConfig {
+//!     workers: 1,
+//!     ..ServerConfig::default()
+//! })
+//! .expect("bind");
+//! let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+//! client.ping().expect("daemon answers");
+//! client.shutdown().expect("drain");
+//! handle.join().expect("clean exit");
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{metric_count, run_cells, Client, RemoteCell};
+pub use server::{serve, spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,369 @@
+//! `idyll-serve` — daemon and client for the experiment service.
+//!
+//! ```text
+//! idyll-serve serve    [--addr A] [--workers N] [--queue N] [--timeout-secs S] [--cache-dir D]
+//! idyll-serve ping     [--addr A]
+//! idyll-serve status   [--addr A]
+//! idyll-serve metrics  [--addr A]
+//! idyll-serve shutdown [--addr A]
+//! idyll-serve key      --app APP [--scheme S] [--scale S] [--n-gpus N] [--seed N]
+//! idyll-serve smoke    [--jobs N] [--conns N] [--workers N]
+//! ```
+//!
+//! `--addr` defaults to `IDYLL_SERVE_ADDR`, then `127.0.0.1:7199`.
+//! `key` prints the content address a job would cache under (used by the
+//! cross-process key-stability test). `smoke` is the self-contained
+//! acceptance check CI runs: an ephemeral in-process daemon, a grid
+//! submitted over several concurrent connections, byte-compared against
+//! direct `run_jobs_timed` output, then resubmitted to prove the second
+//! pass is served entirely from cache.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use idyll_serve::client::{metric_count, Client, RemoteCell};
+use idyll_serve::proto::JobSpec;
+use idyll_serve::server::{self, ServerConfig};
+use mgpu_system::canon;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::runner::{run_jobs_timed, Job};
+use workloads::{AppId, Scale, WorkloadSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: idyll-serve <serve|ping|status|metrics|shutdown|key|smoke> [flags]");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(rest),
+        "ping" => cmd_simple(rest, |c| {
+            c.ping()?;
+            println!("pong");
+            Ok(())
+        }),
+        "status" => cmd_simple(rest, |c| {
+            let status = c.request(&idyll_serve::proto::Request::Status(None))?;
+            println!("{}", status.encode());
+            Ok(())
+        }),
+        "metrics" => cmd_simple(rest, |c| {
+            print!("{}", c.metrics_json()?);
+            Ok(())
+        }),
+        "shutdown" => cmd_simple(rest, |c| {
+            c.shutdown()?;
+            println!("draining");
+            Ok(())
+        }),
+        "key" => cmd_key(rest),
+        "smoke" => cmd_smoke(rest),
+        other => {
+            eprintln!("unknown command `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("idyll-serve {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, AnyError> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for {name}: `{v}`").into()),
+    }
+}
+
+fn addr_flag(args: &[String]) -> String {
+    flag_value(args, "--addr")
+        .or_else(|| std::env::var("IDYLL_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7199".to_string())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    let config = ServerConfig {
+        addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7199".to_string()),
+        workers: parsed_flag(args, "--workers", 4usize)?,
+        queue_capacity: parsed_flag(args, "--queue", 256usize)?,
+        job_timeout_secs: flag_value(args, "--timeout-secs")
+            .map(|v| v.parse::<f64>())
+            .transpose()
+            .map_err(|_| "bad value for --timeout-secs")?,
+        cache_dir: Some(PathBuf::from(
+            flag_value(args, "--cache-dir").unwrap_or_else(|| "results/cache".to_string()),
+        )),
+    };
+    // Echo the resolved address so scripts can bind port 0 and discover
+    // where the daemon landed.
+    let listener_probe = config.addr.clone();
+    println!("idyll-serve: listening on {listener_probe}");
+    server::serve(config)?;
+    println!("idyll-serve: drained, exiting");
+    Ok(())
+}
+
+fn cmd_simple(
+    args: &[String],
+    action: impl FnOnce(&mut Client) -> Result<(), AnyError>,
+) -> Result<(), AnyError> {
+    let mut client = Client::connect(&addr_flag(args))?;
+    action(&mut client)
+}
+
+/// The scheme table shared by `key` and `smoke`: named presets mapping to
+/// full configurations (mirrors the harness's baseline/IDYLL pairing).
+fn scheme_config(name: &str, n_gpus: usize, seed: u64) -> Result<SystemConfig, AnyError> {
+    let mut cfg = match name {
+        "baseline" => SystemConfig::baseline(n_gpus),
+        "idyll" => SystemConfig::idyll(n_gpus),
+        "test" => SystemConfig::test(n_gpus),
+        other => return Err(format!("unknown scheme `{other}` (baseline|idyll|test)").into()),
+    };
+    cfg.seed = seed;
+    Ok(cfg)
+}
+
+fn parse_scale(name: &str) -> Result<Scale, AnyError> {
+    match name {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale `{other}` (test|small|full)").into()),
+    }
+}
+
+fn cmd_key(args: &[String]) -> Result<(), AnyError> {
+    let app_name = flag_value(args, "--app").ok_or("`key` needs --app")?;
+    let app = AppId::from_name(&app_name).ok_or_else(|| format!("unknown app `{app_name}`"))?;
+    let scale = parse_scale(&flag_value(args, "--scale").unwrap_or_else(|| "test".to_string()))?;
+    let scheme = flag_value(args, "--scheme").unwrap_or_else(|| "idyll".to_string());
+    let n_gpus = parsed_flag(args, "--n-gpus", 4usize)?;
+    let seed = parsed_flag(args, "--seed", 42u64)?;
+    let config = scheme_config(&scheme, n_gpus, seed)?;
+    let spec = WorkloadSpec::paper_default(app, scale);
+    println!("{}", canon::job_key(&config, &spec, seed));
+    Ok(())
+}
+
+/// One smoke-grid cell with its local and remote representations.
+struct SmokeCell {
+    remote: RemoteCell,
+    workload_seed: u64,
+}
+
+fn smoke_cells(jobs: usize) -> Result<Vec<SmokeCell>, AnyError> {
+    let schemes = ["baseline", "idyll"];
+    let apps = AppId::ALL;
+    let mut cells = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let app = apps[i % apps.len()];
+        let scheme = schemes[(i / apps.len()) % schemes.len()];
+        // Distinct seeds once the app × scheme grid wraps, so every cell is
+        // a distinct cache entry.
+        let seed = 42 + (i / (apps.len() * schemes.len())) as u64;
+        let config = scheme_config(scheme, 2, seed)?;
+        let spec = WorkloadSpec::paper_default(app, Scale::Test);
+        cells.push(SmokeCell {
+            remote: RemoteCell {
+                scheme: format!("{app}/{scheme}/s{seed}"),
+                config,
+                spec,
+                seed,
+            },
+            workload_seed: seed,
+        });
+    }
+    Ok(cells)
+}
+
+/// Submits `cells` over `conns` concurrent connections; returns the served
+/// canonical reports in cell order plus how many were flagged cached.
+fn serve_pass(
+    addr: &str,
+    cells: &[SmokeCell],
+    conns: usize,
+) -> Result<(Vec<String>, usize), AnyError> {
+    let chunk = cells.len().div_ceil(conns.max(1));
+    let mut reports: Vec<Option<String>> = vec![None; cells.len()];
+    let mut cached_count = 0usize;
+    std::thread::scope(|scope| -> Result<(), AnyError> {
+        let mut handles = Vec::new();
+        for (c, chunk_cells) in cells.chunks(chunk).enumerate() {
+            let offset = c * chunk;
+            handles.push((
+                offset,
+                scope.spawn(move || -> Result<Vec<(String, bool)>, String> {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    let jobs: Vec<JobSpec> = chunk_cells
+                        .iter()
+                        .map(|cell| JobSpec {
+                            scheme: cell.remote.scheme.clone(),
+                            config: canon::encode_config(&cell.remote.config),
+                            spec: canon::encode_spec(&cell.remote.spec),
+                            seed: cell.remote.seed,
+                        })
+                        .collect();
+                    let (ids, cached) = client
+                        .submit_with_backoff(&jobs)
+                        .map_err(|e| e.to_string())?;
+                    let mut out = Vec::with_capacity(ids.len());
+                    for (id, was_cached) in ids.into_iter().zip(cached) {
+                        let (report, _wall, _cached) =
+                            client.wait_result(id).map_err(|e| e.to_string())?;
+                        out.push((report, was_cached));
+                    }
+                    Ok(out)
+                }),
+            ));
+        }
+        for (offset, handle) in handles {
+            let chunk_reports = handle.join().expect("client thread")?;
+            for (i, (report, was_cached)) in chunk_reports.into_iter().enumerate() {
+                reports[offset + i] = Some(report);
+                cached_count += usize::from(was_cached);
+            }
+        }
+        Ok(())
+    })?;
+    let reports = reports
+        .into_iter()
+        .map(|r| r.expect("every cell answered"))
+        .collect();
+    Ok((reports, cached_count))
+}
+
+fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
+    let jobs = parsed_flag(args, "--jobs", 100usize)?;
+    let conns = parsed_flag(args, "--conns", 4usize)?;
+    let workers = parsed_flag(args, "--workers", 4usize)?;
+    if conns < 2 {
+        return Err("smoke needs --conns >= 2 (concurrency is part of the check)".into());
+    }
+
+    let cache_dir = std::env::temp_dir().join(format!("idyll-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: jobs.max(256),
+        job_timeout_secs: None,
+        cache_dir: Some(cache_dir.clone()),
+    })?;
+    let addr = handle.addr.to_string();
+    println!("smoke: daemon on {addr}, {jobs} jobs over {conns} connections, {workers} workers");
+
+    let cells = smoke_cells(jobs)?;
+
+    // Reference answers: the same cells run directly through the grid
+    // runner, exactly as a non-daemon harness would.
+    let direct_jobs: Vec<Job> = cells
+        .iter()
+        .map(|cell| Job {
+            scheme: cell.remote.scheme.clone(),
+            config: cell.remote.config.clone(),
+            workload: workloads::generate(
+                &cell.remote.spec,
+                cell.remote.config.n_gpus,
+                cell.workload_seed,
+            ),
+        })
+        .collect();
+    let direct: Vec<String> = run_jobs_timed(direct_jobs, workers.max(1))?
+        .into_iter()
+        .map(|t| canon::encode_report(&t.report))
+        .collect();
+
+    // Pass 1: everything is new; answers must be byte-identical to direct.
+    let (served, cached_first) = serve_pass(&addr, &cells, conns)?;
+    let mut mismatches = 0;
+    for (i, (a, b)) in direct.iter().zip(&served).enumerate() {
+        if a != b {
+            mismatches += 1;
+            eprintln!("smoke: MISMATCH cell {i} ({})", cells[i].remote.scheme);
+        }
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches}/{jobs} served results differ from direct runs").into());
+    }
+    println!("smoke: pass 1 ok — {jobs}/{jobs} served results byte-identical to direct runs");
+
+    let mut probe = Client::connect(&addr)?;
+    let metrics1 = probe.metrics_json()?;
+    let hits1 = metric_count(&metrics1, "serve.cache_hits").unwrap_or(0);
+    let events1 = metric_count(&metrics1, "serve.sim_events_total").unwrap_or(0);
+
+    // Pass 2: identical batch; every answer must come from the cache with
+    // zero new simulation work.
+    let (served_again, cached_second) = serve_pass(&addr, &cells, conns)?;
+    if served_again != direct {
+        for (i, (a, b)) in direct.iter().zip(&served_again).enumerate() {
+            if a != b {
+                let diff = a
+                    .lines()
+                    .zip(b.lines())
+                    .find(|(x, y)| x != y)
+                    .map(|(x, y)| format!("direct `{x}` vs cached `{y}`"))
+                    .unwrap_or_else(|| "different line counts".to_string());
+                eprintln!(
+                    "smoke: MISMATCH cell {i} ({}): {diff}",
+                    cells[i].remote.scheme
+                );
+            }
+        }
+        return Err("cache-served results differ from direct runs".into());
+    }
+    if cached_second != jobs {
+        return Err(format!(
+            "expected all {jobs} resubmitted jobs to hit the cache, got {cached_second}"
+        )
+        .into());
+    }
+    let metrics2 = probe.metrics_json()?;
+    let hits2 = metric_count(&metrics2, "serve.cache_hits").unwrap_or(0);
+    let events2 = metric_count(&metrics2, "serve.sim_events_total").unwrap_or(0);
+    if hits2 - hits1 != jobs as u64 {
+        return Err(format!(
+            "cache hit counter moved by {} on resubmit, expected {jobs}",
+            hits2 - hits1
+        )
+        .into());
+    }
+    if events2 != events1 {
+        return Err(format!(
+            "resubmit simulated {} new events; cache hits must simulate none",
+            events2 - events1
+        )
+        .into());
+    }
+    println!(
+        "smoke: pass 2 ok — {jobs}/{jobs} served from cache ({} first-pass hits), 0 new events",
+        cached_first
+    );
+
+    probe.shutdown()?;
+    handle.join()?;
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("smoke: PASS");
+    Ok(())
+}

@@ -1,0 +1,512 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Each request and each response is exactly one JSON object on one line
+//! (`\n`-terminated). Multi-line payloads — canonical configuration, spec
+//! and report documents from `mgpu_system::canon` — travel inside JSON
+//! strings, so framing stays trivial: read a line, parse it.
+//!
+//! Requests carry a `cmd` discriminator:
+//!
+//! | `cmd`      | fields                                   |
+//! |------------|------------------------------------------|
+//! | `submit`   | `jobs`: array of job objects             |
+//! | `status`   | optional `id`                            |
+//! | `result`   | `id`, optional `wait` (default `true`)   |
+//! | `metrics`  | —                                        |
+//! | `ping`     | —                                        |
+//! | `shutdown` | —                                        |
+//!
+//! A job object is `{scheme, config, spec, seed}`: a display label, the
+//! canonical config document, the canonical workload-spec document and the
+//! workload seed. The server recomputes the content address and the
+//! workload from these, so a job is fully described by value — no paths,
+//! no client-side state.
+//!
+//! Responses always carry `ok` (bool). Backpressure is `ok: false` with
+//! `retry_after_ms`, distinguishing "try later" from a malformed request.
+
+use crate::json::Json;
+
+/// One job as submitted over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Display label copied into the report's `scheme` field.
+    pub scheme: String,
+    /// Canonical `SystemConfig` document (see `mgpu_system::canon`).
+    pub config: String,
+    /// Canonical `WorkloadSpec` document.
+    pub spec: String,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a batch of jobs.
+    Submit(Vec<JobSpec>),
+    /// Service status, or one job's state when `id` is given.
+    Status(Option<u64>),
+    /// Fetch one job's result, blocking until it finishes when `wait`.
+    Result {
+        /// Job id from a submit response.
+        id: u64,
+        /// Block until the job completes (default) instead of returning
+        /// its current state.
+        wait: bool,
+    },
+    /// The service metrics registry as JSON.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Drain queued jobs and exit.
+    Shutdown,
+}
+
+/// One job's lifecycle state as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the bounded queue.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished; result available.
+    Done,
+    /// Failed (simulation error, timeout, or discarded at shutdown).
+    Failed,
+}
+
+impl JobState {
+    /// Wire token.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire token.
+    #[must_use]
+    pub fn from_str_token(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Jobs accepted; ids are in submission order. `cached[i]` reports
+    /// whether job `i` was answered from the result cache.
+    Submitted {
+        /// Assigned job ids, in submission order.
+        ids: Vec<u64>,
+        /// Whether each job hit the result cache.
+        cached: Vec<bool>,
+    },
+    /// Queue full: try again after the given delay.
+    Busy {
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
+    /// Service-level status.
+    Status {
+        /// Jobs waiting in the queue.
+        queue_depth: u64,
+        /// Jobs currently claimed by workers.
+        running: u64,
+        /// Jobs finished (done or failed).
+        completed: u64,
+        /// Worker threads.
+        workers: u64,
+        /// Whether a drain is in progress.
+        draining: bool,
+    },
+    /// One job's state.
+    JobStatus {
+        /// The job id queried.
+        id: u64,
+        /// Its lifecycle state.
+        state: JobState,
+    },
+    /// A finished job's result.
+    JobResult {
+        /// The job id queried.
+        id: u64,
+        /// Canonical report document.
+        report: String,
+        /// Host seconds the simulation took (0 for cache hits).
+        wall_secs: f64,
+        /// Whether this came from the result cache.
+        cached: bool,
+    },
+    /// The metrics registry rendered as JSON.
+    Metrics {
+        /// `MetricsRegistry::to_json()` output.
+        json: String,
+    },
+    /// Ping answer.
+    Pong,
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+    /// Request-level failure (malformed request, unknown id, failed job).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl Request {
+    /// Renders the request as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit(jobs) => obj(vec![
+                ("cmd", Json::str("submit")),
+                (
+                    "jobs",
+                    Json::Arr(
+                        jobs.iter()
+                            .map(|j| {
+                                obj(vec![
+                                    ("scheme", Json::str(&j.scheme)),
+                                    ("config", Json::str(&j.config)),
+                                    ("spec", Json::str(&j.spec)),
+                                    ("seed", Json::u64(j.seed)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::Status(None) => obj(vec![("cmd", Json::str("status"))]),
+            Request::Status(Some(id)) => {
+                obj(vec![("cmd", Json::str("status")), ("id", Json::u64(*id))])
+            }
+            Request::Result { id, wait } => obj(vec![
+                ("cmd", Json::str("result")),
+                ("id", Json::u64(*id)),
+                ("wait", Json::Bool(*wait)),
+            ]),
+            Request::Metrics => obj(vec![("cmd", Json::str("metrics"))]),
+            Request::Ping => obj(vec![("cmd", Json::str("ping"))]),
+            Request::Shutdown => obj(vec![("cmd", Json::str("shutdown"))]),
+        }
+        .encode()
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    /// A human-readable message on malformed input.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        let cmd = v.get("cmd").and_then(Json::as_str).ok_or("missing `cmd`")?;
+        match cmd {
+            "submit" => {
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `jobs`")?;
+                let jobs = jobs
+                    .iter()
+                    .map(|j| {
+                        let field = |name: &str| {
+                            j.get(name)
+                                .and_then(Json::as_str)
+                                .map(str::to_string)
+                                .ok_or(format!("job missing `{name}`"))
+                        };
+                        Ok(JobSpec {
+                            scheme: field("scheme")?,
+                            config: field("config")?,
+                            spec: field("spec")?,
+                            seed: j
+                                .get("seed")
+                                .and_then(Json::as_u64)
+                                .ok_or("job missing `seed`")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Request::Submit(jobs))
+            }
+            "status" => Ok(Request::Status(v.get("id").and_then(Json::as_u64))),
+            "result" => Ok(Request::Result {
+                id: v.get("id").and_then(Json::as_u64).ok_or("missing `id`")?,
+                wait: v.get("wait").and_then(Json::as_bool).unwrap_or(true),
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+}
+
+impl Response {
+    /// Renders the response as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Submitted { ids, cached } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("submitted")),
+                (
+                    "ids",
+                    Json::Arr(ids.iter().map(|i| Json::u64(*i)).collect()),
+                ),
+                (
+                    "cached",
+                    Json::Arr(cached.iter().map(|c| Json::Bool(*c)).collect()),
+                ),
+            ]),
+            Response::Busy { retry_after_ms } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", Json::str("busy")),
+                ("retry_after_ms", Json::u64(*retry_after_ms)),
+            ]),
+            Response::Status {
+                queue_depth,
+                running,
+                completed,
+                workers,
+                draining,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("status")),
+                ("queue_depth", Json::u64(*queue_depth)),
+                ("running", Json::u64(*running)),
+                ("completed", Json::u64(*completed)),
+                ("workers", Json::u64(*workers)),
+                ("draining", Json::Bool(*draining)),
+            ]),
+            Response::JobStatus { id, state } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("job_status")),
+                ("id", Json::u64(*id)),
+                ("state", Json::str(state.as_str())),
+            ]),
+            Response::JobResult {
+                id,
+                report,
+                wall_secs,
+                cached,
+            } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("job_result")),
+                ("id", Json::u64(*id)),
+                ("report", Json::str(report)),
+                ("wall_secs", Json::f64(*wall_secs)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            Response::Metrics { json } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("metrics")),
+                ("json", Json::str(json)),
+            ]),
+            Response::Pong => obj(vec![("ok", Json::Bool(true)), ("kind", Json::str("pong"))]),
+            Response::ShuttingDown => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("shutting_down")),
+            ]),
+            Response::Error { message } => obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", Json::str("error")),
+                ("message", Json::str(message)),
+            ]),
+        }
+        .encode()
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    /// A human-readable message on malformed input.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line)?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing `kind`")?;
+        let need_u64 = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing `{name}`"))
+        };
+        let need_str = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing `{name}`"))
+        };
+        match kind {
+            "submitted" => {
+                let ids = v
+                    .get("ids")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `ids`")?
+                    .iter()
+                    .map(|i| i.as_u64().ok_or("bad id".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let cached = v
+                    .get("cached")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `cached`")?
+                    .iter()
+                    .map(|c| c.as_bool().ok_or("bad cached flag".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Submitted { ids, cached })
+            }
+            "busy" => Ok(Response::Busy {
+                retry_after_ms: need_u64("retry_after_ms")?,
+            }),
+            "status" => Ok(Response::Status {
+                queue_depth: need_u64("queue_depth")?,
+                running: need_u64("running")?,
+                completed: need_u64("completed")?,
+                workers: need_u64("workers")?,
+                draining: v
+                    .get("draining")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `draining`")?,
+            }),
+            "job_status" => Ok(Response::JobStatus {
+                id: need_u64("id")?,
+                state: JobState::from_str_token(&need_str("state")?).ok_or("bad `state`")?,
+            }),
+            "job_result" => Ok(Response::JobResult {
+                id: need_u64("id")?,
+                report: need_str("report")?,
+                wall_secs: v
+                    .get("wall_secs")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing `wall_secs`")?,
+                cached: v
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `cached`")?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                json: need_str("json")?,
+            }),
+            "pong" => Ok(Response::Pong),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: need_str("message")?,
+            }),
+            other => Err(format!("unknown response kind `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> JobSpec {
+        JobSpec {
+            scheme: "km\u{1}idyll".into(),
+            config: "# idyll-canon config v1\nn_gpus 4\n".into(),
+            spec: "# idyll-canon spec v1\napp km\n".into(),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Submit(vec![sample_job(), sample_job()]),
+            Request::Submit(vec![]),
+            Request::Status(None),
+            Request::Status(Some(7)),
+            Request::Result { id: 3, wait: true },
+            Request::Result { id: 3, wait: false },
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = [
+            Response::Submitted {
+                ids: vec![1, 2, 3],
+                cached: vec![false, true, false],
+            },
+            Response::Busy {
+                retry_after_ms: 250,
+            },
+            Response::Status {
+                queue_depth: 5,
+                running: 2,
+                completed: 10,
+                workers: 4,
+                draining: false,
+            },
+            Response::JobStatus {
+                id: 2,
+                state: JobState::Running,
+            },
+            Response::JobResult {
+                id: 2,
+                report: "# idyll-canon report v1\nscheme km\u{1}idyll\n".into(),
+                wall_secs: 0.125,
+                cached: true,
+            },
+            Response::Metrics {
+                json: "{\n  \"serve.cache_hits\": 3\n}\n".into(),
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown id 99".into(),
+            },
+        ];
+        for resp in responses {
+            let line = resp.encode();
+            assert!(!line.contains('\n'), "one line per response: {line}");
+            assert_eq!(Response::decode(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn result_wait_defaults_to_true() {
+        let req = Request::decode("{\"cmd\":\"result\",\"id\":5}").unwrap();
+        assert_eq!(req, Request::Result { id: 5, wait: true });
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode("{\"cmd\":\"nope\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"submit\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"result\"}").is_err());
+        assert!(Response::decode("{\"ok\":true}").is_err());
+        assert!(
+            Response::decode("{\"kind\":\"job_status\",\"id\":1,\"state\":\"bogus\"}").is_err()
+        );
+    }
+}

@@ -1,0 +1,575 @@
+//! The daemon: accept loop, bounded job queue, worker pool, result cache.
+//!
+//! ## Life of a job
+//!
+//! 1. A connection thread decodes a `submit` batch, canonically decodes
+//!    each job's config/spec and computes its content address.
+//! 2. Jobs whose address is already cached complete immediately: the
+//!    stored canonical report is served verbatim, byte-identical to
+//!    re-running the cell, because the simulator is deterministic and
+//!    every report field is derived from `(config, spec, seed)`.
+//! 3. The rest enter the bounded queue — atomically per batch: if the
+//!    batch does not fit, nothing is enqueued and the client gets
+//!    `busy` with a `retry_after_ms` hint (backpressure, not failure).
+//! 4. Workers pop jobs, regenerate the workload from the spec and run the
+//!    simulation through `mgpu_system::runner::run_jobs_timed`. Fresh
+//!    results are cached, then published to result waiters.
+//!
+//! ## Timeouts
+//!
+//! A running simulation cannot be preempted, so the per-job timeout is a
+//! *deadline mark*: the worker checks the deadline when the run finishes;
+//! late results are discarded (reported as failed, never cached). The
+//! timeout therefore bounds result credibility, not worker occupancy.
+//!
+//! ## Shutdown
+//!
+//! `shutdown` flips the drain flag: the accept loop stops taking new
+//! connections, workers finish every queued job, then the server joins
+//! them and exits. With zero workers (a configuration used by
+//! backpressure tests), queued jobs are discarded as failed instead, since
+//! nobody will ever run them.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use mgpu_system::canon;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::runner::{run_jobs_timed, Job};
+use sim_engine::metrics::MetricsRegistry;
+use sim_engine::stats::Accumulator;
+use workloads::WorkloadSpec;
+
+use crate::cache::ResultCache;
+use crate::proto::{JobSpec, JobState, Request, Response};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads. Zero is allowed (jobs queue but never run) and is
+    /// used to test backpressure deterministically.
+    pub workers: usize,
+    /// Bounded queue capacity; submit batches that do not fit are rejected
+    /// with a retry hint.
+    pub queue_capacity: usize,
+    /// Per-job deadline in seconds; results arriving later are discarded.
+    pub job_timeout_secs: Option<f64>,
+    /// Result-cache directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 256,
+            job_timeout_secs: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A fully decoded job waiting for a worker.
+#[derive(Debug, Clone)]
+struct Work {
+    scheme: String,
+    config: SystemConfig,
+    spec: WorkloadSpec,
+    seed: u64,
+    key: String,
+}
+
+/// A finished job's published answer.
+#[derive(Debug, Clone)]
+struct Outcome {
+    report: String,
+    wall_secs: f64,
+    cached: bool,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    state: JobState,
+    outcome: Option<Outcome>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    batches_rejected: u64,
+    sim_events: u64,
+    live_wall: Accumulator,
+}
+
+#[derive(Debug)]
+struct State {
+    queue: VecDeque<(u64, Work)>,
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+    running: u64,
+    draining: bool,
+    counters: Counters,
+}
+
+/// Shared server internals: one mutex-guarded state plus two condition
+/// variables (workers park on `queue_cv`; result waiters on `done_cv`).
+struct Shared {
+    state: Mutex<State>,
+    queue_cv: Condvar,
+    done_cv: Condvar,
+    cache: ResultCache,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn new(config: ServerConfig, cache: ResultCache) -> Self {
+        Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                running: 0,
+                draining: false,
+                counters: Counters::default(),
+            }),
+            queue_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cache,
+            config,
+        }
+    }
+
+    fn handle_submit(&self, jobs: Vec<JobSpec>) -> Response {
+        // Decode everything before touching the queue so a malformed batch
+        // rejects atomically.
+        let mut decoded = Vec::with_capacity(jobs.len());
+        for (i, j) in jobs.iter().enumerate() {
+            let config = match canon::decode_config(&j.config) {
+                Ok(c) => c,
+                Err(e) => {
+                    return Response::Error {
+                        message: format!("job {i}: bad config: {e}"),
+                    }
+                }
+            };
+            let spec = match canon::decode_spec(&j.spec) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Response::Error {
+                        message: format!("job {i}: bad spec: {e}"),
+                    }
+                }
+            };
+            let key = canon::job_key(&config, &spec, j.seed);
+            decoded.push(Work {
+                scheme: j.scheme.clone(),
+                config,
+                spec,
+                seed: j.seed,
+                key,
+            });
+        }
+
+        let mut state = self.state.lock().expect("state lock");
+        if state.draining {
+            return Response::Error {
+                message: "server is draining".to_string(),
+            };
+        }
+        // Atomic batch admission: either every non-cached job fits in the
+        // queue or the whole batch is pushed back on the client.
+        let misses = decoded
+            .iter()
+            .filter(|w| self.cache.get(&w.key).is_none())
+            .count();
+        if state.queue.len() + misses > self.config.queue_capacity {
+            state.counters.batches_rejected += 1;
+            // Heuristic: ~100ms of drain per queued job, clamped. The hint
+            // is advisory pacing, not a promise of capacity.
+            let retry_after_ms = (100 * (state.queue.len() as u64 + 1)).clamp(100, 5_000);
+            return Response::Busy { retry_after_ms };
+        }
+
+        let mut ids = Vec::with_capacity(decoded.len());
+        let mut cached_flags = Vec::with_capacity(decoded.len());
+        for work in decoded {
+            let id = state.next_id;
+            state.next_id += 1;
+            state.counters.submitted += 1;
+            match self.cache.get(&work.key) {
+                // The canonical report is fully determined by
+                // `(config, spec, seed)` — the submit label only exists on
+                // the client's `TimedRun` — so a hit serves the stored
+                // bytes verbatim, trivially byte-identical to a re-run.
+                Some(report) => {
+                    state.counters.cache_hits += 1;
+                    state.counters.completed += 1;
+                    state.jobs.insert(
+                        id,
+                        JobRecord {
+                            state: JobState::Done,
+                            outcome: Some(Outcome {
+                                report,
+                                wall_secs: 0.0,
+                                cached: true,
+                            }),
+                            error: None,
+                        },
+                    );
+                    cached_flags.push(true);
+                }
+                None => {
+                    state.counters.cache_misses += 1;
+                    state.jobs.insert(
+                        id,
+                        JobRecord {
+                            state: JobState::Queued,
+                            outcome: None,
+                            error: None,
+                        },
+                    );
+                    state.queue.push_back((id, work));
+                    cached_flags.push(false);
+                }
+            }
+            ids.push(id);
+        }
+        self.queue_cv.notify_all();
+        self.done_cv.notify_all();
+        Response::Submitted {
+            ids,
+            cached: cached_flags,
+        }
+    }
+
+    fn handle_status(&self, id: Option<u64>) -> Response {
+        let state = self.state.lock().expect("state lock");
+        match id {
+            None => Response::Status {
+                queue_depth: state.queue.len() as u64,
+                running: state.running,
+                completed: state.counters.completed + state.counters.failed,
+                workers: self.config.workers as u64,
+                draining: state.draining,
+            },
+            Some(id) => match state.jobs.get(&id) {
+                Some(rec) => Response::JobStatus {
+                    id,
+                    state: rec.state.clone(),
+                },
+                None => Response::Error {
+                    message: format!("unknown job id {id}"),
+                },
+            },
+        }
+    }
+
+    fn handle_result(&self, id: u64, wait: bool) -> Response {
+        let mut state = self.state.lock().expect("state lock");
+        loop {
+            let answer = match state.jobs.get(&id) {
+                None => Some(Response::Error {
+                    message: format!("unknown job id {id}"),
+                }),
+                Some(rec) => match (&rec.state, &rec.outcome) {
+                    (JobState::Done, Some(outcome)) => Some(Response::JobResult {
+                        id,
+                        report: outcome.report.clone(),
+                        wall_secs: outcome.wall_secs,
+                        cached: outcome.cached,
+                    }),
+                    (JobState::Failed, _) => Some(Response::Error {
+                        message: rec
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| "job failed".to_string()),
+                    }),
+                    (state_now, _) if !wait => Some(Response::JobStatus {
+                        id,
+                        state: state_now.clone(),
+                    }),
+                    _ => None,
+                },
+            };
+            if let Some(response) = answer {
+                return response;
+            }
+            // Re-check periodically so a waiter also notices drain.
+            let (guard, _) = self
+                .done_cv
+                .wait_timeout(state, Duration::from_millis(200))
+                .expect("state lock");
+            state = guard;
+        }
+    }
+
+    fn handle_metrics(&self) -> Response {
+        let state = self.state.lock().expect("state lock");
+        let mut reg = MetricsRegistry::new();
+        let mut scope = reg.scope("serve");
+        scope.count("jobs_submitted", state.counters.submitted);
+        scope.count("jobs_completed", state.counters.completed);
+        scope.count("jobs_failed", state.counters.failed);
+        scope.count("cache_hits", state.counters.cache_hits);
+        scope.count("cache_misses", state.counters.cache_misses);
+        scope.count("batches_rejected", state.counters.batches_rejected);
+        scope.count("sim_events_total", state.counters.sim_events);
+        scope.count("queue_depth", state.queue.len() as u64);
+        scope.count("jobs_running", state.running);
+        scope.count("workers", self.config.workers as u64);
+        scope.count("queue_capacity", self.config.queue_capacity as u64);
+        scope.count("cache_entries", self.cache.len() as u64);
+        scope.accumulator("job_wall_secs", &state.counters.live_wall);
+        Response::Metrics {
+            json: reg.to_json(),
+        }
+    }
+
+    /// Initiates drain. Returns only once the flag is set; the caller wakes
+    /// the accept loop separately.
+    fn begin_shutdown(&self) {
+        let mut state = self.state.lock().expect("state lock");
+        state.draining = true;
+        if self.config.workers == 0 {
+            // Nobody will ever run these; fail them instead of hanging the
+            // drain forever.
+            while let Some((id, _)) = state.queue.pop_front() {
+                if let Some(rec) = state.jobs.get_mut(&id) {
+                    rec.state = JobState::Failed;
+                    rec.error = Some("discarded at shutdown (no workers)".to_string());
+                }
+                state.counters.failed += 1;
+            }
+        }
+        self.queue_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (id, work) = {
+                let mut state = self.state.lock().expect("state lock");
+                loop {
+                    if let Some(item) = state.queue.pop_front() {
+                        break item;
+                    }
+                    if state.draining {
+                        return;
+                    }
+                    state = self.queue_cv.wait(state).expect("state lock");
+                }
+            };
+            {
+                let mut state = self.state.lock().expect("state lock");
+                state.running += 1;
+                if let Some(rec) = state.jobs.get_mut(&id) {
+                    rec.state = JobState::Running;
+                }
+            }
+            // The deadline clock measures host wall time around an
+            // unpreemptible simulation; it never feeds simulation state.
+            // simlint: allow(wall-clock) — per-job deadline at the service edge
+            let started = std::time::Instant::now();
+            let workload = workloads::generate(&work.spec, work.config.n_gpus, work.seed);
+            let result = run_jobs_timed(
+                vec![Job {
+                    scheme: work.scheme.clone(),
+                    config: work.config.clone(),
+                    workload,
+                }],
+                1,
+            );
+            let elapsed = started.elapsed().as_secs_f64();
+            let timed_out = self
+                .config
+                .job_timeout_secs
+                .is_some_and(|limit| elapsed > limit);
+
+            let mut state = self.state.lock().expect("state lock");
+            state.running -= 1;
+            let rec = state.jobs.get_mut(&id).expect("job record exists");
+            match result {
+                Ok(mut runs) if !timed_out => {
+                    let run = runs.pop().expect("one job, one result");
+                    let report = canon::encode_report(&run.report);
+                    rec.state = JobState::Done;
+                    rec.outcome = Some(Outcome {
+                        report: report.clone(),
+                        wall_secs: run.wall_secs,
+                        cached: false,
+                    });
+                    state.counters.completed += 1;
+                    state.counters.sim_events += run.report.events_processed;
+                    state.counters.live_wall.record(run.wall_secs);
+                    // Cache failures degrade to a warning: the result is
+                    // still correct and already published in memory.
+                    if let Err(e) = self.cache.put(&work.key, &report) {
+                        eprintln!("idyll-serve: cache write failed for {}: {e}", work.key);
+                    }
+                }
+                Ok(_) => {
+                    // A late result is discarded, not cached: the deadline
+                    // is the credibility bound the operator asked for.
+                    rec.state = JobState::Failed;
+                    rec.error = Some(format!(
+                        "job exceeded deadline ({elapsed:.1}s > {:.1}s); result discarded",
+                        self.config.job_timeout_secs.unwrap_or(0.0)
+                    ));
+                    state.counters.failed += 1;
+                }
+                Err(e) => {
+                    rec.state = JobState::Failed;
+                    rec.error = Some(format!("simulation error: {e}"));
+                    state.counters.failed += 1;
+                }
+            }
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A running daemon handle (in-process servers: tests, the `smoke`
+/// subcommand).
+pub struct ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Waits for the daemon to drain and exit.
+    ///
+    /// # Errors
+    /// Propagates the accept loop's I/O error, if any.
+    ///
+    /// # Panics
+    /// If the server thread panicked.
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+fn open_cache(config: &ServerConfig) -> std::io::Result<ResultCache> {
+    match &config.cache_dir {
+        Some(dir) => ResultCache::open(dir),
+        None => Ok(ResultCache::in_memory()),
+    }
+}
+
+/// Binds and serves until a client sends `shutdown`. Blocks the calling
+/// thread for the daemon's whole life.
+///
+/// # Errors
+/// Propagates bind/accept failures and cache-directory errors.
+pub fn serve(config: ServerConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let cache = open_cache(&config)?;
+    let shared = Arc::new(Shared::new(config, cache));
+    run(listener, shared)
+}
+
+/// Binds, then serves on a background thread; returns once the listener is
+/// accepting. The handle reports the bound address (useful with port 0).
+///
+/// # Errors
+/// Propagates bind and cache-directory failures.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = open_cache(&config)?;
+    let shared = Arc::new(Shared::new(config, cache));
+    let thread = std::thread::spawn(move || run(listener, shared));
+    Ok(ServerHandle { addr, thread })
+}
+
+fn run(listener: TcpListener, shared: Arc<Shared>) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let mut workers = Vec::new();
+    for _ in 0..shared.config.workers {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || shared.worker_loop()));
+    }
+
+    let active_connections = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shared.state.lock().expect("state lock").draining {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let active = Arc::clone(&active_connections);
+        active.fetch_add(1, Ordering::SeqCst);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &shared, addr);
+            active.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+
+    for worker in workers {
+        let _ = worker.join();
+    }
+    // Grace period for in-flight connections to flush their last response
+    // (result waiters racing the drain). Purely an edge-of-process
+    // courtesy; simulation artifacts never depend on it.
+    for _ in 0..100 {
+        if active_connections.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    server_addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let request = Request::decode(line.trim_end());
+        let (response, is_shutdown) = match request {
+            Ok(Request::Submit(jobs)) => (shared.handle_submit(jobs), false),
+            Ok(Request::Status(id)) => (shared.handle_status(id), false),
+            Ok(Request::Result { id, wait }) => (shared.handle_result(id, wait), false),
+            Ok(Request::Metrics) => (shared.handle_metrics(), false),
+            Ok(Request::Ping) => (Response::Pong, false),
+            Ok(Request::Shutdown) => (Response::ShuttingDown, true),
+            Err(e) => (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                false,
+            ),
+        };
+        writer.write_all(response.encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if is_shutdown {
+            shared.begin_shutdown();
+            // The accept loop is parked in `accept`; poke it so it
+            // re-checks the drain flag and exits.
+            let _ = TcpStream::connect(server_addr);
+            return Ok(());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end service tests.
+//!
+//! These exercise the acceptance properties of the experiment service:
+//! served answers are byte-identical to direct `run_jobs_timed` output, a
+//! resubmitted batch is served entirely from the cache without new
+//! simulation events, full queues push back with a retry hint, and the
+//! cache key is stable across processes and hostile `IDYLL_HASH_SEED`
+//! values.
+
+use idyll_serve::proto::{JobSpec, Request, Response};
+use idyll_serve::server::{spawn, ServerConfig};
+use idyll_serve::{metric_count, Client, RemoteCell};
+use mgpu_system::canon;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::runner::{run_jobs_timed, Job};
+use workloads::{AppId, Scale, WorkloadSpec};
+
+/// A small grid of distinct cells: two apps × two schemes at test scale.
+fn grid_cells() -> Vec<RemoteCell> {
+    let mut cells = Vec::new();
+    for app in [AppId::Km, AppId::Bs] {
+        for (label, config) in [
+            ("baseline", SystemConfig::baseline(2)),
+            ("idyll", SystemConfig::idyll(2)),
+        ] {
+            let mut config = config;
+            config.seed = 42;
+            cells.push(RemoteCell {
+                scheme: format!("{app}/{label}"),
+                config,
+                spec: WorkloadSpec::paper_default(app, Scale::Test),
+                seed: 42,
+            });
+        }
+    }
+    cells
+}
+
+fn canonical_direct(cells: &[RemoteCell]) -> Vec<String> {
+    let jobs: Vec<Job> = cells
+        .iter()
+        .map(|cell| Job {
+            scheme: cell.scheme.clone(),
+            config: cell.config.clone(),
+            workload: workloads::generate(&cell.spec, cell.config.n_gpus, cell.seed),
+        })
+        .collect();
+    run_jobs_timed(jobs, 2)
+        .expect("direct runs succeed")
+        .into_iter()
+        .map(|t| canon::encode_report(&t.report))
+        .collect()
+}
+
+fn job_specs(cells: &[RemoteCell]) -> Vec<JobSpec> {
+    cells
+        .iter()
+        .map(|cell| JobSpec {
+            scheme: cell.scheme.clone(),
+            config: canon::encode_config(&cell.config),
+            spec: canon::encode_spec(&cell.spec),
+            seed: cell.seed,
+        })
+        .collect()
+}
+
+#[test]
+fn served_results_are_byte_identical_and_resubmits_hit_the_cache() {
+    let handle = spawn(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    let cells = grid_cells();
+    let direct = canonical_direct(&cells);
+    let specs = job_specs(&cells);
+
+    // Pass 1: all jobs are new; every served report must match the direct
+    // run byte for byte.
+    let mut client = Client::connect(&addr).expect("connect");
+    let (ids, cached) = client.submit_with_backoff(&specs).expect("submit");
+    assert_eq!(ids.len(), cells.len());
+    assert!(
+        cached.iter().all(|&c| !c),
+        "first submission must not be cached"
+    );
+    for (i, &id) in ids.iter().enumerate() {
+        let (report, _wall, was_cached) = client.wait_result(id).expect("result");
+        assert!(!was_cached, "cell {i} served from cache on first pass");
+        assert_eq!(
+            report, direct[i],
+            "cell {i} ({}) differs from the direct run",
+            cells[i].scheme
+        );
+    }
+
+    let metrics = client.metrics_json().expect("metrics");
+    let hits_before = metric_count(&metrics, "serve.cache_hits").unwrap_or(0);
+    let events_before = metric_count(&metrics, "serve.sim_events_total").unwrap_or(0);
+    assert!(events_before > 0, "first pass must simulate");
+
+    // Pass 2: identical batch; everything must come from the cache with
+    // zero new simulation events and unchanged bytes.
+    let (ids2, cached2) = client.submit_with_backoff(&specs).expect("resubmit");
+    assert!(
+        cached2.iter().all(|&c| c),
+        "resubmission must be fully cached"
+    );
+    for (i, &id) in ids2.iter().enumerate() {
+        let (report, wall, was_cached) = client.wait_result(id).expect("cached result");
+        assert!(was_cached, "cell {i} not served from cache");
+        assert_eq!(wall, 0.0, "cached answers report zero wall time");
+        assert_eq!(report, direct[i], "cached cell {i} differs from direct");
+    }
+
+    let metrics = client.metrics_json().expect("metrics after resubmit");
+    let hits_after = metric_count(&metrics, "serve.cache_hits").unwrap_or(0);
+    let events_after = metric_count(&metrics, "serve.sim_events_total").unwrap_or(0);
+    assert_eq!(
+        hits_after - hits_before,
+        cells.len() as u64,
+        "every resubmitted job must count as a cache hit"
+    );
+    assert_eq!(
+        events_after, events_before,
+        "cache hits must not run the simulator"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+#[test]
+fn full_queue_pushes_back_with_a_retry_hint() {
+    // Zero workers: admitted jobs stay queued forever, making the
+    // backpressure path deterministic.
+    let handle = spawn(ServerConfig {
+        workers: 0,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    let cells = grid_cells();
+    let specs = job_specs(&cells);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    // First two fit exactly; the batch is admitted atomically.
+    match client
+        .request(&Request::Submit(specs[..2].to_vec()))
+        .expect("submit")
+    {
+        Response::Submitted { ids, .. } => assert_eq!(ids.len(), 2),
+        other => panic!("expected admission, got {other:?}"),
+    }
+    // The queue is now full: one more job must be rejected, whole-batch,
+    // with a positive retry hint.
+    match client
+        .request(&Request::Submit(specs[2..3].to_vec()))
+        .expect("submit over capacity")
+    {
+        Response::Busy { retry_after_ms } => {
+            assert!(retry_after_ms > 0, "retry hint must be positive");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    // Shutdown discards the never-run queue and still exits cleanly.
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Runs the installed binary's `key` subcommand under a chosen
+/// `IDYLL_HASH_SEED` and returns the printed key.
+fn key_from_subprocess(hash_seed: Option<&str>) -> String {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_idyll-serve"));
+    cmd.args([
+        "key", "--app", "KM", "--scale", "test", "--scheme", "idyll", "--n-gpus", "2", "--seed",
+        "42",
+    ]);
+    match hash_seed {
+        Some(seed) => cmd.env("IDYLL_HASH_SEED", seed),
+        None => cmd.env_remove("IDYLL_HASH_SEED"),
+    };
+    let out = cmd.output().expect("key subcommand runs");
+    assert!(
+        out.status.success(),
+        "key subcommand failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("key is utf-8")
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn cache_key_is_stable_across_processes_and_hash_seeds() {
+    // In-process reference key for the same cell.
+    let mut config = SystemConfig::idyll(2);
+    config.seed = 42;
+    let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
+    let reference = canon::job_key(&config, &spec, 42);
+    assert_eq!(reference.len(), 32, "key is 128 bits of hex");
+
+    // Fresh processes, with and without a hostile hash-seed override, must
+    // all derive the same key — otherwise a daemon restarted under a
+    // different environment would miss its own persisted cache.
+    let plain = key_from_subprocess(None);
+    let hostile_a = key_from_subprocess(Some("1"));
+    let hostile_b = key_from_subprocess(Some("deadbeef"));
+    assert_eq!(plain, reference);
+    assert_eq!(hostile_a, reference);
+    assert_eq!(hostile_b, reference);
+}

@@ -47,6 +47,11 @@ pub struct SetAssoc<V> {
     sets: Vec<Vec<Way<V>>>,
     ways: usize,
     clock: u64,
+    /// `sets - 1` when the set count is a power of two, letting set
+    /// selection use a mask instead of a 64-bit modulo. Every production
+    /// geometry (TLBs, PWC, L2, VM-Cache) is a power of two, and the mask
+    /// selects the identical set the modulo would.
+    set_mask: Option<u64>,
 }
 
 impl<V> SetAssoc<V> {
@@ -61,6 +66,7 @@ impl<V> SetAssoc<V> {
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
             clock: 0,
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
         }
     }
 
@@ -91,7 +97,10 @@ impl<V> SetAssoc<V> {
 
     #[inline]
     fn set_of(&self, key: u64) -> usize {
-        (key % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (key & mask) as usize,
+            None => (key % self.sets.len() as u64) as usize,
+        }
     }
 
     #[inline]
@@ -333,5 +342,33 @@ mod tests {
         let mut tags: Vec<u64> = sa.iter().map(|(t, _)| t).collect();
         tags.sort_unstable();
         assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn masked_set_selection_matches_modulo() {
+        // Power-of-two set counts take the mask path; the selected set must
+        // be the one `key % sets` picks, including for keys far above the
+        // set count and at u64::MAX.
+        for sets in [1usize, 2, 8, 32, 256] {
+            let mut sa: SetAssoc<u64> = SetAssoc::new(sets, 1);
+            for key in [0, 1, sets as u64 - 1, sets as u64, 12345, u64::MAX] {
+                sa.insert(key, key);
+                assert_eq!(sa.get(key).copied(), Some(key), "sets={sets} key={key}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sets_still_work() {
+        let mut sa: SetAssoc<u64> = SetAssoc::new(3, 2);
+        for key in 0..12u64 {
+            sa.insert(key, key * 10);
+        }
+        // 3 sets × 2 ways: only the 2 most recent keys of each modulo-3
+        // class survive.
+        assert_eq!(sa.len(), 6);
+        for key in 6..12u64 {
+            assert_eq!(sa.get(key).copied(), Some(key * 10));
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! assert!(report.exec_cycles > 0);
 //! ```
 
+pub mod canon;
 pub mod config;
 pub mod csv;
 pub mod metrics;

@@ -129,6 +129,24 @@ impl Accumulator {
         }
     }
 
+    /// Rebuilds an accumulator from its exported summary (the inverse of
+    /// reading `count`/`sum`/`min`/`max`), so serialized reports can be
+    /// decoded without loss. A zero `count` yields an empty accumulator
+    /// regardless of the other fields.
+    #[must_use]
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            Accumulator::new()
+        } else {
+            Accumulator {
+                sum,
+                count,
+                min,
+                max,
+            }
+        }
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &Accumulator) {
         self.sum += other.sum;
@@ -280,6 +298,19 @@ mod tests {
         // Merging an empty accumulator changes nothing.
         a.merge(&Accumulator::new());
         assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn accumulator_from_parts_roundtrips() {
+        let mut a = Accumulator::new();
+        a.record(2.5);
+        a.record(-1.0);
+        let b = Accumulator::from_parts(a.count(), a.sum(), a.min().unwrap(), a.max().unwrap());
+        assert_eq!(a, b);
+        // Empty summaries rebuild as the canonical empty accumulator.
+        let empty = Accumulator::from_parts(0, 123.0, 5.0, -5.0);
+        assert_eq!(empty, Accumulator::new());
+        assert_eq!(empty.mean(), None);
     }
 
     #[test]

@@ -52,6 +52,12 @@ impl AppId {
         }
     }
 
+    /// The inverse of [`AppId::name`]: resolves a paper abbreviation
+    /// (case-sensitive, e.g. `"MT"`). Used by the wire codecs.
+    pub fn from_name(name: &str) -> Option<AppId> {
+        AppId::ALL.into_iter().find(|app| app.name() == name)
+    }
+
     /// Source benchmark suite.
     pub fn suite(self) -> &'static str {
         match self {
@@ -354,6 +360,15 @@ mod tests {
             assert!((0.0..=1.0).contains(&spec.hot_fraction));
             assert!(spec.hot_pages < spec.pages);
         }
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for app in AppId::ALL {
+            assert_eq!(AppId::from_name(app.name()), Some(app));
+        }
+        assert_eq!(AppId::from_name("mt"), None, "names are case-sensitive");
+        assert_eq!(AppId::from_name("NOPE"), None);
     }
 
     #[test]
