@@ -13,7 +13,6 @@
 
 // Event counts are far below 2^52, so u64 → f64 throughput math is exact
 // enough for human-facing reporting.
-#![allow(clippy::cast_precision_loss)]
 
 use std::sync::Mutex;
 

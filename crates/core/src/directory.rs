@@ -51,6 +51,7 @@ impl DirectoryConfig {
     /// bit position.
     #[inline]
     pub fn bit_of(&self, gpu: GpuId) -> u32 {
+        // simlint: allow(lossy-cast) — GPU ids are single digits; the modulo wraps anyway
         (gpu as u32) % self.access_bits + UNUSED_HI_LO
     }
 }

@@ -93,6 +93,7 @@ impl TransFw {
     pub fn fingerprint(vpn: Vpn) -> u16 {
         let mut x = vpn.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 29;
+        // simlint: allow(lossy-cast) — masked to FINGERPRINT_BITS (< 16) before the cast
         (x & ((1 << FINGERPRINT_BITS) - 1)) as u16
     }
 

@@ -85,6 +85,7 @@ impl VmDirectory {
     /// The paper's hash: access bit for `gpu` is `gpu % 19`.
     #[inline]
     fn bit_of(gpu: GpuId) -> u32 {
+        // simlint: allow(lossy-cast) — GPU ids are single digits; the modulo wraps anyway
         (gpu as u32) % VM_ACCESS_BITS
     }
 

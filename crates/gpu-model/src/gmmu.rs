@@ -175,13 +175,10 @@ impl Gmmu {
     /// walker threads are busy (use [`Gmmu::next_walker_free`] to know when
     /// to retry).
     pub fn try_dispatch(&mut self, now: Cycle, pt: &mut PageTable) -> Option<DispatchedWalk> {
-        if self.queue.is_empty() {
-            return None;
-        }
         if !self.walkers.has_free(now) {
             return None;
         }
-        let request = self.queue.pop().expect("checked non-empty");
+        let request = self.queue.pop()?;
         let (result, necessary) = if request.class.is_invalidation() {
             let (r, n) = walk_invalidate(pt, &mut self.pwc, request.vpn, self.walker_cfg);
             (r, Some(n))
@@ -193,6 +190,7 @@ impl Gmmu {
         };
         self.walkers
             .try_acquire(now, result.latency)
+            // simlint: allow(hot-path-panic) — has_free(now) held above; acquiring at `now` cannot fail
             .expect("checked has_free");
         let queued_for = now.saturating_sub(request.enqueued_at);
         let stats = self.stats_mut(request.class);

@@ -461,7 +461,6 @@ pub fn encode_config(cfg: &SystemConfig) -> String {
 /// # Errors
 /// [`CanonError`] on a bad header, unknown/duplicate/missing keys, or
 /// unparsable values.
-#[allow(clippy::too_many_lines)] // one line per field; splitting obscures the format
 pub fn decode_config(text: &str) -> Result<SystemConfig, CanonError> {
     let mut f = Fields::parse(text, CONFIG_HEADER)?;
     let take_tlb = |f: &mut Fields, key: &str| -> Result<TlbConfig, CanonError> {

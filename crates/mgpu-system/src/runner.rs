@@ -37,7 +37,6 @@ pub struct TimedRun {
 impl TimedRun {
     /// Simulation events processed per host second (0 for a zero-length run).
     #[must_use]
-    #[allow(clippy::cast_precision_loss)] // event counts are far below 2^52
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
             self.report.events_processed as f64 / self.wall_secs
@@ -153,7 +152,6 @@ pub fn run_matrix(
 
 /// Geometric mean of positive values (the paper averages speedups).
 #[must_use]
-#[allow(clippy::cast_precision_loss)] // figure tables have < 2^52 rows
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
@@ -164,7 +162,6 @@ pub fn geomean(values: &[f64]) -> f64 {
 
 /// Arithmetic mean.
 #[must_use]
-#[allow(clippy::cast_precision_loss)] // figure tables have < 2^52 rows
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
@@ -177,7 +174,6 @@ pub fn mean(values: &[f64]) -> f64 {
 /// series, cell = formatted value; appends an `Ave.` row using the
 /// arithmetic mean (as the paper's figures do).
 #[must_use]
-#[allow(clippy::cast_precision_loss)] // figure tables have < 2^52 rows
 pub fn format_table(
     title: &str,
     columns: &[&str],

@@ -5,12 +5,20 @@ use mem_model::interconnect::Node;
 use sim_engine::Cycle;
 use vm_model::pte::Pte;
 
-use super::{msg, Ev, System};
+use super::{msg, Ev, OrInvariant, SimError, System};
 
 impl System {
     /// Starts the data access for a translated request at time `start`.
-    pub(crate) fn start_data_access(&mut self, token: u64, pte: Pte, start: Cycle) {
-        let req = *self.reqs.get(&token).expect("live request");
+    pub(crate) fn start_data_access(
+        &mut self,
+        token: u64,
+        pte: Pte,
+        start: Cycle,
+    ) -> Result<(), SimError> {
+        let req = *self
+            .reqs
+            .get(&token)
+            .or_invariant("data access for a request that no longer exists")?;
         let gpu = req.gpu;
         // Spread tokens across cache lines within the page so the tag-only
         // caches see realistic line-level behaviour.
@@ -59,6 +67,7 @@ impl System {
                 );
             }
         }
+        Ok(())
     }
 
     /// A remote data request reached the owning node: access its memory.
@@ -107,8 +116,11 @@ impl System {
     }
 
     /// A data access completed: unblock its warp.
-    pub(crate) fn on_access_done(&mut self, token: u64) {
-        let req = self.reqs.remove(&token).expect("live request");
+    pub(crate) fn on_access_done(&mut self, token: u64) -> Result<(), SimError> {
+        let req = self
+            .reqs
+            .remove(&token)
+            .or_invariant("access completed for a request that no longer exists")?;
         self.accesses_done += 1;
         self.access_latency
             .record(self.now.saturating_sub(req.issue_at).raw() as f64);
@@ -122,5 +134,6 @@ impl System {
                 warp: req.warp,
             },
         );
+        Ok(())
     }
 }

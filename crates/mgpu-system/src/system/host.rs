@@ -10,33 +10,35 @@ use vm_model::addr::Vpn;
 use vm_model::pte::Pte;
 
 use super::observe::{HOST_PID, MIG_PID};
-use super::{msg, Ev, PendingUpdate, System};
+use super::{msg, Ev, OrInvariant, PendingUpdate, SimError, System};
 
 impl System {
     /// A far fault reaches the driver: batch it (256 per batch) and
     /// schedule a window flush for stragglers.
-    pub(crate) fn on_fault_at_host(&mut self, fault: FarFault) {
+    pub(crate) fn on_fault_at_host(&mut self, fault: FarFault) -> Result<(), SimError> {
         // The fault leaves the GPU fault buffer when the driver fetches it.
         let _ = self.gpus[fault.gpu].fault_buffer.pop();
         if let Some(batch) = self.batcher.push(fault) {
-            self.process_fault_batch(batch);
+            self.process_fault_batch(batch)?;
         } else if !self.batch_flush_scheduled {
             self.batch_flush_scheduled = true;
             let at = self.now + self.cfg.host.batch_window;
             self.events.schedule(at, Ev::BatchWindow);
         }
+        Ok(())
     }
 
     /// Batch-window expiry: flush whatever is pending.
-    pub(crate) fn on_batch_window(&mut self) {
+    pub(crate) fn on_batch_window(&mut self) -> Result<(), SimError> {
         self.batch_flush_scheduled = false;
         if let Some(batch) = self.batcher.flush() {
-            self.process_fault_batch(batch);
+            self.process_fault_batch(batch)?;
         }
+        Ok(())
     }
 
     /// Resolves each batched fault through the host walker pool.
-    fn process_fault_batch(&mut self, batch: Vec<FarFault>) {
+    fn process_fault_batch(&mut self, batch: Vec<FarFault>) -> Result<(), SimError> {
         if self.tracer.is_enabled() {
             let track = self.host_track();
             let now = self.now;
@@ -63,18 +65,19 @@ impl System {
             let start = self.now.max(self.host_walkers.earliest_free());
             self.host_walkers
                 .try_acquire(start, latency)
-                .expect("a thread frees by earliest_free");
+                .or_invariant("no host walker free at its own earliest_free time")?;
             self.events
                 .schedule(start + latency, Ev::FaultResolved { fault });
         }
+        Ok(())
     }
 
     /// The driver resolved one fault against the centralized page table.
-    pub(crate) fn on_fault_resolved(&mut self, fault: FarFault) {
+    pub(crate) fn on_fault_resolved(&mut self, fault: FarFault) -> Result<(), SimError> {
         // Faults against a migrating page park until the migration ends.
         if self.migrations.is_migrating(fault.vpn) {
             self.migrations.park_waiter(fault);
-            return;
+            return Ok(());
         }
         if self.tracer.is_enabled() {
             // Retroactive: covers raise → this resolution pass. A fault that
@@ -107,7 +110,11 @@ impl System {
                         if self.host_mem.move_page(sib, Node::Gpu(fault.gpu)).is_ok() =>
                     {
                         self.dir_record(sib, fault.gpu);
-                        let ppn = self.host_mem.pte(sib).expect("populated").ppn();
+                        let ppn = self
+                            .host_mem
+                            .pte(sib)
+                            .or_invariant("prefetched sibling page lost its host PTE")?
+                            .ppn();
                         let arrive = self.net.send(
                             self.now,
                             Node::Host,
@@ -126,14 +133,18 @@ impl System {
                     Some(Node::Gpu(_)) => {
                         // Push the (possibly remote) translation eagerly.
                         self.dir_record(sib, fault.gpu);
-                        let ppn = self.host_mem.pte(sib).expect("populated").ppn();
+                        let ppn = self
+                            .host_mem
+                            .pte(sib)
+                            .or_invariant("prefetched sibling page lost its host PTE")?
+                            .ppn();
                         self.send_mapping(fault.gpu, sib, Pte::new_mapped(ppn, true), msg::MAP);
                     }
                     _ => {}
                 }
             }
         }
-        let owner = self.owner_of(fault.vpn);
+        let owner = self.owner_of(fault.vpn)?;
         match owner {
             Node::Host => {
                 // First GPU touch: migrate CPU→GPU (no GPU holds a mapping,
@@ -145,13 +156,19 @@ impl System {
                     .is_err()
                 {
                     // Device full: fall back to a (slow) host remote map.
-                    let pte = self.host_mem.pte(fault.vpn).expect("populated");
+                    let pte = self
+                        .host_mem
+                        .pte(fault.vpn)
+                        .or_invariant("faulting page lost its host PTE")?;
                     self.send_mapping(fault.gpu, fault.vpn, pte, msg::MAP);
-                    return;
+                    return Ok(());
                 }
                 self.dir_record(fault.vpn, fault.gpu);
                 self.broadcast_prt_record(fault.vpn, fault.gpu);
-                let pte = self.host_mem.pte(fault.vpn).expect("populated");
+                let pte = self
+                    .host_mem
+                    .pte(fault.vpn)
+                    .or_invariant("faulting page lost its host PTE")?;
                 let arrive = self.net.send(
                     self.now,
                     Node::Host,
@@ -175,12 +192,16 @@ impl System {
                     // outstanding: collapse them before granting write
                     // permission.
                     let targets = self.replicas.collapse_for_write(fault.vpn, fault.gpu);
-                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets));
+                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets))?;
                     self.migrations.park_waiter(fault);
-                    return;
+                    return Ok(());
                 }
                 self.dir_record(fault.vpn, fault.gpu);
-                let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+                let ppn = self
+                    .host_mem
+                    .pte(fault.vpn)
+                    .or_invariant("faulting page lost its host PTE")?
+                    .ppn();
                 let writable = !self.cfg.replication || holders.len() <= 1;
                 self.send_mapping(
                     fault.gpu,
@@ -191,7 +212,7 @@ impl System {
             }
             Node::Gpu(h) => {
                 if self.cfg.replication && !fault.is_write {
-                    self.grant_replica(fault, h);
+                    self.grant_replica(fault, h)?;
                 } else if self.cfg.replication && fault.is_write {
                     // Write collapse: invalidate all other copies and move
                     // ownership to the writer. The owner holds a valid local
@@ -201,54 +222,71 @@ impl System {
                     if h != fault.gpu {
                         targets.insert(h);
                     }
-                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets));
+                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets))?;
                     self.migrations.park_waiter(fault);
                 } else if self.cfg.policy == MigrationPolicy::OnTouch
                     && !self.migration_throttled(fault.vpn)
                 {
-                    self.start_migration(fault.vpn, h, fault.gpu, None);
+                    self.start_migration(fault.vpn, h, fault.gpu, None)?;
                     self.migrations.park_waiter(fault);
                 } else {
                     // Remote mapping: the local page table will point at the
                     // remote GPU's frame (first-touch and counter-based).
                     self.dir_record(fault.vpn, fault.gpu);
                     self.broadcast_prt_record(fault.vpn, h);
-                    let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+                    let ppn = self
+                        .host_mem
+                        .pte(fault.vpn)
+                        .or_invariant("faulting page lost its host PTE")?
+                        .ppn();
                     self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, true), msg::MAP);
                 }
             }
         }
+        Ok(())
     }
 
     /// Grants a read replica of `vpn` (owned by `owner`) to the faulting
     /// GPU: allocate a local frame, ship the page over NVLink, and install a
     /// read-only mapping. The owner is downgraded to read-only so its next
     /// write triggers the collapse protocol.
-    fn grant_replica(&mut self, fault: FarFault, owner: usize) {
+    fn grant_replica(&mut self, fault: FarFault, owner: usize) -> Result<(), SimError> {
         // Already a holder (a stale fault after a TLB shootdown): replay the
         // existing replica mapping instead of leaking a fresh frame.
         if self.replicas.holds(fault.vpn, fault.gpu) {
             if let Some(&ppn) = self.replica_frames.get(&(fault.gpu, fault.vpn)) {
                 self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, false), msg::MAP);
-                return;
+                return Ok(());
             }
             // The owner holds the primary copy, not a replica frame.
-            let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+            let ppn = self
+                .host_mem
+                .pte(fault.vpn)
+                .or_invariant("replicated page lost its host PTE")?
+                .ppn();
             self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, false), msg::MAP);
-            return;
+            return Ok(());
         }
         let Ok(copy_ppn) = self.host_mem.alloc_frame(Node::Gpu(fault.gpu)) else {
             // Device full: degrade to a remote mapping.
             self.dir_record(fault.vpn, fault.gpu);
-            let ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+            let ppn = self
+                .host_mem
+                .pte(fault.vpn)
+                .or_invariant("replicated page lost its host PTE")?
+                .ppn();
             self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, true), msg::MAP);
-            return;
+            return Ok(());
         };
         if self.replicas.holders(fault.vpn).is_empty() {
             // First replication: the owner becomes a tracked (read-only)
             // holder; downgrade its mapping.
             self.replicas.add_replica(fault.vpn, owner);
-            let owner_ppn = self.host_mem.pte(fault.vpn).expect("populated").ppn();
+            let owner_ppn = self
+                .host_mem
+                .pte(fault.vpn)
+                .or_invariant("replicated page lost its host PTE")?
+                .ppn();
             self.gpus[owner].shootdown(fault.vpn);
             self.send_mapping(
                 owner,
@@ -274,6 +312,7 @@ impl System {
                 pte: Pte::new_mapped(copy_ppn, false),
             },
         );
+        Ok(())
     }
 
     /// Sends a PTE (new mapping) to a GPU over PCIe.
@@ -286,20 +325,30 @@ impl System {
     /// A new mapping arrives at a GPU: check the IRMB (a pending
     /// invalidation is superseded, §6.3), then queue the PTE update through
     /// the page-walk queue.
-    pub(crate) fn on_mapping_to_gpu(&mut self, gpu: usize, vpn: Vpn, pte: Pte) {
+    pub(crate) fn on_mapping_to_gpu(
+        &mut self,
+        gpu: usize,
+        vpn: Vpn,
+        pte: Pte,
+    ) -> Result<(), SimError> {
         if self.lazy() {
             self.irmbs[gpu].remove(vpn);
         }
         let token = self.next_update;
         self.next_update += 1;
         self.updates.insert(token, PendingUpdate { vpn, pte });
-        self.enqueue_walk(gpu, vpn, WalkClass::Update, token);
+        self.enqueue_walk(gpu, vpn, WalkClass::Update, token)
     }
 
     /// Trans-FW: the remote probe returned. If the holder's table really
     /// has a valid translation, install it locally (bypassing the host);
     /// otherwise fall back to the host path, paying the wasted round trip.
-    pub(crate) fn on_remote_probe_done(&mut self, _token: u64, fault: FarFault, holder: usize) {
+    pub(crate) fn on_remote_probe_done(
+        &mut self,
+        _token: u64,
+        fault: FarFault,
+        holder: usize,
+    ) -> Result<(), SimError> {
         let remote_pte = self.gpus[holder].page_table.lookup(fault.vpn);
         match remote_pte {
             Some(pte)
@@ -310,7 +359,7 @@ impl System {
                 // Keep the host directory sound: the holder forwards the
                 // translation and notifies the driver off the critical path.
                 self.dir_record(fault.vpn, fault.gpu);
-                self.on_mapping_to_gpu(fault.gpu, fault.vpn, pte);
+                self.on_mapping_to_gpu(fault.gpu, fault.vpn, pte)
             }
             _ => {
                 self.prts[fault.gpu].report_false_forward(fault.vpn);
@@ -318,6 +367,7 @@ impl System {
                     .net
                     .send(self.now, Node::Gpu(fault.gpu), Node::Host, msg::FAULT);
                 self.events.schedule(at, Ev::FaultAtHost { fault });
+                Ok(())
             }
         }
     }

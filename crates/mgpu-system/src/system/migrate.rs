@@ -9,22 +9,22 @@ use vm_model::pte::Pte;
 
 use crate::config::DirectoryMode;
 
-use super::{msg, Ev, System};
+use super::{msg, Ev, OrInvariant, SimError, System};
 
 impl System {
     /// A counter-triggered migration request reaches the driver.
-    pub(crate) fn on_mig_request(&mut self, vpn: Vpn, to: usize) {
+    pub(crate) fn on_mig_request(&mut self, vpn: Vpn, to: usize) -> Result<(), SimError> {
         if self.migrations.is_migrating(vpn) || self.migration_throttled(vpn) {
-            return; // in flight or anti-thrash cooldown
+            return Ok(()); // in flight or anti-thrash cooldown
         }
-        let owner = self.owner_of(vpn);
+        let owner = self.owner_of(vpn)?;
         if owner == Node::Gpu(to) {
-            return; // stale request: the page already moved here
+            return Ok(()); // stale request: the page already moved here
         }
         let Node::Gpu(from) = owner else {
-            return; // still host-resident: first touch will migrate it
+            return Ok(()); // still host-resident: first touch will migrate it
         };
-        self.start_migration(vpn, from, to, None);
+        self.start_migration(vpn, from, to, None)
     }
 
     /// Starts the invalidation phase of a migration. `explicit_targets`
@@ -45,9 +45,9 @@ impl System {
         from: usize,
         to: usize,
         explicit_targets: Option<GpuSet>,
-    ) {
+    ) -> Result<(), SimError> {
         if self.migrations.is_migrating(vpn) {
-            return;
+            return Ok(());
         }
         self.counters.reset_page(vpn);
         // Any fingerprint pointing at this page is about to go stale.
@@ -65,7 +65,7 @@ impl System {
         let walk_latency = self.cfg.host.walk_latency;
         self.host_walkers
             .try_acquire(walk_start, walk_latency)
-            .expect("walker frees by earliest_free");
+            .or_invariant("no host walker free at its own earliest_free time")?;
         let host_walk_done_at = walk_start + walk_latency;
 
         match explicit_targets {
@@ -105,7 +105,10 @@ impl System {
                     // parallel with the host walk; invalidations go out as
                     // soon as the lookup returns, and the driver's state is
                     // complete at max(walk, lookup).
-                    let vm = self.vm_dir.as_mut().expect("InMem mode");
+                    let vm = self
+                        .vm_dir
+                        .as_mut()
+                        .or_invariant("InMem directory mode without a VM directory")?;
                     let (targets, access) = vm.invalidation_targets(vpn, to);
                     let lookup_latency = if access.cache_hit {
                         self.cfg.host.vm_cache_latency
@@ -142,15 +145,21 @@ impl System {
             let msg = format!("migration start vpn={:#x} from=gpu{from} to=gpu{to}", vpn.0);
             self.tlog.push(self.now, "migration", msg);
         }
+        Ok(())
     }
 
     /// The driver's own walk finished. For the in-PTE directory this is the
     /// moment the access bits become readable: compute targets, clear the
     /// bits, and send the (filtered) invalidations.
-    pub(crate) fn on_mig_host_walk_done(&mut self, vpn: Vpn) {
+    pub(crate) fn on_mig_host_walk_done(&mut self, vpn: Vpn) -> Result<(), SimError> {
         if self.pending_dir_lookup.remove(&vpn) {
-            let dir = self.in_pte_dir.expect("pending lookup implies InPte");
-            let pte = self.host_mem.pte_mut(vpn).expect("populated");
+            let dir = self
+                .in_pte_dir
+                .or_invariant("pending directory lookup outside InPte mode")?;
+            let pte = self
+                .host_mem
+                .pte_mut(vpn)
+                .or_invariant("migrating page lost its host PTE")?;
             let targets = dir.invalidation_targets(pte);
             dir.clear(pte);
             if let Some(m) = self.migrations.get_mut(vpn) {
@@ -160,8 +169,9 @@ impl System {
             self.send_invalidations(vpn, targets);
         }
         if self.migrations.host_walk_done(vpn, self.now) {
-            self.begin_data_transfer(vpn);
+            self.begin_data_transfer(vpn)?;
         }
+        Ok(())
     }
 
     /// Fans invalidation requests out to `targets` over PCIe.
@@ -178,7 +188,7 @@ impl System {
     /// immediate in every scheme; the PTE handling differs:
     /// baseline walks, IDYLL inserts into the IRMB, the idealised scheme
     /// updates instantly.
-    pub(crate) fn on_inval_arrive(&mut self, gpu: usize, vpn: Vpn) {
+    pub(crate) fn on_inval_arrive(&mut self, gpu: usize, vpn: Vpn) -> Result<(), SimError> {
         self.invalidation_messages += 1;
         if self.tracer.is_enabled() {
             let track = self.gmmu_track(gpu);
@@ -213,8 +223,7 @@ impl System {
             } else {
                 self.walker_mix.invalidation_unnecessary += 1;
             }
-            self.ack_invalidation(gpu, vpn, Cycle::ZERO);
-            return;
+            return self.ack_invalidation(gpu, vpn, Cycle::ZERO);
         }
         if self.lazy() {
             // IDYLL: buffer in the IRMB and ack immediately; evictions
@@ -228,34 +237,34 @@ impl System {
                 InsertOutcome::EvictedLru(entry) | InsertOutcome::EvictedOffsets(entry) => {
                     let vpns: Vec<Vpn> = entry.vpns().collect();
                     for v in vpns {
-                        self.enqueue_walk(gpu, v, WalkClass::IrmbWriteback, 0);
+                        self.enqueue_walk(gpu, v, WalkClass::IrmbWriteback, 0)?;
                     }
                 }
                 _ => {}
             }
-            self.ack_invalidation(gpu, vpn, self.net.latency(Node::Gpu(gpu), Node::Host));
+            self.ack_invalidation(gpu, vpn, self.net.latency(Node::Gpu(gpu), Node::Host))?;
             // A write-back opportunity may exist right away.
-            self.dispatch_walks(gpu);
-            return;
+            return self.dispatch_walks(gpu);
         }
         // Baseline: a PTE-invalidation walk through the contended GMMU; the
         // ack is sent when the walk completes (see `on_walk_done`).
-        self.enqueue_walk(gpu, vpn, WalkClass::Invalidation, 0);
+        self.enqueue_walk(gpu, vpn, WalkClass::Invalidation, 0)
     }
 
-    fn ack_invalidation(&mut self, gpu: usize, vpn: Vpn, latency: Cycle) {
+    fn ack_invalidation(&mut self, gpu: usize, vpn: Vpn, latency: Cycle) -> Result<(), SimError> {
         if latency == Cycle::ZERO {
-            self.on_ack_at_host(gpu, vpn);
+            self.on_ack_at_host(gpu, vpn)
         } else {
             let at = self
                 .net
                 .send(self.now, Node::Gpu(gpu), Node::Host, msg::ACK);
             self.events.schedule(at, Ev::AckAtHost { gpu, vpn });
+            Ok(())
         }
     }
 
     /// An invalidation ack reaches the driver.
-    pub(crate) fn on_ack_at_host(&mut self, gpu: usize, vpn: Vpn) {
+    pub(crate) fn on_ack_at_host(&mut self, gpu: usize, vpn: Vpn) -> Result<(), SimError> {
         if self.tracer.is_enabled() {
             if let Some(id) = self.migrations.get(vpn).map(|m| m.id) {
                 let track = self.mig_track(id);
@@ -270,15 +279,19 @@ impl System {
             }
         }
         if self.migrations.ack(vpn, gpu, self.now) {
-            self.begin_data_transfer(vpn);
+            self.begin_data_transfer(vpn)?;
         }
+        Ok(())
     }
 
     /// Invalidation phase complete: record the waiting latency and ship the
     /// page data.
-    fn begin_data_transfer(&mut self, vpn: Vpn) {
+    fn begin_data_transfer(&mut self, vpn: Vpn) -> Result<(), SimError> {
         let (from, to, waiting) = {
-            let m = self.migrations.get(vpn).expect("in flight");
+            let m = self
+                .migrations
+                .get(vpn)
+                .or_invariant("data transfer for a migration that is not in flight")?;
             (m.from, m.to, m.waiting_latency().unwrap_or(Cycle::ZERO))
         };
         self.migration_waiting.record(waiting.raw() as f64);
@@ -290,12 +303,16 @@ impl System {
                 .send(self.now, from, Node::Gpu(to), self.page_bytes())
         };
         self.events.schedule(arrive, Ev::MigDataDone { vpn });
+        Ok(())
     }
 
     /// Page data landed: move ownership, establish the new mapping, replay
     /// parked faults.
-    pub(crate) fn on_mig_data_done(&mut self, vpn: Vpn) {
-        let m = self.migrations.complete(vpn).expect("in flight");
+    pub(crate) fn on_mig_data_done(&mut self, vpn: Vpn) -> Result<(), SimError> {
+        let m = self
+            .migrations
+            .complete(vpn)
+            .or_invariant("data arrived for a migration that is not in flight")?;
         if self.tracer.is_enabled() {
             // The whole lifecycle is emitted retroactively here, from
             // timestamps the migration table already keeps: request →
@@ -363,12 +380,16 @@ impl System {
             // parked waiter a plain (writable) remote mapping directly so
             // the system keeps making progress instead of re-entering the
             // replication policy and re-failing forever.
-            let ppn = self.host_mem.pte(vpn).expect("populated").ppn();
+            let ppn = self
+                .host_mem
+                .pte(vpn)
+                .or_invariant("migrating page lost its host PTE")?
+                .ppn();
             for fault in m.waiters {
                 self.dir_record(vpn, fault.gpu);
                 self.send_mapping(fault.gpu, vpn, Pte::new_mapped(ppn, true), msg::MAP);
             }
-            return;
+            return Ok(());
         }
         if self.cfg.replication {
             self.replicas.add_replica(vpn, m.to);
@@ -379,14 +400,19 @@ impl System {
         self.migrations_done += 1;
         self.migration_total
             .record((self.now.saturating_sub(m.requested_at)).raw() as f64);
-        let new_ppn = self.host_mem.pte(vpn).expect("populated").ppn();
+        let new_ppn = self
+            .host_mem
+            .pte(vpn)
+            .or_invariant("migrated page has no host PTE at its destination")?
+            .ppn();
         // The new mapping is installed at the destination (data already
         // arrived with the transfer).
-        self.on_mapping_to_gpu(m.to, vpn, Pte::new_mapped(new_ppn, true));
+        self.on_mapping_to_gpu(m.to, vpn, Pte::new_mapped(new_ppn, true))?;
         // Replay parked far faults.
         for fault in m.waiters {
             self.events
                 .schedule(self.now + 1, Ev::FaultResolved { fault });
         }
+        Ok(())
     }
 }

@@ -144,6 +144,30 @@ pub enum SimError {
     EventLimit(u64),
     /// The footprint does not fit in the configured device windows.
     OutOfMemory(String),
+    /// An internal protocol invariant was violated mid-run (e.g. an event
+    /// referenced a request that no longer exists). Always a simulator bug;
+    /// surfaced as a typed error instead of a panic so one bad job cannot
+    /// kill a long-lived `idyll-serve` worker.
+    Invariant(&'static str),
+}
+
+/// Converts `Option`/`Result` invariant checks in event handlers into
+/// [`SimError::Invariant`] so failures propagate instead of panicking
+/// (the `hot-path-panic` lint rule).
+pub(crate) trait OrInvariant<T> {
+    fn or_invariant(self, what: &'static str) -> Result<T, SimError>;
+}
+
+impl<T> OrInvariant<T> for Option<T> {
+    fn or_invariant(self, what: &'static str) -> Result<T, SimError> {
+        self.ok_or(SimError::Invariant(what))
+    }
+}
+
+impl<T, E> OrInvariant<T> for Result<T, E> {
+    fn or_invariant(self, what: &'static str) -> Result<T, SimError> {
+        self.map_err(|_| SimError::Invariant(what))
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -158,6 +182,7 @@ impl std::fmt::Display for SimError {
             ),
             SimError::EventLimit(n) => write!(f, "event limit of {n} exceeded"),
             SimError::OutOfMemory(what) => write!(f, "out of simulated memory: {what}"),
+            SimError::Invariant(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -260,6 +285,7 @@ impl System {
         let gpus: Vec<Gpu> = (0..cfg.n_gpus).map(|g| Gpu::new(g, gpu_cfg)).collect();
         let lazy = cfg.idyll.map(|i| i.lazy).unwrap_or(false);
         let irmbs = if lazy {
+            // simlint: allow(hot-path-panic) — construction-time config check, not event-loop code
             let geometry = cfg.idyll.expect("lazy implies idyll").irmb;
             (0..cfg.n_gpus).map(|_| Irmb::new(geometry)).collect()
         } else {
@@ -291,6 +317,7 @@ impl System {
         for &vpn in &touched {
             host_mem
                 .populate(vpn)
+                // simlint: allow(hot-path-panic) — construction-time capacity check, documented panic
                 .expect("host window must fit the touched footprint");
         }
         let mut system = System {
@@ -368,6 +395,7 @@ impl System {
                     if system.host_mem.owner_of(vpn) == Some(Node::Host)
                         && system.host_mem.move_page(vpn, Node::Gpu(g)).is_ok()
                     {
+                        // simlint: allow(hot-path-panic) — construction-time: the page was just moved
                         let ppn = system.host_mem.pte(vpn).expect("populated").ppn();
                         system.gpus[g]
                             .page_table
@@ -472,7 +500,7 @@ impl System {
                 next_heartbeat += self.progress_every;
                 self.heartbeat(started);
             }
-            self.handle(ev);
+            self.handle(ev)?;
             if self.finished_gpus == self.cfg.n_gpus {
                 return Ok(());
             }
@@ -487,14 +515,14 @@ impl System {
         }
     }
 
-    fn handle(&mut self, ev: Ev) {
+    fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
         match ev {
             Ev::WarpReady { gpu, cu, warp } => self.on_warp_ready(gpu, cu, warp),
             Ev::L2Lookup { token } => self.on_l2_lookup(token, false),
             Ev::MshrRetry { token } => self.on_l2_lookup(token, true),
             Ev::DispatchWalks { gpu } => {
                 self.dispatch_scheduled[gpu] = false;
-                self.dispatch_walks(gpu);
+                self.dispatch_walks(gpu)
             }
             Ev::WalkDone { gpu, walk } => self.on_walk_done(gpu, walk),
             Ev::FaultAtHost { fault } => self.on_fault_at_host(fault),
@@ -505,15 +533,24 @@ impl System {
             Ev::AckAtHost { gpu, vpn } => self.on_ack_at_host(gpu, vpn),
             Ev::MigRequestAtHost { vpn, to } => self.on_mig_request(vpn, to),
             Ev::MigHostWalkDone { vpn } => self.on_mig_host_walk_done(vpn),
-            Ev::MigSendInvals { vpn, targets } => self.send_invalidations(vpn, targets),
+            Ev::MigSendInvals { vpn, targets } => {
+                self.send_invalidations(vpn, targets);
+                Ok(())
+            }
             Ev::MigDataDone { vpn } => self.on_mig_data_done(vpn),
             Ev::AccessDone { token } => self.on_access_done(token),
             Ev::RemoteReqArrive {
                 token,
                 owner,
                 paddr,
-            } => self.on_remote_req_arrive(token, owner, paddr),
-            Ev::RemoteServed { token, owner } => self.on_remote_served(token, owner),
+            } => {
+                self.on_remote_req_arrive(token, owner, paddr);
+                Ok(())
+            }
+            Ev::RemoteServed { token, owner } => {
+                self.on_remote_served(token, owner);
+                Ok(())
+            }
             Ev::RemoteProbeDone {
                 token,
                 fault,
@@ -663,10 +700,11 @@ impl System {
         self.cfg.page_size.bytes()
     }
 
-    /// Current owner node of a page according to the driver.
-    pub(crate) fn owner_of(&self, vpn: Vpn) -> Node {
+    /// Current owner node of a page according to the driver. Every workload
+    /// page is populated at init, so a miss is a protocol invariant failure.
+    pub(crate) fn owner_of(&self, vpn: Vpn) -> Result<Node, SimError> {
         self.host_mem
             .owner_of(vpn)
-            .expect("all workload pages populated at init")
+            .or_invariant("fault references a page the driver never populated")
     }
 }

@@ -34,6 +34,7 @@ pub(crate) const GMMU_TID: u64 = u64::MAX;
 
 /// Process id of a GPU's translation timeline.
 pub(crate) fn gpu_pid(gpu: usize) -> u32 {
+    // simlint: allow(lossy-cast) — GPU counts are single digits; pids stay tiny
     1 + gpu as u32
 }
 

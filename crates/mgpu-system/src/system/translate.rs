@@ -7,11 +7,16 @@ use vm_model::addr::Vpn;
 use vm_model::pte::Pte;
 use vm_model::walker::WalkOutcome;
 
-use super::{Ev, Req, System};
+use super::{Ev, OrInvariant, Req, SimError, System};
 
 impl System {
     /// A warp asks to issue its next trace access.
-    pub(crate) fn on_warp_ready(&mut self, gpu: usize, cu: usize, warp: usize) {
+    pub(crate) fn on_warp_ready(
+        &mut self,
+        gpu: usize,
+        cu: usize,
+        warp: usize,
+    ) -> Result<(), SimError> {
         let warp_index = cu * self.cfg.gpu.warps_per_cu + warp;
         // Plan exhausted → retire the warp.
         let pos = self.warp_cursors[gpu][warp_index];
@@ -21,13 +26,13 @@ impl System {
                 self.finished_gpus += 1;
                 self.finish_cycle = self.finish_cycle.max(self.now);
             }
-            return;
+            return Ok(());
         }
         // One issue per CU per cycle.
         if !self.gpus[gpu].cus[cu].try_issue_port(self.now) {
             self.events
                 .schedule(self.now + 1, Ev::WarpReady { gpu, cu, warp });
-            return;
+            return Ok(());
         }
         let access = self.traces[gpu][self.warp_plans[gpu][warp_index][pos]];
         self.warp_cursors[gpu][warp_index] += 1;
@@ -49,7 +54,7 @@ impl System {
         match l1.lookup(access.vpn) {
             Some(pte) if pte.is_valid() && (!access.is_write || pte.is_writable()) => {
                 let start = self.now + self.cfg.gpu.l1_tlb.latency;
-                self.start_data_access(token, pte, start);
+                self.start_data_access(token, pte, start)?;
             }
             _ => {
                 // Miss (or permission miss): to the shared L2 after L1+L2
@@ -58,6 +63,7 @@ impl System {
                 self.events.schedule(at, Ev::L2Lookup { token });
             }
         }
+        Ok(())
     }
 
     /// L2 TLB lookup (result applied after its latency) with the IRMB
@@ -65,8 +71,11 @@ impl System {
     /// re-executions after an MSHR structural stall: those probe the TLB
     /// without perturbing hit/miss statistics (the architectural lookup
     /// already happened).
-    pub(crate) fn on_l2_lookup(&mut self, token: u64, is_retry: bool) {
-        let req = *self.reqs.get(&token).expect("live request");
+    pub(crate) fn on_l2_lookup(&mut self, token: u64, is_retry: bool) -> Result<(), SimError> {
+        let req = *self
+            .reqs
+            .get(&token)
+            .or_invariant("L2 lookup event for a request that no longer exists")?;
         let gpu = req.gpu;
         let probed = if is_retry {
             self.gpus[gpu].l2_tlb.peek(req.vpn)
@@ -80,8 +89,7 @@ impl System {
         if let Some(pte) = l2_hit {
             // Scenario 1: L2 hit — IRMB lookup abandoned.
             self.gpus[gpu].l1_tlbs[req.cu].fill(req.vpn, pte);
-            self.start_data_access(token, pte, self.now);
-            return;
+            return self.start_data_access(token, pte, self.now);
         }
         // Record the start of the demand-miss latency window.
         if let Some(r) = self.reqs.get_mut(&token) {
@@ -96,24 +104,31 @@ impl System {
         let bypass = self.cfg.idyll.map(|i| i.bypass_on_irmb_hit).unwrap_or(true);
         if self.lazy() && bypass && self.irmbs[gpu].lookup(req.vpn) {
             self.raise_far_fault(gpu, req.vpn, req.is_write, token, false);
-            return;
+            return Ok(());
         }
         // Scenario 2: L2 miss + IRMB miss — normal walk path via the MSHR.
         match self.gpus[gpu].l2_mshr.register(req.vpn.0, token) {
             MshrOutcome::Merged => {} // ride the in-flight walk/fault
             MshrOutcome::Allocated => {
-                self.enqueue_walk(gpu, req.vpn, WalkClass::Demand, token);
+                self.enqueue_walk(gpu, req.vpn, WalkClass::Demand, token)?;
             }
             MshrOutcome::Full => {
                 // Structural stall: retry after a drain interval.
                 self.events.schedule(self.now + 48, Ev::MshrRetry { token });
             }
         }
+        Ok(())
     }
 
     /// Queues a walk (or holds it in the per-GPU overflow buffer when the
     /// hardware queue is full) and kicks the dispatcher.
-    pub(crate) fn enqueue_walk(&mut self, gpu: usize, vpn: Vpn, class: WalkClass, token: u64) {
+    pub(crate) fn enqueue_walk(
+        &mut self,
+        gpu: usize,
+        vpn: Vpn,
+        class: WalkClass,
+        token: u64,
+    ) -> Result<(), SimError> {
         // FIFO order: never bypass an already-overflowed walk.
         let rejected = !self.overflow[gpu].is_empty()
             || self.gpus[gpu]
@@ -123,21 +138,23 @@ impl System {
         if rejected {
             self.overflow[gpu].push_back((vpn, class, token));
         }
-        self.dispatch_walks(gpu);
+        self.dispatch_walks(gpu)
     }
 
     /// Drains the overflow buffer into the walk queue and starts walks while
     /// walker threads are free. Also performs the IRMB's opportunistic
     /// write-back when the GMMU goes idle (§6.3 write-back rule 1).
-    pub(crate) fn dispatch_walks(&mut self, gpu: usize) {
+    pub(crate) fn dispatch_walks(&mut self, gpu: usize) -> Result<(), SimError> {
         loop {
             // Refill the hardware queue from the stall buffer.
-            while !self.overflow[gpu].is_empty() && self.gpus[gpu].gmmu.queue_free() > 0 {
-                let (vpn, class, token) = self.overflow[gpu].pop_front().expect("non-empty");
+            while self.gpus[gpu].gmmu.queue_free() > 0 {
+                let Some((vpn, class, token)) = self.overflow[gpu].pop_front() else {
+                    break;
+                };
                 self.gpus[gpu]
                     .gmmu
                     .enqueue(vpn, class, token, self.now)
-                    .expect("queue has space");
+                    .or_invariant("walk queue rejected a request despite free space")?;
             }
             let now = self.now;
             let gpu_ref = &mut self.gpus[gpu];
@@ -185,13 +202,18 @@ impl System {
                 }
                 // Dispatch the drained walks (bounded: the IRMB entry was
                 // removed, so this recursion terminates immediately).
-                self.dispatch_walks(gpu);
+                self.dispatch_walks(gpu)?;
             }
         }
+        Ok(())
     }
 
     /// A page walk finished: act on its class and outcome.
-    pub(crate) fn on_walk_done(&mut self, gpu: usize, walk: DispatchedWalk) {
+    pub(crate) fn on_walk_done(
+        &mut self,
+        gpu: usize,
+        walk: DispatchedWalk,
+    ) -> Result<(), SimError> {
         let vpn = walk.request.vpn;
         if self.tracer.is_enabled() {
             self.trace_walk(gpu, &walk);
@@ -217,7 +239,7 @@ impl System {
                                 .unwrap_or(false);
                             self.raise_far_fault(gpu, vpn, is_write, walk.request.token, true);
                         } else {
-                            self.complete_translation(gpu, vpn, pte);
+                            self.complete_translation(gpu, vpn, pte)?;
                         }
                     }
                     WalkOutcome::InvalidLeaf(_) | WalkOutcome::NotPresent => {
@@ -250,13 +272,13 @@ impl System {
                 let update = self
                     .updates
                     .remove(&walk.request.token)
-                    .expect("pending update");
-                self.install_mapping(gpu, update.vpn, update.pte);
+                    .or_invariant("update walk finished but its pending PTE is gone")?;
+                self.install_mapping(gpu, update.vpn, update.pte)?;
                 self.walker_mix.update += 1;
             }
         }
         // The finishing walker can immediately take the next request.
-        self.dispatch_walks(gpu);
+        self.dispatch_walks(gpu)
     }
 
     fn account_invalidation(&mut self, walk: DispatchedWalk) {
@@ -277,7 +299,12 @@ impl System {
     /// invalidation has already been processed (the driver versions its
     /// replies; a stale one is dropped and the page re-resolved so waiting
     /// requests still complete).
-    pub(crate) fn install_mapping(&mut self, gpu: usize, vpn: Vpn, pte: Pte) {
+    pub(crate) fn install_mapping(
+        &mut self,
+        gpu: usize,
+        vpn: Vpn,
+        pte: Pte,
+    ) -> Result<(), SimError> {
         let host_ppn = self.host_mem.pte(vpn).map(|p| p.ppn());
         let is_replica = self.replica_frames.get(&(gpu, vpn)) == Some(&pte.ppn());
         let stale = host_ppn != Some(pte.ppn()) && !is_replica;
@@ -302,15 +329,20 @@ impl System {
             self.inflight_faults.insert((gpu, vpn));
             self.events
                 .schedule(self.now + 1, Ev::FaultResolved { fault: refault });
-            return;
+            return Ok(());
         }
         self.gpus[gpu].page_table.insert(vpn, pte);
         self.inflight_faults.remove(&(gpu, vpn));
-        self.complete_translation(gpu, vpn, pte);
+        self.complete_translation(gpu, vpn, pte)
     }
 
     /// Fills the TLBs and wakes every MSHR waiter for `vpn` with `pte`.
-    pub(crate) fn complete_translation(&mut self, gpu: usize, vpn: Vpn, pte: Pte) {
+    pub(crate) fn complete_translation(
+        &mut self,
+        gpu: usize,
+        vpn: Vpn,
+        pte: Pte,
+    ) -> Result<(), SimError> {
         self.gpus[gpu].l2_tlb.fill(vpn, pte);
         let waiters = self.gpus[gpu].l2_mshr.complete(vpn.0);
         for token in waiters {
@@ -340,8 +372,9 @@ impl System {
                     );
                 }
             }
-            self.start_data_access(token, pte, self.now);
+            self.start_data_access(token, pte, self.now)?;
         }
+        Ok(())
     }
 
     /// Raises a far fault for `token`'s request: parks the request in the

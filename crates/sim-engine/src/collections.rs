@@ -162,7 +162,6 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
-    #[allow(clippy::cast_possible_truncation)] // both halves are hashed
     fn write_u128(&mut self, i: u128) {
         self.add(i as u64);
         self.add((i >> 64) as u64);

@@ -137,6 +137,7 @@ impl BandwidthPipe {
         self.next_free = start + bytes as f64 / self.bytes_per_cycle;
         self.bytes_total += bytes;
         self.transfers += 1;
+        // simlint: allow(lossy-cast) — quantises fractional cycles up; cycle counts sit far below 2^53
         Cycle(self.next_free.ceil() as u64) + self.latency
     }
 
@@ -144,6 +145,7 @@ impl BandwidthPipe {
     pub fn probe(&self, now: Cycle, bytes: u64) -> Cycle {
         let start = self.next_free.max(now.raw() as f64);
         let done = start + bytes as f64 / self.bytes_per_cycle;
+        // simlint: allow(lossy-cast) — quantises fractional cycles up; cycle counts sit far below 2^53
         Cycle(done.ceil() as u64) + self.latency
     }
 
@@ -154,6 +156,7 @@ impl BandwidthPipe {
 
     /// The cycle at which the pipe next becomes free (diagnostic).
     pub fn next_free(&self) -> Cycle {
+        // simlint: allow(lossy-cast) — quantises fractional cycles up; cycle counts sit far below 2^53
         Cycle(self.next_free.ceil() as u64)
     }
 

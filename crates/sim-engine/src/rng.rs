@@ -115,6 +115,7 @@ impl DetRng {
     /// Next 32-bit output (upper half of the 64-bit stream).
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
+        // simlint: allow(lossy-cast) — keeps exactly the upper 32 bits by construction
         (self.next_u64() >> 32) as u32
     }
 

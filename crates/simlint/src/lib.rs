@@ -1,11 +1,12 @@
-//! Source-level determinism lint for the IDYLL workspace.
+//! Source-level determinism and modeling lint for the IDYLL workspace.
 //!
 //! The simulator's core invariant — identical seed and configuration produce
 //! byte-identical results (DESIGN.md invariant 5) — is enforced dynamically
 //! by `tests/determinism.rs`, but only *after* a bug manifests. This crate
-//! enforces it statically: a line-scanner (no `syn`, no rustc plugin) walks
-//! the workspace sources and flags constructs that smuggle process entropy,
-//! wall-clock time, or unordered iteration into model code.
+//! enforces it statically. Since v2 it is a token-stream analyzer (std-only;
+//! no `syn`, no rustc plugin): [`lexer`] splits each source file into code,
+//! comment and string channels with spans, so multi-line constructs are
+//! matched structurally and string/comment contents can never trip a rule.
 //!
 //! # Rules
 //!
@@ -16,6 +17,9 @@
 //! | `ambient-rng` | error | `thread_rng`, `rand::`, `fastrand`, `getrandom`; randomness must flow through `DetRng` |
 //! | `float-ord-key` | error | `f32`/`f64` keys in ordered containers (`BinaryHeap`, `BTreeMap`, `BTreeSet`) |
 //! | `unordered-iter` | error | `.iter()`/`.keys()`/`.values()`/`.drain()` over a known hash map in a model crate; visit order must never reach event scheduling or exports |
+//! | `canon-coverage` | error | a struct/enum covered by `canon.rs` has a member the canonical encoding does not mention, or its shape changed without a canon version bump (see [`CANON_COVERED`]) |
+//! | `lossy-cast` | error | an `as` cast that can truncate in a model crate: any cast to `u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`f32`, or a float expression cast to an integer |
+//! | `hot-path-panic` | error | `unwrap`/`expect`/`panic!`-family calls, or slice indexing with an arithmetic index, inside event-handler modules reachable from the sim loop (see [`HOT_PATHS`]) |
 //! | `bare-allow` | warning | a `simlint: allow(...)` escape without a reason, or naming an unknown rule |
 //!
 //! # Escape hatch
@@ -30,20 +34,30 @@
 //!
 //! The reason after the closing parenthesis is mandatory (a bare allow is
 //! itself reported). Grandfathered sites that cannot carry a comment live in
-//! the committed `simlint.baseline` file, keyed by `(rule, path)`.
+//! the committed `simlint.baseline` file, keyed by `(rule, path)`; entries
+//! that no longer fire are reported as stale so the baseline only shrinks.
 //!
 //! # Scope
 //!
 //! Model crates (everything the simulation's results flow through) get all
 //! rules; other workspace crates get the wall-clock/randomness/float rules.
 //! `bench` (harness timing is its job), the vendored `proptest` stub, and
-//! `simlint` itself are exempt. `tests/` directories and everything after a
-//! `#[cfg(test)]` line are skipped: tests may use whatever they like.
+//! `simlint` itself are exempt. Everything after a `#[cfg(test)]` attribute
+//! is skipped: tests may use whatever they like.
 
+pub mod lexer;
+
+mod canon;
+
+pub use canon::{CanonKind, CANON_COVERED};
+
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use lexer::{Tok, TokKind};
 
 /// Crates whose sources feed simulation results: all rules apply.
 /// `idyll` is the workspace root package (`src/`).
@@ -61,6 +75,15 @@ pub const MODEL_CRATES: &[&str] = &[
 
 /// Crates the scanner never enters.
 pub const EXEMPT_CRATES: &[&str] = &["bench", "proptest", "simlint"];
+
+/// Workspace-relative path prefixes of the modules whose bodies run inside
+/// the simulation event loop. `hot-path-panic` fires only here: a panic in
+/// these modules kills a whole `idyll-serve` worker mid-job, so failures
+/// must surface as typed `SimError`s instead.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/mgpu-system/src/system/",
+    "crates/gpu-model/src/gmmu.rs",
+];
 
 /// Diagnostic severity; only errors fail `--check`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -93,17 +116,27 @@ pub enum Rule {
     FloatOrdKey,
     /// Unordered-map iteration in a model crate.
     UnorderedIter,
+    /// Canon-covered struct/enum with an unencoded member or an unbumped
+    /// shape change.
+    CanonCoverage,
+    /// Truncating `as` cast in a model crate.
+    LossyCast,
+    /// Panic path inside a sim-loop event-handler module.
+    HotPathPanic,
     /// Malformed or reason-less `allow` escape.
     BareAllow,
 }
 
 impl Rule {
     /// Every rule, in diagnostic-id order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::AmbientRng,
         Rule::BareAllow,
+        Rule::CanonCoverage,
         Rule::DefaultHasherMap,
         Rule::FloatOrdKey,
+        Rule::HotPathPanic,
+        Rule::LossyCast,
         Rule::UnorderedIter,
         Rule::WallClock,
     ];
@@ -117,6 +150,9 @@ impl Rule {
             Rule::AmbientRng => "ambient-rng",
             Rule::FloatOrdKey => "float-ord-key",
             Rule::UnorderedIter => "unordered-iter",
+            Rule::CanonCoverage => "canon-coverage",
+            Rule::LossyCast => "lossy-cast",
+            Rule::HotPathPanic => "hot-path-panic",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -149,12 +185,21 @@ impl Rule {
             Rule::UnorderedIter => {
                 "no iter()/keys()/values()/drain() over unordered maps in model crates"
             }
+            Rule::CanonCoverage => {
+                "every member of a canon-covered struct/enum is encoded or waived, and shape changes bump the canon version"
+            }
+            Rule::LossyCast => {
+                "no truncating `as` casts (narrow integer targets, float→int) in model crates"
+            }
+            Rule::HotPathPanic => {
+                "no unwrap/expect/panic!/arithmetic indexing in sim-loop event handlers; use typed SimErrors"
+            }
             Rule::BareAllow => "simlint allow escapes must name known rules and carry a reason",
         }
     }
 }
 
-/// One finding, anchored to a `path:line`.
+/// One finding, anchored to a `path:line:col` span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// The violated rule.
@@ -163,6 +208,10 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (characters) of the offending token.
+    pub col: usize,
+    /// Length (characters) of the offending token.
+    pub len: usize,
     /// What went wrong, with the offending token named.
     pub message: String,
 }
@@ -227,312 +276,460 @@ fn parse_allow(comment: &str) -> Option<AllowSpec> {
     })
 }
 
-/// One source line after preprocessing: comments split off, escapes parsed.
-#[derive(Debug)]
-struct LineInfo {
-    /// 1-based line number.
-    number: usize,
-    /// The line with any `//` comment removed.
-    code: String,
-    /// `allow` escape found in this line's comment, if any.
-    allow: Option<AllowSpec>,
-    /// Whether the line holds no code at all (blank or comment-only).
-    comment_only: bool,
+/// One preprocessed source file: lexed, split into channels, truncated at
+/// the first `#[cfg(test)]`.
+pub(crate) struct FileAnalysis {
+    /// Workspace-relative `/`-separated path.
+    pub(crate) path: String,
+    /// Code-channel tokens (no comments), truncated at `#[cfg(test)]`.
+    pub(crate) toks: Vec<Tok>,
+    /// Parsed allow escapes: `(line, col, spec)`.
+    allows: Vec<(usize, usize, AllowSpec)>,
+    /// Lines that carry at least one code token.
+    code_lines: BTreeSet<usize>,
 }
 
-/// Splits a file into [`LineInfo`]s, stopping at the first `#[cfg(test)]`
-/// (everything after is test code, outside the lint's scope). A minimal
-/// block-comment tracker keeps `/* ... */` bodies out of the code channel.
-fn preprocess(source: &str) -> Vec<LineInfo> {
-    let mut out = Vec::new();
-    let mut in_block = false;
-    for (i, raw) in source.lines().enumerate() {
-        let mut code = String::new();
-        let mut comment = String::new();
-        let mut rest = raw;
-        loop {
-            if in_block {
-                match rest.find("*/") {
-                    Some(end) => {
-                        in_block = false;
-                        rest = &rest[end + 2..];
-                    }
-                    None => break,
+impl FileAnalysis {
+    pub(crate) fn new(path: String, source: &str) -> FileAnalysis {
+        let all = lexer::lex(source);
+        // Find the `#[cfg(test)]` attribute in the code channel; everything
+        // from it on (comments included) is test code, outside our scope.
+        let code_kinds: Vec<usize> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        const PATTERN: [(&str, TokKind); 7] = [
+            ("#", TokKind::Punct),
+            ("[", TokKind::Punct),
+            ("cfg", TokKind::Ident),
+            ("(", TokKind::Punct),
+            ("test", TokKind::Ident),
+            (")", TokKind::Punct),
+            ("]", TokKind::Punct),
+        ];
+        let cutoff_line = code_kinds
+            .windows(PATTERN.len())
+            .find(|w| {
+                w.iter()
+                    .zip(PATTERN.iter())
+                    .all(|(&i, (text, kind))| all[i].kind == *kind && all[i].text == *text)
+            })
+            .map(|w| all[w[0]].line);
+        let in_scope = |t: &Tok| cutoff_line.is_none_or(|c| t.line < c);
+
+        let mut toks = Vec::new();
+        let mut allows = Vec::new();
+        let mut code_lines = BTreeSet::new();
+        for t in all {
+            if !in_scope(&t) {
+                continue;
+            }
+            if t.kind == TokKind::Comment {
+                if let Some(spec) = parse_allow(&t.text) {
+                    allows.push((t.line, t.col, spec));
                 }
-            } else if let Some(block) = rest.find("/*") {
-                let line = rest.find("//").filter(|&c| c < block);
-                if let Some(c) = line {
-                    comment.push_str(&rest[c + 2..]);
-                    break;
-                }
-                code.push_str(&rest[..block]);
-                in_block = true;
-                rest = &rest[block + 2..];
             } else {
-                match rest.find("//") {
-                    Some(c) => {
-                        code.push_str(&rest[..c]);
-                        comment.push_str(&rest[c + 2..]);
-                    }
-                    None => code.push_str(rest),
-                }
-                break;
+                code_lines.insert(t.line);
+                toks.push(t);
             }
         }
-        if code.trim() == "#[cfg(test)]" {
-            break;
+        FileAnalysis {
+            path,
+            toks,
+            allows,
+            code_lines,
         }
-        out.push(LineInfo {
-            number: i + 1,
-            comment_only: code.trim().is_empty(),
-            allow: parse_allow(&comment),
-            code,
-        });
     }
-    out
-}
 
-/// Is `c` part of an identifier?
-fn is_ident(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
+    /// Whether a finding of `rule` on `line` is waived by an allow escape on
+    /// the same line or on a directly preceding comment-only line.
+    pub(crate) fn allowed(&self, rule: Rule, line: usize) -> bool {
+        self.allows.iter().any(|(l, _, spec)| {
+            spec.covers(rule) && (*l == line || (*l + 1 == line && !self.code_lines.contains(l)))
+        })
+    }
 
-/// Finds `needle` in `hay` at a word boundary on both sides, starting the
-/// search at byte offset `from`. Needles ending in non-ident chars (`::`)
-/// only need the leading boundary.
-fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
-    let mut at = from;
-    while let Some(rel) = hay[at..].find(needle) {
-        let pos = at + rel;
-        let lead_ok = hay[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
-        let tail = &hay[pos + needle.len()..];
-        let needle_tail_ident = needle.chars().next_back().is_some_and(is_ident);
-        let tail_ok = !needle_tail_ident || tail.chars().next().is_none_or(|c| !is_ident(c));
-        if lead_ok && tail_ok {
-            return Some(pos);
+    /// Reports malformed / unknown-rule / reason-less escapes.
+    fn bare_allow_diags(&self, out: &mut Vec<Diagnostic>) {
+        for (line, col, spec) in &self.allows {
+            let mut push = |message: String| {
+                out.push(Diagnostic {
+                    rule: Rule::BareAllow,
+                    path: self.path.clone(),
+                    line: *line,
+                    col: *col,
+                    len: "simlint:".len(),
+                    message,
+                });
+            };
+            if spec.malformed {
+                push(
+                    "malformed simlint comment; expected `simlint: allow(<rule>) — <reason>`"
+                        .into(),
+                );
+                continue;
+            }
+            for r in &spec.rules {
+                if Rule::from_id(r).is_none() {
+                    push(format!("allow names unknown rule `{r}`"));
+                }
+            }
+            if !spec.has_reason {
+                push("allow without a reason; explain why the escape is sound".into());
+            }
         }
-        at = pos + needle.len();
+    }
+}
+
+/// Map-type tokens the unordered-iter rule tracks declarations of.
+/// `BTreeMap` is deliberately absent: its iteration order is defined.
+const MAP_TYPES: &[&str] = &["DetHashMap", "DetHashSet", "HashMap", "HashSet"];
+
+/// Methods whose results expose bucket order. `retain`/`entry`/`get` are
+/// absent: they do not leak order to the caller.
+const ORDER_LEAKS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Ambient-randomness identifiers.
+const RNG_IDENTS: &[&str] = &["thread_rng", "fastrand", "getrandom"];
+
+/// Ordered containers that must not key on floats.
+const ORDERED_CONTAINERS: &[&str] = &["BinaryHeap", "BTreeMap", "BTreeSet"];
+
+/// Cast targets that are narrower than the 64-bit cycle/address/page
+/// arithmetic the model crates run on. `usize`/`u64` are excluded (the
+/// simulator only targets 64-bit hosts); casting *to* them is flagged only
+/// when the source is provably a float expression.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Integer cast targets checked for a float source.
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Methods that produce floats; `(x).<method>() as u64` is float→int.
+const FLOAT_METHODS: &[&str] = &[
+    "ceil", "floor", "round", "trunc", "fract", "sqrt", "powf", "powi", "exp", "ln", "log2",
+    "log10", "mul_add", "clamp",
+];
+
+/// Panic-family method names (`.unwrap()` / `.expect(...)`).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Panic-family macro names (`panic!(...)` etc.).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Whether `path` lies in a sim-loop event-handler module.
+fn is_hot_path(path: &str) -> bool {
+    HOT_PATHS.iter().any(|p| path.starts_with(p))
+}
+
+/// Is a float literal (`1.5`, `2e-3`, `1f64`)?
+fn is_float_literal(t: &Tok) -> bool {
+    t.kind == TokKind::Num
+        && !t.text.starts_with("0x")
+        && (t.text.contains('.')
+            || t.text.ends_with("f32")
+            || t.text.ends_with("f64")
+            || t.text.contains(['e', 'E']))
+}
+
+/// Scans backwards from the `)` at `close` to its matching `(`, returning
+/// the index of the `(` token (or `None` when unbalanced).
+fn matching_open(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
     }
     None
 }
 
-fn contains_word(hay: &str, needle: &str) -> bool {
-    find_word(hay, needle, 0).is_some()
-}
-
-/// Backscans the text before a map-type token for the identifier being
-/// declared (`reqs: HashMap<...>`, `let mut holders = DetHashMap::...`).
-fn decl_ident(before: &str) -> Option<String> {
-    let s = before.trim_end();
-    let s = s
-        .strip_suffix(':')
-        .or_else(|| s.strip_suffix('='))?
-        .trim_end();
-    let ident: String = s
-        .chars()
-        .rev()
-        .take_while(|&c| is_ident(c))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        None
-    } else {
-        Some(ident)
+/// Scans forward from the opening bracket at `open` (text `[`, `(` or `{`)
+/// to its matching close, returning the index of the closing token.
+pub(crate) fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "[" => ("[", "]"),
+        "(" => ("(", ")"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
     }
+    None
 }
 
-/// Map-type tokens rule 4 tracks declarations of. `BTreeMap` is deliberately
-/// absent: its iteration order is defined.
-const MAP_TYPES: &[&str] = &["DetHashMap", "DetHashSet", "HashMap", "HashSet"];
-
-/// Method suffixes whose results expose bucket order. `retain`/`entry`/`get`
-/// are absent: they do not leak order to the caller.
-const ORDER_LEAKS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-    ".into_iter()",
-];
-
-/// Wall-clock patterns (rule 2).
-const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
-
-/// Ambient-randomness patterns (rule 2's sibling).
-const RNG_PATTERNS: &[&str] = &["thread_rng", "rand::", "fastrand", "getrandom"];
-
-/// Ordered containers that must not key on floats (rule 3).
-const ORDERED_CONTAINERS: &[&str] = &["BinaryHeap<", "BTreeMap<", "BTreeSet<"];
+/// Whether the parenthesized group ending at `close` (a `)` token) contains
+/// evidence of float arithmetic: an `f32`/`f64` cast or ascription, a float
+/// literal, or a float-producing method call directly before the group.
+fn group_is_floaty(toks: &[Tok], close: usize) -> bool {
+    let Some(open) = matching_open(toks, close) else {
+        return false;
+    };
+    let inner_floaty = toks[open + 1..close].iter().any(|t| {
+        (t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64")) || is_float_literal(t)
+    });
+    // `(...).ceil() as u64`: the group is ceil's argument list; the method
+    // name sits right before the `(`.
+    let method_before = open > 0
+        && toks[open - 1].kind == TokKind::Ident
+        && FLOAT_METHODS.contains(&toks[open - 1].text.as_str())
+        && open > 1
+        && toks[open - 2].text == ".";
+    inner_floaty || method_before
+}
 
 /// Lints one crate given `(workspace-relative path, source)` pairs.
 ///
-/// Runs two passes: the first collects identifiers declared with hash-map
-/// types anywhere in the crate (fields in one file are iterated in another),
-/// the second scans each line against the rule set.
+/// Runs the per-crate rules (everything except `canon-coverage`, which
+/// needs the whole workspace): the first pass collects identifiers declared
+/// with hash-map types anywhere in the crate (fields in one file are
+/// iterated in another), the second walks each file's token stream.
 #[must_use]
-#[allow(clippy::too_many_lines)] // one linear match per rule; splitting obscures the scan order
 pub fn lint_crate(crate_name: &str, files: &[(String, String)]) -> Vec<Diagnostic> {
-    let model = MODEL_CRATES.contains(&crate_name);
-    let pre: Vec<(&str, Vec<LineInfo>)> = files
+    let analyses: Vec<FileAnalysis> = files
         .iter()
-        .map(|(p, s)| (p.as_str(), preprocess(s)))
+        .map(|(p, s)| FileAnalysis::new(p.clone(), s))
         .collect();
+    let mut diags = Vec::new();
+    lint_crate_analyses(crate_name, &analyses, &mut diags);
+    diags
+}
+
+fn lint_crate_analyses(crate_name: &str, analyses: &[FileAnalysis], diags: &mut Vec<Diagnostic>) {
+    let model = MODEL_CRATES.contains(&crate_name);
 
     // Pass 1: identifiers declared as hash maps anywhere in the crate.
-    let mut map_idents: Vec<String> = Vec::new();
+    let mut map_idents: Vec<&str> = Vec::new();
     if model {
-        for (_, lines) in &pre {
-            for l in lines {
-                for ty in MAP_TYPES {
-                    let mut from = 0;
-                    while let Some(pos) = find_word(&l.code, ty, from) {
-                        if let Some(id) = decl_ident(&l.code[..pos]) {
-                            if !map_idents.contains(&id) {
-                                map_idents.push(id);
-                            }
-                        }
-                        from = pos + ty.len();
-                    }
+        for fa in analyses {
+            let toks = &fa.toks;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || !MAP_TYPES.contains(&t.text.as_str()) || i < 2 {
+                    continue;
+                }
+                let prev = &toks[i - 1];
+                let decl = &toks[i - 2];
+                if prev.kind == TokKind::Punct
+                    && (prev.text == ":" || prev.text == "=")
+                    && decl.kind == TokKind::Ident
+                    && !map_idents.contains(&decl.text.as_str())
+                {
+                    map_idents.push(&decl.text);
                 }
             }
         }
     }
 
-    // Pass 2: per-line checks.
-    let mut diags = Vec::new();
-    for (path, lines) in &pre {
-        for (i, l) in lines.iter().enumerate() {
-            if let Some(allow) = &l.allow {
-                if allow.malformed {
-                    diags.push(Diagnostic {
-                        rule: Rule::BareAllow,
-                        path: (*path).to_string(),
-                        line: l.number,
-                        message: "malformed simlint comment; expected `simlint: allow(<rule>) — <reason>`".into(),
-                    });
-                } else {
-                    for r in &allow.rules {
-                        if Rule::from_id(r).is_none() {
-                            diags.push(Diagnostic {
-                                rule: Rule::BareAllow,
-                                path: (*path).to_string(),
-                                line: l.number,
-                                message: format!("allow names unknown rule `{r}`"),
-                            });
-                        }
-                    }
-                    if !allow.has_reason {
-                        diags.push(Diagnostic {
-                            rule: Rule::BareAllow,
-                            path: (*path).to_string(),
-                            line: l.number,
-                            message: "allow without a reason; explain why the escape is sound"
-                                .into(),
-                        });
-                    }
-                }
-            }
-            if l.comment_only {
-                continue;
-            }
-            // An allow on this line, or on a directly preceding comment-only
-            // line, waives findings here.
-            let allowed = |rule: Rule| -> bool {
-                let own = l.allow.as_ref().is_some_and(|a| a.covers(rule));
-                let prev = i
-                    .checked_sub(1)
-                    .and_then(|j| lines.get(j))
-                    .filter(|p| p.comment_only)
-                    .and_then(|p| p.allow.as_ref())
-                    .is_some_and(|a| a.covers(rule));
-                own || prev
-            };
-            let mut push = |rule: Rule, message: String| {
-                if !allowed(rule) {
+    // Pass 2: per-token checks.
+    for fa in analyses {
+        fa.bare_allow_diags(diags);
+        let hot = model && is_hot_path(&fa.path);
+        let toks = &fa.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            let mut push = |rule: Rule, at: &Tok, message: String| {
+                if !fa.allowed(rule, at.line) {
                     diags.push(Diagnostic {
                         rule,
-                        path: (*path).to_string(),
-                        line: l.number,
+                        path: fa.path.clone(),
+                        line: at.line,
+                        col: at.col,
+                        len: at.len,
                         message,
                     });
                 }
             };
-
-            if model {
-                for word in ["HashMap", "HashSet"] {
-                    if contains_word(&l.code, word) {
+            match t.kind {
+                TokKind::Ident => {
+                    let next_is = |off: usize, text: &str| {
+                        toks.get(i + off)
+                            .is_some_and(|n| n.kind == TokKind::Punct && n.text == text)
+                    };
+                    let word = t.text.as_str();
+                    if model && (word == "HashMap" || word == "HashSet") {
                         push(
                             Rule::DefaultHasherMap,
+                            t,
                             format!(
                                 "entropy-seeded `{word}` in model crate; use `sim_engine::collections::Det{word}` or `BTreeMap`"
                             ),
                         );
                     }
-                }
-            }
-            for pat in CLOCK_PATTERNS {
-                if contains_word(&l.code, pat) {
-                    push(
-                        Rule::WallClock,
-                        format!("wall-clock `{pat}` outside bench; simulated time must come from `Cycle`"),
-                    );
-                }
-            }
-            for pat in RNG_PATTERNS {
-                if contains_word(&l.code, pat) {
-                    push(
-                        Rule::AmbientRng,
-                        format!(
-                            "ambient randomness `{pat}`; all randomness must flow through `DetRng`"
-                        ),
-                    );
-                }
-            }
-            {
-                let squeezed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
-                for container in ORDERED_CONTAINERS {
-                    let mut from = 0;
-                    while let Some(rel) = squeezed[from..].find(container) {
-                        let after = &squeezed[from + rel + container.len()..];
-                        let key = after.trim_start_matches(['(', '&']);
-                        if key.starts_with("f32") || key.starts_with("f64") {
+                    if word == "SystemTime"
+                        || (word == "Instant"
+                            && next_is(1, "::")
+                            && toks.get(i + 2).is_some_and(|n| n.text == "now"))
+                    {
+                        let pat = if word == "SystemTime" {
+                            "SystemTime"
+                        } else {
+                            "Instant::now"
+                        };
+                        push(
+                            Rule::WallClock,
+                            t,
+                            format!("wall-clock `{pat}` outside bench; simulated time must come from `Cycle`"),
+                        );
+                    }
+                    if RNG_IDENTS.contains(&word) || (word == "rand" && next_is(1, "::")) {
+                        let pat = if word == "rand" { "rand::" } else { word };
+                        push(
+                            Rule::AmbientRng,
+                            t,
+                            format!(
+                                "ambient randomness `{pat}`; all randomness must flow through `DetRng`"
+                            ),
+                        );
+                    }
+                    if ORDERED_CONTAINERS.contains(&word) && next_is(1, "<") {
+                        let mut j = i + 2;
+                        while toks.get(j).is_some_and(|n| {
+                            n.kind == TokKind::Lifetime
+                                || (n.kind == TokKind::Punct && (n.text == "(" || n.text == "&"))
+                                || (n.kind == TokKind::Ident && n.text == "mut")
+                        }) {
+                            j += 1;
+                        }
+                        if toks
+                            .get(j)
+                            .is_some_and(|n| n.text == "f32" || n.text == "f64")
+                        {
                             push(
                                 Rule::FloatOrdKey,
-                                format!(
-                                    "float key in `{}`; floats are not totally ordered",
-                                    container.trim_end_matches('<')
-                                ),
+                                t,
+                                format!("float key in `{word}`; floats are not totally ordered"),
                             );
                         }
-                        from += rel + container.len();
                     }
-                }
-            }
-            if model {
-                for ident in &map_idents {
-                    let mut from = 0;
-                    while let Some(pos) = find_word(&l.code, ident, from) {
-                        let after = &l.code[pos + ident.len()..];
-                        if let Some(leak) = ORDER_LEAKS.iter().find(|s| after.starts_with(**s)) {
+                    if model
+                        && map_idents.contains(&word)
+                        && next_is(1, ".")
+                        && toks.get(i + 2).is_some_and(|n| {
+                            n.kind == TokKind::Ident && ORDER_LEAKS.contains(&n.text.as_str())
+                        })
+                        && next_is(3, "(")
+                    {
+                        let leak = &toks[i + 2].text;
+                        push(
+                            Rule::UnorderedIter,
+                            t,
+                            format!(
+                                "`{word}.{leak}` iterates an unordered map; sort, aggregate order-insensitively, or use `BTreeMap`"
+                            ),
+                        );
+                    }
+                    if model && word == "as" && i > 0 {
+                        if let Some(target) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                            let tt = target.text.as_str();
+                            if NARROW_TARGETS.contains(&tt) {
+                                push(
+                                    Rule::LossyCast,
+                                    t,
+                                    format!(
+                                        "`as {tt}` can truncate 64-bit cycle/address/page arithmetic; use `try_from` or prove the bound in an allow reason"
+                                    ),
+                                );
+                            } else if INT_TARGETS.contains(&tt) {
+                                let prev = &toks[i - 1];
+                                let float_src = (prev.kind == TokKind::Ident
+                                    && (prev.text == "f32" || prev.text == "f64"))
+                                    || is_float_literal(prev)
+                                    || (prev.text == ")" && group_is_floaty(toks, i - 1));
+                                if float_src {
+                                    push(
+                                        Rule::LossyCast,
+                                        t,
+                                        format!(
+                                            "float→`{tt}` cast truncates; round explicitly and prove the range, or keep the value in cycles"
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if hot {
+                        if PANIC_METHODS.contains(&word)
+                            && i > 0
+                            && toks[i - 1].text == "."
+                            && next_is(1, "(")
+                        {
                             push(
-                                Rule::UnorderedIter,
+                                Rule::HotPathPanic,
+                                t,
                                 format!(
-                                    "`{ident}{leak}` iterates an unordered map; sort, aggregate order-insensitively, or use `BTreeMap`",
-                                    leak = leak.trim_end_matches(['(', ')'])
+                                    "`.{word}()` in a sim-loop event handler can kill an idyll-serve worker; return a typed `SimError` instead"
                                 ),
                             );
                         }
-                        from = pos + ident.len();
+                        if PANIC_MACROS.contains(&word) && next_is(1, "!") {
+                            push(
+                                Rule::HotPathPanic,
+                                t,
+                                format!(
+                                    "`{word}!` in a sim-loop event handler can kill an idyll-serve worker; return a typed `SimError` instead"
+                                ),
+                            );
+                        }
                     }
                 }
+                TokKind::Punct if hot && t.text == "[" && i > 0 => {
+                    // Expression-position indexing: the `[` follows a value
+                    // (identifier or closing delimiter), not `#`, `!`, `<`,
+                    // a type colon, …
+                    let prev = &toks[i - 1];
+                    let indexing = prev.kind == TokKind::Ident && prev.text != "mut"
+                        || (prev.kind == TokKind::Punct && (prev.text == ")" || prev.text == "]"));
+                    if indexing {
+                        if let Some(close) = matching_close(toks, i) {
+                            let arithmetic = toks[i + 1..close].iter().any(|x| {
+                                x.kind == TokKind::Punct
+                                    && matches!(x.text.as_str(), "+" | "-" | "*" | "/" | "%")
+                            });
+                            if arithmetic {
+                                push(
+                                    Rule::HotPathPanic,
+                                    t,
+                                    "arithmetic slice index in a sim-loop event handler can panic out of bounds; use `.get()` and return a typed `SimError`".into(),
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {}
             }
         }
     }
-    diags
 }
 
 /// Committed waivers for grandfathered sites, keyed by `(rule, path)`.
@@ -586,6 +783,17 @@ impl Baseline {
             .any(|(rule, path, _)| *rule == d.rule && *path == d.path)
     }
 
+    /// Entries that no longer suppress anything: the baseline must only
+    /// shrink, so these are reported (and fail the run under `--strict`).
+    #[must_use]
+    pub fn stale_entries(&self, diags: &[Diagnostic]) -> Vec<(Rule, String)> {
+        self.entries
+            .iter()
+            .filter(|(rule, path, _)| !diags.iter().any(|d| d.rule == *rule && d.path == *path))
+            .map(|(rule, path, _)| (*rule, path.clone()))
+            .collect()
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -622,7 +830,7 @@ impl Baseline {
 /// Result of a workspace scan.
 #[derive(Debug)]
 pub struct ScanReport {
-    /// All findings, sorted by `(path, line, rule)`.
+    /// All findings, sorted by `(path, line, col, rule)`.
     pub diagnostics: Vec<Diagnostic>,
     /// Source files scanned.
     pub files_scanned: usize,
@@ -648,12 +856,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scans a workspace rooted at `root`: the root package's `src/` (as crate
-/// `idyll`) plus every `crates/<name>/src/` with `<name>` not exempt.
-///
-/// # Errors
-/// Propagates I/O failures reading the workspace tree.
-pub fn lint_workspace(root: &Path) -> io::Result<ScanReport> {
+/// Per-crate source listing: `(crate name, [(rel path, source)])`.
+type CrateSources = Vec<(String, Vec<(String, String)>)>;
+
+/// Reads the lintable workspace sources.
+fn workspace_sources(root: &Path) -> io::Result<CrateSources> {
     let mut targets: Vec<(String, PathBuf)> = Vec::new();
     if root.join("src").is_dir() {
         targets.push(("idyll".to_string(), root.join("src")));
@@ -682,12 +889,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<ScanReport> {
             }
         }
     }
-
-    let mut diagnostics = Vec::new();
-    let mut files_scanned = 0;
-    for (name, src) in &targets {
+    let mut out = Vec::new();
+    for (name, src) in targets {
         let mut paths = Vec::new();
-        collect_rs(src, &mut paths)?;
+        collect_rs(&src, &mut paths)?;
         let mut files = Vec::with_capacity(paths.len());
         for p in &paths {
             let rel = p
@@ -699,16 +904,79 @@ pub fn lint_workspace(root: &Path) -> io::Result<ScanReport> {
                 .join("/");
             files.push((rel, fs::read_to_string(p)?));
         }
-        files_scanned += files.len();
-        diagnostics.extend(lint_crate(name, &files));
+        out.push((name, files));
     }
-    diagnostics
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+/// Scans a workspace rooted at `root`: the root package's `src/` (as crate
+/// `idyll`) plus every `crates/<name>/src/` with `<name>` not exempt, then
+/// the workspace-level `canon-coverage` check against the shape snapshot at
+/// `root/simlint.canon` (or `canon_snapshot` when given).
+///
+/// # Errors
+/// Propagates I/O failures reading the workspace tree; a malformed shape
+/// snapshot is reported as [`io::ErrorKind::InvalidData`].
+pub fn lint_workspace_with(root: &Path, canon_snapshot: Option<&Path>) -> io::Result<ScanReport> {
+    let sources = workspace_sources(root)?;
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0;
+    let crates_scanned = sources.len();
+    let mut all_files: Vec<FileAnalysis> = Vec::new();
+    for (name, files) in &sources {
+        files_scanned += files.len();
+        let analyses: Vec<FileAnalysis> = files
+            .iter()
+            .map(|(p, s)| FileAnalysis::new(p.clone(), s))
+            .collect();
+        lint_crate_analyses(name, &analyses, &mut diagnostics);
+        all_files.extend(analyses);
+    }
+
+    let snapshot_path = canon_snapshot
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("simlint.canon"));
+    let snapshot = if snapshot_path.is_file() {
+        Some(fs::read_to_string(&snapshot_path)?)
+    } else {
+        None
+    };
+    canon::check(&all_files, snapshot.as_deref(), &mut diagnostics)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
     Ok(ScanReport {
         diagnostics,
         files_scanned,
-        crates_scanned: targets.len(),
+        crates_scanned,
     })
+}
+
+/// [`lint_workspace_with`] using the default snapshot location.
+///
+/// # Errors
+/// See [`lint_workspace_with`].
+pub fn lint_workspace(root: &Path) -> io::Result<ScanReport> {
+    lint_workspace_with(root, None)
+}
+
+/// Builds the canon shape snapshot text for the workspace at `root`
+/// (the `--write-canon` payload).
+///
+/// # Errors
+/// I/O failures, or [`io::ErrorKind::NotFound`] when the workspace has no
+/// `canon.rs`.
+pub fn render_canon_snapshot_for(root: &Path) -> io::Result<String> {
+    let sources = workspace_sources(root)?;
+    let all_files: Vec<FileAnalysis> = sources
+        .iter()
+        .flat_map(|(_, files)| files.iter())
+        .map(|(p, s)| FileAnalysis::new(p.clone(), s))
+        .collect();
+    canon::render_snapshot(&all_files)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "workspace has no canon.rs"))
 }
 
 #[cfg(test)]
@@ -722,6 +990,16 @@ mod tests {
         )
     }
 
+    fn hot_of(src: &str) -> Vec<Diagnostic> {
+        lint_crate(
+            "mgpu-system",
+            &[(
+                "crates/mgpu-system/src/system/translate.rs".to_string(),
+                src.to_string(),
+            )],
+        )
+    }
+
     #[test]
     fn flags_default_hasher_in_model_crates_only() {
         let src = "use std::collections::HashMap;\n";
@@ -729,6 +1007,7 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, Rule::DefaultHasherMap);
         assert_eq!(d[0].line, 1);
+        assert!(d[0].col > 1);
         assert!(crate_of("some-tool", src).is_empty());
     }
 
@@ -751,6 +1030,28 @@ mod tests {
         assert_eq!(d[2].rule, Rule::WallClock);
         // `operand::x` must not trip the `rand::` pattern.
         assert!(crate_of("some-tool", "use operand::x;\n").is_empty());
+    }
+
+    #[test]
+    fn multi_line_constructs_no_longer_slip_through() {
+        // The v1 line-scanner missed all of these.
+        let src = "fn f() { let t = std::time::Instant::\n\
+                   now(); }\n\
+                   struct Q { q: std::collections::BinaryHeap<\n\
+                   f64> }\n";
+        let d = crate_of("some-tool", src);
+        assert!(d.iter().any(|d| d.rule == Rule::WallClock && d.line == 1));
+        assert!(d.iter().any(|d| d.rule == Rule::FloatOrdKey && d.line == 3));
+    }
+
+    #[test]
+    fn strings_and_comments_cannot_trip_rules() {
+        let src = "// HashMap is banned here, Instant::now too\n\
+                   /* rand::random() in a block comment\n\
+                      spanning lines with HashMap */\n\
+                   fn f() -> &'static str { \"HashMap Instant::now rand::\" }\n\
+                   fn g() -> &'static str { r#\"SystemTime fastrand\"# }\n";
+        assert!(crate_of("mgpu-system", src).is_empty());
     }
 
     #[test]
@@ -791,6 +1092,65 @@ mod tests {
         let d = crate_of("mgpu-system", src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn flags_narrowing_casts_in_model_crates_only() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n\
+                   fn g(x: u64) -> u64 { x as u64 }\n\
+                   fn h(x: usize) -> u16 { x as u16 }\n";
+        let d = crate_of("mgpu-system", src);
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::LossyCast).count(), 2);
+        assert!(crate_of("some-tool", src).is_empty());
+    }
+
+    #[test]
+    fn flags_float_to_int_casts() {
+        let src = "fn f(a: u64, ps: f64) -> u64 { ((a as f64 * ps) as u64).max(64) }\n\
+                   fn g(q: f64, t: u64) -> u64 { (q * t as f64).ceil() as u64 }\n\
+                   fn h(x: f64) -> u64 { x as f64 as u64 }\n\
+                   fn ok(x: u32) -> u64 { x as u64 }\n";
+        let d = crate_of("mgpu-system", src);
+        let lines: Vec<usize> = d
+            .iter()
+            .filter(|d| d.rule == Rule::LossyCast)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 3], "{d:?}");
+    }
+
+    #[test]
+    fn flags_panic_paths_only_in_hot_modules() {
+        let src = "fn f(m: &M, token: u64) -> u32 { *m.reqs.get(&token).expect(\"live\") }\n\
+                   fn g(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n\
+                   fn h() { panic!(\"boom\"); }\n\
+                   fn i(x: u32) -> u32 { x.checked_add(1).unwrap_or(0) }\n";
+        let d = hot_of(src);
+        let hits: Vec<usize> = d
+            .iter()
+            .filter(|d| d.rule == Rule::HotPathPanic)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 3], "unwrap_or must not match: {d:?}");
+        // Same source outside the hot-path allowlist: silent.
+        assert!(crate_of("mgpu-system", src)
+            .iter()
+            .all(|d| d.rule != Rule::HotPathPanic));
+    }
+
+    #[test]
+    fn flags_arithmetic_indexing_in_hot_modules() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i + 1] }\n\
+                   fn g(v: &[u32], i: usize) -> u32 { v[i] }\n\
+                   fn h() -> Vec<u32> { vec![0; 4] }\n\
+                   fn a() { #[rustfmt::skip] let _x: [u8; 2] = [1, 2]; }\n";
+        let d = hot_of(src);
+        let hits: Vec<usize> = d
+            .iter()
+            .filter(|d| d.rule == Rule::HotPathPanic)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(hits, vec![1], "only the arithmetic index: {d:?}");
     }
 
     #[test]
@@ -835,23 +1195,20 @@ mod tests {
                    #[cfg(test)]\n\
                    mod tests { use std::collections::HashMap; }\n";
         assert!(crate_of("mgpu-system", src).is_empty());
+        // `#[cfg(not(test))]` must not stop it.
+        let src2 = "#[cfg(not(test))]\n\
+                    mod real { use std::collections::HashMap; }\n";
+        assert_eq!(crate_of("mgpu-system", src2).len(), 1);
     }
 
     #[test]
-    fn comments_are_not_scanned_for_violations() {
-        let src = "// HashMap is banned here, Instant::now too\n\
-                   /* rand::random() in a block comment\n\
-                      spanning lines with HashMap */\n\
-                   fn f() {}\n";
-        assert!(crate_of("mgpu-system", src).is_empty());
-    }
-
-    #[test]
-    fn baseline_roundtrip_and_suppression() {
+    fn baseline_roundtrip_suppression_and_staleness() {
         let d = Diagnostic {
             rule: Rule::DefaultHasherMap,
             path: "crates/x/src/lib.rs".into(),
             line: 3,
+            col: 1,
+            len: 7,
             message: String::new(),
         };
         let text = Baseline::render(std::slice::from_ref(&d));
@@ -860,9 +1217,13 @@ mod tests {
         assert!(parsed.suppresses(&d));
         let other = Diagnostic {
             path: "crates/y/src/lib.rs".into(),
-            ..d
+            ..d.clone()
         };
         assert!(!parsed.suppresses(&other));
+        assert!(parsed.stale_entries(std::slice::from_ref(&d)).is_empty());
+        let stale = parsed.stale_entries(&[other]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].0, Rule::DefaultHasherMap);
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! CLI for the workspace determinism lint.
 //!
 //! ```text
-//! cargo run -p simlint -- --check            # lint the workspace (CI entrypoint)
-//! cargo run -p simlint -- --list-rules       # print the rule registry
-//! cargo run -p simlint -- --write-baseline   # grandfather current findings
+//! cargo run -p simlint -- --check              # lint the workspace (CI entrypoint)
+//! cargo run -p simlint -- --check --strict     # …and fail on stale baseline entries
+//! cargo run -p simlint -- --format json        # machine-readable diagnostics
+//! cargo run -p simlint -- --list-rules         # print the rule registry
+//! cargo run -p simlint -- --write-baseline     # grandfather current findings
+//! cargo run -p simlint -- --write-canon        # refresh the canon shape snapshot
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings outside the baseline, `2` usage or
-//! I/O error.
+//! Exit codes: `0` clean, `1` findings outside the baseline (or, under
+//! `--strict`, stale baseline entries), `2` usage or I/O error.
 
 use std::path::PathBuf;
 
-use simlint::{Baseline, Rule, Severity};
+use simlint::{Baseline, Diagnostic, Rule, ScanReport, Severity};
 
-const USAGE: &str = "usage: simlint [--check] [--list-rules] [--write-baseline] \
-                     [--root <dir>] [--baseline <file>]";
+const USAGE: &str = "usage: simlint [--check] [--strict] [--format text|json] [--list-rules] \
+                     [--write-baseline] [--write-canon] [--root <dir>] [--baseline <file>] \
+                     [--canon <file>]";
 
 fn main() {
     std::process::exit(run());
@@ -23,14 +27,28 @@ fn main() {
 fn run() -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut canon_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut write_canon = false;
     let mut list_rules = false;
+    let mut strict = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
+            "--strict" => strict = true,
             "--list-rules" => list_rules = true,
             "--write-baseline" => write_baseline = true,
+            "--write-canon" => write_canon = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                Some(other) => {
+                    return usage_error(&format!("--format must be text or json, got `{other}`"))
+                }
+                None => return usage_error("--format needs a value (text|json)"),
+            },
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage_error("--root needs a directory"),
@@ -38,6 +56,10 @@ fn run() -> i32 {
             "--baseline" => match args.next() {
                 Some(f) => baseline_path = Some(PathBuf::from(f)),
                 None => return usage_error("--baseline needs a file"),
+            },
+            "--canon" => match args.next() {
+                Some(f) => canon_path = Some(PathBuf::from(f)),
+                None => return usage_error("--canon needs a file"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -66,8 +88,33 @@ fn run() -> i32 {
         return 2;
     };
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("simlint.baseline"));
+    let canon_path = canon_path.unwrap_or_else(|| root.join("simlint.canon"));
 
-    let report = match simlint::lint_workspace(&root) {
+    if write_canon {
+        let text = match simlint::render_canon_snapshot_for(&root) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simlint: cannot build canon snapshot: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = std::fs::write(&canon_path, &text) {
+            eprintln!("simlint: cannot write {}: {e}", canon_path.display());
+            return 2;
+        }
+        let n = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        println!(
+            "simlint: wrote {n} canon shape entr{} to {}",
+            if n == 1 { "y" } else { "ies" },
+            canon_path.display()
+        );
+        return 0;
+    }
+
+    let report = match simlint::lint_workspace_with(&root, Some(&canon_path)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simlint: scan failed: {e}");
@@ -112,25 +159,119 @@ fn run() -> i32 {
         Baseline::default()
     };
 
+    let stale = baseline.stale_entries(&report.diagnostics);
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut baselined = 0usize;
+    let mut shown: Vec<&Diagnostic> = Vec::new();
     for d in &report.diagnostics {
         if baseline.suppresses(d) {
             baselined += 1;
             continue;
         }
-        println!("{d}");
+        shown.push(d);
         match d.rule.severity() {
             Severity::Error => errors += 1,
             Severity::Warning => warnings += 1,
         }
     }
-    println!(
-        "simlint: {} error(s), {} warning(s), {} baselined across {} file(s) in {} crate(s)",
-        errors, warnings, baselined, report.files_scanned, report.crates_scanned
-    );
+    if strict {
+        errors += stale.len();
+    } else {
+        warnings += stale.len();
+    }
+
+    if json {
+        print!(
+            "{}",
+            render_json(&report, &shown, &stale, errors, warnings, baselined)
+        );
+    } else {
+        for d in &shown {
+            println!("{d}");
+        }
+        for (rule, path) in &stale {
+            let sev = if strict { "error" } else { "warning" };
+            println!(
+                "{path}: {sev}[stale-baseline]: baseline entry `{} {path}` no longer fires; remove it",
+                rule.id()
+            );
+        }
+        println!(
+            "simlint: {} error(s), {} warning(s), {} baselined across {} file(s) in {} crate(s)",
+            errors, warnings, baselined, report.files_scanned, report.crates_scanned
+        );
+    }
     i32::from(errors > 0)
+}
+
+/// Renders the machine-readable report. Hand-rolled (std-only crate);
+/// diagnostics keep the scan's `(path, line, col, rule)` order, stale
+/// entries keep baseline-file order, so output is byte-stable for a given
+/// workspace state.
+fn render_json(
+    report: &ScanReport,
+    shown: &[&Diagnostic],
+    stale: &[(Rule, String)],
+    errors: usize,
+    warnings: usize,
+    baselined: usize,
+) -> String {
+    let mut out = String::from("{\n  \"summary\": {");
+    out.push_str(&format!(
+        "\"errors\": {errors}, \"warnings\": {warnings}, \"baselined\": {baselined}, \
+         \"stale_baseline\": {}, \"files\": {}, \"crates\": {}",
+        stale.len(),
+        report.files_scanned,
+        report.crates_scanned
+    ));
+    out.push_str("},\n  \"diagnostics\": [");
+    for (i, d) in shown.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"col\": {}, \"len\": {}, \"message\": \"{}\"}}",
+            d.rule.id(),
+            d.rule.severity(),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            d.len,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if shown.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"stale_baseline\": [");
+    for (i, (rule, path)) in stale.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\"}}",
+            rule.id(),
+            json_escape(path)
+        ));
+    }
+    out.push_str(if stale.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn usage_error(msg: &str) -> i32 {
@@ -161,5 +302,11 @@ mod tests {
         // cargo test runs with cwd = crate dir; the workspace root is two up.
         let root = find_root().expect("workspace root");
         assert!(root.join("crates").join("simlint").is_dir());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

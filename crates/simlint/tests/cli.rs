@@ -47,6 +47,130 @@ fn bad_workspace_fails_with_findings() {
         stdout.contains("crates/mgpu-system/src/lib.rs:4: error[default-hasher-map]"),
         "{stdout}"
     );
+    // ...and the v2 token-aware rules fire in the hot-path fixture module.
+    assert!(
+        stdout.contains("crates/mgpu-system/src/system/handlers.rs:5: error[hot-path-panic]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("error[lossy-cast]"), "{stdout}");
+    assert!(
+        stdout.contains("arithmetic slice index"),
+        "indexing must be flagged: {stdout}"
+    );
+}
+
+#[test]
+fn canon_field_add_without_version_bump_fails() {
+    // The end-to-end guard: a field was added to a canon-covered struct but
+    // canon.rs was not touched — both the coverage gap and the unbumped
+    // shape change must fail `--check`.
+    let ws = fixture("canon_bad_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(
+        stdout.contains("error[canon-coverage]") && stdout.contains("prefetch_depth"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("is not mentioned by the canonical encoding"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("without a canon config version bump"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn canon_encode_bump_and_refresh_clears_the_guard() {
+    // The same field addition done right: encoded in canon.rs, `config v2`
+    // header, snapshot regenerated with --write-canon.
+    let ws = fixture("canon_good_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_stable_and_ordered() {
+    let ws = fixture("bad_ws");
+    let args = [
+        "--check",
+        "--format",
+        "json",
+        "--root",
+        ws.to_str().unwrap(),
+    ];
+    let a = run(&args);
+    let b = run(&args);
+    assert_eq!(a.status.code(), Some(1));
+    assert_eq!(a.stdout, b.stdout, "JSON output must be byte-stable");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.contains("\"summary\""), "{text}");
+    assert!(text.contains("\"stale_baseline\": []"), "{text}");
+    // Diagnostics are sorted by (path, line, col, rule).
+    let mut keys: Vec<(String, u64, u64)> = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"rule\"")) {
+        let field = |name: &str| {
+            let tail = &line[line.find(name).unwrap() + name.len()..];
+            tail.trim_start_matches([':', ' ', '"'])
+                .chars()
+                .take_while(|c| *c != '"' && *c != ',' && *c != '}')
+                .collect::<String>()
+        };
+        keys.push((
+            field("\"path\""),
+            field("\"line\"").parse().unwrap(),
+            field("\"col\"").parse().unwrap(),
+        ));
+    }
+    assert!(keys.len() >= 10, "expected many diagnostics, got {keys:?}");
+    assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "diagnostics out of order: {keys:?}"
+    );
+}
+
+#[test]
+fn stale_baseline_warns_and_fails_under_strict() {
+    // clean_ws plus one baseline entry that no longer fires (the wall-clock
+    // site carries an inline allow, so no diagnostic is produced for it).
+    let ws = fixture("clean_ws");
+    let dir = std::env::temp_dir().join(format!("simlint-stale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stale = dir.join("stale.baseline");
+    let committed = std::fs::read_to_string(ws.join("simlint.baseline")).expect("fixture baseline");
+    std::fs::write(
+        &stale,
+        format!("{committed}wall-clock crates/mgpu-system/src/lib.rs — migrated long ago\n"),
+    )
+    .unwrap();
+
+    let root = ws.to_str().unwrap();
+    let bl = stale.to_str().unwrap();
+    let out = run(&["--check", "--root", root, "--baseline", bl]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "stale is a warning: {stdout}");
+    assert!(
+        stdout.contains("warning[stale-baseline]") && stdout.contains("no longer fires"),
+        "{stdout}"
+    );
+
+    let out = run(&["--check", "--strict", "--root", root, "--baseline", bl]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "strict promotes stale: {stdout}"
+    );
+    assert!(stdout.contains("error[stale-baseline]"), "{stdout}");
+
+    // The committed (fully live) baseline stays clean even under --strict.
+    let out = run(&["--check", "--strict", "--root", root]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -88,6 +212,9 @@ fn list_rules_prints_the_registry() {
         "ambient-rng",
         "float-ord-key",
         "unordered-iter",
+        "canon-coverage",
+        "lossy-cast",
+        "hot-path-panic",
         "bare-allow",
     ] {
         assert!(stdout.contains(id), "missing {id}: {stdout}");

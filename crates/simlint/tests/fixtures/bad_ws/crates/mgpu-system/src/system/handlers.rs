@@ -1,0 +1,13 @@
+//! Fixture hot-path module: the panic-path and lossy-cast rules fire.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub fn on_event(q: &mut Vec<u64>, i: usize) -> u64 {
+    let v = q.pop().unwrap();
+    let w = *q.get(i).expect("present");
+    if v > 1_000 {
+        panic!("overflow");
+    }
+    let narrowed = v as u32;
+    let quantised = (v as f64).sqrt() as u64;
+    q[i + 1] + u64::from(narrowed) + quantised + w
+}

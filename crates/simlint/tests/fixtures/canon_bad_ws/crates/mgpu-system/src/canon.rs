@@ -1,0 +1,11 @@
+//! Fixture canonical encoding: still at config v1 and unaware of the new
+//! `prefetch_depth` field — exactly the drift canon-coverage must catch.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub const CONFIG_HEADER: &str = "# idyll-canon config v1";
+
+pub fn encode_config(c: &GmmuConfig, out: &mut String) {
+    kv(out, "gmmu.levels", c.levels);
+    kv(out, "gmmu.pwc-entries", c.pwc_entries);
+    kv(out, "gmmu.walker-threads", c.walker_threads);
+}

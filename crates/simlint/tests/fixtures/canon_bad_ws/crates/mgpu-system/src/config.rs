@@ -1,0 +1,9 @@
+//! Fixture config: `prefetch_depth` was added without touching canon.rs.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub struct GmmuConfig {
+    pub levels: u32,
+    pub pwc_entries: usize,
+    pub walker_threads: usize,
+    pub prefetch_depth: usize,
+}

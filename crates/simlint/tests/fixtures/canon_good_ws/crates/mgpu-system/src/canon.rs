@@ -1,0 +1,12 @@
+//! Fixture canonical encoding, after the correct change: `prefetch_depth`
+//! is encoded and the config header is bumped to v2.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub const CONFIG_HEADER: &str = "# idyll-canon config v2";
+
+pub fn encode_config(c: &GmmuConfig, out: &mut String) {
+    kv(out, "gmmu.levels", c.levels);
+    kv(out, "gmmu.pwc-entries", c.pwc_entries);
+    kv(out, "gmmu.walker-threads", c.walker_threads);
+    kv(out, "gmmu.prefetch-depth", c.prefetch_depth);
+}

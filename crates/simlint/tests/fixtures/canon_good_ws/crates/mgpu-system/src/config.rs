@@ -1,0 +1,11 @@
+//! Fixture config: the same `prefetch_depth` addition as canon_bad_ws, but
+//! here canon.rs encodes it, the version header moved to v2, and the
+//! snapshot was refreshed — the complete, correct change.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub struct GmmuConfig {
+    pub levels: u32,
+    pub pwc_entries: usize,
+    pub walker_threads: usize,
+    pub prefetch_depth: usize,
+}

@@ -1,0 +1,10 @@
+//! Fixture hot-path module that lints clean via reasoned escapes.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub fn drain(q: &mut Vec<u64>) -> u64 {
+    // simlint: allow(hot-path-panic) — fixture: caller guarantees non-empty
+    let v = q.pop().unwrap();
+    // simlint: allow(lossy-cast) — fixture: masked to 16 bits before the cast
+    let low = (v & 0xffff) as u16;
+    u64::from(low) + v
+}

@@ -99,6 +99,7 @@ impl Layout {
     /// A page in the halo band at the *start* of `gpu`'s chunk (the band a
     /// lower-numbered neighbour also touches).
     fn halo_page(&self, gpu: u64, rng: &mut DetRng) -> Vpn {
+        // simlint: allow(lossy-cast) — deliberate truncation of a scaled fraction; chunk sizes sit far below 2^53
         let width = ((self.chunk as f64 * HALO_FRACTION) as u64).max(1);
         self.chunk_page(gpu, rng.below(width))
     }
