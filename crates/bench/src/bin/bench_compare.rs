@@ -1,0 +1,156 @@
+//! CI perf-regression gate: diff a fresh `perf_micro`-style measurement
+//! against the committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! bench_compare                          # compare against BENCH_baseline.json
+//! bench_compare --iters 2               # fewer best-of iterations
+//! bench_compare --baseline other.json   # compare against another record
+//! ```
+//!
+//! Two classes of drift, two severities:
+//!
+//! * **event counts** are deterministic functions of `(scale, seed,
+//!   config)`. Any mismatch against the baseline means the simulation
+//!   changed; that is either an intended model change (refresh the baseline
+//!   with `perf_micro --json --out BENCH_baseline.json` and say why in the
+//!   commit) or a regression. Hard failure, exit 1.
+//! * **wall-clock** is a host measurement. Slowdowns beyond the noise
+//!   threshold are reported as warnings but never fail the gate — CI
+//!   machines are too noisy for hard wall-clock gates; the uploaded
+//!   `BENCH_*.json` artifacts carry the trajectory for humans to read.
+//!
+//! The gate refuses to compare records measured at a different scale or
+//! seed: event counts would legitimately differ and the diff would be
+//! meaningless.
+
+use idyll_bench::bench_record::{measure_all, BenchRecord, HostInfo, SCHEMA};
+use idyll_bench::HarnessConfig;
+
+/// Relative wall-clock slowdown beyond which a warning is printed. Generous
+/// because CI runners share cores; the event-count gate is the hard one.
+const WALL_WARN_FRAC: f64 = 0.30;
+
+fn main() {
+    let mut iters = 3usize;
+    let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--iters" => {
+                iters = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --iters requires a number");
+                    std::process::exit(2);
+                })
+            }
+            "--baseline" => {
+                baseline_path = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --baseline requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "error: unknown option `{other}` \
+                     (supported: --iters <N>, --baseline <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = BenchRecord::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let hc = HarnessConfig::from_env();
+    let scale = format!("{:?}", hc.scale);
+    if baseline.scale != scale || baseline.seed != hc.seed {
+        eprintln!(
+            "bench_compare: baseline was measured at scale={} seed={} but this run \
+             is scale={scale} seed={} — set IDYLL_SCALE/IDYLL_SEED to match or \
+             refresh the baseline",
+            baseline.scale, baseline.seed, hc.seed
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "bench_compare: scale={scale} seed={} iters={iters} baseline={baseline_path} \
+         (baseline host: {}/{} {} cpus; this host: {}/{} {} cpus)",
+        hc.seed,
+        baseline.host.os,
+        baseline.host.arch,
+        baseline.host.cpus,
+        HostInfo::current().os,
+        HostInfo::current().arch,
+        HostInfo::current().cpus,
+    );
+    let fresh = measure_all(&hc, iters).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(1);
+    });
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    println!(
+        "{:<30} {:>14} {:>14} {:>11} {:>9}",
+        "config", "base events", "events", "wall Δ%", "verdict"
+    );
+    for f in &fresh {
+        let Some(b) = baseline.configs.iter().find(|b| b.label == f.label) else {
+            println!(
+                "{:<30} {:>14} {:>14} {:>11} {:>9}",
+                f.label, "-", f.events, "-", "NEW"
+            );
+            continue;
+        };
+        let wall_delta = if b.best_wall_secs > 0.0 {
+            f.best_wall_secs / b.best_wall_secs - 1.0
+        } else {
+            0.0
+        };
+        let verdict = if f.events != b.events {
+            failures += 1;
+            "FAIL"
+        } else if wall_delta > WALL_WARN_FRAC {
+            warnings += 1;
+            "SLOW"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<30} {:>14} {:>14} {:>+10.1}% {:>9}",
+            f.label,
+            b.events,
+            f.events,
+            wall_delta * 100.0,
+            verdict
+        );
+    }
+    for b in &baseline.configs {
+        if !fresh.iter().any(|f| f.label == b.label) {
+            eprintln!(
+                "bench_compare: baseline config `{}` was not measured",
+                b.label
+            );
+            failures += 1;
+        }
+    }
+    if warnings > 0 {
+        eprintln!(
+            "bench_compare: {warnings} config(s) slower than baseline by more than \
+             {:.0}% (report-only: wall-clock never fails the gate)",
+            WALL_WARN_FRAC * 100.0
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} hard failure(s): event counts drifted from \
+             {baseline_path} (schema {SCHEMA}). If the simulation change is intended, \
+             refresh the baseline: perf_micro --json --out BENCH_baseline.json"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_compare: event counts match the baseline");
+}

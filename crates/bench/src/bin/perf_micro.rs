@@ -1,61 +1,31 @@
 //! Wall-clock micro harness for the observability overhead budget.
 //!
 //! Runs a fig11-class configuration (baseline and IDYLL, 2 GPUs, SC) with
-//! the tracer disabled and enabled, reporting per-config wall-clock and the
-//! disabled-tracer overhead. The disabled case must stay within a few
-//! percent of the seed build — every instrumentation site reduces to one
-//! branch when no tracer is installed.
+//! the tracer disabled and enabled, reporting per-config wall-clock, the
+//! disabled-tracer overhead, and the per-phase self-profile. The disabled
+//! case must stay within a few percent of the seed build — every
+//! instrumentation site reduces to one branch when no tracer or profiler is
+//! installed.
 //!
 //! ```text
 //! perf_micro --iters 5          # default 3
-//! IDYLL_SCALE=small perf_micro  # heavier traces (default: test)
+//! perf_micro --json             # also write BENCH_<seq>.json
+//! perf_micro --json --out BENCH_baseline.json   # refresh the baseline
+//! IDYLL_SCALE=small perf_micro  # heavier traces (default: small)
 //! ```
+//!
+//! The `--json` record is the versioned perf-trajectory format
+//! `bench_compare` gates CI on; see `idyll_bench::bench_record`.
 
-use std::time::Instant;
+use std::path::PathBuf;
 
+use idyll_bench::bench_record::{measure_all, next_seq, BenchRecord, HostInfo, SCHEMA};
 use idyll_bench::HarnessConfig;
-use mgpu_system::config::SystemConfig;
-use mgpu_system::System;
-use sim_engine::trace::Tracer;
-use uvm_driver::policy::MigrationPolicy;
-use workloads::{AppId, WorkloadSpec};
-
-fn run_once(hc: &HarnessConfig, idyll: bool, traced: bool) -> (f64, u64) {
-    let mut cfg = if idyll {
-        SystemConfig::idyll(2)
-    } else {
-        SystemConfig::baseline(2)
-    };
-    cfg.policy = MigrationPolicy::AccessCounter {
-        threshold: hc.scale.counter_threshold(),
-    };
-    cfg.seed = hc.seed;
-    let spec = WorkloadSpec::paper_default(AppId::Sc, hc.scale);
-    let wl = workloads::generate(&spec, 2, hc.seed);
-    let mut sys = System::new(cfg, &wl);
-    if traced {
-        sys.set_tracer(Tracer::enabled());
-    }
-    let start = Instant::now();
-    let report = sys.run().expect("simulation completes");
-    (start.elapsed().as_secs_f64(), report.events_processed)
-}
-
-/// Best-of-N wall-clock (minimum is the least noisy estimator for
-/// throughput micro-measurements).
-fn measure(hc: &HarnessConfig, idyll: bool, traced: bool, iters: usize) -> (f64, u64) {
-    let mut best = f64::INFINITY;
-    let mut events = 0;
-    for _ in 0..iters {
-        let (t, n) = run_once(hc, idyll, traced);
-        best = best.min(t);
-        events = n;
-    }
-    (best, events)
-}
 
 fn main() {
     let mut iters = 3usize;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -65,40 +35,89 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--json" => json = true,
+            "--out" => {
+                out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                })))
+            }
             other => {
-                eprintln!("error: unknown option `{other}` (supported: --iters <N>)");
+                eprintln!(
+                    "error: unknown option `{other}` \
+                     (supported: --iters <N>, --json, --out <path>)"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if out.is_some() && !json {
+        eprintln!("error: --out only makes sense with --json");
+        std::process::exit(2);
     }
     let hc = HarnessConfig::from_env();
     println!(
         "perf_micro: scale={:?} seed={} iters={iters}",
         hc.scale, hc.seed
     );
+    let configs = measure_all(&hc, iters).unwrap_or_else(|e| {
+        eprintln!("perf_micro: {e}");
+        std::process::exit(1);
+    });
     println!(
-        "{:<22} {:>12} {:>12} {:>12}",
+        "{:<30} {:>12} {:>12} {:>12}",
         "config", "events", "best (ms)", "Mev/s"
     );
-    for (label, idyll) in [("baseline/SC/2gpu", false), ("idyll/SC/2gpu", true)] {
-        // Warm-up run so allocator/page-cache effects don't pollute either
-        // measurement.
-        let _ = run_once(&hc, idyll, false);
-        let (off, events) = measure(&hc, idyll, false, iters);
-        let (on, _) = measure(&hc, idyll, true, iters);
-        for (mode, secs) in [("tracer off", off), ("tracer on", on)] {
-            println!(
-                "{:<22} {:>12} {:>12.2} {:>12.2}",
-                format!("{label} {mode}"),
-                events,
-                secs * 1e3,
-                events as f64 / secs / 1e6
-            );
-        }
+    for c in &configs {
         println!(
-            "{:<22} tracing overhead when enabled: {:+.1}%",
-            label,
-            (on / off - 1.0) * 100.0
+            "{:<30} {:>12} {:>12.2} {:>12.2}",
+            c.label,
+            c.events,
+            c.best_wall_secs * 1e3,
+            c.events_per_sec() / 1e6
         );
+    }
+    // Pairs are emitted (tracer off, tracer on) per configuration; report
+    // the enabled-tracer overhead and the per-phase profile for each.
+    for pair in configs.chunks(2) {
+        let [off, on] = pair else { continue };
+        let base = off.label.trim_end_matches(" tracer off");
+        println!(
+            "{:<30} tracing overhead when enabled: {:+.1}%",
+            base,
+            (on.best_wall_secs / off.best_wall_secs - 1.0) * 100.0
+        );
+        if !off.profile.is_empty() {
+            println!("{base} self-profile (separate profiled run):");
+            let total: u64 = off.profile.iter().map(|p| p.nanos).sum::<u64>().max(1);
+            for p in &off.profile {
+                println!(
+                    "  {:<14} {:>12} {:>12.3} ms {:>6.1}%",
+                    p.phase,
+                    p.count,
+                    p.nanos as f64 / 1e6,
+                    p.nanos as f64 / total as f64 * 100.0
+                );
+            }
+        }
+    }
+    if json {
+        let dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let seq = next_seq(&dir);
+        let path = out.unwrap_or_else(|| dir.join(format!("BENCH_{seq}.json")));
+        let record = BenchRecord {
+            schema: SCHEMA.to_string(),
+            seq,
+            scale: format!("{:?}", hc.scale),
+            seed: hc.seed,
+            iters: iters as u64,
+            host: HostInfo::current(),
+            configs,
+        };
+        if let Err(e) = std::fs::write(&path, record.to_json() + "\n") {
+            eprintln!("perf_micro: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
     }
 }

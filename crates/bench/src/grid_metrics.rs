@@ -76,15 +76,25 @@ pub fn snapshot() -> Vec<RunRecord> {
     lock().clone()
 }
 
+/// Version of the `results/grid_metrics.json` layout; bump when the shape
+/// of the export changes so downstream tooling can detect old files.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// Renders the recorder into a registry: aggregate totals under `grid.*`
 /// plus per-run entries under `grid.run.<index>.*` (indexed, not
 /// label-keyed, because the same app/scheme pair can run in several grids).
+///
+/// `generated_at_unix_secs` is stamped into the export by the caller — this
+/// library deliberately never reads the wall clock itself, so the simlint
+/// wall-clock rule holds here without an allow.
 #[must_use]
-pub fn registry() -> MetricsRegistry {
+pub fn registry(generated_at_unix_secs: u64) -> MetricsRegistry {
     let records = snapshot();
     let mut reg = MetricsRegistry::new();
     let total_secs: f64 = records.iter().map(|r| r.wall_secs).sum();
     let total_events: u64 = records.iter().map(|r| r.events).sum();
+    reg.count("grid.schema_version", SCHEMA_VERSION);
+    reg.count("grid.generated_at_unix_secs", generated_at_unix_secs);
     reg.count("grid.runs", records.len() as u64);
     reg.gauge("grid.wall_secs", total_secs);
     reg.count("grid.events", total_events);
@@ -139,6 +149,7 @@ mod tests {
                 ..Default::default()
             },
             wall_secs: secs,
+            profile: None,
         }
     }
 
@@ -166,7 +177,9 @@ mod tests {
             zero.events_per_sec().abs() < 1e-12,
             "zero wall time must not divide"
         );
-        let json = registry().to_json();
+        let json = registry(1_700_000_000).to_json();
+        assert!(json.contains("\"grid.schema_version\""));
+        assert!(json.contains("\"grid.generated_at_unix_secs\": 1700000000"));
         assert!(json.contains("\"grid.runs\""));
         assert!(json.contains("\"grid.events_per_sec\""));
         assert!(json.contains("KM.idyll.wall_secs"));

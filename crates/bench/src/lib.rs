@@ -78,6 +78,7 @@ impl Default for HarnessConfig {
     }
 }
 
+pub mod bench_record;
 pub mod grid_metrics;
 
 /// `results[app][scheme]` for a completed grid.

@@ -16,7 +16,7 @@ use mgpu_system::config::SystemConfig;
 use mgpu_system::runner::TimedRun;
 use workloads::WorkloadSpec;
 
-use crate::proto::{JobSpec, Request, Response};
+use crate::proto::{JobSpec, Request, Response, WatchEvent};
 
 /// One simulation cell described by value, ready to submit.
 #[derive(Debug, Clone)]
@@ -141,6 +141,49 @@ impl Client {
         }
     }
 
+    /// Subscribes to job `id`'s progress stream, invoking `on_event` for
+    /// every `watch_event` line (including the terminal one) and returning
+    /// the terminal event. The connection is usable for further requests
+    /// afterwards — the server resumes normal alternation once the stream
+    /// closes.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, the server's `error` line (unknown id),
+    /// or a stream that closes before a terminal event.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut on_event: impl FnMut(&WatchEvent),
+    ) -> std::io::Result<WatchEvent> {
+        let request = Request::Watch { id };
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(protocol_error("server closed the watch stream"));
+            }
+            match Response::decode(line.trim_end()).map_err(protocol_error)? {
+                Response::Watch(event) => {
+                    on_event(&event);
+                    if event.last {
+                        return Ok(event);
+                    }
+                }
+                Response::Error { message } => {
+                    return Err(protocol_error(format!("watch {id} failed: {message}")))
+                }
+                other => {
+                    return Err(protocol_error(format!(
+                        "unexpected watch response: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Fetches the service metrics registry as JSON.
     ///
     /// # Errors
@@ -194,6 +237,7 @@ pub fn run_cells(addr: &str, cells: &[RemoteCell]) -> std::io::Result<Vec<TimedR
             scheme: cell.scheme.clone(),
             report,
             wall_secs,
+            profile: None,
         });
     }
     Ok(runs)

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! idyll-serve serve    [--addr A] [--workers N] [--queue N] [--timeout-secs S] [--cache-dir D]
+//!                      [--progress-every N]
 //! idyll-serve ping     [--addr A]
 //! idyll-serve status   [--addr A]
 //! idyll-serve metrics  [--addr A]
+//! idyll-serve watch    --id N [--addr A]
 //! idyll-serve shutdown [--addr A]
 //! idyll-serve key      --app APP [--scheme S] [--scale S] [--n-gpus N] [--seed N]
 //! idyll-serve smoke    [--jobs N] [--conns N] [--workers N]
@@ -12,17 +14,20 @@
 //!
 //! `--addr` defaults to `IDYLL_SERVE_ADDR`, then `127.0.0.1:7199`.
 //! `key` prints the content address a job would cache under (used by the
-//! cross-process key-stability test). `smoke` is the self-contained
-//! acceptance check CI runs: an ephemeral in-process daemon, a grid
-//! submitted over several concurrent connections, byte-compared against
-//! direct `run_jobs_timed` output, then resubmitted to prove the second
-//! pass is served entirely from cache.
+//! cross-process key-stability test). `watch` streams one job's
+//! `watch_event` lines (state transitions plus progress heartbeats) to
+//! stdout until the job reaches a terminal state. `smoke` is the
+//! self-contained acceptance check CI runs: an ephemeral in-process
+//! daemon, a grid submitted over several concurrent connections,
+//! byte-compared against direct `run_jobs_timed` output, resubmitted to
+//! prove the second pass is served entirely from cache, and one fresh
+//! job watched to completion.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use idyll_serve::client::{metric_count, Client, RemoteCell};
-use idyll_serve::proto::JobSpec;
+use idyll_serve::proto::{JobSpec, JobState, Response};
 use idyll_serve::server::{self, ServerConfig};
 use mgpu_system::canon;
 use mgpu_system::config::SystemConfig;
@@ -32,7 +37,9 @@ use workloads::{AppId, Scale, WorkloadSpec};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: idyll-serve <serve|ping|status|metrics|shutdown|key|smoke> [flags]");
+        eprintln!(
+            "usage: idyll-serve <serve|ping|status|metrics|watch|shutdown|key|smoke> [flags]"
+        );
         return ExitCode::from(2);
     };
     let rest = &args[1..];
@@ -52,6 +59,7 @@ fn main() -> ExitCode {
             print!("{}", c.metrics_json()?);
             Ok(())
         }),
+        "watch" => cmd_watch(rest),
         "shutdown" => cmd_simple(rest, |c| {
             c.shutdown()?;
             println!("draining");
@@ -113,6 +121,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         cache_dir: Some(PathBuf::from(
             flag_value(args, "--cache-dir").unwrap_or_else(|| "results/cache".to_string()),
         )),
+        progress_every_events: parsed_flag(args, "--progress-every", 100_000u64)?,
     };
     // Echo the resolved address so scripts can bind port 0 and discover
     // where the daemon landed.
@@ -151,6 +160,23 @@ fn parse_scale(name: &str) -> Result<Scale, AnyError> {
         "full" => Ok(Scale::Full),
         other => Err(format!("unknown scale `{other}` (test|small|full)").into()),
     }
+}
+
+/// Streams one job's `watch_event` lines to stdout until the job reaches
+/// a terminal state; exits nonzero when that state is `failed`.
+fn cmd_watch(args: &[String]) -> Result<(), AnyError> {
+    let id: u64 = flag_value(args, "--id")
+        .ok_or("`watch` needs --id <job-id>")?
+        .parse()
+        .map_err(|_| "bad value for --id")?;
+    let mut client = Client::connect(&addr_flag(args))?;
+    let terminal = client.watch(id, |event| {
+        println!("{}", Response::Watch(event.clone()).encode());
+    })?;
+    if terminal.state == JobState::Failed {
+        return Err(format!("job {id} failed").into());
+    }
+    Ok(())
 }
 
 fn cmd_key(args: &[String]) -> Result<(), AnyError> {
@@ -269,6 +295,9 @@ fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
         queue_capacity: jobs.max(256),
         job_timeout_secs: None,
         cache_dir: Some(cache_dir.clone()),
+        // Low cadence so even test-scale jobs emit progress heartbeats
+        // for the pass-3 watch check.
+        progress_every_events: 1_000,
     })?;
     let addr = handle.addr.to_string();
     println!("smoke: daemon on {addr}, {jobs} jobs over {conns} connections, {workers} workers");
@@ -360,6 +389,52 @@ fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
         "smoke: pass 2 ok — {jobs}/{jobs} served from cache ({} first-pass hits), 0 new events",
         cached_first
     );
+
+    // Pass 3: one fresh (uncached) job, observed end-to-end through a
+    // `watch` subscription. The stream must produce at least one line,
+    // terminate with `Done` carrying the job's true event total, and the
+    // served report must still match a direct run — watching is pure
+    // observation.
+    let watch_seed = 9001u64;
+    let watch_config = scheme_config("idyll", 2, watch_seed)?;
+    let watch_spec = WorkloadSpec::paper_default(AppId::ALL[0], Scale::Test);
+    let direct_watch = run_jobs_timed(
+        vec![Job {
+            scheme: "watch-smoke".to_string(),
+            config: watch_config.clone(),
+            workload: workloads::generate(&watch_spec, watch_config.n_gpus, watch_seed),
+        }],
+        1,
+    )?
+    .pop()
+    .ok_or("one job, one result")?;
+    let (ids, cached) = probe.submit_with_backoff(&[JobSpec {
+        scheme: "watch-smoke".to_string(),
+        config: canon::encode_config(&watch_config),
+        spec: canon::encode_spec(&watch_spec),
+        seed: watch_seed,
+    }])?;
+    if cached.first() == Some(&true) {
+        return Err("watch smoke cell was unexpectedly served from cache".into());
+    }
+    let watch_id = *ids.first().ok_or("submit returned no id")?;
+    let mut watch_lines = 0usize;
+    let terminal = probe.watch(watch_id, |_| watch_lines += 1)?;
+    if terminal.state != JobState::Done {
+        return Err(format!("watched job ended {:?}, expected Done", terminal.state).into());
+    }
+    if terminal.events != Some(direct_watch.report.events_processed) {
+        return Err(format!(
+            "terminal watch line reported {:?} events, direct run processed {}",
+            terminal.events, direct_watch.report.events_processed
+        )
+        .into());
+    }
+    let (watched_report, _wall, _cached) = probe.wait_result(watch_id)?;
+    if watched_report != canon::encode_report(&direct_watch.report) {
+        return Err("watched job's report differs from the direct run".into());
+    }
+    println!("smoke: pass 3 ok — watch streamed {watch_lines} line(s), terminal Done");
 
     probe.shutdown()?;
     handle.join()?;

@@ -12,6 +12,7 @@
 //! | `submit`   | `jobs`: array of job objects             |
 //! | `status`   | optional `id`                            |
 //! | `result`   | `id`, optional `wait` (default `true`)   |
+//! | `watch`    | `id`                                     |
 //! | `metrics`  | —                                        |
 //! | `ping`     | —                                        |
 //! | `shutdown` | —                                        |
@@ -24,6 +25,13 @@
 //!
 //! Responses always carry `ok` (bool). Backpressure is `ok: false` with
 //! `retry_after_ms`, distinguishing "try later" from a malformed request.
+//!
+//! `watch` is the one request answered by a *stream* of lines instead of a
+//! single response: the server emits one `watch_event` line per observed
+//! state change or progress heartbeat, ending with a line whose `final`
+//! field is `true` (the job reached `done` or `failed`, or the id was
+//! unknown — then the terminal line is an `error`). After the terminal
+//! line the connection returns to the normal request/response alternation.
 
 use crate::json::Json;
 
@@ -54,6 +62,12 @@ pub enum Request {
         /// Block until the job completes (default) instead of returning
         /// its current state.
         wait: bool,
+    },
+    /// Stream state transitions and progress for one job until it reaches
+    /// a terminal state.
+    Watch {
+        /// Job id from a submit response.
+        id: u64,
     },
     /// The service metrics registry as JSON.
     Metrics,
@@ -99,6 +113,23 @@ impl JobState {
             _ => None,
         }
     }
+}
+
+/// One line of a `watch` stream: the job's state plus, while it runs,
+/// periodic progress counters from the simulator's progress callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The job being watched.
+    pub id: u64,
+    /// Its lifecycle state when the line was emitted.
+    pub state: JobState,
+    /// Simulation events processed so far (present once the first progress
+    /// heartbeat has fired).
+    pub events: Option<u64>,
+    /// Simulated cycle reached so far (same availability as `events`).
+    pub cycle: Option<u64>,
+    /// Whether this is the stream's terminal line (wire field `final`).
+    pub last: bool,
 }
 
 /// A server response.
@@ -148,6 +179,8 @@ pub enum Response {
         /// Whether this came from the result cache.
         cached: bool,
     },
+    /// One `watch` stream line (see [`WatchEvent`]).
+    Watch(WatchEvent),
     /// The metrics registry rendered as JSON.
     Metrics {
         /// `MetricsRegistry::to_json()` output.
@@ -205,6 +238,7 @@ impl Request {
                 ("id", Json::u64(*id)),
                 ("wait", Json::Bool(*wait)),
             ]),
+            Request::Watch { id } => obj(vec![("cmd", Json::str("watch")), ("id", Json::u64(*id))]),
             Request::Metrics => obj(vec![("cmd", Json::str("metrics"))]),
             Request::Ping => obj(vec![("cmd", Json::str("ping"))]),
             Request::Shutdown => obj(vec![("cmd", Json::str("shutdown"))]),
@@ -251,6 +285,9 @@ impl Request {
             "result" => Ok(Request::Result {
                 id: v.get("id").and_then(Json::as_u64).ok_or("missing `id`")?,
                 wait: v.get("wait").and_then(Json::as_bool).unwrap_or(true),
+            }),
+            "watch" => Ok(Request::Watch {
+                id: v.get("id").and_then(Json::as_u64).ok_or("missing `id`")?,
             }),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
@@ -316,6 +353,22 @@ impl Response {
                 ("wall_secs", Json::f64(*wall_secs)),
                 ("cached", Json::Bool(*cached)),
             ]),
+            Response::Watch(ev) => {
+                let mut fields = vec![
+                    ("ok", Json::Bool(true)),
+                    ("kind", Json::str("watch_event")),
+                    ("id", Json::u64(ev.id)),
+                    ("state", Json::str(ev.state.as_str())),
+                ];
+                if let Some(events) = ev.events {
+                    fields.push(("events", Json::u64(events)));
+                }
+                if let Some(cycle) = ev.cycle {
+                    fields.push(("cycle", Json::u64(cycle)));
+                }
+                fields.push(("final", Json::Bool(ev.last)));
+                obj(fields)
+            }
             Response::Metrics { json } => obj(vec![
                 ("ok", Json::Bool(true)),
                 ("kind", Json::str("metrics")),
@@ -403,6 +456,16 @@ impl Response {
                     .and_then(Json::as_bool)
                     .ok_or("missing `cached`")?,
             }),
+            "watch_event" => Ok(Response::Watch(WatchEvent {
+                id: need_u64("id")?,
+                state: JobState::from_str_token(&need_str("state")?).ok_or("bad `state`")?,
+                events: v.get("events").and_then(Json::as_u64),
+                cycle: v.get("cycle").and_then(Json::as_u64),
+                last: v
+                    .get("final")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `final`")?,
+            })),
             "metrics" => Ok(Response::Metrics {
                 json: need_str("json")?,
             }),
@@ -438,6 +501,7 @@ mod tests {
             Request::Status(Some(7)),
             Request::Result { id: 3, wait: true },
             Request::Result { id: 3, wait: false },
+            Request::Watch { id: 9 },
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
@@ -476,6 +540,27 @@ mod tests {
                 wall_secs: 0.125,
                 cached: true,
             },
+            Response::Watch(WatchEvent {
+                id: 4,
+                state: JobState::Queued,
+                events: None,
+                cycle: None,
+                last: false,
+            }),
+            Response::Watch(WatchEvent {
+                id: 4,
+                state: JobState::Running,
+                events: Some(200_000),
+                cycle: Some(1_234_567),
+                last: false,
+            }),
+            Response::Watch(WatchEvent {
+                id: 4,
+                state: JobState::Done,
+                events: Some(415_000),
+                cycle: Some(2_000_001),
+                last: true,
+            }),
             Response::Metrics {
                 json: "{\n  \"serve.cache_hits\": 3\n}\n".into(),
             },
@@ -499,11 +584,26 @@ mod tests {
     }
 
     #[test]
+    fn watch_event_uses_final_on_the_wire() {
+        let line = Response::Watch(WatchEvent {
+            id: 1,
+            state: JobState::Done,
+            events: None,
+            cycle: None,
+            last: true,
+        })
+        .encode();
+        assert!(line.contains("\"final\":true"), "{line}");
+        assert!(!line.contains("last"), "{line}");
+    }
+
+    #[test]
     fn decode_rejects_malformed_lines() {
         assert!(Request::decode("{}").is_err());
         assert!(Request::decode("{\"cmd\":\"nope\"}").is_err());
         assert!(Request::decode("{\"cmd\":\"submit\"}").is_err());
         assert!(Request::decode("{\"cmd\":\"result\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"watch\"}").is_err());
         assert!(Response::decode("{\"ok\":true}").is_err());
         assert!(
             Response::decode("{\"kind\":\"job_status\",\"id\":1,\"state\":\"bogus\"}").is_err()

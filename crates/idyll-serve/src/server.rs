@@ -40,13 +40,13 @@ use std::time::Duration;
 
 use mgpu_system::canon;
 use mgpu_system::config::SystemConfig;
-use mgpu_system::runner::{run_jobs_timed, Job};
+use mgpu_system::runner::{run_jobs_timed_observed, Job, RunObserver};
 use sim_engine::metrics::MetricsRegistry;
-use sim_engine::stats::Accumulator;
+use sim_engine::stats::{hit_rate, Accumulator, Histogram};
 use workloads::WorkloadSpec;
 
 use crate::cache::ResultCache;
-use crate::proto::{JobSpec, JobState, Request, Response};
+use crate::proto::{JobSpec, JobState, Request, Response, WatchEvent};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +63,12 @@ pub struct ServerConfig {
     pub job_timeout_secs: Option<f64>,
     /// Result-cache directory; `None` keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Simulation-event cadence for `watch` progress updates: a running
+    /// job publishes `(events_processed, sim_cycle)` every this many
+    /// events. Zero disables progress publication (watchers still see
+    /// state transitions). The callback only touches host-side job
+    /// records, so cadence never affects simulation results.
+    pub progress_every_events: u64,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             job_timeout_secs: None,
             cache_dir: None,
+            progress_every_events: 100_000,
         }
     }
 }
@@ -85,6 +92,9 @@ struct Work {
     spec: WorkloadSpec,
     seed: u64,
     key: String,
+    /// When the job entered the queue; feeds the `queue_wait_us`
+    /// histogram when a worker finally picks it up.
+    enqueued_at: std::time::Instant,
 }
 
 /// A finished job's published answer.
@@ -100,6 +110,9 @@ struct JobRecord {
     state: JobState,
     outcome: Option<Outcome>,
     error: Option<String>,
+    /// Latest `(events_processed, sim_cycle)` heartbeat from the runner's
+    /// progress callback; `None` until the first heartbeat arrives.
+    progress: Option<(u64, u64)>,
 }
 
 #[derive(Debug, Default)]
@@ -112,6 +125,10 @@ struct Counters {
     batches_rejected: u64,
     sim_events: u64,
     live_wall: Accumulator,
+    /// Microseconds each job spent queued before a worker picked it up.
+    queue_wait_us: Histogram,
+    /// Microseconds of host wall-clock per fresh (non-cached) run.
+    run_wall_us: Histogram,
 }
 
 #[derive(Debug)]
@@ -153,6 +170,10 @@ impl Shared {
     }
 
     fn handle_submit(&self, jobs: Vec<JobSpec>) -> Response {
+        // Queue-wait measurement starts at batch arrival; host-side
+        // bookkeeping only, never simulation state.
+        // simlint: allow(wall-clock) — queue-wait clock at the service edge
+        let arrived = std::time::Instant::now();
         // Decode everything before touching the queue so a malformed batch
         // rejects atomically.
         let mut decoded = Vec::with_capacity(jobs.len());
@@ -180,6 +201,7 @@ impl Shared {
                 spec,
                 seed: j.seed,
                 key,
+                enqueued_at: arrived,
             });
         }
 
@@ -227,6 +249,7 @@ impl Shared {
                                 cached: true,
                             }),
                             error: None,
+                            progress: None,
                         },
                     );
                     cached_flags.push(true);
@@ -239,6 +262,7 @@ impl Shared {
                             state: JobState::Queued,
                             outcome: None,
                             error: None,
+                            progress: None,
                         },
                     );
                     state.queue.push_back((id, work));
@@ -332,9 +356,71 @@ impl Shared {
         scope.count("workers", self.config.workers as u64);
         scope.count("queue_capacity", self.config.queue_capacity as u64);
         scope.count("cache_entries", self.cache.len() as u64);
+        scope.gauge(
+            "cache_hit_rate",
+            hit_rate(state.counters.cache_hits, state.counters.cache_misses),
+        );
         scope.accumulator("job_wall_secs", &state.counters.live_wall);
+        scope.histogram("queue_wait_us", &state.counters.queue_wait_us);
+        scope.histogram("run_wall_us", &state.counters.run_wall_us);
         Response::Metrics {
             json: reg.to_json(),
+        }
+    }
+
+    /// Streams `watch_event` lines for one job until it reaches a terminal
+    /// state: the current state immediately, then one line per observed
+    /// state/progress change, closing with a `final: true` line on
+    /// `Done`/`Failed`. An unknown id gets a single `error` line and the
+    /// connection returns to the normal request/response alternation.
+    ///
+    /// The state lock is only held to snapshot; every TCP write happens
+    /// after release, so a slow watcher can never stall workers.
+    fn stream_watch(&self, id: u64, writer: &mut TcpStream) -> std::io::Result<()> {
+        let mut last_sent: Option<(JobState, Option<(u64, u64)>)> = None;
+        loop {
+            let snapshot = {
+                let state = self.state.lock().expect("state lock");
+                state
+                    .jobs
+                    .get(&id)
+                    .map(|rec| (rec.state.clone(), rec.progress))
+            };
+            let Some((job_state, progress)) = snapshot else {
+                let resp = Response::Error {
+                    message: format!("unknown job id {id}"),
+                };
+                writer.write_all(resp.encode().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                return Ok(());
+            };
+            let terminal = matches!(job_state, JobState::Done | JobState::Failed);
+            let current = (job_state.clone(), progress);
+            if terminal || last_sent.as_ref() != Some(&current) {
+                let event = WatchEvent {
+                    id,
+                    state: job_state,
+                    events: progress.map(|(events, _)| events),
+                    cycle: progress.map(|(_, cycle)| cycle),
+                    last: terminal,
+                };
+                writer.write_all(Response::Watch(event).encode().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if terminal {
+                    return Ok(());
+                }
+                last_sent = Some(current);
+            } else {
+                // Nothing new; park until workers publish or the
+                // periodic re-check fires (same pattern as result waiters).
+                let state = self.state.lock().expect("state lock");
+                let _ = self
+                    .done_cv
+                    .wait_timeout(state, Duration::from_millis(200))
+                    .expect("state lock");
+            }
         }
     }
 
@@ -358,7 +444,7 @@ impl Shared {
         self.done_cv.notify_all();
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(self: Arc<Self>) {
         loop {
             let (id, work) = {
                 let mut state = self.state.lock().expect("state lock");
@@ -378,19 +464,46 @@ impl Shared {
                 if let Some(rec) = state.jobs.get_mut(&id) {
                     rec.state = JobState::Running;
                 }
+                let waited_us = work.enqueued_at.elapsed().as_micros();
+                state
+                    .counters
+                    .queue_wait_us
+                    .record(u64::try_from(waited_us).unwrap_or(u64::MAX));
             }
+            self.done_cv.notify_all();
             // The deadline clock measures host wall time around an
             // unpreemptible simulation; it never feeds simulation state.
             // simlint: allow(wall-clock) — per-job deadline at the service edge
             let started = std::time::Instant::now();
             let workload = workloads::generate(&work.spec, work.config.n_gpus, work.seed);
-            let result = run_jobs_timed(
+            // Progress heartbeats publish into the job record so `watch`
+            // subscribers see them; the callback never touches the
+            // simulation, so cadence cannot perturb results.
+            let observer = RunObserver {
+                progress_every: self.config.progress_every_events,
+                on_progress: if self.config.progress_every_events > 0 {
+                    let shared = Arc::clone(&self);
+                    Some(Arc::new(move |_, p| {
+                        let mut state = shared.state.lock().expect("state lock");
+                        if let Some(rec) = state.jobs.get_mut(&id) {
+                            rec.progress = Some((p.events_processed, p.sim_cycle));
+                        }
+                        drop(state);
+                        shared.done_cv.notify_all();
+                    }))
+                } else {
+                    None
+                },
+                profile: false,
+            };
+            let result = run_jobs_timed_observed(
                 vec![Job {
                     scheme: work.scheme.clone(),
                     config: work.config.clone(),
                     workload,
                 }],
                 1,
+                &observer,
             );
             let elapsed = started.elapsed().as_secs_f64();
             let timed_out = self
@@ -406,6 +519,9 @@ impl Shared {
                     let run = runs.pop().expect("one job, one result");
                     let report = canon::encode_report(&run.report);
                     rec.state = JobState::Done;
+                    // Final progress reflects the completed run so the
+                    // terminal watch line carries the true event total.
+                    rec.progress = Some((run.report.events_processed, run.report.exec_cycles));
                     rec.outcome = Some(Outcome {
                         report: report.clone(),
                         wall_secs: run.wall_secs,
@@ -414,6 +530,10 @@ impl Shared {
                     state.counters.completed += 1;
                     state.counters.sim_events += run.report.events_processed;
                     state.counters.live_wall.record(run.wall_secs);
+                    state
+                        .counters
+                        .run_wall_us
+                        .record((run.wall_secs.max(0.0) * 1e6) as u64);
                     // Cache failures degrade to a warning: the result is
                     // still correct and already published in memory.
                     if let Err(e) = self.cache.put(&work.key, &report) {
@@ -550,6 +670,13 @@ fn handle_connection(
         let (response, is_shutdown) = match request {
             Ok(Request::Submit(jobs)) => (shared.handle_submit(jobs), false),
             Ok(Request::Status(id)) => (shared.handle_status(id), false),
+            // `watch` streams many lines itself, outside the one-response
+            // contract below; afterwards the connection resumes the
+            // normal request/response alternation.
+            Ok(Request::Watch { id }) => {
+                shared.stream_watch(id, &mut writer)?;
+                continue;
+            }
             Ok(Request::Result { id, wait }) => (shared.handle_result(id, wait), false),
             Ok(Request::Metrics) => (shared.handle_metrics(), false),
             Ok(Request::Ping) => (Response::Pong, false),

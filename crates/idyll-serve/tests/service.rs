@@ -7,7 +7,7 @@
 //! cache key is stable across processes and hostile `IDYLL_HASH_SEED`
 //! values.
 
-use idyll_serve::proto::{JobSpec, Request, Response};
+use idyll_serve::proto::{JobSpec, JobState, Request, Response};
 use idyll_serve::server::{spawn, ServerConfig};
 use idyll_serve::{metric_count, Client, RemoteCell};
 use mgpu_system::canon;
@@ -127,6 +127,92 @@ fn served_results_are_byte_identical_and_resubmits_hit_the_cache() {
         events_after, events_before,
         "cache hits must not run the simulator"
     );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// A `watch` subscription streams the job to its terminal state, reports
+/// the true event total, and leaves the connection usable; watching is
+/// pure observation, so the served report stays byte-identical to a
+/// direct run. Unknown ids answer with a single error line.
+#[test]
+fn watch_streams_progress_without_perturbing_results() {
+    let handle = spawn(ServerConfig {
+        workers: 1,
+        // Low cadence so even test-scale jobs emit heartbeats.
+        progress_every_events: 1_000,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    let cells = grid_cells();
+    let cell = &cells[0];
+    let direct = canonical_direct(std::slice::from_ref(cell));
+    let specs = job_specs(std::slice::from_ref(cell));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (ids, cached) = client.submit_with_backoff(&specs).expect("submit");
+    assert_eq!(cached, vec![false], "fresh job must not be cached");
+    let id = ids[0];
+
+    let mut events_seen = Vec::new();
+    let terminal = client
+        .watch(id, |event| {
+            assert_eq!(event.id, id);
+            events_seen.push((event.state.clone(), event.events, event.last));
+        })
+        .expect("watch streams to completion");
+    assert!(!events_seen.is_empty(), "stream must produce lines");
+    assert_eq!(terminal.state, JobState::Done);
+    assert!(terminal.last, "terminal line must be flagged final");
+    // Non-terminal lines never carry the final flag.
+    for (_, _, last) in &events_seen[..events_seen.len() - 1] {
+        assert!(!last, "only the terminal line is final");
+    }
+
+    // The connection resumes normal request/response alternation, and the
+    // watched job's report matches the direct run byte for byte.
+    let (report, _wall, _cached) = client.wait_result(id).expect("result after watch");
+    assert_eq!(report, direct[0], "watched job differs from direct run");
+    // The terminal heartbeat carries the completed run's event total
+    // (the canonical report renders it as an `events_processed <n>` line).
+    let direct_events = report
+        .lines()
+        .find_map(|l| l.strip_prefix("events_processed "))
+        .expect("canonical report lists events_processed")
+        .trim()
+        .to_string();
+    assert_eq!(
+        terminal
+            .events
+            .expect("terminal line reports events")
+            .to_string(),
+        direct_events,
+        "terminal watch line must carry the true event total"
+    );
+
+    // Watching an already-finished job yields one immediate terminal line.
+    let terminal_again = client
+        .watch(id, |event| assert!(event.last))
+        .expect("watch of a done job");
+    assert_eq!(terminal_again.state, JobState::Done);
+
+    // Unknown ids get a single error line, then the connection still works.
+    let err = client.watch(987_654, |_| {}).expect_err("unknown id fails");
+    assert!(err.to_string().contains("unknown job id"));
+    client.ping().expect("connection survives a failed watch");
+
+    // The grown metrics surface is present once a job ran.
+    let metrics = client.metrics_json().expect("metrics");
+    for needle in [
+        "serve.queue_wait_us",
+        "serve.run_wall_us",
+        "serve.cache_hit_rate",
+    ] {
+        assert!(metrics.contains(needle), "metrics missing {needle}");
+    }
 
     client.shutdown().expect("shutdown");
     handle.join().expect("daemon exits cleanly");

@@ -2,12 +2,14 @@
 //! OS threads) and formats the paper-style result tables.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use sim_engine::prof::Profiler;
 use workloads::{AppId, Scale, Workload, WorkloadSpec};
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
-use crate::system::{SimError, System};
+use crate::system::{RunProgress, SimError, System};
 
 /// One (scheme, workload) cell to simulate.
 #[derive(Debug, Clone)]
@@ -32,6 +34,9 @@ pub struct TimedRun {
     pub report: SimReport,
     /// Host wall-clock seconds spent constructing and running the system.
     pub wall_secs: f64,
+    /// Per-phase self-profile, present when the run was observed with
+    /// [`RunObserver::profile`] set.
+    pub profile: Option<Profiler>,
 }
 
 impl TimedRun {
@@ -46,7 +51,22 @@ impl TimedRun {
     }
 }
 
-fn run_one(job: Job) -> Result<TimedRun, SimError> {
+/// Host-side observation knobs for a batch of runs: progress callbacks and
+/// self-profiling. The default observer observes nothing and leaves every
+/// run on its single-branch disabled instrumentation paths.
+#[derive(Clone, Default)]
+pub struct RunObserver {
+    /// Progress-callback period in processed events (0 = no callbacks).
+    pub progress_every: u64,
+    /// Invoked with `(job index, snapshot)` every `progress_every` events,
+    /// on the thread simulating that job.
+    pub on_progress: Option<Arc<dyn Fn(usize, RunProgress) + Send + Sync>>,
+    /// Install an enabled self-profiler on every run (the per-phase profile
+    /// lands in [`TimedRun::profile`]).
+    pub profile: bool,
+}
+
+fn run_one(index: usize, job: Job, obs: &RunObserver) -> Result<TimedRun, SimError> {
     // Wall-clock measures host throughput for the grid-metrics export; it
     // never feeds simulation state or determinism-tested artifacts.
     // simlint: allow(wall-clock) — harness throughput metric only
@@ -56,10 +76,22 @@ fn run_one(job: Job) -> Result<TimedRun, SimError> {
         config,
         workload,
     } = job;
-    System::new(config, &workload).run().map(|report| TimedRun {
+    let mut sys = System::new(config, &workload);
+    if obs.profile {
+        sys.set_profiler(Profiler::enabled());
+    }
+    if obs.progress_every > 0 {
+        if let Some(cb) = obs.on_progress.clone() {
+            sys.set_progress_callback(obs.progress_every, Box::new(move |p| cb(index, p)));
+        }
+    }
+    let report = sys.run()?;
+    let profile = obs.profile.then(|| sys.profiler().clone());
+    Ok(TimedRun {
         scheme,
         report,
         wall_secs: t0.elapsed().as_secs_f64(),
+        profile,
     })
 }
 
@@ -84,9 +116,29 @@ pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<(String, SimReport
 /// # Panics
 /// If a worker thread panics (poisoning the internal queue locks).
 pub fn run_jobs_timed(jobs: Vec<Job>, threads: usize) -> Result<Vec<TimedRun>, SimError> {
+    run_jobs_timed_observed(jobs, threads, &RunObserver::default())
+}
+
+/// Like [`run_jobs_timed`], with host-side observation: `obs` can install a
+/// per-run self-profiler and/or a progress callback keyed by job index.
+///
+/// # Errors
+/// Propagates the first [`SimError`] encountered.
+///
+/// # Panics
+/// If a worker thread panics (poisoning the internal queue locks).
+pub fn run_jobs_timed_observed(
+    jobs: Vec<Job>,
+    threads: usize,
+    obs: &RunObserver,
+) -> Result<Vec<TimedRun>, SimError> {
     let threads = threads.max(1);
     if threads == 1 || jobs.len() <= 1 {
-        return jobs.into_iter().map(run_one).collect();
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, job)| run_one(idx, job, obs))
+            .collect();
     }
     let n = jobs.len();
     let mut results: Vec<Option<Result<TimedRun, SimError>>> = (0..n).map(|_| None).collect();
@@ -101,7 +153,7 @@ pub fn run_jobs_timed(jobs: Vec<Job>, threads: usize) -> Result<Vec<TimedRun>, S
                     q.pop()
                 };
                 let Some((idx, job)) = job else { break };
-                let result = run_one(job);
+                let result = run_one(idx, job, obs);
                 out.lock().expect("out lock")[idx] = Some(result);
             });
         }

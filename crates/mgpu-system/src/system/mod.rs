@@ -24,6 +24,7 @@ use idyll_core::vm_table::VmDirectory;
 use mem_model::gpuset::GpuSet;
 use mem_model::interconnect::{Interconnect, Node, PipeStat};
 use sim_engine::collections::{DetHashMap, DetHashSet};
+use sim_engine::prof::{Phase, Profiler};
 use sim_engine::resource::ThreadPool;
 use sim_engine::stats::Accumulator;
 use sim_engine::trace::Tracer;
@@ -41,6 +42,8 @@ use workloads::{Access, Workload};
 
 use crate::config::{DirectoryMode, SystemConfig};
 use crate::metrics::{SimReport, WalkerMix};
+
+pub use observe::{ProgressCallback, RunProgress};
 
 /// Message sizes in bytes.
 pub(crate) mod msg {
@@ -106,6 +109,31 @@ pub(crate) enum Ev {
         fault: FarFault,
         holder: usize,
     },
+}
+
+impl Ev {
+    /// The self-profiler phase this event's handler is charged to.
+    fn phase(self) -> Phase {
+        match self {
+            Ev::L2Lookup { .. } | Ev::MshrRetry { .. } => Phase::TlbLookup,
+            Ev::DispatchWalks { .. } | Ev::WalkDone { .. } => Phase::WalkSchedule,
+            Ev::MappingToGpu { .. }
+            | Ev::InvalArrive { .. }
+            | Ev::AckAtHost { .. }
+            | Ev::MigRequestAtHost { .. }
+            | Ev::MigHostWalkDone { .. }
+            | Ev::MigSendInvals { .. }
+            | Ev::MigDataDone { .. } => Phase::MigTransfer,
+            Ev::WarpReady { .. }
+            | Ev::FaultAtHost { .. }
+            | Ev::BatchWindow
+            | Ev::FaultResolved { .. }
+            | Ev::AccessDone { .. }
+            | Ev::RemoteReqArrive { .. }
+            | Ev::RemoteServed { .. }
+            | Ev::RemoteProbeDone { .. } => Phase::Other,
+        }
+    }
 }
 
 /// One in-flight translation request.
@@ -259,12 +287,15 @@ pub struct System {
     pub(crate) migrations_done: u64,
     pub(crate) accesses_done: u64,
     pub(crate) events_processed: u64,
-    // Observability (see `observe` module). All three default to off and
+    // Observability (see `observe` module). All of these default to off and
     // cost one predictable branch per emission site when disabled.
     pub(crate) tracer: Tracer,
     pub(crate) tlog: TraceLog,
+    pub(crate) prof: Profiler,
     /// Heartbeat period in events (0 = no progress lines).
     pub(crate) progress_every: u64,
+    /// When set, heartbeats are delivered here instead of stderr.
+    pub(crate) progress: Option<ProgressCallback>,
 }
 
 impl System {
@@ -376,7 +407,9 @@ impl System {
             events_processed: 0,
             tracer: Tracer::disabled(),
             tlog: TraceLog::disabled(),
+            prof: Profiler::disabled(),
             progress_every: 0,
+            progress: None,
             cfg,
         };
         // Pre-place pages first-touch: the paper's OpenCL workloads copy
@@ -489,7 +522,12 @@ impl System {
         // simlint: allow(wall-clock) — heartbeat progress reporting only
         let started = std::time::Instant::now();
         let mut next_heartbeat = self.progress_every;
-        while let Some((at, ev)) = self.events.pop() {
+        loop {
+            let pop_timer = self.prof.begin();
+            let Some((at, ev)) = self.events.pop() else {
+                break;
+            };
+            self.prof.end(Phase::HeapPop, pop_timer);
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;
@@ -498,9 +536,22 @@ impl System {
             }
             if self.progress_every > 0 && self.events_processed >= next_heartbeat {
                 next_heartbeat += self.progress_every;
-                self.heartbeat(started);
+                self.emit_progress(started);
             }
-            self.handle(ev)?;
+            if self.prof.is_enabled() {
+                // The profiled path charges the handler's host time to the
+                // event's phase and the heap pushes it caused (by delta of
+                // the queue's monotone scheduled counter) to HeapPush.
+                let scheduled_before = self.events.scheduled_total();
+                let phase = ev.phase();
+                let timer = self.prof.begin();
+                self.handle(ev)?;
+                self.prof.end(phase, timer);
+                let pushed = self.events.scheduled_total() - scheduled_before;
+                self.prof.add(Phase::HeapPush, pushed);
+            } else {
+                self.handle(ev)?;
+            }
             if self.finished_gpus == self.cfg.n_gpus {
                 return Ok(());
             }

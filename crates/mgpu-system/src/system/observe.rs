@@ -18,12 +18,28 @@
 //! * `pid = `[`HOST_PID`] — the UVM driver (fault batching, host walkers).
 
 use sim_engine::metrics::MetricsRegistry;
+use sim_engine::prof::Profiler;
 use sim_engine::trace::{Tracer, Track};
 use sim_engine::tracelog::TraceLog;
 
 use gpu_model::gmmu::WalkClass;
 
 use super::System;
+
+/// A progress snapshot delivered to a [`ProgressCallback`] at every
+/// heartbeat interval (see [`System::set_progress_callback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Events the loop has processed so far.
+    pub events_processed: u64,
+    /// Current simulated cycle.
+    pub sim_cycle: u64,
+}
+
+/// Sink for heartbeat progress snapshots. Callbacks run on the simulating
+/// thread inside the event loop: keep them cheap and never let them feed
+/// anything back into simulation state, or determinism guarantees die.
+pub type ProgressCallback = Box<dyn FnMut(RunProgress) + Send>;
 
 /// Chrome-trace process id hosting one thread per migration id.
 pub(crate) const MIG_PID: u32 = 9000;
@@ -79,6 +95,43 @@ impl System {
     /// determinism of traces/metrics is unaffected.
     pub fn set_progress_interval(&mut self, every_events: u64) {
         self.progress_every = every_events;
+    }
+
+    /// Routes heartbeats to `callback` instead of stderr, every
+    /// `every_events` processed events (0 disables). Same determinism
+    /// contract as [`System::set_progress_interval`]: the callback observes
+    /// the run, it must not influence it.
+    pub fn set_progress_callback(&mut self, every_events: u64, callback: ProgressCallback) {
+        self.progress_every = every_events;
+        self.progress = Some(callback);
+    }
+
+    /// Installs a self-profiler (see [`sim_engine::prof`]). An enabled
+    /// profiler attributes the event loop's host time to phases; the
+    /// default disabled profiler costs one branch per event.
+    pub fn set_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
+    }
+
+    /// The installed profiler (read its [`Profiler::summary`] after a run).
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
+    }
+
+    /// One heartbeat: the installed callback when present, otherwise the
+    /// stderr progress line.
+    pub(crate) fn emit_progress(&mut self, started: std::time::Instant) {
+        if self.progress.is_some() {
+            let snapshot = RunProgress {
+                events_processed: self.events_processed,
+                sim_cycle: self.now.raw(),
+            };
+            if let Some(cb) = self.progress.as_mut() {
+                cb(snapshot);
+            }
+        } else {
+            self.heartbeat(started);
+        }
     }
 
     pub(crate) fn heartbeat(&self, started: std::time::Instant) {

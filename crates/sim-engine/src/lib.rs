@@ -11,6 +11,8 @@
 //! * [`resource::ThreadPool`] — an abstract pool of latency-occupied threads
 //!   (used to model page-table-walker threads and similar units),
 //! * [`trace`] — span/event tracing with a Chrome-trace (Perfetto) exporter,
+//! * [`prof`] — a self-profiler attributing host wall-clock to event-loop
+//!   phases (one branch when disabled, like the tracer),
 //! * [`metrics`] — a hierarchical end-of-run metrics registry with
 //!   deterministic JSON export,
 //! * [`collections`] — fixed-seed hash maps/sets ([`DetHashMap`],
@@ -31,6 +33,7 @@
 pub mod collections;
 pub mod event;
 pub mod metrics;
+pub mod prof;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -42,6 +45,7 @@ pub mod tracelog;
 pub use collections::{DetHashMap, DetHashSet};
 pub use event::EventQueue;
 pub use metrics::MetricsRegistry;
+pub use prof::{Phase, Profiler};
 pub use rng::DetRng;
 pub use time::Cycle;
 pub use trace::{Tracer, Track};

@@ -147,10 +147,12 @@ impl Accumulator {
         }
     }
 
-    /// Merges another accumulator into this one.
+    /// Merges another accumulator into this one. The sample count
+    /// saturates at `u64::MAX` instead of wrapping, so merging pathological
+    /// (e.g. deserialized) summaries stays well-defined.
     pub fn merge(&mut self, other: &Accumulator) {
         self.sum += other.sum;
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -299,6 +301,83 @@ mod tests {
         // Merging an empty accumulator changes nothing.
         a.merge(&Accumulator::new());
         assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn accumulator_merge_into_empty_adopts_other() {
+        let mut empty = Accumulator::new();
+        let mut b = Accumulator::new();
+        b.record(3.0);
+        b.record(7.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), Some(3.0));
+        assert_eq!(empty.max(), Some(7.0));
+        assert_eq!(empty.mean(), Some(5.0));
+        // Two empties merge to an empty (min/max sentinels must not leak).
+        let mut e1 = Accumulator::new();
+        e1.merge(&Accumulator::new());
+        assert_eq!(e1.count(), 0);
+        assert_eq!(e1.min(), None);
+        assert_eq!(e1.max(), None);
+    }
+
+    #[test]
+    fn accumulator_merge_saturates_count() {
+        let mut a = Accumulator::from_parts(u64::MAX - 1, 10.0, 1.0, 9.0);
+        let mut b = Accumulator::new();
+        b.record(5.0);
+        b.record(6.0);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "count saturates instead of wrapping");
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(9.0));
+    }
+
+    #[test]
+    fn histogram_quantile_empty_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.approx_quantile(0.0), None);
+        assert_eq!(h.approx_quantile(0.5), None);
+        assert_eq!(h.approx_quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_quantile_single_bucket_returns_its_upper_edge() {
+        // All samples land in bucket 2 ([4, 8)); every quantile answers
+        // with that bucket's upper edge.
+        let mut h = Histogram::new();
+        for v in [4, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(2), 4);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.approx_quantile(q), Some(8), "q={q}");
+        }
+        // Out-of-range q clamps rather than panicking or escaping.
+        assert_eq!(h.approx_quantile(-1.0), Some(8));
+        assert_eq!(h.approx_quantile(2.0), Some(8));
+    }
+
+    #[test]
+    fn histogram_quantile_walks_buckets_in_order() {
+        let mut h = Histogram::new();
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(100); // bucket 6
+        assert_eq!(h.approx_quantile(0.25), Some(2));
+        assert_eq!(h.approx_quantile(0.5), Some(4));
+        assert_eq!(h.approx_quantile(1.0), Some(128));
+    }
+
+    #[test]
+    fn histogram_top_bucket_edge_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // bucket 63; upper edge clamps to 1 << 63
+        assert_eq!(h.bucket(63), 1);
+        assert_eq!(h.approx_quantile(1.0), Some(1u64 << 63));
     }
 
     #[test]

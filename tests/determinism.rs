@@ -181,6 +181,115 @@ fn trace_filter_restricts_categories() {
     assert!(!trace.contains("\"page walk\""));
 }
 
+/// The same observed run with a progress callback installed at a cadence
+/// low enough to fire many times at test scale; returns the exports plus
+/// every heartbeat the callback saw.
+fn watched_run_once(
+    seed: u64,
+    every: u64,
+) -> (
+    String,
+    String,
+    SimReport,
+    Vec<idyll::system::system::RunProgress>,
+) {
+    let mut cfg = SystemConfig::test(4);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
+    cfg.idyll = Some(IdyllConfig::full());
+    let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
+    let wl = workloads::generate(&spec, 4, seed);
+    let mut sys = System::new(cfg, &wl);
+    sys.set_tracer(Tracer::enabled());
+    let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = std::sync::Arc::clone(&samples);
+    sys.set_progress_callback(
+        every,
+        Box::new(move |p| sink.lock().expect("samples lock").push(p)),
+    );
+    let report = sys.run().expect("completes");
+    let samples = samples.lock().expect("samples lock").clone();
+    (
+        sys.tracer().to_chrome_json(),
+        sys.metrics_registry().to_json(),
+        report,
+        samples,
+    )
+}
+
+/// A `watch`-style progress subscription is pure observation: the exported
+/// trace and metrics must stay byte-identical to an unwatched run, and the
+/// heartbeats themselves must be monotone.
+#[test]
+fn progress_callback_does_not_perturb_exports() {
+    let (trace_plain, metrics_plain, report_plain) = observed_run_once(11, true);
+    let (trace_watched, metrics_watched, report_watched, samples) = watched_run_once(11, 500);
+    assert!(
+        !samples.is_empty(),
+        "cadence 500 must fire at least once in a {}-event run",
+        report_watched.events_processed
+    );
+    assert_eq!(
+        trace_plain, trace_watched,
+        "progress callback must not perturb the trace export"
+    );
+    assert_eq!(
+        metrics_plain, metrics_watched,
+        "progress callback must not perturb the metrics export"
+    );
+    assert_eq!(report_plain.exec_cycles, report_watched.exec_cycles);
+    assert_eq!(
+        report_plain.events_processed,
+        report_watched.events_processed
+    );
+    for pair in samples.windows(2) {
+        assert!(
+            pair[0].events_processed < pair[1].events_processed,
+            "heartbeat event counts must strictly increase"
+        );
+        assert!(
+            pair[0].sim_cycle <= pair[1].sim_cycle,
+            "heartbeat cycles must be non-decreasing"
+        );
+    }
+}
+
+/// The self-profiler is pure observation too: enabling it must not change
+/// any simulation result, and its heap-pop count must equal the event
+/// count the report already exposes.
+#[test]
+fn profiler_does_not_perturb_results() {
+    use idyll::sim::prof::{Phase, Profiler};
+
+    let plain = run_once(11, true);
+    let mut cfg = SystemConfig::test(4);
+    cfg.policy = MigrationPolicy::AccessCounter {
+        threshold: Scale::Test.counter_threshold(),
+    };
+    cfg.idyll = Some(IdyllConfig::full());
+    let spec = WorkloadSpec::paper_default(AppId::Km, Scale::Test);
+    let wl = workloads::generate(&spec, 4, 11);
+    let mut sys = System::new(cfg, &wl);
+    sys.set_profiler(Profiler::enabled());
+    let profiled = sys.run().expect("completes");
+    assert_eq!(plain.exec_cycles, profiled.exec_cycles);
+    assert_eq!(plain.events_processed, profiled.events_processed);
+    assert_eq!(plain.migrations, profiled.migrations);
+    assert_eq!(plain.invalidation_messages, profiled.invalidation_messages);
+    let prof = sys.profiler();
+    assert_eq!(
+        prof.count(Phase::HeapPop),
+        profiled.events_processed,
+        "every processed event is exactly one heap pop"
+    );
+    assert!(
+        prof.count(Phase::HeapPush) > 0,
+        "event handling must schedule follow-up events"
+    );
+    assert!(prof.total_nanos() > 0, "phase timers must accumulate");
+}
+
 #[test]
 fn report_metadata_round_trips() {
     let r = run_once(5, true);
