@@ -33,7 +33,15 @@ use workloads::{AppId, WorkloadSpec};
 use crate::HarnessConfig;
 
 /// Schema tag every record carries; bump when the shape changes.
-pub const SCHEMA: &str = "idyll-bench v1";
+///
+/// v2 added the `threads` field (event-lane workers per simulation). v1
+/// records are still readable — `threads` defaults to 1, which is what
+/// every v1 writer effectively ran. Unknown *fields* in a record are
+/// ignored (forward compatibility); unknown *schemas* are rejected.
+pub const SCHEMA: &str = "idyll-bench v2";
+
+/// The previous schema tag [`BenchRecord::parse`] still accepts.
+pub const SCHEMA_V1: &str = "idyll-bench v1";
 
 /// One phase row of a per-phase self-profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +120,11 @@ pub struct BenchRecord {
     pub seed: u64,
     /// Best-of-N iteration count.
     pub iters: u64,
+    /// Event-lane worker threads each simulation ran with. Event counts
+    /// are identical for any value (the parallel core is deterministic);
+    /// wall-clock comparisons across different thread counts are
+    /// apples-to-oranges, so the compare gate surfaces this field.
+    pub threads: u64,
     /// Host fingerprint.
     pub host: HostInfo,
     /// Per-configuration measurements.
@@ -161,6 +174,7 @@ impl BenchRecord {
             ("scale", Json::str(&self.scale)),
             ("seed", Json::u64(self.seed)),
             ("iters", Json::u64(self.iters)),
+            ("threads", Json::u64(self.threads)),
             (
                 "host",
                 obj(vec![
@@ -192,9 +206,10 @@ impl BenchRecord {
                 .ok_or_else(|| format!("missing integer field `{key}`"))
         };
         let schema = need_str(&doc, "schema")?;
-        if schema != SCHEMA {
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return Err(format!(
-                "unsupported BENCH schema `{schema}` (this build reads `{SCHEMA}`)"
+                "unsupported BENCH schema `{schema}` (this build reads `{SCHEMA}` \
+                 and `{SCHEMA_V1}`)"
             ));
         }
         let host_doc = doc.get("host").ok_or("missing object field `host`")?;
@@ -231,12 +246,15 @@ impl BenchRecord {
                 profile,
             });
         }
+        // v1 records predate the field; every v1 writer ran serial lanes.
+        let threads = doc.get("threads").and_then(Json::as_u64).unwrap_or(1);
         Ok(BenchRecord {
             schema,
             seq: need_u64(&doc, "seq")?,
             scale: need_str(&doc, "scale")?,
             seed: need_u64(&doc, "seed")?,
             iters: need_u64(&doc, "iters")?,
+            threads,
             host,
             configs,
         })
@@ -287,6 +305,7 @@ fn run_once(
     let spec = WorkloadSpec::paper_default(AppId::Sc, hc.scale);
     let wl = workloads::generate(&spec, 2, hc.seed);
     let mut sys = System::new(cfg, &wl);
+    sys.set_threads(hc.sim_threads.max(1));
     if traced {
         sys.set_tracer(Tracer::enabled());
     }
@@ -394,6 +413,7 @@ mod tests {
             scale: "Test".to_string(),
             seed: 42,
             iters: 2,
+            threads: 4,
             host: HostInfo {
                 os: "linux".to_string(),
                 arch: "x86_64".to_string(),
@@ -426,6 +446,31 @@ mod tests {
         let text = sample().to_json().replace(SCHEMA, "idyll-bench v999");
         let err = BenchRecord::parse(&text).expect_err("must reject");
         assert!(err.contains("idyll-bench v999"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_v1_records_without_threads() {
+        // A v1 writer never emitted `threads`; readers default it to the
+        // serial lanes every v1 build ran.
+        let mut rec = sample();
+        rec.schema = SCHEMA_V1.to_string();
+        rec.threads = 1;
+        let text = rec.to_json().replace(",\"threads\":1", "");
+        assert!(!text.contains("threads"), "{text}");
+        let back = BenchRecord::parse(&text).expect("v1 records stay readable");
+        assert_eq!(back.schema, SCHEMA_V1);
+        assert_eq!(back.threads, 1);
+    }
+
+    #[test]
+    fn parse_tolerates_unknown_forward_compat_fields() {
+        // A same-schema record from a slightly newer writer may carry
+        // extra fields; they must be ignored, not fatal.
+        let text = sample()
+            .to_json()
+            .replacen('{', "{\"future_field\":{\"nested\":[1,2]},", 1);
+        let back = BenchRecord::parse(&text).expect("unknown fields are ignored");
+        assert_eq!(back, sample());
     }
 
     #[test]

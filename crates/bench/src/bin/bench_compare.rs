@@ -5,7 +5,13 @@
 //! bench_compare                          # compare against BENCH_baseline.json
 //! bench_compare --iters 2               # fewer best-of iterations
 //! bench_compare --baseline other.json   # compare against another record
+//! bench_compare --threads 4             # event-lane workers per simulation
 //! ```
+//!
+//! Event counts are byte-identical for any `--threads` value, so the hard
+//! gate is meaningful at every thread count; wall-clock deltas against a
+//! baseline recorded at a different thread count are reported but
+//! explicitly labelled apples-to-oranges.
 //!
 //! Two classes of drift, two severities:
 //!
@@ -33,6 +39,7 @@ const WALL_WARN_FRAC: f64 = 0.30;
 fn main() {
     let mut iters = 3usize;
     let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut threads: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -48,10 +55,16 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --threads requires a number");
+                    std::process::exit(2);
+                }))
+            }
             other => {
                 eprintln!(
                     "error: unknown option `{other}` \
-                     (supported: --iters <N>, --baseline <path>)"
+                     (supported: --iters <N>, --baseline <path>, --threads <N>)"
                 );
                 std::process::exit(2);
             }
@@ -65,20 +78,46 @@ fn main() {
         eprintln!("bench_compare: {baseline_path}: {e}");
         std::process::exit(2);
     });
-    let hc = HarnessConfig::from_env();
+    let mut hc = HarnessConfig::from_env();
+    if let Some(t) = threads {
+        hc.sim_threads = t;
+    }
     let scale = format!("{:?}", hc.scale);
-    if baseline.scale != scale || baseline.seed != hc.seed {
+    // Attribute each mismatched knob to its side: the baseline record on
+    // disk vs this fresh run's environment. Event counts would
+    // legitimately differ across scale/seed, so the diff would be
+    // meaningless noise, not a verdict.
+    let mut mismatches = Vec::new();
+    if baseline.scale != scale {
+        mismatches.push(format!(
+            "scale: baseline {baseline_path} has `{}`, fresh run (IDYLL_SCALE) has `{scale}`",
+            baseline.scale
+        ));
+    }
+    if baseline.seed != hc.seed {
+        mismatches.push(format!(
+            "seed: baseline {baseline_path} has {}, fresh run (IDYLL_SEED) has {}",
+            baseline.seed, hc.seed
+        ));
+    }
+    if !mismatches.is_empty() {
         eprintln!(
-            "bench_compare: baseline was measured at scale={} seed={} but this run \
-             is scale={scale} seed={} — set IDYLL_SCALE/IDYLL_SEED to match or \
-             refresh the baseline",
-            baseline.scale, baseline.seed, hc.seed
+            "bench_compare: refusing to compare records measured under different \
+             conditions:"
+        );
+        for m in &mismatches {
+            eprintln!("bench_compare:   {m}");
+        }
+        eprintln!(
+            "bench_compare: set IDYLL_SCALE/IDYLL_SEED to match the baseline or \
+             refresh it: perf_micro --json --out {baseline_path}"
         );
         std::process::exit(2);
     }
+    let fresh_threads = hc.sim_threads.max(1) as u64;
     println!(
-        "bench_compare: scale={scale} seed={} iters={iters} baseline={baseline_path} \
-         (baseline host: {}/{} {} cpus; this host: {}/{} {} cpus)",
+        "bench_compare: scale={scale} seed={} iters={iters} threads={fresh_threads} \
+         baseline={baseline_path} (baseline host: {}/{} {} cpus; this host: {}/{} {} cpus)",
         hc.seed,
         baseline.host.os,
         baseline.host.arch,
@@ -87,6 +126,14 @@ fn main() {
         HostInfo::current().arch,
         HostInfo::current().cpus,
     );
+    if baseline.threads != fresh_threads {
+        println!(
+            "bench_compare: note: baseline ran threads={}, this run threads={fresh_threads}; \
+             event counts still compare exactly (deterministic for any thread count) but \
+             wall-clock deltas are apples-to-oranges",
+            baseline.threads
+        );
+    }
     let fresh = measure_all(&hc, iters).unwrap_or_else(|e| {
         eprintln!("bench_compare: {e}");
         std::process::exit(1);

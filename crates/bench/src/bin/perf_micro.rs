@@ -11,6 +11,7 @@
 //! perf_micro --iters 5          # default 3
 //! perf_micro --json             # also write BENCH_<seq>.json
 //! perf_micro --json --out BENCH_baseline.json   # refresh the baseline
+//! perf_micro --threads 4        # event-lane workers per simulation
 //! IDYLL_SCALE=small perf_micro  # heavier traces (default: small)
 //! ```
 //!
@@ -26,6 +27,7 @@ fn main() {
     let mut iters = 3usize;
     let mut json = false;
     let mut out: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -42,10 +44,16 @@ fn main() {
                     std::process::exit(2);
                 })))
             }
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --threads requires a number");
+                    std::process::exit(2);
+                }))
+            }
             other => {
                 eprintln!(
                     "error: unknown option `{other}` \
-                     (supported: --iters <N>, --json, --out <path>)"
+                     (supported: --iters <N>, --json, --out <path>, --threads <N>)"
                 );
                 std::process::exit(2);
             }
@@ -55,10 +63,15 @@ fn main() {
         eprintln!("error: --out only makes sense with --json");
         std::process::exit(2);
     }
-    let hc = HarnessConfig::from_env();
+    let mut hc = HarnessConfig::from_env();
+    if let Some(t) = threads {
+        hc.sim_threads = t;
+    }
     println!(
-        "perf_micro: scale={:?} seed={} iters={iters}",
-        hc.scale, hc.seed
+        "perf_micro: scale={:?} seed={} iters={iters} threads={}",
+        hc.scale,
+        hc.seed,
+        hc.sim_threads.max(1)
     );
     let configs = measure_all(&hc, iters).unwrap_or_else(|e| {
         eprintln!("perf_micro: {e}");
@@ -111,6 +124,7 @@ fn main() {
             scale: format!("{:?}", hc.scale),
             seed: hc.seed,
             iters: iters as u64,
+            threads: hc.sim_threads.max(1) as u64,
             host: HostInfo::current(),
             configs,
         };

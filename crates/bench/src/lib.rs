@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use idyll_core::irmb::IrmbConfig;
 use idyll_core::transfw::TransFwConfig;
 use mgpu_system::config::{DirectoryMode, IdyllConfig, SystemConfig};
-use mgpu_system::runner::{format_table, run_jobs_timed, Job};
+use mgpu_system::runner::{format_table, run_jobs_timed_observed, Job, RunObserver};
 use mgpu_system::system::SimError;
 use mgpu_system::SimReport;
 use uvm_driver::policy::MigrationPolicy;
@@ -33,15 +33,19 @@ pub struct HarnessConfig {
     /// Trace scale (defaults to `Small`; set `IDYLL_SCALE=full` for the
     /// larger runs, `IDYLL_SCALE=test` for CI smoke).
     pub scale: Scale,
-    /// Worker threads for the run grid.
+    /// Worker threads for the run grid (parallelism across jobs).
     pub threads: usize,
+    /// Worker threads for each simulation's event lanes (parallelism
+    /// within a job; 0 or 1 = serial). Artifacts are byte-identical for
+    /// any value.
+    pub sim_threads: usize,
     /// Workload seed.
     pub seed: u64,
 }
 
 impl HarnessConfig {
-    /// Reads `IDYLL_SCALE`, `IDYLL_THREADS` and `IDYLL_SEED` from the
-    /// environment.
+    /// Reads `IDYLL_SCALE`, `IDYLL_THREADS`, `IDYLL_SIM_THREADS` and
+    /// `IDYLL_SEED` from the environment.
     pub fn from_env() -> Self {
         let scale = match std::env::var("IDYLL_SCALE").as_deref() {
             Ok("full") => Scale::Full,
@@ -56,6 +60,10 @@ impl HarnessConfig {
                     .map(|n| n.get())
                     .unwrap_or(4)
             });
+        let sim_threads = std::env::var("IDYLL_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
         let seed = std::env::var("IDYLL_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -63,6 +71,7 @@ impl HarnessConfig {
         HarnessConfig {
             scale,
             threads,
+            sim_threads,
             seed,
         }
     }
@@ -73,6 +82,7 @@ impl Default for HarnessConfig {
         HarnessConfig {
             scale: Scale::Small,
             threads: 8,
+            sim_threads: 1,
             seed: 42,
         }
     }
@@ -133,7 +143,11 @@ impl Harness {
     /// Runs jobs on the grid's thread pool, recording per-run wall-clock and
     /// event counts into [`grid_metrics`] before stripping the timing.
     fn run_jobs_recorded(&self, jobs: Vec<Job>) -> Result<Vec<(String, SimReport)>, SimError> {
-        let timed = run_jobs_timed(jobs, self.cfg.threads)?;
+        let obs = RunObserver {
+            sim_threads: self.cfg.sim_threads,
+            ..RunObserver::default()
+        };
+        let timed = run_jobs_timed_observed(jobs, self.cfg.threads, &obs)?;
         grid_metrics::record(&timed);
         Ok(timed.into_iter().map(|t| (t.scheme, t.report)).collect())
     }
@@ -914,6 +928,7 @@ mod tests {
         Harness::new(HarnessConfig {
             scale: Scale::Test,
             threads: 4,
+            sim_threads: 1,
             seed: 7,
         })
     }

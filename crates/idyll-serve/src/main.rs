@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! idyll-serve serve    [--addr A] [--workers N] [--queue N] [--timeout-secs S] [--cache-dir D]
-//!                      [--progress-every N]
+//!                      [--progress-every N] [--sim-threads N]
 //! idyll-serve ping     [--addr A]
 //! idyll-serve status   [--addr A]
 //! idyll-serve metrics  [--addr A]
@@ -122,6 +122,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             flag_value(args, "--cache-dir").unwrap_or_else(|| "results/cache".to_string()),
         )),
         progress_every_events: parsed_flag(args, "--progress-every", 100_000u64)?,
+        sim_threads: parsed_flag(args, "--sim-threads", 1usize)?,
     };
     // Echo the resolved address so scripts can bind port 0 and discover
     // where the daemon landed.
@@ -298,6 +299,7 @@ fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
         // Low cadence so even test-scale jobs emit progress heartbeats
         // for the pass-3 watch check.
         progress_every_events: 1_000,
+        sim_threads: 1,
     })?;
     let addr = handle.addr.to_string();
     println!("smoke: daemon on {addr}, {jobs} jobs over {conns} connections, {workers} workers");

@@ -69,6 +69,11 @@ pub struct ServerConfig {
     /// state transitions). The callback only touches host-side job
     /// records, so cadence never affects simulation results.
     pub progress_every_events: u64,
+    /// Worker threads driving each simulation's event lanes (0 or 1 =
+    /// serial). Results are byte-identical for any value — the cache key
+    /// deliberately excludes it — so this only trades per-job latency
+    /// against cross-job throughput.
+    pub sim_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +85,7 @@ impl Default for ServerConfig {
             job_timeout_secs: None,
             cache_dir: None,
             progress_every_events: 100_000,
+            sim_threads: 1,
         }
     }
 }
@@ -495,6 +501,7 @@ impl Shared {
                     None
                 },
                 profile: false,
+                sim_threads: self.config.sim_threads,
             };
             let result = run_jobs_timed_observed(
                 vec![Job {

@@ -42,6 +42,9 @@ OPTIONS:
     --threshold <N>         access-counter threshold (default scaled by --scale)
     --scale <test|small|full>   trace size (default small)
     --seed <N>              workload seed (default 42)
+    --threads <N>           worker threads for the event lanes (default from
+                            IDYLL_THREADS, else 1); artifacts are
+                            byte-identical for any value
     --large-pages           use 2 MiB pages
     --prefetch              enable fault-driven block prefetching
     -h, --help              print this help
@@ -61,6 +64,7 @@ struct Args {
     threshold: Option<u32>,
     scale: Scale,
     seed: u64,
+    threads: usize,
     large_pages: bool,
     prefetch: bool,
 }
@@ -80,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         threshold: None,
         scale: Scale::Small,
         seed: 42,
+        threads: mgpu_system::system::threads_from_env(),
         large_pages: false,
         prefetch: false,
     };
@@ -126,6 +131,11 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--large-pages" => args.large_pages = true,
             "--prefetch" => args.prefetch = true,
@@ -240,6 +250,7 @@ fn main() -> ExitCode {
         }
     };
     let mut sys = System::new(cfg, &workload);
+    sys.set_threads(args.threads);
     if let Some(filter) = &args.trace_filter {
         sys.set_tracer(Tracer::with_filter(filter));
     } else if args.trace_out.is_some() {

@@ -9,7 +9,7 @@ use workloads::{AppId, Scale, Workload, WorkloadSpec};
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
-use crate::system::{RunProgress, SimError, System};
+use crate::system::{QueuePool, RunProgress, SimError, System};
 
 /// One (scheme, workload) cell to simulate.
 #[derive(Debug, Clone)]
@@ -64,9 +64,19 @@ pub struct RunObserver {
     /// Install an enabled self-profiler on every run (the per-phase profile
     /// lands in [`TimedRun::profile`]).
     pub profile: bool,
+    /// Worker threads driving each simulation's event lanes (0 or 1 =
+    /// serial). Artifacts are byte-identical for any value; this only
+    /// changes wall-clock. Distinct from the `threads` argument of
+    /// [`run_jobs`], which parallelises across *jobs*.
+    pub sim_threads: usize,
 }
 
-fn run_one(index: usize, job: Job, obs: &RunObserver) -> Result<TimedRun, SimError> {
+fn run_one(
+    index: usize,
+    job: Job,
+    obs: &RunObserver,
+    pool: &mut QueuePool,
+) -> Result<TimedRun, SimError> {
     // Wall-clock measures host throughput for the grid-metrics export; it
     // never feeds simulation state or determinism-tested artifacts.
     // simlint: allow(wall-clock) — harness throughput metric only
@@ -76,7 +86,8 @@ fn run_one(index: usize, job: Job, obs: &RunObserver) -> Result<TimedRun, SimErr
         config,
         workload,
     } = job;
-    let mut sys = System::new(config, &workload);
+    let mut sys = System::new_with_pool(config, &workload, pool);
+    sys.set_threads(obs.sim_threads.max(1));
     if obs.profile {
         sys.set_profiler(Profiler::enabled());
     }
@@ -85,8 +96,12 @@ fn run_one(index: usize, job: Job, obs: &RunObserver) -> Result<TimedRun, SimErr
             sys.set_progress_callback(obs.progress_every, Box::new(move |p| cb(index, p)));
         }
     }
-    let report = sys.run()?;
+    let report = sys.run();
     let profile = obs.profile.then(|| sys.profiler().clone());
+    // Hand the lane heaps back so the worker's next grid cell schedules
+    // into pre-grown buffers instead of re-growing from zero.
+    sys.recycle(pool);
+    let report = report?;
     Ok(TimedRun {
         scheme,
         report,
@@ -134,10 +149,11 @@ pub fn run_jobs_timed_observed(
 ) -> Result<Vec<TimedRun>, SimError> {
     let threads = threads.max(1);
     if threads == 1 || jobs.len() <= 1 {
+        let mut pool = QueuePool::new();
         return jobs
             .into_iter()
             .enumerate()
-            .map(|(idx, job)| run_one(idx, job, obs))
+            .map(|(idx, job)| run_one(idx, job, obs, &mut pool))
             .collect();
     }
     let n = jobs.len();
@@ -147,14 +163,19 @@ pub fn run_jobs_timed_observed(
     let out = std::sync::Mutex::new(&mut results);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let job = {
-                    let mut q = queue.lock().expect("queue lock");
-                    q.pop()
-                };
-                let Some((idx, job)) = job else { break };
-                let result = run_one(idx, job, obs);
-                out.lock().expect("out lock")[idx] = Some(result);
+            scope.spawn(|| {
+                // One heap pool per worker: queues recycle across the grid
+                // cells this worker happens to draw.
+                let mut pool = QueuePool::new();
+                loop {
+                    let job = {
+                        let mut q = queue.lock().expect("queue lock");
+                        q.pop()
+                    };
+                    let Some((idx, job)) = job else { break };
+                    let result = run_one(idx, job, obs, &mut pool);
+                    out.lock().expect("out lock")[idx] = Some(result);
+                }
             });
         }
     });

@@ -1,16 +1,26 @@
 //! Post-translation data path: local cache/DRAM access, remote cacheline
 //! service over NVLink, and the access counters that trigger migrations.
+//!
+//! Remote accesses are a two-lane protocol: the requester sends a
+//! `RemoteReqArrive` through its egress pipe; the owner (a GPU lane or the
+//! host) services it from its own memory model, accounts the response
+//! transfer on its own egress, and mails `AccessDone` back. The owner
+//! records the end-to-end remote latency in its own shard — merged at
+//! report time.
 
 use mem_model::interconnect::Node;
 use sim_engine::Cycle;
+use vm_model::addr::Vpn;
 use vm_model::pte::Pte;
 
-use super::{msg, Ev, OrInvariant, SimError, System};
+use super::{msg, Ev, GpuLane, HostState, OrInvariant, Shared, SimError};
 
-impl System {
+impl GpuLane {
     /// Starts the data access for a translated request at time `start`.
     pub(crate) fn start_data_access(
         &mut self,
+        sh: &Shared,
+        host: &HostState,
         token: u64,
         pte: Pte,
         start: Cycle,
@@ -19,49 +29,40 @@ impl System {
             .reqs
             .get(&token)
             .or_invariant("data access for a request that no longer exists")?;
-        let gpu = req.gpu;
         // Spread tokens across cache lines within the page so the tag-only
         // caches see realistic line-level behaviour.
-        let line_offset = (token % (self.page_bytes() / 64)) * 64;
-        let paddr = pte.ppn() * self.page_bytes() + line_offset;
-        let owner = self.memmap.owner(pte.ppn());
-        match owner {
-            Node::Gpu(h) if h == gpu => {
+        let line_offset = (token % (sh.page_bytes() / 64)) * 64;
+        let paddr = pte.ppn() * sh.page_bytes() + line_offset;
+        match sh.memmap.owner(pte.ppn()) {
+            Node::Gpu(owner) if owner == self.id => {
                 // Local: L1 pipeline + L2/DRAM.
-                let lat = self.gpus[gpu].local_data_latency(start, paddr);
-                let done_at = start + self.cfg.gpu.l1_hit_latency + lat;
-                self.events.schedule(done_at, Ev::AccessDone { token });
+                let lat = self.gpu.local_data_latency(start, paddr);
+                let at = start + sh.cfg.gpu.l1_hit_latency + lat;
+                self.q.schedule(at, Ev::AccessDone { token });
             }
-            Node::Gpu(h) => {
-                // Remote: request over NVLink, served from the owner's DRAM
-                // at cacheline granularity, not cached locally (§3.2).
-                // Event-split so every pipe/DRAM reservation happens at its
-                // own simulated time (reserving at future timestamps would
-                // block intervening traffic behind phantom occupancy).
-                self.note_remote_access(gpu, req.vpn);
-                let arrive = self
-                    .net
-                    .send(start, Node::Gpu(gpu), Node::Gpu(h), msg::REMOTE_REQ);
-                self.events.schedule(
+            Node::Gpu(owner) => {
+                self.note_remote_access(sh, host, req.vpn);
+                let arrive = self.xfer_gpu_at(start, owner, msg::REMOTE_REQ);
+                self.send_gpu(
                     arrive,
+                    owner,
                     Ev::RemoteReqArrive {
                         token,
-                        owner: Node::Gpu(h),
+                        requester: self.id,
+                        issue_at: req.issue_at,
                         paddr,
                     },
                 );
             }
             Node::Host => {
-                // Transient window (page still host-resident): service over
-                // PCIe.
-                let arrive = self
-                    .net
-                    .send(start, Node::Gpu(gpu), Node::Host, msg::REMOTE_REQ);
-                self.events.schedule(
+                self.note_remote_access(sh, host, req.vpn);
+                let arrive = self.xfer_host_at(start, msg::REMOTE_REQ);
+                self.send_host(
                     arrive,
                     Ev::RemoteReqArrive {
                         token,
-                        owner: Node::Host,
+                        requester: self.id,
+                        issue_at: req.issue_at,
                         paddr,
                     },
                 );
@@ -70,53 +71,56 @@ impl System {
         Ok(())
     }
 
-    /// A remote data request reached the owning node: access its memory.
-    pub(crate) fn on_remote_req_arrive(&mut self, token: u64, owner: Node, paddr: u64) {
-        let served = match owner {
-            Node::Gpu(h) => self.now + self.gpus[h].serve_remote_latency(self.now, paddr),
-            // Host memory service latency.
-            Node::Host => self.now + 100,
-        };
-        self.events
-            .schedule(served, Ev::RemoteServed { token, owner });
+    /// Owner side: a remote request arrived; service it from local DRAM.
+    pub(crate) fn on_remote_req_arrive(
+        &mut self,
+        token: u64,
+        requester: usize,
+        issue_at: Cycle,
+        paddr: u64,
+    ) {
+        let served = self.now + self.gpu.serve_remote_latency(self.now, paddr);
+        self.q.schedule(
+            served,
+            Ev::RemoteServed {
+                token,
+                requester,
+                issue_at,
+            },
+        );
     }
 
-    /// The owner's memory returned the line: ship the response back.
-    pub(crate) fn on_remote_served(&mut self, token: u64, owner: Node) {
-        let Some(req) = self.reqs.get(&token).copied() else {
-            return;
-        };
-        let done = self
-            .net
-            .send(self.now, owner, Node::Gpu(req.gpu), msg::REMOTE_RESP);
+    /// Owner side: DRAM produced the line; send the response back and
+    /// account the full remote round trip.
+    pub(crate) fn on_remote_served(&mut self, token: u64, requester: usize, issue_at: Cycle) {
+        let done = self.xfer_gpu_at(self.now, requester, msg::REMOTE_RESP);
         self.remote_data_latency
-            .record(done.saturating_sub(req.issue_at).raw() as f64);
-        self.events.schedule(done, Ev::AccessDone { token });
+            .record(done.saturating_sub(issue_at).raw() as f64);
+        self.send_gpu(done, requester, Ev::AccessDone { token });
     }
 
-    /// Counts a remote access and, when the policy fires, sends a migration
-    /// request to the driver.
-    fn note_remote_access(&mut self, gpu: usize, vpn: vm_model::addr::Vpn) {
-        if self.cfg.replication {
-            // Replication replaces counter-based migration (§7.4): reads
-            // replicate on fault, writes collapse — no counters.
+    /// Counts a remote access toward the migration policy and asks the
+    /// driver to migrate once the per-page threshold trips.
+    fn note_remote_access(&mut self, sh: &Shared, host: &HostState, vpn: Vpn) {
+        if sh.cfg.replication {
+            // Replication study: pages replicate on read faults instead of
+            // migrating on access counts.
             return;
         }
         if self
             .counters
-            .record_remote_access(self.cfg.policy, gpu, vpn)
-            && !self.migrations.is_migrating(vpn)
+            .record_remote_access(sh.cfg.policy, self.id, vpn)
+            && !host.migrations.is_migrating(vpn)
         {
-            let at = self
-                .net
-                .send(self.now, Node::Gpu(gpu), Node::Host, msg::MIG_REQ);
-            self.events
-                .schedule(at, Ev::MigRequestAtHost { vpn, to: gpu });
+            let at = self.xfer_host_at(self.now, msg::MIG_REQ);
+            let to = self.id;
+            self.send_host(at, Ev::MigRequestAtHost { vpn, to });
         }
     }
 
-    /// A data access completed: unblock its warp.
-    pub(crate) fn on_access_done(&mut self, token: u64) -> Result<(), SimError> {
+    /// The access completed (locally or remotely): retire it and re-ready
+    /// the warp after the compute gap.
+    pub(crate) fn on_access_done(&mut self, sh: &Shared, token: u64) -> Result<(), SimError> {
         let req = self
             .reqs
             .remove(&token)
@@ -124,16 +128,43 @@ impl System {
         self.accesses_done += 1;
         self.access_latency
             .record(self.now.saturating_sub(req.issue_at).raw() as f64);
-        let ready_at =
-            self.gpus[req.gpu].cus[req.cu].complete_access(req.warp, self.now, self.compute_gap);
-        self.events.schedule(
+        let ready_at = self.gpu.cus[req.cu].complete_access(req.warp, self.now, sh.compute_gap);
+        self.q.schedule(
             ready_at,
             Ev::WarpReady {
-                gpu: req.gpu,
                 cu: req.cu,
                 warp: req.warp,
             },
         );
         Ok(())
+    }
+}
+
+impl HostState {
+    /// Host-owner side of the remote protocol: fixed DRAM service latency.
+    pub(crate) fn on_remote_req_arrive(&mut self, token: u64, requester: usize, issue_at: Cycle) {
+        let served = self.now + 100;
+        self.q.schedule(
+            served,
+            Ev::RemoteServed {
+                token,
+                requester,
+                issue_at,
+            },
+        );
+    }
+
+    /// Host-owner side: push the response down the requester's PCIe pipe.
+    pub(crate) fn on_remote_served(
+        &mut self,
+        lanes: &[std::sync::Mutex<GpuLane>],
+        token: u64,
+        requester: usize,
+        issue_at: Cycle,
+    ) {
+        let done = self.xfer_down(requester, msg::REMOTE_RESP);
+        self.remote_data_latency
+            .record(done.saturating_sub(issue_at).raw() as f64);
+        self.sched_lane(lanes, requester, done, Ev::AccessDone { token });
     }
 }

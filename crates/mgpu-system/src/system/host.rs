@@ -1,44 +1,65 @@
-//! Driver-side protocol: fault batching, fault resolution, mapping
-//! delivery, and the Trans-FW probe completion path.
+//! Driver-side protocol: fault batching, fault resolution, and mapping
+//! delivery.
+//!
+//! Every handler here runs on the host lane, which is serviced serially on
+//! the driver thread while the GPU workers sit at the epoch barrier. That
+//! gives the host exclusive access to every lane, so delivering a mapping is
+//! a direct (locked) push into the target lane's queue via
+//! [`HostState::sched_lane`] rather than a mailbox hop.
 
-use gpu_model::gmmu::WalkClass;
+use std::sync::Mutex;
+
 use mem_model::interconnect::Node;
 use sim_engine::Cycle;
 use uvm_driver::fault::FarFault;
 use uvm_driver::policy::MigrationPolicy;
-use vm_model::addr::Vpn;
 use vm_model::pte::Pte;
 
 use super::observe::{HOST_PID, MIG_PID};
-use super::{msg, Ev, OrInvariant, PendingUpdate, SimError, System};
+use super::{broadcast_prt_record, lock_lane, msg, Ev, GpuLane, OrInvariant, Shared, SimError};
+use vm_model::addr::Vpn;
 
-impl System {
+impl super::HostState {
     /// A far fault reaches the driver: batch it (256 per batch) and
     /// schedule a window flush for stragglers.
-    pub(crate) fn on_fault_at_host(&mut self, fault: FarFault) -> Result<(), SimError> {
+    pub(crate) fn on_fault_at_host(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        fault: FarFault,
+    ) -> Result<(), SimError> {
         // The fault leaves the GPU fault buffer when the driver fetches it.
-        let _ = self.gpus[fault.gpu].fault_buffer.pop();
+        let _ = lock_lane(lanes, fault.gpu).gpu.fault_buffer.pop();
         if let Some(batch) = self.batcher.push(fault) {
-            self.process_fault_batch(batch)?;
+            self.process_fault_batch(sh, lanes, batch)?;
         } else if !self.batch_flush_scheduled {
             self.batch_flush_scheduled = true;
-            let at = self.now + self.cfg.host.batch_window;
-            self.events.schedule(at, Ev::BatchWindow);
+            let at = self.now + sh.cfg.host.batch_window;
+            self.q.schedule(at, Ev::BatchWindow);
         }
         Ok(())
     }
 
     /// Batch-window expiry: flush whatever is pending.
-    pub(crate) fn on_batch_window(&mut self) -> Result<(), SimError> {
+    pub(crate) fn on_batch_window(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+    ) -> Result<(), SimError> {
         self.batch_flush_scheduled = false;
         if let Some(batch) = self.batcher.flush() {
-            self.process_fault_batch(batch)?;
+            self.process_fault_batch(sh, lanes, batch)?;
         }
         Ok(())
     }
 
     /// Resolves each batched fault through the host walker pool.
-    fn process_fault_batch(&mut self, batch: Vec<FarFault>) -> Result<(), SimError> {
+    fn process_fault_batch(
+        &mut self,
+        sh: &Shared,
+        _lanes: &[Mutex<GpuLane>],
+        batch: Vec<FarFault>,
+    ) -> Result<(), SimError> {
         if self.tracer.is_enabled() {
             let track = self.host_track();
             let now = self.now;
@@ -60,20 +81,25 @@ impl System {
                 self.migrations.in_flight() as u64,
             );
         }
-        let latency = Cycle(self.cfg.host.walk_latency.raw());
+        let latency = Cycle(sh.cfg.host.walk_latency.raw());
         for fault in batch {
             let start = self.now.max(self.host_walkers.earliest_free());
             self.host_walkers
                 .try_acquire(start, latency)
                 .or_invariant("no host walker free at its own earliest_free time")?;
-            self.events
+            self.q
                 .schedule(start + latency, Ev::FaultResolved { fault });
         }
         Ok(())
     }
 
     /// The driver resolved one fault against the centralized page table.
-    pub(crate) fn on_fault_resolved(&mut self, fault: FarFault) -> Result<(), SimError> {
+    pub(crate) fn on_fault_resolved(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        fault: FarFault,
+    ) -> Result<(), SimError> {
         // Faults against a migrating page park until the migration ends.
         if self.migrations.is_migrating(fault.vpn) {
             self.migrations.park_waiter(fault);
@@ -83,7 +109,7 @@ impl System {
             // Retroactive: covers raise → this resolution pass. A fault that
             // escalates to a migration below is replayed afterwards and then
             // emits a second, longer span covering the full window.
-            let track = self.req_track(fault.token);
+            let track = self.fault_track(sh, lanes, &fault);
             let now = self.now;
             self.tracer.span(
                 "fault",
@@ -99,7 +125,7 @@ impl System {
         // faulting GPU along with the resolution (host-resident siblings
         // additionally migrate), saving the future far faults the GPU was
         // about to take one by one.
-        if self.cfg.host.prefetch && !self.cfg.replication {
+        if sh.cfg.host.prefetch && !sh.cfg.replication {
             let siblings = self.prefetcher.on_fault(fault.gpu, fault.vpn);
             for sib in siblings {
                 if self.migrations.is_migrating(sib) {
@@ -115,16 +141,12 @@ impl System {
                             .pte(sib)
                             .or_invariant("prefetched sibling page lost its host PTE")?
                             .ppn();
-                        let arrive = self.net.send(
-                            self.now,
-                            Node::Host,
-                            Node::Gpu(fault.gpu),
-                            self.page_bytes(),
-                        );
-                        self.events.schedule(
+                        let arrive = self.xfer_down(fault.gpu, sh.page_bytes());
+                        self.sched_lane(
+                            lanes,
+                            fault.gpu,
                             arrive,
                             Ev::MappingToGpu {
-                                gpu: fault.gpu,
                                 vpn: sib,
                                 pte: Pte::new_mapped(ppn, true),
                             },
@@ -138,7 +160,13 @@ impl System {
                             .pte(sib)
                             .or_invariant("prefetched sibling page lost its host PTE")?
                             .ppn();
-                        self.send_mapping(fault.gpu, sib, Pte::new_mapped(ppn, true), msg::MAP);
+                        self.send_mapping(
+                            lanes,
+                            fault.gpu,
+                            sib,
+                            Pte::new_mapped(ppn, true),
+                            msg::MAP,
+                        );
                     }
                     _ => {}
                 }
@@ -160,25 +188,21 @@ impl System {
                         .host_mem
                         .pte(fault.vpn)
                         .or_invariant("faulting page lost its host PTE")?;
-                    self.send_mapping(fault.gpu, fault.vpn, pte, msg::MAP);
+                    self.send_mapping(lanes, fault.gpu, fault.vpn, pte, msg::MAP);
                     return Ok(());
                 }
                 self.dir_record(fault.vpn, fault.gpu);
-                self.broadcast_prt_record(fault.vpn, fault.gpu);
+                broadcast_prt_record(lanes, fault.vpn, fault.gpu);
                 let pte = self
                     .host_mem
                     .pte(fault.vpn)
                     .or_invariant("faulting page lost its host PTE")?;
-                let arrive = self.net.send(
-                    self.now,
-                    Node::Host,
-                    Node::Gpu(fault.gpu),
-                    self.page_bytes(),
-                );
-                self.events.schedule(
+                let arrive = self.xfer_down(fault.gpu, sh.page_bytes());
+                self.sched_lane(
+                    lanes,
+                    fault.gpu,
                     arrive,
                     Ev::MappingToGpu {
-                        gpu: fault.gpu,
                         vpn: fault.vpn,
                         pte: Pte::new_mapped(pte.ppn(), true),
                     },
@@ -187,12 +211,12 @@ impl System {
             Node::Gpu(h) if h == fault.gpu => {
                 // Already local (stale fault raced a completed migration).
                 let holders = self.replicas.holders(fault.vpn);
-                if self.cfg.replication && fault.is_write && holders.len() > 1 {
+                if sh.cfg.replication && fault.is_write && holders.len() > 1 {
                     // The writer owns the page but read replicas are still
                     // outstanding: collapse them before granting write
                     // permission.
                     let targets = self.replicas.collapse_for_write(fault.vpn, fault.gpu);
-                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets))?;
+                    self.start_migration(sh, lanes, fault.vpn, h, fault.gpu, Some(targets))?;
                     self.migrations.park_waiter(fault);
                     return Ok(());
                 }
@@ -202,8 +226,9 @@ impl System {
                     .pte(fault.vpn)
                     .or_invariant("faulting page lost its host PTE")?
                     .ppn();
-                let writable = !self.cfg.replication || holders.len() <= 1;
+                let writable = !sh.cfg.replication || holders.len() <= 1;
                 self.send_mapping(
+                    lanes,
                     fault.gpu,
                     fault.vpn,
                     Pte::new_mapped(ppn, writable),
@@ -211,9 +236,9 @@ impl System {
                 );
             }
             Node::Gpu(h) => {
-                if self.cfg.replication && !fault.is_write {
-                    self.grant_replica(fault, h)?;
-                } else if self.cfg.replication && fault.is_write {
+                if sh.cfg.replication && !fault.is_write {
+                    self.grant_replica(sh, lanes, fault, h)?;
+                } else if sh.cfg.replication && fault.is_write {
                     // Write collapse: invalidate all other copies and move
                     // ownership to the writer. The owner holds a valid local
                     // mapping even when it was never registered as a replica
@@ -222,24 +247,30 @@ impl System {
                     if h != fault.gpu {
                         targets.insert(h);
                     }
-                    self.start_migration(fault.vpn, h, fault.gpu, Some(targets))?;
+                    self.start_migration(sh, lanes, fault.vpn, h, fault.gpu, Some(targets))?;
                     self.migrations.park_waiter(fault);
-                } else if self.cfg.policy == MigrationPolicy::OnTouch
-                    && !self.migration_throttled(fault.vpn)
+                } else if sh.cfg.policy == MigrationPolicy::OnTouch
+                    && !self.migration_throttled(sh, fault.vpn)
                 {
-                    self.start_migration(fault.vpn, h, fault.gpu, None)?;
+                    self.start_migration(sh, lanes, fault.vpn, h, fault.gpu, None)?;
                     self.migrations.park_waiter(fault);
                 } else {
                     // Remote mapping: the local page table will point at the
                     // remote GPU's frame (first-touch and counter-based).
                     self.dir_record(fault.vpn, fault.gpu);
-                    self.broadcast_prt_record(fault.vpn, h);
+                    broadcast_prt_record(lanes, fault.vpn, h);
                     let ppn = self
                         .host_mem
                         .pte(fault.vpn)
                         .or_invariant("faulting page lost its host PTE")?
                         .ppn();
-                    self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, true), msg::MAP);
+                    self.send_mapping(
+                        lanes,
+                        fault.gpu,
+                        fault.vpn,
+                        Pte::new_mapped(ppn, true),
+                        msg::MAP,
+                    );
                 }
             }
         }
@@ -250,12 +281,24 @@ impl System {
     /// GPU: allocate a local frame, ship the page over NVLink, and install a
     /// read-only mapping. The owner is downgraded to read-only so its next
     /// write triggers the collapse protocol.
-    fn grant_replica(&mut self, fault: FarFault, owner: usize) -> Result<(), SimError> {
+    fn grant_replica(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        fault: FarFault,
+        owner: usize,
+    ) -> Result<(), SimError> {
         // Already a holder (a stale fault after a TLB shootdown): replay the
         // existing replica mapping instead of leaking a fresh frame.
         if self.replicas.holds(fault.vpn, fault.gpu) {
             if let Some(&ppn) = self.replica_frames.get(&(fault.gpu, fault.vpn)) {
-                self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, false), msg::MAP);
+                self.send_mapping(
+                    lanes,
+                    fault.gpu,
+                    fault.vpn,
+                    Pte::new_mapped(ppn, false),
+                    msg::MAP,
+                );
                 return Ok(());
             }
             // The owner holds the primary copy, not a replica frame.
@@ -264,7 +307,13 @@ impl System {
                 .pte(fault.vpn)
                 .or_invariant("replicated page lost its host PTE")?
                 .ppn();
-            self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, false), msg::MAP);
+            self.send_mapping(
+                lanes,
+                fault.gpu,
+                fault.vpn,
+                Pte::new_mapped(ppn, false),
+                msg::MAP,
+            );
             return Ok(());
         }
         let Ok(copy_ppn) = self.host_mem.alloc_frame(Node::Gpu(fault.gpu)) else {
@@ -275,7 +324,13 @@ impl System {
                 .pte(fault.vpn)
                 .or_invariant("replicated page lost its host PTE")?
                 .ppn();
-            self.send_mapping(fault.gpu, fault.vpn, Pte::new_mapped(ppn, true), msg::MAP);
+            self.send_mapping(
+                lanes,
+                fault.gpu,
+                fault.vpn,
+                Pte::new_mapped(ppn, true),
+                msg::MAP,
+            );
             return Ok(());
         };
         if self.replicas.holders(fault.vpn).is_empty() {
@@ -287,8 +342,9 @@ impl System {
                 .pte(fault.vpn)
                 .or_invariant("replicated page lost its host PTE")?
                 .ppn();
-            self.gpus[owner].shootdown(fault.vpn);
+            lock_lane(lanes, owner).gpu.shootdown(fault.vpn);
             self.send_mapping(
+                lanes,
                 owner,
                 fault.vpn,
                 Pte::new_mapped(owner_ppn, false),
@@ -298,16 +354,12 @@ impl System {
         self.replicas.add_replica(fault.vpn, fault.gpu);
         self.replica_frames.insert((fault.gpu, fault.vpn), copy_ppn);
         self.dir_record(fault.vpn, fault.gpu);
-        let arrive = self.net.send(
-            self.now,
-            Node::Gpu(owner),
-            Node::Gpu(fault.gpu),
-            self.page_bytes(),
-        );
-        self.events.schedule(
+        let arrive = self.xfer_from(lanes, Node::Gpu(owner), fault.gpu, sh.page_bytes());
+        self.sched_lane(
+            lanes,
+            fault.gpu,
             arrive,
             Ev::MappingToGpu {
-                gpu: fault.gpu,
                 vpn: fault.vpn,
                 pte: Pte::new_mapped(copy_ppn, false),
             },
@@ -316,69 +368,15 @@ impl System {
     }
 
     /// Sends a PTE (new mapping) to a GPU over PCIe.
-    pub(crate) fn send_mapping(&mut self, gpu: usize, vpn: Vpn, pte: Pte, bytes: u64) {
-        let arrive = self.net.send(self.now, Node::Host, Node::Gpu(gpu), bytes);
-        self.events
-            .schedule(arrive, Ev::MappingToGpu { gpu, vpn, pte });
-    }
-
-    /// A new mapping arrives at a GPU: check the IRMB (a pending
-    /// invalidation is superseded, §6.3), then queue the PTE update through
-    /// the page-walk queue.
-    pub(crate) fn on_mapping_to_gpu(
+    pub(crate) fn send_mapping(
         &mut self,
+        lanes: &[Mutex<GpuLane>],
         gpu: usize,
         vpn: Vpn,
         pte: Pte,
-    ) -> Result<(), SimError> {
-        if self.lazy() {
-            self.irmbs[gpu].remove(vpn);
-        }
-        let token = self.next_update;
-        self.next_update += 1;
-        self.updates.insert(token, PendingUpdate { vpn, pte });
-        self.enqueue_walk(gpu, vpn, WalkClass::Update, token)
-    }
-
-    /// Trans-FW: the remote probe returned. If the holder's table really
-    /// has a valid translation, install it locally (bypassing the host);
-    /// otherwise fall back to the host path, paying the wasted round trip.
-    pub(crate) fn on_remote_probe_done(
-        &mut self,
-        _token: u64,
-        fault: FarFault,
-        holder: usize,
-    ) -> Result<(), SimError> {
-        let remote_pte = self.gpus[holder].page_table.lookup(fault.vpn);
-        match remote_pte {
-            Some(pte)
-                if pte.is_valid()
-                    && !self.migrations.is_migrating(fault.vpn)
-                    && (!fault.is_write || pte.is_writable()) =>
-            {
-                // Keep the host directory sound: the holder forwards the
-                // translation and notifies the driver off the critical path.
-                self.dir_record(fault.vpn, fault.gpu);
-                self.on_mapping_to_gpu(fault.gpu, fault.vpn, pte)
-            }
-            _ => {
-                self.prts[fault.gpu].report_false_forward(fault.vpn);
-                let at = self
-                    .net
-                    .send(self.now, Node::Gpu(fault.gpu), Node::Host, msg::FAULT);
-                self.events.schedule(at, Ev::FaultAtHost { fault });
-                Ok(())
-            }
-        }
-    }
-
-    /// Teaches every other GPU's PRT that `holder` has a translation of
-    /// `vpn` (driver notification, state-only).
-    pub(crate) fn broadcast_prt_record(&mut self, vpn: Vpn, holder: usize) {
-        for (g, prt) in self.prts.iter_mut().enumerate() {
-            if g != holder {
-                prt.record(vpn, holder);
-            }
-        }
+        bytes: u64,
+    ) {
+        let arrive = self.xfer_down(gpu, bytes);
+        self.sched_lane(lanes, gpu, arrive, Ev::MappingToGpu { vpn, pte });
     }
 }

@@ -1,4 +1,11 @@
 //! The migration/invalidation protocol — the heart of what IDYLL optimises.
+//!
+//! Driver-side handlers (`HostState`) run serially on the host lane with
+//! exclusive access to every GPU lane; the GPU-side invalidation handler
+//! (`GpuLane::on_inval_arrive`) runs on the target lane and acks back
+//! through its mailbox.
+
+use std::sync::Mutex;
 
 use gpu_model::gmmu::WalkClass;
 use mem_model::gpuset::GpuSet;
@@ -9,12 +16,18 @@ use vm_model::pte::Pte;
 
 use crate::config::DirectoryMode;
 
-use super::{msg, Ev, OrInvariant, SimError, System};
+use super::{lock_lane, msg, Ev, GpuLane, HostState, OrInvariant, Shared, SimError};
 
-impl System {
+impl HostState {
     /// A counter-triggered migration request reaches the driver.
-    pub(crate) fn on_mig_request(&mut self, vpn: Vpn, to: usize) -> Result<(), SimError> {
-        if self.migrations.is_migrating(vpn) || self.migration_throttled(vpn) {
+    pub(crate) fn on_mig_request(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        vpn: Vpn,
+        to: usize,
+    ) -> Result<(), SimError> {
+        if self.migrations.is_migrating(vpn) || self.migration_throttled(sh, vpn) {
             return Ok(()); // in flight or anti-thrash cooldown
         }
         let owner = self.owner_of(vpn)?;
@@ -24,23 +37,25 @@ impl System {
         let Node::Gpu(from) = owner else {
             return Ok(()); // still host-resident: first touch will migrate it
         };
-        self.start_migration(vpn, from, to, None)
+        self.start_migration(sh, lanes, vpn, from, to, None)
+    }
+
+    /// Whether a new migration of `vpn` is throttled by the anti-thrash
+    /// cooldown.
+    pub(crate) fn migration_throttled(&self, sh: &Shared, vpn: Vpn) -> bool {
+        self.last_migration
+            .get(&vpn)
+            .map(|&t| self.now.saturating_sub(t) < sh.cfg.host.migration_cooldown)
+            .unwrap_or(false)
     }
 
     /// Starts the invalidation phase of a migration. `explicit_targets`
     /// overrides the directory (used by the replication write-collapse,
     /// which knows its holders exactly).
-    /// Whether a new migration of `vpn` is throttled by the anti-thrash
-    /// cooldown.
-    pub(crate) fn migration_throttled(&self, vpn: Vpn) -> bool {
-        self.last_migration
-            .get(&vpn)
-            .map(|&t| self.now.saturating_sub(t) < self.cfg.host.migration_cooldown)
-            .unwrap_or(false)
-    }
-
     pub(crate) fn start_migration(
         &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
         vpn: Vpn,
         from: usize,
         to: usize,
@@ -49,12 +64,16 @@ impl System {
         if self.migrations.is_migrating(vpn) {
             return Ok(());
         }
-        self.counters.reset_page(vpn);
-        // Any fingerprint pointing at this page is about to go stale.
-        for prt in &mut self.prts {
-            prt.invalidate(vpn);
+        // Any access counter or PRT fingerprint pointing at this page is
+        // about to go stale — one lock pass over the lanes.
+        for g in 0..lanes.len() {
+            let mut lane = lock_lane(lanes, g);
+            lane.counters.reset_page(vpn);
+            if let Some(prt) = lane.prt.as_mut() {
+                prt.invalidate(vpn);
+            }
         }
-        let directory = self
+        let directory = sh
             .cfg
             .idyll
             .map(|i| i.directory)
@@ -62,7 +81,7 @@ impl System {
         // The driver always performs its own page-table walk for the
         // invalidation (it must invalidate/update the host PTE).
         let walk_start = self.now.max(self.host_walkers.earliest_free());
-        let walk_latency = self.cfg.host.walk_latency;
+        let walk_latency = sh.cfg.host.walk_latency;
         self.host_walkers
             .try_acquire(walk_start, walk_latency)
             .or_invariant("no host walker free at its own earliest_free time")?;
@@ -74,21 +93,21 @@ impl System {
                 // directory; send immediately.
                 self.migrations
                     .start(vpn, Node::Gpu(from), to, targets, self.now);
-                self.events
+                self.q
                     .schedule(host_walk_done_at, Ev::MigHostWalkDone { vpn });
-                self.send_invalidations(vpn, targets);
+                self.send_invalidations(lanes, vpn, targets);
             }
             None => match directory {
                 DirectoryMode::Broadcast => {
                     // Baseline: "the UVM driver simply broadcasts page table
                     // invalidation requests to all GPUs" — before its own
                     // walk completes.
-                    let targets = GpuSet::all(self.cfg.n_gpus);
+                    let targets = GpuSet::all(sh.cfg.n_gpus);
                     self.migrations
                         .start(vpn, Node::Gpu(from), to, targets, self.now);
-                    self.events
+                    self.q
                         .schedule(host_walk_done_at, Ev::MigHostWalkDone { vpn });
-                    self.send_invalidations(vpn, targets);
+                    self.send_invalidations(lanes, vpn, targets);
                 }
                 DirectoryMode::InPte { .. } => {
                     // IDYLL: the host walk must complete before the access
@@ -97,7 +116,7 @@ impl System {
                     self.migrations
                         .start(vpn, Node::Gpu(from), to, GpuSet::empty(), self.now);
                     self.pending_dir_lookup.insert(vpn);
-                    self.events
+                    self.q
                         .schedule(host_walk_done_at, Ev::MigHostWalkDone { vpn });
                 }
                 DirectoryMode::InMem => {
@@ -111,17 +130,17 @@ impl System {
                         .or_invariant("InMem directory mode without a VM directory")?;
                     let (targets, access) = vm.invalidation_targets(vpn, to);
                     let lookup_latency = if access.cache_hit {
-                        self.cfg.host.vm_cache_latency
+                        sh.cfg.host.vm_cache_latency
                     } else {
-                        self.cfg.host.vm_cache_latency + self.cfg.host.vm_table_latency
+                        sh.cfg.host.vm_cache_latency + sh.cfg.host.vm_table_latency
                     };
                     self.migrations
                         .start(vpn, Node::Gpu(from), to, targets, self.now);
-                    self.events.schedule(
+                    self.q.schedule(
                         self.now + lookup_latency,
                         Ev::MigSendInvals { vpn, targets },
                     );
-                    self.events.schedule(
+                    self.q.schedule(
                         host_walk_done_at.max(self.now + lookup_latency),
                         Ev::MigHostWalkDone { vpn },
                     );
@@ -151,7 +170,12 @@ impl System {
     /// The driver's own walk finished. For the in-PTE directory this is the
     /// moment the access bits become readable: compute targets, clear the
     /// bits, and send the (filtered) invalidations.
-    pub(crate) fn on_mig_host_walk_done(&mut self, vpn: Vpn) -> Result<(), SimError> {
+    pub(crate) fn on_mig_host_walk_done(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        vpn: Vpn,
+    ) -> Result<(), SimError> {
         if self.pending_dir_lookup.remove(&vpn) {
             let dir = self
                 .in_pte_dir
@@ -166,105 +190,35 @@ impl System {
                 m.targets = targets;
                 m.pending_acks = targets;
             }
-            self.send_invalidations(vpn, targets);
+            self.send_invalidations(lanes, vpn, targets);
         }
         if self.migrations.host_walk_done(vpn, self.now) {
-            self.begin_data_transfer(vpn)?;
+            self.begin_data_transfer(sh, lanes, vpn)?;
         }
         Ok(())
     }
 
     /// Fans invalidation requests out to `targets` over PCIe.
-    pub(crate) fn send_invalidations(&mut self, vpn: Vpn, targets: GpuSet) {
+    pub(crate) fn send_invalidations(
+        &mut self,
+        lanes: &[Mutex<GpuLane>],
+        vpn: Vpn,
+        targets: GpuSet,
+    ) {
         for g in targets.iter() {
-            let at = self
-                .net
-                .send(self.now, Node::Host, Node::Gpu(g), msg::INVAL);
-            self.events.schedule(at, Ev::InvalArrive { gpu: g, vpn });
-        }
-    }
-
-    /// An invalidation request arrives at a GPU. The TLB shootdown is
-    /// immediate in every scheme; the PTE handling differs:
-    /// baseline walks, IDYLL inserts into the IRMB, the idealised scheme
-    /// updates instantly.
-    pub(crate) fn on_inval_arrive(&mut self, gpu: usize, vpn: Vpn) -> Result<(), SimError> {
-        self.invalidation_messages += 1;
-        if self.tracer.is_enabled() {
-            let track = self.gmmu_track(gpu);
-            let now = self.now;
-            self.tracer.instant(
-                "invalidation",
-                "invalidation arrived",
-                track,
-                now,
-                &[("vpn", vpn.0)],
-            );
-        }
-        if self.tlog.is_enabled() {
-            let msg = format!("invalidation arrived gpu={gpu} vpn={:#x}", vpn.0);
-            self.tlog.push(self.now, "invalidation", msg);
-        }
-        self.gpus[gpu].shootdown(vpn);
-        // If this GPU owns the page's data, its cached lines must go.
-        if let Some(pte) = self.gpus[gpu].page_table.lookup(vpn) {
-            if self.memmap.owner(pte.ppn()) == Node::Gpu(gpu) {
-                let base = pte.ppn() * self.page_bytes();
-                self.gpus[gpu].drop_page_lines(base);
-            }
-        }
-        if self.cfg.zero_latency_invalidation {
-            // Idealised: the PTE is updated instantaneously and the ack is
-            // free.
-            self.inval_done.insert((gpu, vpn));
-            let necessary = self.gpus[gpu].page_table.invalidate(vpn);
-            if necessary {
-                self.walker_mix.invalidation_necessary += 1;
-            } else {
-                self.walker_mix.invalidation_unnecessary += 1;
-            }
-            return self.ack_invalidation(gpu, vpn, Cycle::ZERO);
-        }
-        if self.lazy() {
-            // IDYLL: buffer in the IRMB and ack immediately; evictions
-            // trigger batched write-back walks. The IRMB entry itself makes
-            // the stale PTE unusable, so the invalidation counts as locally
-            // processed from this point.
-            self.inval_done.insert((gpu, vpn));
-            let outcome = self.irmbs[gpu].insert(vpn);
-            use idyll_core::irmb::InsertOutcome;
-            match outcome {
-                InsertOutcome::EvictedLru(entry) | InsertOutcome::EvictedOffsets(entry) => {
-                    let vpns: Vec<Vpn> = entry.vpns().collect();
-                    for v in vpns {
-                        self.enqueue_walk(gpu, v, WalkClass::IrmbWriteback, 0)?;
-                    }
-                }
-                _ => {}
-            }
-            self.ack_invalidation(gpu, vpn, self.net.latency(Node::Gpu(gpu), Node::Host))?;
-            // A write-back opportunity may exist right away.
-            return self.dispatch_walks(gpu);
-        }
-        // Baseline: a PTE-invalidation walk through the contended GMMU; the
-        // ack is sent when the walk completes (see `on_walk_done`).
-        self.enqueue_walk(gpu, vpn, WalkClass::Invalidation, 0)
-    }
-
-    fn ack_invalidation(&mut self, gpu: usize, vpn: Vpn, latency: Cycle) -> Result<(), SimError> {
-        if latency == Cycle::ZERO {
-            self.on_ack_at_host(gpu, vpn)
-        } else {
-            let at = self
-                .net
-                .send(self.now, Node::Gpu(gpu), Node::Host, msg::ACK);
-            self.events.schedule(at, Ev::AckAtHost { gpu, vpn });
-            Ok(())
+            let at = self.xfer_down(g, msg::INVAL);
+            self.sched_lane(lanes, g, at, Ev::InvalArrive { vpn });
         }
     }
 
     /// An invalidation ack reaches the driver.
-    pub(crate) fn on_ack_at_host(&mut self, gpu: usize, vpn: Vpn) -> Result<(), SimError> {
+    pub(crate) fn on_ack_at_host(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        gpu: usize,
+        vpn: Vpn,
+    ) -> Result<(), SimError> {
         if self.tracer.is_enabled() {
             if let Some(id) = self.migrations.get(vpn).map(|m| m.id) {
                 let track = self.mig_track(id);
@@ -279,14 +233,19 @@ impl System {
             }
         }
         if self.migrations.ack(vpn, gpu, self.now) {
-            self.begin_data_transfer(vpn)?;
+            self.begin_data_transfer(sh, lanes, vpn)?;
         }
         Ok(())
     }
 
     /// Invalidation phase complete: record the waiting latency and ship the
     /// page data.
-    fn begin_data_transfer(&mut self, vpn: Vpn) -> Result<(), SimError> {
+    fn begin_data_transfer(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        vpn: Vpn,
+    ) -> Result<(), SimError> {
         let (from, to, waiting) = {
             let m = self
                 .migrations
@@ -299,16 +258,20 @@ impl System {
         let arrive = if self.replicas.holds(vpn, to) {
             self.now
         } else {
-            self.net
-                .send(self.now, from, Node::Gpu(to), self.page_bytes())
+            self.xfer_from(lanes, from, to, sh.page_bytes())
         };
-        self.events.schedule(arrive, Ev::MigDataDone { vpn });
+        self.q.schedule(arrive, Ev::MigDataDone { vpn });
         Ok(())
     }
 
     /// Page data landed: move ownership, establish the new mapping, replay
     /// parked faults.
-    pub(crate) fn on_mig_data_done(&mut self, vpn: Vpn) -> Result<(), SimError> {
+    pub(crate) fn on_mig_data_done(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        vpn: Vpn,
+    ) -> Result<(), SimError> {
         let m = self
             .migrations
             .complete(vpn)
@@ -362,8 +325,8 @@ impl System {
             );
             self.tlog.push(self.now, "migration", msg);
         }
-        for g in 0..self.cfg.n_gpus {
-            self.inval_done.remove(&(g, vpn));
+        for g in 0..lanes.len() {
+            lock_lane(lanes, g).inval_done.remove(&vpn);
         }
         // Free every replica frame the collapse invalidated — including the
         // destination's own replica copy (it receives the migrated primary
@@ -387,15 +350,15 @@ impl System {
                 .ppn();
             for fault in m.waiters {
                 self.dir_record(vpn, fault.gpu);
-                self.send_mapping(fault.gpu, vpn, Pte::new_mapped(ppn, true), msg::MAP);
+                self.send_mapping(lanes, fault.gpu, vpn, Pte::new_mapped(ppn, true), msg::MAP);
             }
             return Ok(());
         }
-        if self.cfg.replication {
+        if sh.cfg.replication {
             self.replicas.add_replica(vpn, m.to);
         }
         self.dir_record(vpn, m.to);
-        self.broadcast_prt_record(vpn, m.to);
+        super::broadcast_prt_record(lanes, vpn, m.to);
         self.last_migration.insert(vpn, self.now);
         self.migrations_done += 1;
         self.migration_total
@@ -406,13 +369,95 @@ impl System {
             .or_invariant("migrated page has no host PTE at its destination")?
             .ppn();
         // The new mapping is installed at the destination (data already
-        // arrived with the transfer).
-        self.on_mapping_to_gpu(m.to, vpn, Pte::new_mapped(new_ppn, true))?;
+        // arrived with the transfer): deliver it like any other mapping.
+        self.sched_lane(
+            lanes,
+            m.to,
+            self.now,
+            Ev::MappingToGpu {
+                vpn,
+                pte: Pte::new_mapped(new_ppn, true),
+            },
+        );
         // Replay parked far faults.
         for fault in m.waiters {
-            self.events
-                .schedule(self.now + 1, Ev::FaultResolved { fault });
+            self.q.schedule(self.now + 1, Ev::FaultResolved { fault });
         }
         Ok(())
+    }
+}
+
+impl GpuLane {
+    /// An invalidation request arrives at this GPU. The TLB shootdown is
+    /// immediate in every scheme; the PTE handling differs: baseline walks,
+    /// IDYLL inserts into the IRMB, the idealised scheme updates instantly.
+    pub(crate) fn on_inval_arrive(&mut self, sh: &Shared, vpn: Vpn) -> Result<(), SimError> {
+        self.invalidation_messages += 1;
+        if self.tracer.is_enabled() {
+            let track = self.gmmu_track();
+            let now = self.now;
+            self.tracer.instant(
+                "invalidation",
+                "invalidation arrived",
+                track,
+                now,
+                &[("vpn", vpn.0)],
+            );
+        }
+        if self.tlog.is_enabled() {
+            let gpu = self.id;
+            let msg = format!("invalidation arrived gpu={gpu} vpn={:#x}", vpn.0);
+            self.tlog.push(self.now, "invalidation", msg);
+        }
+        self.gpu.shootdown(vpn);
+        // If this GPU owns the page's data, its cached lines must go.
+        if let Some(pte) = self.gpu.page_table.lookup(vpn) {
+            if sh.memmap.owner(pte.ppn()) == super::Node::Gpu(self.id) {
+                let base = pte.ppn() * sh.page_bytes();
+                self.gpu.drop_page_lines(base);
+            }
+        }
+        if sh.cfg.zero_latency_invalidation {
+            // Idealised: the PTE is updated instantaneously and the ack is
+            // free (it still crosses lanes as a zero-latency message).
+            self.inval_done.insert(vpn);
+            let necessary = self.gpu.page_table.invalidate(vpn);
+            if necessary {
+                self.walker_mix.invalidation_necessary += 1;
+            } else {
+                self.walker_mix.invalidation_unnecessary += 1;
+            }
+            let now = self.now;
+            let gpu = self.id;
+            self.send_host(now, Ev::AckAtHost { gpu, vpn });
+            return Ok(());
+        }
+        if self.irmb.is_some() {
+            // IDYLL: buffer in the IRMB and ack immediately; evictions
+            // trigger batched write-back walks. The IRMB entry itself makes
+            // the stale PTE unusable, so the invalidation counts as locally
+            // processed from this point.
+            self.inval_done.insert(vpn);
+            let outcome = self.irmb.as_mut().map(|i| i.insert(vpn));
+            use idyll_core::irmb::InsertOutcome;
+            match outcome {
+                Some(InsertOutcome::EvictedLru(entry))
+                | Some(InsertOutcome::EvictedOffsets(entry)) => {
+                    let vpns: Vec<Vpn> = entry.vpns().collect();
+                    for v in vpns {
+                        self.enqueue_walk(v, WalkClass::IrmbWriteback, 0)?;
+                    }
+                }
+                _ => {}
+            }
+            let at = self.xfer_host_at(self.now, msg::ACK);
+            let gpu = self.id;
+            self.send_host(at, Ev::AckAtHost { gpu, vpn });
+            // A write-back opportunity may exist right away.
+            return self.dispatch_walks();
+        }
+        // Baseline: a PTE-invalidation walk through the contended GMMU; the
+        // ack is sent when the walk completes (see `on_walk_done`).
+        self.enqueue_walk(vpn, WalkClass::Invalidation, 0)
     }
 }

@@ -1,19 +1,31 @@
 //! The discrete-event multi-GPU system simulator.
 //!
 //! A [`System`] owns every architectural component and drives them through a
-//! single deterministic event loop. Protocol logic is split across focused
-//! submodules:
+//! deterministic *parallel event core*: one event **lane** per GPU plus a
+//! host/driver lane, each owning its local future-event list and advancing
+//! independently up to a conservative lookahead horizon (the minimum
+//! cross-domain interconnect latency). Cross-domain effects travel through
+//! per-lane mailboxes drained at barrier epochs, so the schedule — and every
+//! exported artifact — is byte-identical for any worker thread count.
+//! See DESIGN.md §"Parallel event core" for the full contract.
+//!
+//! Protocol logic is split across focused submodules:
 //!
 //! * [`translate`](self) — warp issue, TLB hierarchy, GMMU walks;
 //! * [`host`](self) — fault batching and resolution at the UVM driver;
 //! * [`migrate`](self) — the migration/invalidation protocol IDYLL targets;
-//! * [`data`](self) — the post-translation data path and access counters.
+//! * [`data`](self) — the post-translation data path and access counters;
+//! * [`engine`](self) — the epoch loop (serial and `std::thread::scope`
+//!   parallel execution).
 
 mod data;
+mod engine;
 mod host;
 mod migrate;
 mod observe;
 mod translate;
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use gpu_model::gmmu::{DispatchedWalk, WalkClass};
 use gpu_model::gpu::Gpu;
@@ -22,14 +34,15 @@ use idyll_core::irmb::Irmb;
 use idyll_core::transfw::TransFw;
 use idyll_core::vm_table::VmDirectory;
 use mem_model::gpuset::GpuSet;
-use mem_model::interconnect::{Interconnect, Node, PipeStat};
+use mem_model::interconnect::{Node, PipeStat};
 use sim_engine::collections::{DetHashMap, DetHashSet};
+use sim_engine::lane::{LanePool, LaneQueue};
 use sim_engine::prof::{Phase, Profiler};
-use sim_engine::resource::ThreadPool;
+use sim_engine::resource::{BandwidthPipe, ThreadPool};
 use sim_engine::stats::Accumulator;
 use sim_engine::trace::Tracer;
 use sim_engine::tracelog::TraceLog;
-use sim_engine::{Cycle, EventQueue};
+use sim_engine::Cycle;
 use uvm_driver::fault::{FarFault, FaultBatcher};
 use uvm_driver::host::HostMemory;
 use uvm_driver::migration::MigrationTable;
@@ -64,29 +77,54 @@ pub(crate) mod msg {
     pub const REMOTE_RESP: u64 = 128;
 }
 
-/// Simulation events.
+/// Simulation events. GPU-lane events carry no `gpu` field — the owning
+/// lane is implied by the queue the event sits in; cross-domain messages
+/// carry whatever identity the receiving domain needs.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
+    // --- GPU-lane events ---
     /// A warp wants to issue its next trace access.
-    WarpReady { gpu: usize, cu: usize, warp: usize },
+    WarpReady { cu: usize, warp: usize },
     /// L1-missed request reaches the L2 TLB (lookup result applied here).
     L2Lookup { token: u64 },
     /// Retry a structurally stalled L2 access (MSHR full).
     MshrRetry { token: u64 },
-    /// Try to start queued page walks on a GPU.
-    DispatchWalks { gpu: usize },
+    /// Try to start queued page walks.
+    DispatchWalks,
     /// A page walk finished.
-    WalkDone { gpu: usize, walk: DispatchedWalk },
+    WalkDone { walk: DispatchedWalk },
+    /// A new mapping arrived (rides the PTE-update path).
+    MappingToGpu { vpn: Vpn, pte: Pte },
+    /// An invalidation request arrived.
+    InvalArrive { vpn: Vpn },
+    /// A data access completed; unblock its warp.
+    AccessDone { token: u64 },
+    /// Trans-FW: a remote page-table probe arrived at the holder (the lane
+    /// the event sits in).
+    RemoteProbeArrive { fault: FarFault },
+    /// Trans-FW: the holder's reply (a granted PTE, or a refusal).
+    RemoteProbeReply { fault: FarFault, pte: Option<Pte> },
+    // --- events valid on a GPU lane *or* the host lane ---
+    /// A remote data request arrived at the owning node's memory.
+    RemoteReqArrive {
+        token: u64,
+        requester: usize,
+        issue_at: Cycle,
+        paddr: u64,
+    },
+    /// The owning node's memory produced the data; send the response.
+    RemoteServed {
+        token: u64,
+        requester: usize,
+        issue_at: Cycle,
+    },
+    // --- host-lane events ---
     /// A far fault arrived at the UVM driver.
     FaultAtHost { fault: FarFault },
     /// Fault-batch window expired: flush the partial batch.
     BatchWindow,
     /// The driver finished resolving one fault.
     FaultResolved { fault: FarFault },
-    /// A new mapping arrived at a GPU (rides the PTE-update path).
-    MappingToGpu { gpu: usize, vpn: Vpn, pte: Pte },
-    /// An invalidation request arrived at a GPU.
-    InvalArrive { gpu: usize, vpn: Vpn },
     /// An invalidation ack arrived back at the driver.
     AckAtHost { gpu: usize, vpn: Vpn },
     /// A counter-triggered migration request arrived at the driver.
@@ -97,18 +135,8 @@ pub(crate) enum Ev {
     MigSendInvals { vpn: Vpn, targets: GpuSet },
     /// Page data landed on the destination GPU.
     MigDataDone { vpn: Vpn },
-    /// A data access completed; unblock its warp.
-    AccessDone { token: u64 },
-    /// A remote data request arrived at the owning node's memory.
-    RemoteReqArrive { token: u64, owner: Node, paddr: u64 },
-    /// The owning node's memory produced the data; send the response.
-    RemoteServed { token: u64, owner: Node },
-    /// Trans-FW: remote page-table probe completed.
-    RemoteProbeDone {
-        token: u64,
-        fault: FarFault,
-        holder: usize,
-    },
+    /// Off-critical-path directory notification (Trans-FW grant path).
+    DirRecord { vpn: Vpn, gpu: usize },
 }
 
 impl Ev {
@@ -116,14 +144,15 @@ impl Ev {
     fn phase(self) -> Phase {
         match self {
             Ev::L2Lookup { .. } | Ev::MshrRetry { .. } => Phase::TlbLookup,
-            Ev::DispatchWalks { .. } | Ev::WalkDone { .. } => Phase::WalkSchedule,
+            Ev::DispatchWalks | Ev::WalkDone { .. } => Phase::WalkSchedule,
             Ev::MappingToGpu { .. }
             | Ev::InvalArrive { .. }
             | Ev::AckAtHost { .. }
             | Ev::MigRequestAtHost { .. }
             | Ev::MigHostWalkDone { .. }
             | Ev::MigSendInvals { .. }
-            | Ev::MigDataDone { .. } => Phase::MigTransfer,
+            | Ev::MigDataDone { .. }
+            | Ev::DirRecord { .. } => Phase::MigTransfer,
             Ev::WarpReady { .. }
             | Ev::FaultAtHost { .. }
             | Ev::BatchWindow
@@ -131,15 +160,16 @@ impl Ev {
             | Ev::AccessDone { .. }
             | Ev::RemoteReqArrive { .. }
             | Ev::RemoteServed { .. }
-            | Ev::RemoteProbeDone { .. } => Phase::Other,
+            | Ev::RemoteProbeArrive { .. }
+            | Ev::RemoteProbeReply { .. } => Phase::Other,
         }
     }
 }
 
-/// One in-flight translation request.
+/// One in-flight translation request. Tokens are a per-lane namespace; the
+/// owning GPU is the lane holding the entry.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Req {
-    pub gpu: usize,
     pub cu: usize,
     pub warp: usize,
     pub vpn: Vpn,
@@ -217,77 +247,313 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// The assembled multi-GPU system.
-pub struct System {
-    pub(crate) cfg: SystemConfig,
-    pub(crate) now: Cycle,
-    pub(crate) events: EventQueue<Ev>,
-    pub(crate) gpus: Vec<Gpu>,
-    pub(crate) net: Interconnect,
-    pub(crate) memmap: MemoryMap,
-    pub(crate) host_mem: HostMemory,
-    pub(crate) host_walkers: ThreadPool,
-    pub(crate) batcher: FaultBatcher,
-    pub(crate) prefetcher: uvm_driver::prefetch::Prefetcher,
-    pub(crate) batch_flush_scheduled: bool,
-    pub(crate) counters: AccessCounters,
-    pub(crate) migrations: MigrationTable,
-    pub(crate) replicas: ReplicaDirectory,
-    /// Physical frames holding read replicas: (gpu, vpn) → ppn.
-    pub(crate) replica_frames: DetHashMap<(usize, Vpn), u64>,
-    // IDYLL mechanisms.
-    pub(crate) irmbs: Vec<Irmb>,
-    pub(crate) in_pte_dir: Option<InPteDirectory>,
-    pub(crate) vm_dir: Option<VmDirectory>,
-    pub(crate) prts: Vec<TransFw>,
-    // Workload state.
-    pub(crate) traces: Vec<Vec<Access>>,
+/// Immutable state every lane reads: configuration, the physical frame map
+/// (fixed at construction), the traces, and the warp issue plans.
+pub(crate) struct Shared {
+    pub cfg: SystemConfig,
+    pub memmap: MemoryMap,
+    pub traces: Vec<Vec<Access>>,
     /// Per-(gpu, warp) issue plans into the GPU trace (built by the CTA
-    /// scheduling policy) plus the per-warp cursor:
-    /// `warp_plans[gpu][warp_index]` is the list of trace indices the warp
-    /// issues, `warp_cursors[gpu][warp_index]` the next position in it.
-    pub(crate) warp_plans: Vec<Vec<gpu_model::scheduler::WarpPlan>>,
-    pub(crate) warp_cursors: Vec<Vec<usize>>,
-    pub(crate) compute_gap: Cycle,
-    pub(crate) workload_name: String,
-    pub(crate) instructions: u64,
-    pub(crate) sharing_distribution: Vec<f64>,
+    /// scheduling policy): `warp_plans[gpu][warp_index]` is the list of
+    /// trace indices the warp issues.
+    pub warp_plans: Vec<Vec<gpu_model::scheduler::WarpPlan>>,
+    pub compute_gap: Cycle,
+    pub workload_name: String,
+    pub instructions: u64,
+    pub sharing_distribution: Vec<f64>,
+    /// Conservative lookahead window: the minimum cross-domain latency.
+    /// No lane can affect another sooner than this, so every lane may
+    /// safely advance `lookahead` cycles past the global minimum next-event
+    /// time before a barrier.
+    pub lookahead: Cycle,
+}
+
+impl Shared {
+    /// The page size in bytes.
+    pub(crate) fn page_bytes(&self) -> u64 {
+        self.cfg.page_size.bytes()
+    }
+}
+
+/// A GPU lane's private slice of the interconnect: the directed pipes this
+/// lane *sends* on. This is exactly the original full-duplex decomposition —
+/// each directed pipe has a single writer, so pipes move into their writer.
+pub(crate) struct Egress {
+    /// `nvlink[dst]` — directed pipe to GPU `dst` (the self entry is unused:
+    /// local transfers never traverse the interconnect).
+    pub nvlink: Vec<BandwidthPipe>,
+    /// GPU→host PCIe pipe.
+    pub pcie_up: BandwidthPipe,
+    /// One-way GPU↔GPU propagation latency (latency-only probe messages).
+    pub nvlink_latency: Cycle,
+}
+
+impl Egress {
+    /// Reserves the directed GPU→GPU pipe; a same-GPU transfer is free.
+    pub(crate) fn gpu_to_gpu(&mut self, at: Cycle, src: usize, dst: usize, bytes: u64) -> Cycle {
+        if src == dst {
+            at
+        } else {
+            self.nvlink[dst].transfer(at, bytes)
+        }
+    }
+}
+
+/// One GPU's event lane: the GPU model, all per-GPU protocol state, the
+/// lane-local future-event list, the outbound mailbox, and per-lane shards
+/// of every metric/observability sink (merged deterministically at the end
+/// of the run).
+pub(crate) struct GpuLane {
+    pub id: usize,
+    pub gpu: Gpu,
+    pub irmb: Option<Irmb>,
+    pub prt: Option<TransFw>,
+    /// Per-warp cursor into this lane's warp plans.
+    pub warp_cursors: Vec<usize>,
+    /// Walk requests that found the page-walk queue full (upstream stall
+    /// buffer, drained before new dispatches).
+    pub overflow: std::collections::VecDeque<(Vpn, WalkClass, u64)>,
+    pub dispatch_scheduled: bool,
+    pub reqs: DetHashMap<u64, Req>,
+    pub next_token: u64,
+    pub updates: DetHashMap<u64, PendingUpdate>,
+    pub next_update: u64,
+    /// Pages with a far fault in flight from this GPU.
+    pub inflight_faults: DetHashSet<Vpn>,
+    /// Pages whose invalidation for the current migration has already been
+    /// processed locally (walk dispatched / IRMB insert / instantaneous).
+    pub inval_done: DetHashSet<Vpn>,
+    /// This GPU's remote-access counters (reset by the host on migration).
+    pub counters: AccessCounters,
+    pub finished: bool,
+    pub finish_cycle: Cycle,
+    // Lane event plumbing.
+    pub q: LaneQueue<Ev>,
+    /// Outbound mailbox: cross-domain sends buffered here, routed into the
+    /// destination queues at the next barrier (deterministic lane order).
+    pub outbox: Vec<(Cycle, Node, Ev)>,
+    pub now: Cycle,
+    pub events_processed: u64,
+    /// First error this lane hit; the lane stops and the barrier reports it.
+    pub error: Option<SimError>,
+    pub egress: Egress,
+    // Metric shards (merged in fixed lane order for the report).
+    pub demand_miss_latency: Accumulator,
+    pub access_latency: Accumulator,
+    pub remote_data_latency: Accumulator,
+    pub invalidation_latency: Accumulator,
+    pub walker_mix: WalkerMix,
+    pub invalidation_messages: u64,
+    pub far_faults: u64,
+    pub accesses_done: u64,
+    // Observability shards (forked from the masters at run start).
+    pub tracer: Tracer,
+    pub tlog: TraceLog,
+    pub prof: Profiler,
+}
+
+impl GpuLane {
+    /// Reserves the directed pipe to GPU `dest` starting at `at`.
+    pub(crate) fn xfer_gpu_at(&mut self, at: Cycle, dest: usize, bytes: u64) -> Cycle {
+        let id = self.id;
+        self.egress.gpu_to_gpu(at, id, dest, bytes)
+    }
+
+    /// Reserves the GPU→host PCIe pipe starting at `at`.
+    pub(crate) fn xfer_host_at(&mut self, at: Cycle, bytes: u64) -> Cycle {
+        self.egress.pcie_up.transfer(at, bytes)
+    }
+
+    /// Sends an event to GPU `dest` at time `at` (own queue for a self-send,
+    /// the mailbox otherwise).
+    pub(crate) fn send_gpu(&mut self, at: Cycle, dest: usize, ev: Ev) {
+        if dest == self.id {
+            self.q.schedule(at, ev);
+        } else {
+            self.outbox.push((at, Node::Gpu(dest), ev));
+        }
+    }
+
+    /// Sends an event to the host lane at time `at` via the mailbox.
+    pub(crate) fn send_host(&mut self, at: Cycle, ev: Ev) {
+        self.outbox.push((at, Node::Host, ev));
+    }
+}
+
+/// The host/driver lane: UVM driver state, the host-side interconnect pipes
+/// (host→GPU direction), and the host future-event list. The host phase runs
+/// serially after every barrier and is the only place that may reach into
+/// GPU lanes (locking one lane at a time).
+pub(crate) struct HostState {
+    pub host_mem: HostMemory,
+    pub host_walkers: ThreadPool,
+    pub batcher: FaultBatcher,
+    pub prefetcher: uvm_driver::prefetch::Prefetcher,
+    pub batch_flush_scheduled: bool,
+    pub migrations: MigrationTable,
+    pub replicas: ReplicaDirectory,
+    /// Physical frames holding read replicas: (gpu, vpn) → ppn.
+    pub replica_frames: DetHashMap<(usize, Vpn), u64>,
+    pub in_pte_dir: Option<InPteDirectory>,
+    pub vm_dir: Option<VmDirectory>,
     /// Pages whose in-PTE directory lookup awaits the host walk.
-    pub(crate) pending_dir_lookup: DetHashSet<Vpn>,
-    /// `(gpu, vpn)` pairs whose invalidation for the current migration has
-    /// already been processed locally (walk finished / IRMB insert /
-    /// instantaneous). Used to close the ack-in-flight window in the
-    /// stale-install guard.
-    pub(crate) inval_done: DetHashSet<(usize, Vpn)>,
+    pub pending_dir_lookup: DetHashSet<Vpn>,
     /// Last completed migration per page (anti-thrash cooldown).
-    pub(crate) last_migration: DetHashMap<Vpn, Cycle>,
-    // Request tracking.
-    pub(crate) inflight_faults: DetHashSet<(usize, Vpn)>,
-    pub(crate) reqs: DetHashMap<u64, Req>,
-    pub(crate) next_token: u64,
-    pub(crate) updates: DetHashMap<u64, PendingUpdate>,
-    pub(crate) next_update: u64,
-    /// Walk requests that found the page-walk queue full, per GPU
-    /// (upstream stall buffer, drained before new dispatches).
-    pub(crate) overflow: Vec<std::collections::VecDeque<(Vpn, WalkClass, u64)>>,
-    pub(crate) dispatch_scheduled: Vec<bool>,
-    // Progress tracking.
-    pub(crate) finished_gpus: usize,
-    pub(crate) finish_cycle: Cycle,
-    // Metrics.
-    pub(crate) demand_miss_latency: Accumulator,
-    pub(crate) access_latency: Accumulator,
-    pub(crate) remote_data_latency: Accumulator,
-    pub(crate) invalidation_latency: Accumulator,
-    pub(crate) migration_waiting: Accumulator,
-    pub(crate) migration_total: Accumulator,
-    pub(crate) walker_mix: WalkerMix,
-    pub(crate) invalidation_messages: u64,
-    pub(crate) far_faults: u64,
-    pub(crate) migrations_done: u64,
-    pub(crate) accesses_done: u64,
-    pub(crate) events_processed: u64,
-    // Observability (see `observe` module). All of these default to off and
+    pub last_migration: DetHashMap<Vpn, Cycle>,
+    pub migrations_done: u64,
+    pub migration_waiting: Accumulator,
+    pub migration_total: Accumulator,
+    /// Host shard of the remote-data latency accumulator (host-served
+    /// transient-window requests).
+    pub remote_data_latency: Accumulator,
+    /// `pcie_down[g]`: host→GPU g PCIe pipe.
+    pub pcie_down: Vec<BandwidthPipe>,
+    pub q: LaneQueue<Ev>,
+    pub now: Cycle,
+    pub events_processed: u64,
+    /// Events this lane scheduled directly into GPU lanes (host-phase
+    /// sends bypass the mailbox); counted for HeapPush attribution.
+    pub ext_pushes: u64,
+    pub tracer: Tracer,
+    pub tlog: TraceLog,
+    pub prof: Profiler,
+}
+
+impl HostState {
+    /// Reserves the host→GPU PCIe pipe starting at the host's current time.
+    pub(crate) fn xfer_down(&mut self, gpu: usize, bytes: u64) -> Cycle {
+        let now = self.now;
+        self.pcie_down[gpu].transfer(now, bytes)
+    }
+
+    /// Schedules an event directly into GPU lane `g`'s queue. Host-phase
+    /// sends are already deterministic (the host runs serially with every
+    /// worker idle), so they skip the mailbox.
+    pub(crate) fn sched_lane(&mut self, lanes: &[Mutex<GpuLane>], g: usize, at: Cycle, ev: Ev) {
+        lock_lane(lanes, g).q.schedule(at, ev);
+        self.ext_pushes += 1;
+    }
+
+    /// Reserves the pipe for a transfer originating at `from` toward GPU
+    /// `to` (page data moves: GPU→GPU over NVLink via the source lane's
+    /// egress, host→GPU over PCIe).
+    pub(crate) fn xfer_from(
+        &mut self,
+        lanes: &[Mutex<GpuLane>],
+        from: Node,
+        to: usize,
+        bytes: u64,
+    ) -> Cycle {
+        match from {
+            Node::Gpu(f) if f == to => self.now,
+            Node::Gpu(f) => {
+                let now = self.now;
+                lock_lane(lanes, f).egress.gpu_to_gpu(now, f, to, bytes)
+            }
+            Node::Host => self.xfer_down(to, bytes),
+        }
+    }
+
+    /// Records that `gpu` now holds a valid translation of `vpn`
+    /// (directory bookkeeping on the host side; no latency — it piggybacks
+    /// on work the driver already does).
+    pub(crate) fn dir_record(&mut self, vpn: Vpn, gpu: usize) {
+        if let Some(dir) = self.in_pte_dir {
+            if let Some(pte) = self.host_mem.pte_mut(vpn) {
+                dir.record_access(pte, gpu);
+            }
+        }
+        if let Some(vm) = self.vm_dir.as_mut() {
+            vm.record_access(vpn, gpu);
+        }
+    }
+
+    /// Current owner node of a page according to the driver. Every workload
+    /// page is populated at init, so a miss is a protocol invariant failure.
+    pub(crate) fn owner_of(&self, vpn: Vpn) -> Result<Node, SimError> {
+        self.host_mem
+            .owner_of(vpn)
+            .or_invariant("fault references a page the driver never populated")
+    }
+}
+
+/// Locks one GPU lane, tolerating poison (a panicking worker must not mask
+/// the original panic with a second one on the coordinating thread).
+pub(crate) fn lock_lane<'a>(lanes: &'a [Mutex<GpuLane>], g: usize) -> MutexGuard<'a, GpuLane> {
+    match lanes[g].lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Read-locks the host lane (worker side), tolerating poison.
+pub(crate) fn read_host(host: &RwLock<HostState>) -> RwLockReadGuard<'_, HostState> {
+    match host.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Write-locks the host lane (barrier/host phase), tolerating poison.
+pub(crate) fn write_host(host: &RwLock<HostState>) -> RwLockWriteGuard<'_, HostState> {
+    match host.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Teaches every other GPU's PRT that `holder` has a translation of `vpn`
+/// (driver notification, state-only). Free function: this is host-phase
+/// coordinator code, not lane-handler code (see the `cross-domain-mutation`
+/// lint rule).
+pub(crate) fn broadcast_prt_record(lanes: &[Mutex<GpuLane>], vpn: Vpn, holder: usize) {
+    for g in 0..lanes.len() {
+        if g != holder {
+            if let Some(prt) = lock_lane(lanes, g).prt.as_mut() {
+                prt.record(vpn, holder);
+            }
+        }
+    }
+}
+
+/// A reusable pool of lane event queues. Repeated grid runs hand their
+/// queues back via [`System::recycle`] so the next [`System::new_with_pool`]
+/// starts from warmed heap/arena capacity instead of re-growing from zero.
+#[derive(Default)]
+pub struct QueuePool {
+    inner: LanePool<Ev>,
+}
+
+impl QueuePool {
+    /// An empty pool.
+    pub fn new() -> QueuePool {
+        QueuePool {
+            inner: LanePool::new(),
+        }
+    }
+
+    /// Queues currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// The assembled multi-GPU system: immutable shared state, one lane per
+/// GPU, the host lane, and the master observability sinks that per-lane
+/// shards are merged into after a run.
+pub struct System {
+    pub(crate) sh: Shared,
+    pub(crate) lanes: Vec<Mutex<GpuLane>>,
+    pub(crate) host: RwLock<HostState>,
+    /// Worker thread count for the parallel event core (1 = serial; the
+    /// schedule and all exports are identical either way).
+    pub(crate) threads: usize,
+    // Master observability sinks (see `observe`). All default to off and
     // cost one predictable branch per emission site when disabled.
     pub(crate) tracer: Tracer,
     pub(crate) tlog: TraceLog,
@@ -298,12 +564,63 @@ pub struct System {
     pub(crate) progress: Option<ProgressCallback>,
 }
 
+/// Reads the worker thread count from the `IDYLL_THREADS` environment
+/// variable (default 1). The thread count never changes simulation results —
+/// only wall-clock.
+pub fn threads_from_env() -> usize {
+    std::env::var("IDYLL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 impl System {
     /// Builds a system for `cfg` loaded with `workload`.
     ///
     /// # Panics
     /// Panics if the workload has a different GPU count than the config.
     pub fn new(cfg: SystemConfig, workload: &Workload) -> System {
+        Self::build(cfg, workload, None)
+    }
+
+    /// Like [`System::new`], but takes lane event queues from `pool`
+    /// (returned by a previous run's [`System::recycle`]) so repeated grid
+    /// runs reuse their heap/arena capacity.
+    pub fn new_with_pool(cfg: SystemConfig, workload: &Workload, pool: &mut QueuePool) -> System {
+        Self::build(cfg, workload, Some(pool))
+    }
+
+    /// Sets the worker thread count for the parallel event core (clamped to
+    /// at least 1 and at most one worker per lane). Results are
+    /// byte-identical for any value; only wall-clock changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns this system's lane queues to `pool` for reuse by a later
+    /// [`System::new_with_pool`].
+    pub fn recycle(self, pool: &mut QueuePool) {
+        for lane in self.lanes {
+            let lane = match lane.into_inner() {
+                Ok(l) => l,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            pool.inner.put(lane.q);
+        }
+        let host = match self.host.into_inner() {
+            Ok(h) => h,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        pool.inner.put(host.q);
+    }
+
+    fn build(cfg: SystemConfig, workload: &Workload, pool: Option<&mut QueuePool>) -> System {
         assert_eq!(
             workload.traces.len(),
             cfg.n_gpus,
@@ -313,15 +630,7 @@ impl System {
         let mut gpu_cfg = cfg.gpu;
         gpu_cfg.page_size = cfg.page_size;
         gpu_cfg.gmmu.levels = cfg.page_size.levels();
-        let gpus: Vec<Gpu> = (0..cfg.n_gpus).map(|g| Gpu::new(g, gpu_cfg)).collect();
         let lazy = cfg.idyll.map(|i| i.lazy).unwrap_or(false);
-        let irmbs = if lazy {
-            // simlint: allow(hot-path-panic) — construction-time config check, not event-loop code
-            let geometry = cfg.idyll.expect("lazy implies idyll").irmb;
-            (0..cfg.n_gpus).map(|_| Irmb::new(geometry)).collect()
-        } else {
-            Vec::new()
-        };
         let in_pte_dir = match cfg.idyll.map(|i| i.directory) {
             Some(DirectoryMode::InPte { access_bits }) => Some(InPteDirectory::new(
                 DirectoryConfig::with_access_bits(cfg.n_gpus, access_bits),
@@ -331,10 +640,6 @@ impl System {
         let vm_dir = match cfg.idyll.map(|i| i.directory) {
             Some(DirectoryMode::InMem) => Some(VmDirectory::new(cfg.n_gpus)),
             _ => None,
-        };
-        let prts = match cfg.transfw {
-            Some(tf) => (0..cfg.n_gpus).map(|_| TransFw::new(tf)).collect(),
-            None => Vec::new(),
         };
         let mut host_mem = HostMemory::new(memmap, cfg.page_size);
         // Populate exactly the pages the traces touch (the VA span is
@@ -351,12 +656,103 @@ impl System {
                 // simlint: allow(hot-path-panic) — construction-time capacity check, documented panic
                 .expect("host window must fit the touched footprint");
         }
-        let mut system = System {
-            now: Cycle::ZERO,
-            events: EventQueue::new(),
-            gpus,
-            net: Interconnect::new(cfg.n_gpus, cfg.interconnect),
+        // Conservative lookahead: the cheapest cross-domain hop. Every
+        // cross-domain effect pays at least this latency, so lanes may run
+        // this far past the global minimum between barriers.
+        let lookahead = Cycle(
+            cfg.interconnect
+                .nvlink_latency
+                .raw()
+                .min(cfg.interconnect.pcie_latency.raw())
+                .max(1),
+        );
+        // Deal each GPU's trace to its warps under the configured CTA
+        // scheduling policy.
+        let warps_per_gpu = cfg.gpu.cus * cfg.gpu.warps_per_cu;
+        let traces: Vec<Vec<Access>> = workload.traces.iter().map(|t| t.accesses.clone()).collect();
+        let warp_plans: Vec<Vec<gpu_model::scheduler::WarpPlan>> = (0..cfg.n_gpus)
+            .map(|g| {
+                gpu_model::scheduler::plan_warps(
+                    traces[g].len(),
+                    warps_per_gpu.max(1),
+                    cfg.cta_schedule,
+                )
+            })
+            .collect();
+        let sh = Shared {
             memmap,
+            traces,
+            warp_plans,
+            compute_gap: Cycle(workload.compute_gap),
+            workload_name: workload.name.clone(),
+            instructions: workload.total_instructions(),
+            sharing_distribution: workload.access_sharing_distribution(),
+            lookahead,
+            cfg: cfg.clone(),
+        };
+        // Pre-size lane queues from the workload footprint: every warp can
+        // keep a small constant number of events in flight.
+        let lane_hint = cfg.gpu.cus * cfg.gpu.warps_per_cu * 4 + 64;
+        let host_hint = cfg.host.fault_batch + 128;
+        let mut pool = pool;
+        let mut take_q = |hint: usize| match pool.as_deref_mut() {
+            Some(p) => p.inner.take(hint),
+            None => LaneQueue::with_capacity(hint),
+        };
+        let per_pair =
+            cfg.interconnect.nvlink_bytes_per_cycle / (cfg.n_gpus.saturating_sub(1).max(1)) as f64;
+        let mut lanes: Vec<GpuLane> = (0..cfg.n_gpus)
+            .map(|g| GpuLane {
+                id: g,
+                gpu: Gpu::new(g, gpu_cfg),
+                irmb: if lazy {
+                    // simlint: allow(hot-path-panic) — construction-time config check, not event-loop code
+                    Some(Irmb::new(cfg.idyll.expect("lazy implies idyll").irmb))
+                } else {
+                    None
+                },
+                prt: cfg.transfw.map(TransFw::new),
+                warp_cursors: vec![0; sh.warp_plans[g].len()],
+                overflow: std::collections::VecDeque::new(),
+                dispatch_scheduled: false,
+                reqs: DetHashMap::default(),
+                next_token: 0,
+                updates: DetHashMap::default(),
+                next_update: 0,
+                inflight_faults: DetHashSet::default(),
+                inval_done: DetHashSet::default(),
+                counters: AccessCounters::new(),
+                finished: false,
+                finish_cycle: Cycle::ZERO,
+                q: take_q(lane_hint),
+                outbox: Vec::new(),
+                now: Cycle::ZERO,
+                events_processed: 0,
+                error: None,
+                egress: Egress {
+                    nvlink: (0..cfg.n_gpus)
+                        .map(|_| BandwidthPipe::new(per_pair, cfg.interconnect.nvlink_latency))
+                        .collect(),
+                    pcie_up: BandwidthPipe::new(
+                        cfg.interconnect.pcie_bytes_per_cycle,
+                        cfg.interconnect.pcie_latency,
+                    ),
+                    nvlink_latency: cfg.interconnect.nvlink_latency,
+                },
+                demand_miss_latency: Accumulator::new(),
+                access_latency: Accumulator::new(),
+                remote_data_latency: Accumulator::new(),
+                invalidation_latency: Accumulator::new(),
+                walker_mix: WalkerMix::default(),
+                invalidation_messages: 0,
+                far_faults: 0,
+                accesses_done: 0,
+                tracer: Tracer::disabled(),
+                tlog: TraceLog::disabled(),
+                prof: Profiler::disabled(),
+            })
+            .collect();
+        let mut host = HostState {
             host_mem,
             host_walkers: ThreadPool::new(cfg.host.walk_threads),
             batcher: FaultBatcher::new(cfg.host.fault_batch),
@@ -364,53 +760,32 @@ impl System {
                 uvm_driver::prefetch::PrefetchConfig::default(),
             ),
             batch_flush_scheduled: false,
-            counters: AccessCounters::new(),
             migrations: MigrationTable::new(),
             replicas: ReplicaDirectory::new(),
             replica_frames: DetHashMap::default(),
-            irmbs,
             in_pte_dir,
             vm_dir,
-            prts,
-            traces: workload.traces.iter().map(|t| t.accesses.clone()).collect(),
-            warp_plans: Vec::new(),
-            warp_cursors: Vec::new(),
-            compute_gap: Cycle(workload.compute_gap),
-            workload_name: workload.name.clone(),
-            instructions: workload.total_instructions(),
-            sharing_distribution: workload.access_sharing_distribution(),
             pending_dir_lookup: DetHashSet::default(),
-            inval_done: DetHashSet::default(),
             last_migration: DetHashMap::default(),
-            inflight_faults: DetHashSet::default(),
-            reqs: DetHashMap::default(),
-            next_token: 0,
-            updates: DetHashMap::default(),
-            next_update: 0,
-            overflow: (0..cfg.n_gpus)
-                .map(|_| std::collections::VecDeque::new())
-                .collect(),
-            dispatch_scheduled: vec![false; cfg.n_gpus],
-            finished_gpus: 0,
-            finish_cycle: Cycle::ZERO,
-            demand_miss_latency: Accumulator::new(),
-            access_latency: Accumulator::new(),
-            remote_data_latency: Accumulator::new(),
-            invalidation_latency: Accumulator::new(),
+            migrations_done: 0,
             migration_waiting: Accumulator::new(),
             migration_total: Accumulator::new(),
-            walker_mix: WalkerMix::default(),
-            invalidation_messages: 0,
-            far_faults: 0,
-            migrations_done: 0,
-            accesses_done: 0,
+            remote_data_latency: Accumulator::new(),
+            pcie_down: (0..cfg.n_gpus)
+                .map(|_| {
+                    BandwidthPipe::new(
+                        cfg.interconnect.pcie_bytes_per_cycle,
+                        cfg.interconnect.pcie_latency,
+                    )
+                })
+                .collect(),
+            q: take_q(host_hint),
+            now: Cycle::ZERO,
             events_processed: 0,
+            ext_pushes: 0,
             tracer: Tracer::disabled(),
             tlog: TraceLog::disabled(),
             prof: Profiler::disabled(),
-            progress_every: 0,
-            progress: None,
-            cfg,
         };
         // Pre-place pages first-touch: the paper's OpenCL workloads copy
         // their buffers to GPU memory before kernel launch (MGPUSim's setup
@@ -418,48 +793,43 @@ impl System {
         // page lives on the GPU that first touches it, with that GPU's local
         // page table warm. Remote GPUs still far-fault on first access.
         {
-            let max_len = system.traces.iter().map(|t| t.len()).max().unwrap_or(0);
+            let max_len = sh.traces.iter().map(|t| t.len()).max().unwrap_or(0);
             for pos in 0..max_len {
-                for g in 0..system.cfg.n_gpus {
-                    let Some(access) = system.traces[g].get(pos) else {
+                for (g, lane) in lanes.iter_mut().enumerate() {
+                    let Some(access) = sh.traces[g].get(pos) else {
                         continue;
                     };
                     let vpn = access.vpn;
-                    if system.host_mem.owner_of(vpn) == Some(Node::Host)
-                        && system.host_mem.move_page(vpn, Node::Gpu(g)).is_ok()
+                    if host.host_mem.owner_of(vpn) == Some(Node::Host)
+                        && host.host_mem.move_page(vpn, Node::Gpu(g)).is_ok()
                     {
                         // simlint: allow(hot-path-panic) — construction-time: the page was just moved
-                        let ppn = system.host_mem.pte(vpn).expect("populated").ppn();
-                        system.gpus[g]
-                            .page_table
-                            .insert(vpn, Pte::new_mapped(ppn, true));
-                        system.dir_record(vpn, g);
+                        let ppn = host.host_mem.pte(vpn).expect("populated").ppn();
+                        lane.gpu.page_table.insert(vpn, Pte::new_mapped(ppn, true));
+                        host.dir_record(vpn, g);
                     }
                 }
             }
         }
-        // Deal each GPU's trace to its warps under the configured CTA
-        // scheduling policy and prime every warp.
-        let warps_per_gpu = system.cfg.gpu.cus * system.cfg.gpu.warps_per_cu;
-        for gpu in 0..system.cfg.n_gpus {
-            let plans = gpu_model::scheduler::plan_warps(
-                system.traces[gpu].len(),
-                warps_per_gpu.max(1),
-                system.cfg.cta_schedule,
-            );
-            system.warp_cursors.push(vec![0; plans.len()]);
-            system.warp_plans.push(plans);
-        }
-        for gpu in 0..system.cfg.n_gpus {
-            for cu in 0..system.cfg.gpu.cus {
-                for warp in 0..system.cfg.gpu.warps_per_cu {
-                    system
-                        .events
-                        .schedule(Cycle::ZERO, Ev::WarpReady { gpu, cu, warp });
+        // Prime every warp.
+        for lane in &mut lanes {
+            for cu in 0..cfg.gpu.cus {
+                for warp in 0..cfg.gpu.warps_per_cu {
+                    lane.q.schedule(Cycle::ZERO, Ev::WarpReady { cu, warp });
                 }
             }
         }
-        system
+        System {
+            sh,
+            lanes: lanes.into_iter().map(Mutex::new).collect(),
+            host: RwLock::new(host),
+            threads: 1,
+            tracer: Tracer::disabled(),
+            tlog: TraceLog::disabled(),
+            prof: Profiler::disabled(),
+            progress_every: 0,
+            progress: None,
+        }
     }
 
     /// Runs with diagnostics on failure (debug aid for protocol livelocks).
@@ -486,7 +856,7 @@ impl System {
             Ok(()) | Err(SimError::Stalled { .. }) => {}
             Err(e) => return Err(e),
         }
-        let pipes = self.net.pipe_stats();
+        let pipes = self.pipe_stats();
         Ok((self.report(), pipes))
     }
 
@@ -505,130 +875,6 @@ impl System {
         Ok(self.report())
     }
 
-    /// The shared event loop behind the `run*` entry points.
-    ///
-    /// `limit_multiplier` scales the default event bound (events per trace
-    /// access). Generous bounds exist only to catch true livelocks:
-    /// high-sharing workloads at large GPU counts legitimately spend
-    /// hundreds of events per access on migration churn.
-    fn run_inner(&mut self, limit_multiplier: u64) -> Result<(), SimError> {
-        let limit = if self.cfg.max_events > 0 {
-            self.cfg.max_events
-        } else {
-            limit_multiplier * self.traces.iter().map(|t| t.len() as u64).sum::<u64>() + 10_000_000
-        };
-        // Wall-clock is only used for stderr progress lines, never for
-        // simulation decisions or exported artifacts, so determinism holds.
-        // simlint: allow(wall-clock) — heartbeat progress reporting only
-        let started = std::time::Instant::now();
-        let mut next_heartbeat = self.progress_every;
-        loop {
-            let pop_timer = self.prof.begin();
-            let Some((at, ev)) = self.events.pop() else {
-                break;
-            };
-            self.prof.end(Phase::HeapPop, pop_timer);
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.events_processed += 1;
-            if self.events_processed > limit {
-                return Err(SimError::EventLimit(limit));
-            }
-            if self.progress_every > 0 && self.events_processed >= next_heartbeat {
-                next_heartbeat += self.progress_every;
-                self.emit_progress(started);
-            }
-            if self.prof.is_enabled() {
-                // The profiled path charges the handler's host time to the
-                // event's phase and the heap pushes it caused (by delta of
-                // the queue's monotone scheduled counter) to HeapPush.
-                let scheduled_before = self.events.scheduled_total();
-                let phase = ev.phase();
-                let timer = self.prof.begin();
-                self.handle(ev)?;
-                self.prof.end(phase, timer);
-                let pushed = self.events.scheduled_total() - scheduled_before;
-                self.prof.add(Phase::HeapPush, pushed);
-            } else {
-                self.handle(ev)?;
-            }
-            if self.finished_gpus == self.cfg.n_gpus {
-                return Ok(());
-            }
-        }
-        if self.finished_gpus == self.cfg.n_gpus {
-            Ok(())
-        } else {
-            Err(SimError::Stalled {
-                at: self.now,
-                unfinished_gpus: self.cfg.n_gpus - self.finished_gpus,
-            })
-        }
-    }
-
-    fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
-        match ev {
-            Ev::WarpReady { gpu, cu, warp } => self.on_warp_ready(gpu, cu, warp),
-            Ev::L2Lookup { token } => self.on_l2_lookup(token, false),
-            Ev::MshrRetry { token } => self.on_l2_lookup(token, true),
-            Ev::DispatchWalks { gpu } => {
-                self.dispatch_scheduled[gpu] = false;
-                self.dispatch_walks(gpu)
-            }
-            Ev::WalkDone { gpu, walk } => self.on_walk_done(gpu, walk),
-            Ev::FaultAtHost { fault } => self.on_fault_at_host(fault),
-            Ev::BatchWindow => self.on_batch_window(),
-            Ev::FaultResolved { fault } => self.on_fault_resolved(fault),
-            Ev::MappingToGpu { gpu, vpn, pte } => self.on_mapping_to_gpu(gpu, vpn, pte),
-            Ev::InvalArrive { gpu, vpn } => self.on_inval_arrive(gpu, vpn),
-            Ev::AckAtHost { gpu, vpn } => self.on_ack_at_host(gpu, vpn),
-            Ev::MigRequestAtHost { vpn, to } => self.on_mig_request(vpn, to),
-            Ev::MigHostWalkDone { vpn } => self.on_mig_host_walk_done(vpn),
-            Ev::MigSendInvals { vpn, targets } => {
-                self.send_invalidations(vpn, targets);
-                Ok(())
-            }
-            Ev::MigDataDone { vpn } => self.on_mig_data_done(vpn),
-            Ev::AccessDone { token } => self.on_access_done(token),
-            Ev::RemoteReqArrive {
-                token,
-                owner,
-                paddr,
-            } => {
-                self.on_remote_req_arrive(token, owner, paddr);
-                Ok(())
-            }
-            Ev::RemoteServed { token, owner } => {
-                self.on_remote_served(token, owner);
-                Ok(())
-            }
-            Ev::RemoteProbeDone {
-                token,
-                fault,
-                holder,
-            } => self.on_remote_probe_done(token, fault, holder),
-        }
-    }
-
-    /// Records that `gpu` now holds a valid translation of `vpn`
-    /// (directory bookkeeping on the host side; no latency — it piggybacks
-    /// on work the driver already does).
-    pub(crate) fn dir_record(&mut self, vpn: Vpn, gpu: usize) {
-        if let Some(dir) = self.in_pte_dir {
-            if let Some(pte) = self.host_mem.pte_mut(vpn) {
-                dir.record_access(pte, gpu);
-            }
-        }
-        if let Some(vm) = self.vm_dir.as_mut() {
-            vm.record_access(vpn, gpu);
-        }
-    }
-
-    /// Whether lazy invalidation (IRMB) is active.
-    pub(crate) fn lazy(&self) -> bool {
-        !self.irmbs.is_empty()
-    }
-
     fn report(&self) -> SimReport {
         let mut l1_hits = 0;
         let mut l1_misses = 0;
@@ -636,68 +882,107 @@ impl System {
         let mut l2_misses = 0;
         let mut pwc_hits = 0u64;
         let mut pwc_misses = 0u64;
-        for gpu in &self.gpus {
-            for tlb in &gpu.l1_tlbs {
+        let mut finish_cycle = Cycle::ZERO;
+        let mut accesses_done = 0;
+        let mut far_faults = 0;
+        let mut invalidation_messages = 0;
+        let mut events_processed = 0;
+        let mut walker_mix = WalkerMix::default();
+        let mut demand_miss_latency = Accumulator::new();
+        let mut access_latency = Accumulator::new();
+        let mut remote_data_latency = Accumulator::new();
+        let mut invalidation_latency = Accumulator::new();
+        let mut irmb_inserts = 0u64;
+        let mut irmb_bypasses = 0u64;
+        let mut irmb_evictions = 0u64;
+        let mut irmb_superseded = 0u64;
+        let mut transfw_sums = (0u64, 0u64, 0u64);
+        let mut have_prts = false;
+        let mut nvlink_bytes = 0u64;
+        let mut pcie_bytes = 0u64;
+        for i in 0..self.lanes.len() {
+            let lane = lock_lane(&self.lanes, i);
+            for tlb in &lane.gpu.l1_tlbs {
                 l1_hits += tlb.hits();
                 l1_misses += tlb.misses();
             }
-            l2_hits += gpu.l2_tlb.hits();
-            l2_misses += gpu.l2_tlb.misses();
-            pwc_hits += gpu.gmmu.pwc().hits();
-            pwc_misses += gpu.gmmu.pwc().misses();
+            l2_hits += lane.gpu.l2_tlb.hits();
+            l2_misses += lane.gpu.l2_tlb.misses();
+            pwc_hits += lane.gpu.gmmu.pwc().hits();
+            pwc_misses += lane.gpu.gmmu.pwc().misses();
+            finish_cycle = finish_cycle.max(lane.finish_cycle);
+            accesses_done += lane.accesses_done;
+            far_faults += lane.far_faults;
+            invalidation_messages += lane.invalidation_messages;
+            events_processed += lane.events_processed;
+            walker_mix.demand += lane.walker_mix.demand;
+            walker_mix.invalidation_necessary += lane.walker_mix.invalidation_necessary;
+            walker_mix.invalidation_unnecessary += lane.walker_mix.invalidation_unnecessary;
+            walker_mix.update += lane.walker_mix.update;
+            demand_miss_latency.merge(&lane.demand_miss_latency);
+            access_latency.merge(&lane.access_latency);
+            remote_data_latency.merge(&lane.remote_data_latency);
+            invalidation_latency.merge(&lane.invalidation_latency);
+            if let Some(irmb) = lane.irmb.as_ref() {
+                irmb_inserts += irmb.inserts();
+                irmb_bypasses += irmb.lookup_hits();
+                irmb_evictions += irmb.lru_evictions() + irmb.offset_evictions();
+                irmb_superseded += irmb.removed_by_mapping();
+            }
+            if let Some(prt) = lane.prt.as_ref() {
+                have_prts = true;
+                transfw_sums.0 += prt.probes();
+                transfw_sums.1 += prt.hits();
+                transfw_sums.2 += prt.false_forwards();
+            }
+            nvlink_bytes += lane
+                .egress
+                .nvlink
+                .iter()
+                .map(|p| p.bytes_total())
+                .sum::<u64>();
+            pcie_bytes += lane.egress.pcie_up.bytes_total();
         }
-        let irmb_inserts: u64 = self.irmbs.iter().map(|i| i.inserts()).sum();
-        let irmb_bypasses: u64 = self.irmbs.iter().map(|i| i.lookup_hits()).sum();
-        let irmb_evictions: u64 = self
-            .irmbs
-            .iter()
-            .map(|i| i.lru_evictions() + i.offset_evictions())
-            .sum();
-        let irmb_superseded: u64 = self.irmbs.iter().map(|i| i.removed_by_mapping()).sum();
+        let host = read_host(&self.host);
+        events_processed += host.events_processed;
+        remote_data_latency.merge(&host.remote_data_latency);
+        pcie_bytes += host.pcie_down.iter().map(|p| p.bytes_total()).sum::<u64>();
         SimReport {
-            scheme: self.cfg.scheme_name(),
-            workload: self.workload_name.clone(),
-            exec_cycles: self.finish_cycle.raw(),
-            accesses: self.accesses_done,
-            instructions: self.instructions,
+            scheme: self.sh.cfg.scheme_name(),
+            workload: self.sh.workload_name.clone(),
+            exec_cycles: finish_cycle.raw(),
+            accesses: accesses_done,
+            instructions: self.sh.instructions,
             l1_tlb_hits: l1_hits,
             l1_tlb_misses: l1_misses,
             l2_tlb_hits: l2_hits,
             l2_tlb_misses: l2_misses,
-            demand_miss_latency: self.demand_miss_latency,
-            access_latency: self.access_latency,
-            remote_data_latency: self.remote_data_latency,
-            walker_mix: self.walker_mix,
-            invalidation_messages: self.invalidation_messages,
-            invalidation_latency: self.invalidation_latency,
-            far_faults: self.far_faults,
-            migrations: self.migrations_done,
-            migration_waiting: self.migration_waiting,
-            migration_total: self.migration_total,
+            demand_miss_latency,
+            access_latency,
+            remote_data_latency,
+            walker_mix,
+            invalidation_messages,
+            invalidation_latency,
+            far_faults,
+            migrations: host.migrations_done,
+            migration_waiting: host.migration_waiting,
+            migration_total: host.migration_total,
             irmb_inserts,
             irmb_bypasses,
             irmb_evictions,
             irmb_superseded,
             pwc_hit_rate: sim_engine::stats::hit_rate(pwc_hits, pwc_misses),
-            vm_cache_hit_rate: self.vm_dir.as_ref().map(|v| v.cache_hit_rate()),
-            transfw: if self.prts.is_empty() {
-                None
-            } else {
-                Some((
-                    self.prts.iter().map(|p| p.probes()).sum(),
-                    self.prts.iter().map(|p| p.hits()).sum(),
-                    self.prts.iter().map(|p| p.false_forwards()).sum(),
-                ))
-            },
-            replication: if self.cfg.replication {
-                Some((self.replicas.replications(), self.replicas.collapses()))
+            vm_cache_hit_rate: host.vm_dir.as_ref().map(|v| v.cache_hit_rate()),
+            transfw: if have_prts { Some(transfw_sums) } else { None },
+            replication: if self.sh.cfg.replication {
+                Some((host.replicas.replications(), host.replicas.collapses()))
             } else {
                 None
             },
-            nvlink_bytes: self.net.nvlink_bytes(),
-            pcie_bytes: self.net.pcie_bytes(),
-            sharing_distribution: self.sharing_distribution.clone(),
-            events_processed: self.events_processed,
+            nvlink_bytes,
+            pcie_bytes,
+            sharing_distribution: self.sh.sharing_distribution.clone(),
+            events_processed,
             stale_translations: self.audit_translations(),
         }
     }
@@ -707,22 +992,24 @@ impl System {
     /// migration is still in flight, the IRMB holds a pending invalidation
     /// for it, or it is a granted read replica.
     fn audit_translations(&self) -> u64 {
+        let host = read_host(&self.host);
         let mut stale = 0;
-        for (g, gpu) in self.gpus.iter().enumerate() {
-            for (vpn, pte) in gpu.page_table.iter() {
+        for g in 0..self.lanes.len() {
+            let lane = lock_lane(&self.lanes, g);
+            for (vpn, pte) in lane.gpu.page_table.iter() {
                 if !pte.is_valid() {
                     continue;
                 }
-                let Some(host_pte) = self.host_mem.pte(vpn) else {
+                let Some(host_pte) = host.host_mem.pte(vpn) else {
                     stale += 1;
                     continue;
                 };
                 if pte.ppn() == host_pte.ppn() {
                     continue;
                 }
-                let excused = self.migrations.is_migrating(vpn)
-                    || (self.lazy() && self.irmbs[g].contains(vpn))
-                    || self.replica_frames.get(&(g, vpn)) == Some(&pte.ppn());
+                let excused = host.migrations.is_migrating(vpn)
+                    || lane.irmb.as_ref().map(|i| i.contains(vpn)).unwrap_or(false)
+                    || host.replica_frames.get(&(g, vpn)) == Some(&pte.ppn());
                 if !excused {
                     stale += 1;
                     if std::env::var("IDYLL_AUDIT_DEBUG").is_ok() {
@@ -731,8 +1018,8 @@ impl System {
                             vpn.0,
                             pte.ppn(),
                             host_pte.ppn(),
-                            self.replica_frames.get(&(g, vpn)),
-                            self.replicas.holders(vpn)
+                            host.replica_frames.get(&(g, vpn)),
+                            host.replicas.holders(vpn)
                         );
                     }
                 }
@@ -741,21 +1028,51 @@ impl System {
         stale
     }
 
-    /// Interconnect diagnostics (pipe occupancy) — debug aid.
+    /// Interconnect diagnostics (pipe occupancy) — debug aid. Labels and
+    /// order match the pre-lane global interconnect: `g{a}->g{b}` a-major,
+    /// then `host->g{g}`, then `g{g}->host`, pipes with traffic only.
     pub fn debug_pipe_stats(&self) -> Vec<PipeStat> {
-        self.net.pipe_stats()
+        self.pipe_stats()
     }
 
-    /// The page size in bytes.
-    pub(crate) fn page_bytes(&self) -> u64 {
-        self.cfg.page_size.bytes()
-    }
-
-    /// Current owner node of a page according to the driver. Every workload
-    /// page is populated at init, so a miss is a protocol invariant failure.
-    pub(crate) fn owner_of(&self, vpn: Vpn) -> Result<Node, SimError> {
-        self.host_mem
-            .owner_of(vpn)
-            .or_invariant("fault references a page the driver never populated")
+    fn pipe_stats(&self) -> Vec<PipeStat> {
+        let mut out = Vec::new();
+        for a in 0..self.lanes.len() {
+            let lane = lock_lane(&self.lanes, a);
+            for (b, p) in lane.egress.nvlink.iter().enumerate() {
+                if p.transfers() > 0 {
+                    out.push((
+                        format!("g{a}->g{b}"),
+                        p.transfers(),
+                        p.bytes_total(),
+                        p.next_free(),
+                    ));
+                }
+            }
+        }
+        let host = read_host(&self.host);
+        for (g, p) in host.pcie_down.iter().enumerate() {
+            if p.transfers() > 0 {
+                out.push((
+                    format!("host->g{g}"),
+                    p.transfers(),
+                    p.bytes_total(),
+                    p.next_free(),
+                ));
+            }
+        }
+        for g in 0..self.lanes.len() {
+            let lane = lock_lane(&self.lanes, g);
+            let p = &lane.egress.pcie_up;
+            if p.transfers() > 0 {
+                out.push((
+                    format!("g{g}->host"),
+                    p.transfers(),
+                    p.bytes_total(),
+                    p.next_free(),
+                ));
+            }
+        }
+        out
     }
 }

@@ -3,7 +3,10 @@
 //!
 //! The simulator's protocol modules emit spans/instants through the track
 //! helpers here; everything stays a single-branch no-op until a caller
-//! installs an enabled [`Tracer`] with [`System::set_tracer`].
+//! installs an enabled [`Tracer`] with [`System::set_tracer`]. Under the
+//! parallel event core each lane records into its own forked shard; shards
+//! are absorbed back into the masters in fixed lane order when the run ends,
+//! so exports stay byte-identical for any thread count.
 //!
 //! # Track layout
 //!
@@ -17,14 +20,17 @@
 //!   on one track.
 //! * `pid = `[`HOST_PID`] — the UVM driver (fault batching, host walkers).
 
+use std::sync::Mutex;
+
 use sim_engine::metrics::MetricsRegistry;
 use sim_engine::prof::Profiler;
 use sim_engine::trace::{Tracer, Track};
 use sim_engine::tracelog::TraceLog;
 
 use gpu_model::gmmu::WalkClass;
+use uvm_driver::fault::FarFault;
 
-use super::System;
+use super::{lock_lane, read_host, GpuLane, HostState, Shared, System};
 
 /// A progress snapshot delivered to a [`ProgressCallback`] at every
 /// heartbeat interval (see [`System::set_progress_callback`]).
@@ -36,8 +42,8 @@ pub struct RunProgress {
     pub sim_cycle: u64,
 }
 
-/// Sink for heartbeat progress snapshots. Callbacks run on the simulating
-/// thread inside the event loop: keep them cheap and never let them feed
+/// Sink for heartbeat progress snapshots. Callbacks run on the coordinating
+/// thread at epoch barriers: keep them cheap and never let them feed
 /// anything back into simulation state, or determinism guarantees die.
 pub type ProgressCallback = Box<dyn FnMut(RunProgress) + Send>;
 
@@ -61,7 +67,7 @@ impl System {
     /// replay) as Perfetto-loadable spans; see [`Tracer::to_chrome_json`].
     pub fn set_tracer(&mut self, mut tracer: Tracer) {
         if tracer.is_enabled() {
-            for g in 0..self.cfg.n_gpus {
+            for g in 0..self.sh.cfg.n_gpus {
                 tracer.set_process_name(gpu_pid(g), format!("gpu{g} translation"));
             }
             tracer.set_process_name(MIG_PID, "migrations");
@@ -118,174 +124,99 @@ impl System {
         &self.prof
     }
 
-    /// One heartbeat: the installed callback when present, otherwise the
-    /// stderr progress line.
-    pub(crate) fn emit_progress(&mut self, started: std::time::Instant) {
-        if self.progress.is_some() {
-            let snapshot = RunProgress {
-                events_processed: self.events_processed,
-                sim_cycle: self.now.raw(),
-            };
-            if let Some(cb) = self.progress.as_mut() {
-                cb(snapshot);
-            }
-        } else {
-            self.heartbeat(started);
-        }
-    }
-
-    pub(crate) fn heartbeat(&self, started: std::time::Instant) {
-        let wall = started.elapsed().as_secs_f64().max(1e-9);
-        eprintln!(
-            "[mgpu-sim] {:>12} events | sim cycle {:>13} | {:>11.0} events/s | {:>12.0} sim-cycles/s | faults {} | migrations {}",
-            self.events_processed,
-            self.now.raw(),
-            self.events_processed as f64 / wall,
-            self.now.raw() as f64 / wall,
-            self.far_faults,
-            self.migrations_done,
-        );
-    }
-
-    // --- track helpers (all cheap; only called on enabled-tracer paths) ---
-
-    /// The warp's own timeline; names the thread lazily so only tracks that
-    /// actually carry events appear in the viewer.
-    pub(crate) fn warp_track(&mut self, gpu: usize, cu: usize, warp: usize) -> Track {
-        let pid = gpu_pid(gpu);
-        let tid = (cu * self.cfg.gpu.warps_per_cu + warp) as u64;
-        self.tracer
-            .set_thread_name(pid, tid, format!("cu{cu} warp{warp}"));
-        Track { pid, tid }
-    }
-
-    /// The track of the warp behind a live request token, or the driver
-    /// track when the token no longer maps to a request.
-    pub(crate) fn req_track(&mut self, token: u64) -> Track {
-        match self.reqs.get(&token).copied() {
-            Some(r) => self.warp_track(r.gpu, r.cu, r.warp),
-            None => self.host_track(),
-        }
-    }
-
-    /// The GPU-local lane for walks with no requesting warp.
-    pub(crate) fn gmmu_track(&mut self, gpu: usize) -> Track {
-        let pid = gpu_pid(gpu);
-        self.tracer
-            .set_thread_name(pid, GMMU_TID, "gmmu service walks");
-        Track { pid, tid: GMMU_TID }
-    }
-
-    /// One track per migration id.
-    pub(crate) fn mig_track(&mut self, id: u64) -> Track {
-        self.tracer
-            .set_thread_name(MIG_PID, id, format!("migration {id}"));
-        Track {
-            pid: MIG_PID,
-            tid: id,
-        }
-    }
-
-    /// The UVM driver's track.
-    pub(crate) fn host_track(&self) -> Track {
-        Track {
-            pid: HOST_PID,
-            tid: 0,
-        }
-    }
-
-    /// Records the retroactive span pair for a finished page walk: the
-    /// queue-wait window and the walk itself. Demand walks land on the
-    /// requesting warp's track; service walks (invalidation, IRMB
-    /// write-back, PTE update) on the GPU's GMMU lane.
-    pub(crate) fn trace_walk(&mut self, gpu: usize, walk: &gpu_model::gmmu::DispatchedWalk) {
-        let track = match walk.request.class {
-            WalkClass::Demand => self.req_track(walk.request.token),
-            _ => self.gmmu_track(gpu),
-        };
-        let walk_start = walk.finish_at.saturating_sub(walk.result.latency);
-        let queue_start = walk_start.saturating_sub(walk.queued_for);
-        let vpn = walk.request.vpn.0;
-        if walk.queued_for.raw() > 0 {
-            self.tracer.span(
-                "walk",
-                "walk queue wait",
-                track,
-                queue_start,
-                walk_start,
-                &[("vpn", vpn)],
-            );
-        }
-        let name = match walk.request.class {
-            WalkClass::Demand => "page walk",
-            WalkClass::Invalidation => "invalidation walk",
-            WalkClass::IrmbWriteback => "IRMB write-back walk",
-            WalkClass::Update => "PTE update walk",
-        };
-        self.tracer.span(
-            "walk",
-            name,
-            track,
-            walk_start,
-            walk.finish_at,
-            &[("vpn", vpn), ("token", walk.request.token)],
-        );
-    }
-
     /// Flattens every component's statistics into a hierarchical registry
     /// (dotted names, e.g. `gpu0.gmmu.walk_queue.wait_cycles`); the export
     /// is deterministic and byte-identical for identical runs — see
     /// [`MetricsRegistry::to_json`].
     pub fn metrics_registry(&self) -> MetricsRegistry {
+        // Audit first: it takes the lane locks itself.
+        let stale_translations = self.audit_translations();
         let mut reg = MetricsRegistry::new();
+        // Hold every lane (fixed order) plus the host for a consistent
+        // post-run snapshot.
+        let lanes: Vec<_> = (0..self.lanes.len())
+            .map(|g| lock_lane(&self.lanes, g))
+            .collect();
+        let host = read_host(&self.host);
+        // Merge the lane shards (fixed lane order, matching `report`).
+        let mut events_processed = host.events_processed;
+        let mut accesses = 0u64;
+        let mut far_faults = 0u64;
+        let mut invalidation_messages = 0u64;
+        let mut finish_cycle = sim_engine::Cycle::ZERO;
+        let mut mix = crate::metrics::WalkerMix::default();
+        let mut demand_miss = sim_engine::stats::Accumulator::new();
+        let mut access_lat = sim_engine::stats::Accumulator::new();
+        let mut remote_lat = sim_engine::stats::Accumulator::new();
+        let mut inval_lat = sim_engine::stats::Accumulator::new();
+        let mut nvlink_bytes = 0u64;
+        let mut pcie_bytes = host.pcie_down.iter().map(|p| p.bytes_total()).sum::<u64>();
+        for lane in &lanes {
+            events_processed += lane.events_processed;
+            accesses += lane.accesses_done;
+            far_faults += lane.far_faults;
+            invalidation_messages += lane.invalidation_messages;
+            finish_cycle = finish_cycle.max(lane.finish_cycle);
+            mix.demand += lane.walker_mix.demand;
+            mix.invalidation_necessary += lane.walker_mix.invalidation_necessary;
+            mix.invalidation_unnecessary += lane.walker_mix.invalidation_unnecessary;
+            mix.update += lane.walker_mix.update;
+            demand_miss.merge(&lane.demand_miss_latency);
+            access_lat.merge(&lane.access_latency);
+            remote_lat.merge(&lane.remote_data_latency);
+            inval_lat.merge(&lane.invalidation_latency);
+            nvlink_bytes += lane
+                .egress
+                .nvlink
+                .iter()
+                .map(|p| p.bytes_total())
+                .sum::<u64>();
+            pcie_bytes += lane.egress.pcie_up.bytes_total();
+        }
+        remote_lat.merge(&host.remote_data_latency);
         {
             let mut sim = reg.scope("sim");
-            sim.count("exec_cycles", self.finish_cycle.raw());
-            sim.count("events_processed", self.events_processed);
-            sim.count("accesses", self.accesses_done);
-            sim.count("instructions", self.instructions);
-            sim.count("far_faults", self.far_faults);
-            sim.count("migrations", self.migrations_done);
-            sim.count("invalidation_messages", self.invalidation_messages);
-            sim.count("stale_translations", self.audit_translations());
+            sim.count("exec_cycles", finish_cycle.raw());
+            sim.count("events_processed", events_processed);
+            sim.count("accesses", accesses);
+            sim.count("instructions", self.sh.instructions);
+            sim.count("far_faults", far_faults);
+            sim.count("migrations", host.migrations_done);
+            sim.count("invalidation_messages", invalidation_messages);
+            sim.count("stale_translations", stale_translations);
         }
         {
             let mut lat = reg.scope("latency");
-            lat.accumulator("demand_miss", &self.demand_miss_latency);
-            lat.accumulator("access", &self.access_latency);
-            lat.accumulator("remote_data", &self.remote_data_latency);
-            lat.accumulator("invalidation", &self.invalidation_latency);
-            lat.accumulator("migration_waiting", &self.migration_waiting);
-            lat.accumulator("migration_total", &self.migration_total);
+            lat.accumulator("demand_miss", &demand_miss);
+            lat.accumulator("access", &access_lat);
+            lat.accumulator("remote_data", &remote_lat);
+            lat.accumulator("invalidation", &inval_lat);
+            lat.accumulator("migration_waiting", &host.migration_waiting);
+            lat.accumulator("migration_total", &host.migration_total);
         }
         {
-            let mut mix = reg.scope("walker_mix");
-            mix.count("demand", self.walker_mix.demand);
-            mix.count(
-                "invalidation_necessary",
-                self.walker_mix.invalidation_necessary,
-            );
-            mix.count(
-                "invalidation_unnecessary",
-                self.walker_mix.invalidation_unnecessary,
-            );
-            mix.count("update", self.walker_mix.update);
+            let mut mix_scope = reg.scope("walker_mix");
+            mix_scope.count("demand", mix.demand);
+            mix_scope.count("invalidation_necessary", mix.invalidation_necessary);
+            mix_scope.count("invalidation_unnecessary", mix.invalidation_unnecessary);
+            mix_scope.count("update", mix.update);
         }
         {
             let mut drv = reg.scope("driver");
-            drv.count("fault_batches", self.batcher.batches_emitted());
-            drv.count("faults_batched", self.batcher.faults_total());
-            drv.count("walkers.busy_cycles", self.host_walkers.busy_cycles());
-            drv.count("walkers.grants", self.host_walkers.grants());
-            drv.count("migrations_started", self.migrations.started());
-            drv.count("migrations_deduped", self.migrations.dropped_duplicates());
+            drv.count("fault_batches", host.batcher.batches_emitted());
+            drv.count("faults_batched", host.batcher.faults_total());
+            drv.count("walkers.busy_cycles", host.host_walkers.busy_cycles());
+            drv.count("walkers.grants", host.host_walkers.grants());
+            drv.count("migrations_started", host.migrations.started());
+            drv.count("migrations_deduped", host.migrations.dropped_duplicates());
         }
         {
             let mut net = reg.scope("net");
-            net.count("nvlink_bytes", self.net.nvlink_bytes());
-            net.count("pcie_bytes", self.net.pcie_bytes());
+            net.count("nvlink_bytes", nvlink_bytes);
+            net.count("pcie_bytes", pcie_bytes);
         }
-        for (g, gpu) in self.gpus.iter().enumerate() {
+        for (g, lane) in lanes.iter().enumerate() {
+            let gpu = &lane.gpu;
             let mut scope = reg.scope(format!("gpu{g}"));
             let l1_hits: u64 = gpu.l1_tlbs.iter().map(|t| t.hits()).sum();
             let l1_misses: u64 = gpu.l1_tlbs.iter().map(|t| t.misses()).sum();
@@ -332,8 +263,7 @@ impl System {
                     cls.accumulator("walk_queue.wait_cycles", &stats.queue_latency);
                 }
             }
-            if self.lazy() {
-                let irmb = &self.irmbs[g];
+            if let Some(irmb) = lane.irmb.as_ref() {
                 let mut s = scope.scope("irmb");
                 s.count("inserts", irmb.inserts());
                 s.count("bypasses", irmb.lookup_hits());
@@ -341,22 +271,40 @@ impl System {
                 s.count("superseded", irmb.removed_by_mapping());
             }
         }
-        if let Some(vm) = self.vm_dir.as_ref() {
+        if let Some(vm) = host.vm_dir.as_ref() {
             reg.gauge("driver.vm_cache.hit_rate", vm.cache_hit_rate());
         }
-        if !self.prts.is_empty() {
+        if lanes.iter().any(|l| l.prt.is_some()) {
             let mut tf = reg.scope("transfw");
-            tf.count("probes", self.prts.iter().map(|p| p.probes()).sum());
-            tf.count("hits", self.prts.iter().map(|p| p.hits()).sum());
+            tf.count(
+                "probes",
+                lanes
+                    .iter()
+                    .filter_map(|l| l.prt.as_ref())
+                    .map(|p| p.probes())
+                    .sum(),
+            );
+            tf.count(
+                "hits",
+                lanes
+                    .iter()
+                    .filter_map(|l| l.prt.as_ref())
+                    .map(|p| p.hits())
+                    .sum(),
+            );
             tf.count(
                 "false_forwards",
-                self.prts.iter().map(|p| p.false_forwards()).sum(),
+                lanes
+                    .iter()
+                    .filter_map(|l| l.prt.as_ref())
+                    .map(|p| p.false_forwards())
+                    .sum(),
             );
         }
-        if self.cfg.replication {
+        if self.sh.cfg.replication {
             let mut rep = reg.scope("replication");
-            rep.count("replications", self.replicas.replications());
-            rep.count("collapses", self.replicas.collapses());
+            rep.count("replications", host.replicas.replications());
+            rep.count("collapses", host.replicas.collapses());
         }
         reg
     }
@@ -365,17 +313,22 @@ impl System {
     /// in-flight migrations, a sample of live requests, per-GPU queue
     /// occupancy, and — when the flight recorder is enabled — its tail.
     pub(crate) fn debug_dump(&self) -> String {
+        let lanes: Vec<_> = (0..self.lanes.len())
+            .map(|g| lock_lane(&self.lanes, g))
+            .collect();
+        let host = read_host(&self.host);
         let mut d = String::new();
-        d.push_str(&format!(
-            "now={} pending_events={}\n",
-            self.now,
-            self.events.len()
-        ));
+        let now = lanes
+            .iter()
+            .map(|l| l.now)
+            .fold(host.now, sim_engine::Cycle::max);
+        let pending: usize = lanes.iter().map(|l| l.q.len()).sum::<usize>() + host.q.len();
+        d.push_str(&format!("now={now} pending_events={pending}\n"));
         d.push_str(&format!(
             "migrations in flight: {}\n",
-            self.migrations.in_flight()
+            host.migrations.in_flight()
         ));
-        let mut migs: Vec<_> = self.migrations.iter().collect();
+        let mut migs: Vec<_> = host.migrations.iter().collect();
         migs.sort_by_key(|m| m.vpn);
         for m in migs {
             d.push_str(&format!(
@@ -383,32 +336,38 @@ impl System {
                 m.vpn.0, m.from, m.to, m.phase, m.pending_acks, m.host_walk_done
             ));
         }
-        d.push_str(&format!("live reqs: {}\n", self.reqs.len()));
+        let live_reqs: usize = lanes.iter().map(|l| l.reqs.len()).sum();
+        d.push_str(&format!("live reqs: {live_reqs}\n"));
         // Collect everything before sorting so the sample is the 5 oldest
-        // tokens, not 5 arbitrary bucket-order entries.
-        // simlint: allow(unordered-iter) — sorted by token before use
-        let mut sample: Vec<_> = self.reqs.iter().collect();
-        sample.sort_by_key(|(t, _)| **t);
+        // (token, gpu) pairs, not 5 arbitrary bucket-order entries.
+        let mut sample: Vec<_> = lanes
+            .iter()
+            // simlint: allow(unordered-iter) — sorted by (token, gpu) before use
+            .flat_map(|l| l.reqs.iter().map(move |(t, r)| (*t, l.id, *r)))
+            .collect();
+        sample.sort_by_key(|(t, g, _)| (*t, *g));
         sample.truncate(5);
-        for (t, r) in sample {
+        for (t, g, r) in sample {
             d.push_str(&format!(
-                "  req {t}: gpu={} vpn={:#x} write={} issued={}\n",
-                r.gpu, r.vpn.0, r.is_write, r.issue_at
+                "  req {t}: gpu={g} vpn={:#x} write={} issued={}\n",
+                r.vpn.0, r.is_write, r.issue_at
             ));
         }
+        let far_faults: u64 = lanes.iter().map(|l| l.far_faults).sum();
+        let inval_msgs: u64 = lanes.iter().map(|l| l.invalidation_messages).sum();
         d.push_str(&format!(
-            "migrations done={} faults={} inval_msgs={}\n",
-            self.migrations_done, self.far_faults, self.invalidation_messages
+            "migrations done={} faults={far_faults} inval_msgs={inval_msgs}\n",
+            host.migrations_done
         ));
-        for (g, gpu) in self.gpus.iter().enumerate() {
+        for (g, lane) in lanes.iter().enumerate() {
             d.push_str(&format!(
                 "  gpu{g}: mshr={} queue={} overflow={} cursor_done={}\n",
-                gpu.l2_mshr.len(),
-                gpu.gmmu.queue_len(),
-                self.overflow[g].len(),
-                self.warp_cursors[g]
+                lane.gpu.l2_mshr.len(),
+                lane.gpu.gmmu.queue_len(),
+                lane.overflow.len(),
+                lane.warp_cursors
                     .iter()
-                    .zip(&self.warp_plans[g])
+                    .zip(&self.sh.warp_plans[g])
                     .filter(|(&c, p)| c >= p.len())
                     .count()
             ));
@@ -418,5 +377,118 @@ impl System {
             d.push_str(&self.tlog.dump());
         }
         d
+    }
+}
+
+impl GpuLane {
+    // --- track helpers (all cheap; only called on enabled-tracer paths) ---
+
+    /// The warp's own timeline; names the thread lazily so only tracks that
+    /// actually carry events appear in the viewer.
+    pub(crate) fn warp_track(&mut self, sh: &Shared, cu: usize, warp: usize) -> Track {
+        let pid = gpu_pid(self.id);
+        let tid = (cu * sh.cfg.gpu.warps_per_cu + warp) as u64;
+        self.tracer
+            .set_thread_name(pid, tid, format!("cu{cu} warp{warp}"));
+        Track { pid, tid }
+    }
+
+    /// The track of the warp behind a live request token, or the driver
+    /// track when the token no longer maps to a request.
+    pub(crate) fn req_track(&mut self, sh: &Shared, token: u64) -> Track {
+        match self.reqs.get(&token).copied() {
+            Some(r) => self.warp_track(sh, r.cu, r.warp),
+            None => Track {
+                pid: HOST_PID,
+                tid: 0,
+            },
+        }
+    }
+
+    /// The GPU-local lane for walks with no requesting warp.
+    pub(crate) fn gmmu_track(&mut self) -> Track {
+        let pid = gpu_pid(self.id);
+        self.tracer
+            .set_thread_name(pid, GMMU_TID, "gmmu service walks");
+        Track { pid, tid: GMMU_TID }
+    }
+
+    /// Records the retroactive span pair for a finished page walk: the
+    /// queue-wait window and the walk itself. Demand walks land on the
+    /// requesting warp's track; service walks (invalidation, IRMB
+    /// write-back, PTE update) on the GPU's GMMU lane.
+    pub(crate) fn trace_walk(&mut self, sh: &Shared, walk: &gpu_model::gmmu::DispatchedWalk) {
+        let track = match walk.request.class {
+            WalkClass::Demand => self.req_track(sh, walk.request.token),
+            _ => self.gmmu_track(),
+        };
+        let walk_start = walk.finish_at.saturating_sub(walk.result.latency);
+        let queue_start = walk_start.saturating_sub(walk.queued_for);
+        let vpn = walk.request.vpn.0;
+        if walk.queued_for.raw() > 0 {
+            self.tracer.span(
+                "walk",
+                "walk queue wait",
+                track,
+                queue_start,
+                walk_start,
+                &[("vpn", vpn)],
+            );
+        }
+        let name = match walk.request.class {
+            WalkClass::Demand => "page walk",
+            WalkClass::Invalidation => "invalidation walk",
+            WalkClass::IrmbWriteback => "IRMB write-back walk",
+            WalkClass::Update => "PTE update walk",
+        };
+        self.tracer.span(
+            "walk",
+            name,
+            track,
+            walk_start,
+            walk.finish_at,
+            &[("vpn", vpn), ("token", walk.request.token)],
+        );
+    }
+}
+
+impl HostState {
+    /// The UVM driver's track.
+    pub(crate) fn host_track(&self) -> Track {
+        Track {
+            pid: HOST_PID,
+            tid: 0,
+        }
+    }
+
+    /// One track per migration id.
+    pub(crate) fn mig_track(&mut self, id: u64) -> Track {
+        self.tracer
+            .set_thread_name(MIG_PID, id, format!("migration {id}"));
+        Track {
+            pid: MIG_PID,
+            tid: id,
+        }
+    }
+
+    /// The track of the warp behind a fault's request token (peeking into
+    /// the owning lane), or the driver track for synthetic/expired tokens.
+    pub(crate) fn fault_track(
+        &mut self,
+        sh: &Shared,
+        lanes: &[Mutex<GpuLane>],
+        fault: &FarFault,
+    ) -> Track {
+        if fault.token != u64::MAX && fault.gpu < lanes.len() {
+            let req = lock_lane(lanes, fault.gpu).reqs.get(&fault.token).copied();
+            if let Some(r) = req {
+                let pid = gpu_pid(fault.gpu);
+                let tid = (r.cu * sh.cfg.gpu.warps_per_cu + r.warp) as u64;
+                self.tracer
+                    .set_thread_name(pid, tid, format!("cu{} warp{}", r.cu, r.warp));
+                return Track { pid, tid };
+            }
+        }
+        self.host_track()
     }
 }

@@ -1,4 +1,10 @@
 //! Warp issue and the translation pipeline: L1 TLB → L2 TLB ∥ IRMB → GMMU.
+//!
+//! Every handler here runs on a GPU lane: it owns `self` (this GPU's state)
+//! exclusively, reads [`Shared`] and the host lane immutably, and sends
+//! cross-domain effects through the lane mailbox ([`GpuLane::to_host`] /
+//! [`GpuLane::to_gpu`]) — never by mutating another domain directly (the
+//! `cross-domain-mutation` lint rule).
 
 use gpu_model::gmmu::{DispatchedWalk, WalkClass};
 use mem_model::mshr::MshrOutcome;
@@ -7,40 +13,40 @@ use vm_model::addr::Vpn;
 use vm_model::pte::Pte;
 use vm_model::walker::WalkOutcome;
 
-use super::{Ev, OrInvariant, Req, SimError, System};
+use super::{msg, Ev, GpuLane, HostState, OrInvariant, PendingUpdate, Req, Shared, SimError};
 
-impl System {
+impl GpuLane {
     /// A warp asks to issue its next trace access.
     pub(crate) fn on_warp_ready(
         &mut self,
-        gpu: usize,
+        sh: &Shared,
+        host: &HostState,
         cu: usize,
         warp: usize,
     ) -> Result<(), SimError> {
-        let warp_index = cu * self.cfg.gpu.warps_per_cu + warp;
+        let warp_index = cu * sh.cfg.gpu.warps_per_cu + warp;
         // Plan exhausted → retire the warp.
-        let pos = self.warp_cursors[gpu][warp_index];
-        if pos >= self.warp_plans[gpu][warp_index].len() {
-            self.gpus[gpu].cus[cu].retire(warp);
-            if self.gpus[gpu].all_done() {
-                self.finished_gpus += 1;
+        let pos = self.warp_cursors[warp_index];
+        if pos >= sh.warp_plans[self.id][warp_index].len() {
+            self.gpu.cus[cu].retire(warp);
+            if self.gpu.all_done() {
+                self.finished = true;
                 self.finish_cycle = self.finish_cycle.max(self.now);
             }
             return Ok(());
         }
         // One issue per CU per cycle.
-        if !self.gpus[gpu].cus[cu].try_issue_port(self.now) {
-            self.events
-                .schedule(self.now + 1, Ev::WarpReady { gpu, cu, warp });
+        if !self.gpu.cus[cu].try_issue_port(self.now) {
+            let at = self.now + 1;
+            self.q.schedule(at, Ev::WarpReady { cu, warp });
             return Ok(());
         }
-        let access = self.traces[gpu][self.warp_plans[gpu][warp_index][pos]];
-        self.warp_cursors[gpu][warp_index] += 1;
-        self.gpus[gpu].cus[cu].issue(warp);
+        let access = sh.traces[self.id][sh.warp_plans[self.id][warp_index][pos]];
+        self.warp_cursors[warp_index] += 1;
+        self.gpu.cus[cu].issue(warp);
         let token = self.next_token;
         self.next_token += 1;
         let req = Req {
-            gpu,
             cu,
             warp,
             vpn: access.vpn,
@@ -50,17 +56,17 @@ impl System {
         };
         self.reqs.insert(token, req);
         // L1 TLB lookup (1 cycle, counted in the data-access start).
-        let l1 = &mut self.gpus[gpu].l1_tlbs[cu];
+        let l1 = &mut self.gpu.l1_tlbs[cu];
         match l1.lookup(access.vpn) {
             Some(pte) if pte.is_valid() && (!access.is_write || pte.is_writable()) => {
-                let start = self.now + self.cfg.gpu.l1_tlb.latency;
-                self.start_data_access(token, pte, start)?;
+                let start = self.now + sh.cfg.gpu.l1_tlb.latency;
+                self.start_data_access(sh, host, token, pte, start)?;
             }
             _ => {
                 // Miss (or permission miss): to the shared L2 after L1+L2
                 // lookup latency.
-                let at = self.now + self.cfg.gpu.l1_tlb.latency + self.cfg.gpu.l2_tlb.latency;
-                self.events.schedule(at, Ev::L2Lookup { token });
+                let at = self.now + sh.cfg.gpu.l1_tlb.latency + sh.cfg.gpu.l2_tlb.latency;
+                self.q.schedule(at, Ev::L2Lookup { token });
             }
         }
         Ok(())
@@ -71,16 +77,21 @@ impl System {
     /// re-executions after an MSHR structural stall: those probe the TLB
     /// without perturbing hit/miss statistics (the architectural lookup
     /// already happened).
-    pub(crate) fn on_l2_lookup(&mut self, token: u64, is_retry: bool) -> Result<(), SimError> {
+    pub(crate) fn on_l2_lookup(
+        &mut self,
+        sh: &Shared,
+        host: &HostState,
+        token: u64,
+        is_retry: bool,
+    ) -> Result<(), SimError> {
         let req = *self
             .reqs
             .get(&token)
             .or_invariant("L2 lookup event for a request that no longer exists")?;
-        let gpu = req.gpu;
         let probed = if is_retry {
-            self.gpus[gpu].l2_tlb.peek(req.vpn)
+            self.gpu.l2_tlb.peek(req.vpn)
         } else {
-            self.gpus[gpu].l2_tlb.lookup(req.vpn)
+            self.gpu.l2_tlb.lookup(req.vpn)
         };
         let l2_hit = match probed {
             Some(pte) if pte.is_valid() && (!req.is_write || pte.is_writable()) => Some(pte),
@@ -88,8 +99,9 @@ impl System {
         };
         if let Some(pte) = l2_hit {
             // Scenario 1: L2 hit — IRMB lookup abandoned.
-            self.gpus[gpu].l1_tlbs[req.cu].fill(req.vpn, pte);
-            return self.start_data_access(token, pte, self.now);
+            self.gpu.l1_tlbs[req.cu].fill(req.vpn, pte);
+            let now = self.now;
+            return self.start_data_access(sh, host, token, pte, now);
         }
         // Record the start of the demand-miss latency window.
         if let Some(r) = self.reqs.get_mut(&token) {
@@ -101,108 +113,108 @@ impl System {
         // the walk and far-fault straight to the driver (ablatable:
         // without the bypass the walk proceeds and the stale-PTE guard at
         // walk completion catches it, wasting the walk).
-        let bypass = self.cfg.idyll.map(|i| i.bypass_on_irmb_hit).unwrap_or(true);
-        if self.lazy() && bypass && self.irmbs[gpu].lookup(req.vpn) {
-            self.raise_far_fault(gpu, req.vpn, req.is_write, token, false);
+        let bypass = sh.cfg.idyll.map(|i| i.bypass_on_irmb_hit).unwrap_or(true);
+        if bypass
+            && self
+                .irmb
+                .as_mut()
+                .map(|i| i.lookup(req.vpn))
+                .unwrap_or(false)
+        {
+            self.raise_far_fault(sh, req.vpn, req.is_write, token, false);
             return Ok(());
         }
         // Scenario 2: L2 miss + IRMB miss — normal walk path via the MSHR.
-        match self.gpus[gpu].l2_mshr.register(req.vpn.0, token) {
+        match self.gpu.l2_mshr.register(req.vpn.0, token) {
             MshrOutcome::Merged => {} // ride the in-flight walk/fault
             MshrOutcome::Allocated => {
-                self.enqueue_walk(gpu, req.vpn, WalkClass::Demand, token)?;
+                self.enqueue_walk(req.vpn, WalkClass::Demand, token)?;
             }
             MshrOutcome::Full => {
                 // Structural stall: retry after a drain interval.
-                self.events.schedule(self.now + 48, Ev::MshrRetry { token });
+                let at = self.now + 48;
+                self.q.schedule(at, Ev::MshrRetry { token });
             }
         }
         Ok(())
     }
 
-    /// Queues a walk (or holds it in the per-GPU overflow buffer when the
+    /// Queues a walk (or holds it in the lane's overflow buffer when the
     /// hardware queue is full) and kicks the dispatcher.
     pub(crate) fn enqueue_walk(
         &mut self,
-        gpu: usize,
         vpn: Vpn,
         class: WalkClass,
         token: u64,
     ) -> Result<(), SimError> {
         // FIFO order: never bypass an already-overflowed walk.
-        let rejected = !self.overflow[gpu].is_empty()
-            || self.gpus[gpu]
-                .gmmu
-                .enqueue(vpn, class, token, self.now)
-                .is_err();
+        let rejected = !self.overflow.is_empty()
+            || self.gpu.gmmu.enqueue(vpn, class, token, self.now).is_err();
         if rejected {
-            self.overflow[gpu].push_back((vpn, class, token));
+            self.overflow.push_back((vpn, class, token));
         }
-        self.dispatch_walks(gpu)
+        self.dispatch_walks()
     }
 
     /// Drains the overflow buffer into the walk queue and starts walks while
     /// walker threads are free. Also performs the IRMB's opportunistic
     /// write-back when the GMMU goes idle (§6.3 write-back rule 1).
-    pub(crate) fn dispatch_walks(&mut self, gpu: usize) -> Result<(), SimError> {
+    pub(crate) fn dispatch_walks(&mut self) -> Result<(), SimError> {
         loop {
             // Refill the hardware queue from the stall buffer.
-            while self.gpus[gpu].gmmu.queue_free() > 0 {
-                let Some((vpn, class, token)) = self.overflow[gpu].pop_front() else {
+            while self.gpu.gmmu.queue_free() > 0 {
+                let Some((vpn, class, token)) = self.overflow.pop_front() else {
                     break;
                 };
-                self.gpus[gpu]
+                self.gpu
                     .gmmu
                     .enqueue(vpn, class, token, self.now)
                     .or_invariant("walk queue rejected a request despite free space")?;
             }
             let now = self.now;
-            let gpu_ref = &mut self.gpus[gpu];
             // Split borrow: GMMU and page table are sibling fields.
-            let (gmmu, pt) = (&mut gpu_ref.gmmu, &mut gpu_ref.page_table);
+            let (gmmu, pt) = (&mut self.gpu.gmmu, &mut self.gpu.page_table);
             match gmmu.try_dispatch(now, pt) {
                 Some(walk) => {
                     if walk.request.class.is_invalidation() {
                         // The leaf PTE is cleared at dispatch time; record it
                         // now so a concurrently-completing update walk cannot
                         // install over the already-processed invalidation.
-                        self.inval_done.insert((gpu, walk.request.vpn));
+                        self.inval_done.insert(walk.request.vpn);
                     }
-                    self.events
-                        .schedule(walk.finish_at, Ev::WalkDone { gpu, walk });
+                    self.q.schedule(walk.finish_at, Ev::WalkDone { walk });
                 }
                 None => break,
             }
         }
         // Walkers busy with work still queued → re-dispatch when one frees.
-        if (self.gpus[gpu].gmmu.queue_len() > 0 || !self.overflow[gpu].is_empty())
-            && !self.dispatch_scheduled[gpu]
+        if (self.gpu.gmmu.queue_len() > 0 || !self.overflow.is_empty()) && !self.dispatch_scheduled
         {
-            let at = self.gpus[gpu].gmmu.next_walker_free().max(self.now + 1);
-            self.dispatch_scheduled[gpu] = true;
-            self.events.schedule(at, Ev::DispatchWalks { gpu });
+            let at = self.gpu.gmmu.next_walker_free().max(self.now + 1);
+            self.dispatch_scheduled = true;
+            self.q.schedule(at, Ev::DispatchWalks);
         }
         // IRMB opportunistic drain: GMMU fully idle → lazily write back the
         // LRU merged entry.
-        if self.lazy()
-            && self.gpus[gpu].gmmu.is_idle(self.now)
-            && self.overflow[gpu].is_empty()
-            && !self.irmbs[gpu].is_empty()
-        {
-            if let Some(entry) = self.irmbs[gpu].pop_lru() {
+        let drain_ready = self.gpu.gmmu.is_idle(self.now)
+            && self.overflow.is_empty()
+            && self.irmb.as_ref().map(|i| !i.is_empty()).unwrap_or(false);
+        if drain_ready {
+            if let Some(entry) = self.irmb.as_mut().and_then(|i| i.pop_lru()) {
                 let vpns: Vec<Vpn> = entry.vpns().collect();
                 for vpn in vpns {
-                    if self.gpus[gpu]
+                    if self
+                        .gpu
                         .gmmu
                         .enqueue(vpn, WalkClass::IrmbWriteback, 0, self.now)
                         .is_err()
                     {
-                        self.overflow[gpu].push_back((vpn, WalkClass::IrmbWriteback, 0));
+                        self.overflow.push_back((vpn, WalkClass::IrmbWriteback, 0));
                     }
                 }
                 // Dispatch the drained walks (bounded: the IRMB entry was
                 // removed, so this recursion terminates immediately).
-                self.dispatch_walks(gpu)?;
+                self.dispatch_walks()?;
             }
         }
         Ok(())
@@ -211,12 +223,13 @@ impl System {
     /// A page walk finished: act on its class and outcome.
     pub(crate) fn on_walk_done(
         &mut self,
-        gpu: usize,
+        sh: &Shared,
+        host: &HostState,
         walk: DispatchedWalk,
     ) -> Result<(), SimError> {
         let vpn = walk.request.vpn;
         if self.tracer.is_enabled() {
-            self.trace_walk(gpu, &walk);
+            self.trace_walk(sh, &walk);
         }
         match walk.request.class {
             WalkClass::Demand => {
@@ -225,21 +238,21 @@ impl System {
                         // Stale-PTE guard: an invalidation may have entered
                         // the IRMB after this walk was enqueued; the merged
                         // buffer is authoritative (§6.3 correctness).
-                        let stale = self.lazy() && self.irmbs[gpu].contains(vpn);
+                        let stale = self.irmb.as_ref().map(|i| i.contains(vpn)).unwrap_or(false);
                         let write_violation = {
                             let rep = self.reqs.get(&walk.request.token);
                             rep.map(|r| r.is_write && !pte.is_writable())
                                 .unwrap_or(false)
                         };
-                        if stale || (write_violation && self.cfg.replication) {
+                        if stale || (write_violation && sh.cfg.replication) {
                             let is_write = self
                                 .reqs
                                 .get(&walk.request.token)
                                 .map(|r| r.is_write)
                                 .unwrap_or(false);
-                            self.raise_far_fault(gpu, vpn, is_write, walk.request.token, true);
+                            self.raise_far_fault(sh, vpn, is_write, walk.request.token, true);
                         } else {
-                            self.complete_translation(gpu, vpn, pte)?;
+                            self.complete_translation(sh, host, vpn, pte)?;
                         }
                     }
                     WalkOutcome::InvalidLeaf(_) | WalkOutcome::NotPresent => {
@@ -248,40 +261,36 @@ impl System {
                             .get(&walk.request.token)
                             .map(|r| r.is_write)
                             .unwrap_or(false);
-                        self.raise_far_fault(gpu, vpn, is_write, walk.request.token, true);
+                        self.raise_far_fault(sh, vpn, is_write, walk.request.token, true);
                     }
                 }
                 self.walker_mix.demand += 1;
             }
             WalkClass::Invalidation => {
-                self.account_invalidation(walk);
+                self.account_invalidation(&walk);
                 // Baseline protocol: ack the driver once the PTE walk is
                 // done.
-                let at = self.net.send(
-                    self.now,
-                    mem_model::interconnect::Node::Gpu(gpu),
-                    mem_model::interconnect::Node::Host,
-                    super::msg::ACK,
-                );
-                self.events.schedule(at, Ev::AckAtHost { gpu, vpn });
+                let at = self.xfer_host_at(self.now, msg::ACK);
+                let gpu = self.id;
+                self.send_host(at, Ev::AckAtHost { gpu, vpn });
             }
             WalkClass::IrmbWriteback => {
-                self.account_invalidation(walk);
+                self.account_invalidation(&walk);
             }
             WalkClass::Update => {
                 let update = self
                     .updates
                     .remove(&walk.request.token)
                     .or_invariant("update walk finished but its pending PTE is gone")?;
-                self.install_mapping(gpu, update.vpn, update.pte)?;
+                self.install_mapping(sh, host, update.vpn, update.pte)?;
                 self.walker_mix.update += 1;
             }
         }
         // The finishing walker can immediately take the next request.
-        self.dispatch_walks(gpu)
+        self.dispatch_walks()
     }
 
-    fn account_invalidation(&mut self, walk: DispatchedWalk) {
+    pub(crate) fn account_invalidation(&mut self, walk: &DispatchedWalk) {
         match walk.necessary {
             Some(true) => self.walker_mix.invalidation_necessary += 1,
             Some(false) => self.walker_mix.invalidation_unnecessary += 1,
@@ -289,6 +298,19 @@ impl System {
         }
         self.invalidation_latency
             .record((walk.queued_for + walk.result.latency).raw() as f64);
+    }
+
+    /// A new mapping arrives (driver reply, Trans-FW forward, or migration
+    /// completion): check the IRMB (a pending invalidation is superseded,
+    /// §6.3), then queue the PTE update through the page-walk queue.
+    pub(crate) fn on_mapping_to_gpu(&mut self, vpn: Vpn, pte: Pte) -> Result<(), SimError> {
+        if let Some(irmb) = self.irmb.as_mut() {
+            irmb.remove(vpn);
+        }
+        let token = self.next_update;
+        self.next_update += 1;
+        self.updates.insert(token, PendingUpdate { vpn, pte });
+        self.enqueue_walk(vpn, WalkClass::Update, token)
     }
 
     /// Installs a driver-provided PTE in the local table and completes any
@@ -301,50 +323,52 @@ impl System {
     /// requests still complete).
     pub(crate) fn install_mapping(
         &mut self,
-        gpu: usize,
+        sh: &Shared,
+        host: &HostState,
         vpn: Vpn,
         pte: Pte,
     ) -> Result<(), SimError> {
-        let host_ppn = self.host_mem.pte(vpn).map(|p| p.ppn());
-        let is_replica = self.replica_frames.get(&(gpu, vpn)) == Some(&pte.ppn());
+        let host_ppn = host.host_mem.pte(vpn).map(|p| p.ppn());
+        let is_replica = host.replica_frames.get(&(self.id, vpn)) == Some(&pte.ppn());
         let stale = host_ppn != Some(pte.ppn()) && !is_replica;
         // During a migration's invalidation phase, installing a mapping that
         // matches the (not-yet-moved) page is safe on a GPU whose
         // invalidation is still outstanding — the pending invalidation will
         // clean it up. Anything else would survive the migration as a stale
         // translation and must be re-resolved instead.
-        let unsafe_during_migration = match self.migrations.get(vpn) {
-            Some(m) => stale || !m.targets.contains(gpu) || self.inval_done.contains(&(gpu, vpn)),
+        let unsafe_during_migration = match host.migrations.get(vpn) {
+            Some(m) => stale || !m.targets.contains(self.id) || self.inval_done.contains(&vpn),
             None => stale,
         };
         if unsafe_during_migration {
-            self.inflight_faults.remove(&(gpu, vpn));
+            self.inflight_faults.remove(&vpn);
             let refault = uvm_driver::fault::FarFault {
-                gpu,
+                gpu: self.id,
                 vpn,
                 is_write: false,
                 raised_at: self.now,
                 token: u64::MAX, // synthetic: wakes only real MSHR waiters
             };
-            self.inflight_faults.insert((gpu, vpn));
-            self.events
-                .schedule(self.now + 1, Ev::FaultResolved { fault: refault });
+            self.inflight_faults.insert(vpn);
+            let at = self.now + 1;
+            self.send_host(at, Ev::FaultResolved { fault: refault });
             return Ok(());
         }
-        self.gpus[gpu].page_table.insert(vpn, pte);
-        self.inflight_faults.remove(&(gpu, vpn));
-        self.complete_translation(gpu, vpn, pte)
+        self.gpu.page_table.insert(vpn, pte);
+        self.inflight_faults.remove(&vpn);
+        self.complete_translation(sh, host, vpn, pte)
     }
 
     /// Fills the TLBs and wakes every MSHR waiter for `vpn` with `pte`.
     pub(crate) fn complete_translation(
         &mut self,
-        gpu: usize,
+        sh: &Shared,
+        host: &HostState,
         vpn: Vpn,
         pte: Pte,
     ) -> Result<(), SimError> {
-        self.gpus[gpu].l2_tlb.fill(vpn, pte);
-        let waiters = self.gpus[gpu].l2_mshr.complete(vpn.0);
+        self.gpu.l2_tlb.fill(vpn, pte);
+        let waiters = self.gpu.l2_mshr.complete(vpn.0);
         for token in waiters {
             let Some(req) = self.reqs.get(&token).copied() else {
                 continue;
@@ -352,15 +376,15 @@ impl System {
             if req.is_write && !pte.is_writable() {
                 // Write to a read-only (replicated) translation: raise a
                 // write fault for the collapse protocol.
-                self.raise_far_fault(gpu, vpn, true, token, false);
+                self.raise_far_fault(sh, vpn, true, token, false);
                 continue;
             }
-            self.gpus[gpu].l1_tlbs[req.cu].fill(vpn, pte);
+            self.gpu.l1_tlbs[req.cu].fill(vpn, pte);
             if let Some(miss_at) = req.l2_miss_at {
                 self.demand_miss_latency
                     .record((self.now.saturating_sub(miss_at)).raw() as f64);
                 if self.tracer.is_enabled() {
-                    let track = self.warp_track(gpu, req.cu, req.warp);
+                    let track = self.warp_track(sh, req.cu, req.warp);
                     let now = self.now;
                     self.tracer.span(
                         "tlb",
@@ -372,7 +396,8 @@ impl System {
                     );
                 }
             }
-            self.start_data_access(token, pte, self.now)?;
+            let now = self.now;
+            self.start_data_access(sh, host, token, pte, now)?;
         }
         Ok(())
     }
@@ -385,7 +410,7 @@ impl System {
     /// paths); registering those again would wake them twice.
     pub(crate) fn raise_far_fault(
         &mut self,
-        gpu: usize,
+        sh: &Shared,
         vpn: Vpn,
         is_write: bool,
         token: u64,
@@ -395,19 +420,20 @@ impl System {
             // Faults never stall on MSHR capacity (a stalled fault can
             // deadlock a migration): force-register beyond the limit —
             // architecturally the overflow lives in the GPU fault buffer.
-            self.gpus[gpu].l2_mshr.register_forced(vpn.0, token);
+            self.gpu.l2_mshr.register_forced(vpn.0, token);
         }
-        if !self.inflight_faults.contains(&(gpu, vpn)) {
-            self.send_fault(gpu, vpn, is_write, token);
+        if !self.inflight_faults.contains(&vpn) {
+            self.send_fault(sh, vpn, is_write, token);
         }
     }
 
-    fn send_fault(&mut self, gpu: usize, vpn: Vpn, is_write: bool, token: u64) {
+    fn send_fault(&mut self, sh: &Shared, vpn: Vpn, is_write: bool, token: u64) {
         self.far_faults += 1;
-        self.inflight_faults.insert((gpu, vpn));
+        self.inflight_faults.insert(vpn);
         if self.tracer.is_enabled() {
-            let track = self.req_track(token);
+            let track = self.req_track(sh, token);
             let now = self.now;
+            let gpu = self.id;
             self.tracer.instant(
                 "fault",
                 "far fault raised",
@@ -421,52 +447,87 @@ impl System {
             );
         }
         if self.tlog.is_enabled() {
+            let gpu = self.id;
             let msg = format!("far fault gpu={gpu} vpn={:#x} write={is_write}", vpn.0);
             self.tlog.push(self.now, "fault", msg);
         }
         let fault = uvm_driver::fault::FarFault {
-            gpu,
+            gpu: self.id,
             vpn,
             is_write,
             raised_at: self.now,
             token,
         };
-        let _ = self.gpus[gpu].fault_buffer.push(fault);
-        // Trans-FW: probe the PRT before escalating to the host.
-        if !self.prts.is_empty() {
-            if let idyll_core::transfw::PrtProbe::Hit(holder) = self.prts[gpu].probe(vpn) {
-                if holder != gpu {
-                    // Round trip over NVLink plus the forwarded walk of the
-                    // holder's page table (PWC-assisted). Probe messages are
-                    // tiny; bandwidth is accounted only as fixed latency.
-                    let rtt = self
-                        .net
-                        .latency(
-                            mem_model::interconnect::Node::Gpu(gpu),
-                            mem_model::interconnect::Node::Gpu(holder),
-                        )
-                        .raw()
-                        * 2;
-                    let back = self.now + rtt + REMOTE_PROBE_WALK;
-                    self.events.schedule(
-                        back,
-                        Ev::RemoteProbeDone {
-                            token,
-                            fault,
-                            holder,
-                        },
-                    );
+        let _ = self.gpu.fault_buffer.push(fault);
+        // Trans-FW: probe the PRT before escalating to the host. Probe
+        // messages are tiny; bandwidth is accounted only as fixed latency.
+        if let Some(prt) = self.prt.as_mut() {
+            if let idyll_core::transfw::PrtProbe::Hit(holder) = prt.probe(vpn) {
+                if holder != self.id {
+                    let at = self.now + self.egress.nvlink_latency;
+                    self.send_gpu(at, holder, Ev::RemoteProbeArrive { fault });
                     return;
                 }
             }
         }
-        let at = self.net.send(
-            self.now,
-            mem_model::interconnect::Node::Gpu(gpu),
-            mem_model::interconnect::Node::Host,
-            super::msg::FAULT,
-        );
-        self.events.schedule(at, Ev::FaultAtHost { fault });
+        let at = self.xfer_host_at(self.now, msg::FAULT);
+        self.send_host(at, Ev::FaultAtHost { fault });
+    }
+
+    /// Trans-FW, holder side: the probe arrived; consult the local page
+    /// table (a forwarded walk, PWC-assisted) and reply with the
+    /// translation — or a refusal when it is invalid, migrating, or lacks
+    /// write permission.
+    pub(crate) fn on_remote_probe_arrive(
+        &mut self,
+        host: &HostState,
+        fault: uvm_driver::fault::FarFault,
+    ) {
+        let grant = match self.gpu.page_table.lookup(fault.vpn) {
+            Some(pte)
+                if pte.is_valid()
+                    && !host.migrations.is_migrating(fault.vpn)
+                    && (!fault.is_write || pte.is_writable()) =>
+            {
+                Some(pte)
+            }
+            _ => None,
+        };
+        let at = self.now + self.egress.nvlink_latency + REMOTE_PROBE_WALK;
+        self.send_gpu(at, fault.gpu, Ev::RemoteProbeReply { fault, pte: grant });
+    }
+
+    /// Trans-FW, requester side: the holder replied. A granted PTE is
+    /// installed locally (bypassing the host; the driver's directory is
+    /// kept sound by an off-critical-path notification); a refusal falls
+    /// back to the host path, paying the wasted round trip.
+    pub(crate) fn on_remote_probe_reply(
+        &mut self,
+        fault: uvm_driver::fault::FarFault,
+        pte: Option<Pte>,
+    ) -> Result<(), SimError> {
+        match pte {
+            Some(pte) => {
+                let now = self.now;
+                let gpu = self.id;
+                self.send_host(
+                    now,
+                    Ev::DirRecord {
+                        vpn: fault.vpn,
+                        gpu,
+                    },
+                );
+                self.on_mapping_to_gpu(fault.vpn, pte)
+            }
+            None => {
+                if let Some(prt) = self.prt.as_mut() {
+                    prt.report_false_forward(fault.vpn);
+                }
+                let at = self.xfer_host_at(self.now, msg::FAULT);
+                self.send_host(at, Ev::FaultAtHost { fault });
+                Ok(())
+            }
+        }
     }
 }
 

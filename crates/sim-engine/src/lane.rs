@@ -1,0 +1,399 @@
+//! Per-lane future-event lists for the parallel event core.
+//!
+//! A [`LaneQueue`] is the lane-local analogue of [`crate::EventQueue`]: it
+//! delivers events in nondecreasing time order with FIFO tie-breaking, but
+//! stores payloads in an arena indexed by the heap slots instead of moving
+//! them through every sift. Heap entries are three machine words (time,
+//! sequence, arena index), so sift-up/sift-down never copies a payload —
+//! the restructuring that lets the threads=1 path keep pace with the old
+//! boxed global heap while enabling per-lane execution.
+//!
+//! Allocation churn is addressed the same way (ROADMAP "event-heap
+//! allocation churn"): [`LaneQueue::with_capacity`] pre-sizes both the heap
+//! and the arena from a workload-footprint hint, [`LaneQueue::recycle`]
+//! empties a queue while keeping its buffers, and a [`LanePool`] carries
+//! recycled queues across repeated grid runs so steady-state scheduling
+//! never re-grows from zero.
+//!
+//! The deterministic merge rule for the parallel core is captured by
+//! [`MergeKey`]: events across lanes are totally ordered by
+//! `(cycle, lane id, per-lane seq)`, which equals the order a single global
+//! heap keyed by `(cycle, global seq)` would deliver whenever same-cycle
+//! events on different lanes commute (the lookahead contract in DESIGN.md
+//! guarantees they do).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// A heap entry: ordering key plus the arena slot holding the payload.
+struct Slot {
+    at: Cycle,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialEq for Slot {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Slot {}
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by the lowest sequence number (FIFO).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The deterministic cross-lane merge rule: `(cycle, lane id, per-lane
+/// seq)`, lexicographically ascending. The derived `Ord` is a total order;
+/// the determinism proptest checks it reproduces the seed global-heap
+/// delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergeKey {
+    /// Simulated delivery time.
+    pub at: Cycle,
+    /// Lane identifier (GPU index, with the host lane last).
+    pub lane: u32,
+    /// Per-lane FIFO sequence number.
+    pub seq: u64,
+}
+
+/// A lane-local future-event list with arena payload storage.
+///
+/// Same delivery contract as [`crate::EventQueue`] — nondecreasing time,
+/// FIFO within a cycle — plus capacity reuse:
+///
+/// ```
+/// use sim_engine::lane::LaneQueue;
+/// use sim_engine::Cycle;
+///
+/// let mut q = LaneQueue::with_capacity(8);
+/// q.schedule(Cycle(4), 'b');
+/// q.schedule(Cycle(4), 'c'); // same cycle: FIFO order preserved
+/// q.schedule(Cycle(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct LaneQueue<E> {
+    heap: BinaryHeap<Slot>,
+    arena: Vec<Option<E>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for LaneQueue<E> {
+    fn default() -> Self {
+        LaneQueue::new()
+    }
+}
+
+impl<E> LaneQueue<E> {
+    /// Creates an empty queue with no pre-sized buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        LaneQueue {
+            heap: BinaryHeap::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue whose heap and arena are pre-sized for
+    /// `capacity` in-flight events (a workload-footprint hint, not a limit).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        LaneQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Grows the buffers so at least `additional` more events fit without
+    /// reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.arena.reserve(additional);
+    }
+
+    /// Pending-slot capacity currently backing the queue (diagnostic;
+    /// capacity-reuse tests watch this stay put across [`Self::recycle`]).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Schedules `payload` for delivery at absolute time `at`.
+    pub fn schedule(&mut self, at: Cycle, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.arena[idx as usize] = Some(payload);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.arena.len())
+                    .expect("lane arena exceeds u32::MAX in-flight events");
+                self.arena.push(Some(payload));
+                idx
+            }
+        };
+        self.heap.push(Slot { at, seq, idx });
+    }
+
+    /// Removes and returns the earliest event, or `None` when the lane is
+    /// drained.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let slot = self.heap.pop()?;
+        let payload = self.arena[slot.idx as usize]
+            .take()
+            .expect("lane arena slot vacated while still on the heap");
+        self.free.push(slot.idx);
+        Some((slot.at, payload))
+    }
+
+    /// Timestamp of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of events currently pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this lane (diagnostic).
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Empties the queue and resets its counters while keeping every
+    /// allocated buffer, ready for the next run.
+    pub fn recycle(&mut self) {
+        self.heap.clear();
+        self.arena.clear();
+        self.free.clear();
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+    }
+}
+
+impl<E> std::fmt::Debug for LaneQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneQueue")
+            .field("pending", &self.heap.len())
+            .field("capacity", &self.arena.capacity())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+/// A pool of recycled [`LaneQueue`]s shared across repeated runs, so grid
+/// sweeps stop re-growing heaps from zero (one pool per runner worker).
+pub struct LanePool<E> {
+    spare: Vec<LaneQueue<E>>,
+}
+
+impl<E> Default for LanePool<E> {
+    fn default() -> Self {
+        LanePool::new()
+    }
+}
+
+impl<E> LanePool<E> {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        LanePool { spare: Vec::new() }
+    }
+
+    /// Takes a recycled queue (largest-capacity first) or builds a fresh one
+    /// pre-sized to `capacity_hint`.
+    pub fn take(&mut self, capacity_hint: usize) -> LaneQueue<E> {
+        match self.spare.pop() {
+            Some(mut q) => {
+                q.recycle();
+                if q.capacity() < capacity_hint {
+                    q.reserve(capacity_hint - q.len());
+                }
+                q
+            }
+            None => LaneQueue::with_capacity(capacity_hint),
+        }
+    }
+
+    /// Returns a queue to the pool for the next run.
+    pub fn put(&mut self, q: LaneQueue<E>) {
+        self.spare.push(q);
+    }
+
+    /// Number of queues currently pooled.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spare.len()
+    }
+
+    /// Whether the pool holds no queues.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spare.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = LaneQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = LaneQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = LaneQueue::new();
+        q.schedule(Cycle(10), "a");
+        q.schedule(Cycle(10), "b");
+        assert_eq!(q.pop(), Some((Cycle(10), "a")));
+        q.schedule(Cycle(10), "c");
+        assert_eq!(q.pop(), Some((Cycle(10), "b")));
+        assert_eq!(q.pop(), Some((Cycle(10), "c")));
+    }
+
+    #[test]
+    fn matches_event_queue_on_random_interleavings() {
+        // Differential check against the seed global heap: identical
+        // schedule/pop interleavings must deliver identical streams.
+        let mut rng = crate::rng::DetRng::seed(7);
+        let mut a = crate::event::EventQueue::new();
+        let mut b = LaneQueue::new();
+        let mut tag = 0u64;
+        for _ in 0..5000 {
+            if rng.below(3) == 0 && !a.is_empty() {
+                assert_eq!(a.pop(), b.pop());
+            } else {
+                let at = Cycle(rng.below(64));
+                a.schedule(at, tag);
+                b.schedule(at, tag);
+                tag += 1;
+            }
+            assert_eq!(a.peek_time(), b.peek_time());
+            assert_eq!(a.len(), b.len());
+        }
+        while !a.is_empty() {
+            assert_eq!(a.pop(), b.pop());
+        }
+        assert_eq!(b.pop(), None);
+        assert_eq!(a.scheduled_total(), b.scheduled_total());
+    }
+
+    #[test]
+    fn arena_slots_are_reused() {
+        let mut q = LaneQueue::with_capacity(4);
+        for round in 0..10 {
+            for i in 0..4 {
+                q.schedule(Cycle(round * 10 + i), (round, i));
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some((Cycle(round * 10 + i), (round, i))));
+            }
+        }
+        // Ten rounds of four in-flight events never outgrow the four
+        // pre-sized arena slots.
+        assert!(q.arena.len() <= 4, "arena grew to {}", q.arena.len());
+        assert_eq!(q.scheduled_total(), 40);
+    }
+
+    #[test]
+    fn recycle_keeps_capacity() {
+        let mut q = LaneQueue::new();
+        for i in 0..1000 {
+            q.schedule(Cycle(i), i);
+        }
+        let cap = q.capacity();
+        assert!(cap >= 1000);
+        q.recycle();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.capacity(), cap, "recycle must keep buffers");
+        // Sequence numbers restart, so a recycled queue is byte-equivalent
+        // to a fresh one.
+        q.schedule(Cycle(1), 42);
+        assert_eq!(q.pop(), Some((Cycle(1), 42)));
+    }
+
+    #[test]
+    fn pool_round_trips_capacity() {
+        let mut pool = LanePool::new();
+        let mut q = pool.take(256);
+        assert!(q.capacity() >= 256);
+        q.schedule(Cycle(3), ());
+        pool.put(q);
+        assert_eq!(pool.len(), 1);
+        let q2 = pool.take(16);
+        assert!(q2.is_empty(), "pooled queues come back recycled");
+        assert!(q2.capacity() >= 256, "pooled capacity survives");
+        assert!(pool.is_empty());
+        let q3 = pool.take(64);
+        assert!(q3.capacity() >= 64, "empty pool falls back to fresh");
+    }
+
+    #[test]
+    fn merge_key_orders_by_cycle_then_lane_then_seq() {
+        let k = |at, lane, seq| MergeKey {
+            at: Cycle(at),
+            lane,
+            seq,
+        };
+        assert!(k(1, 9, 9) < k(2, 0, 0));
+        assert!(k(5, 0, 9) < k(5, 1, 0));
+        assert!(k(5, 2, 1) < k(5, 2, 2));
+        assert_eq!(k(5, 2, 1), k(5, 2, 1));
+    }
+}

@@ -5,6 +5,8 @@
 //!
 //! * [`Cycle`] — the simulated time base (GPU core cycles at 1 GHz),
 //! * [`EventQueue`] — a deterministic future-event list,
+//! * [`lane`] — per-lane arena-indexed event lists, queue pooling, and the
+//!   deterministic cross-lane merge key used by the parallel event core,
 //! * [`DetRng`] — a seedable, reproducible random number generator,
 //! * [`stats`] — counters, accumulators and histograms used for reporting,
 //! * [`queue::BoundedQueue`] — a bounded FIFO with occupancy statistics,
@@ -32,6 +34,7 @@
 
 pub mod collections;
 pub mod event;
+pub mod lane;
 pub mod metrics;
 pub mod prof;
 pub mod queue;
@@ -44,6 +47,7 @@ pub mod tracelog;
 
 pub use collections::{DetHashMap, DetHashSet};
 pub use event::EventQueue;
+pub use lane::{LanePool, LaneQueue};
 pub use metrics::MetricsRegistry;
 pub use prof::{Phase, Profiler};
 pub use rng::DetRng;

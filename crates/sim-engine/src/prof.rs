@@ -57,16 +57,20 @@ pub enum Phase {
     MigTransfer,
     /// Every other handler (warp issue, fault batching, data path).
     Other,
+    /// Parallel-core synchronization: epoch barriers, mailbox routing, and
+    /// worker wait time (charged by the orchestrating loop, not handlers).
+    Barrier,
 }
 
 /// Every phase, in the fixed order used by summaries and exports.
-pub const PHASES: [Phase; 6] = [
+pub const PHASES: [Phase; 7] = [
     Phase::HeapPop,
     Phase::HeapPush,
     Phase::TlbLookup,
     Phase::WalkSchedule,
     Phase::MigTransfer,
     Phase::Other,
+    Phase::Barrier,
 ];
 
 impl Phase {
@@ -80,6 +84,7 @@ impl Phase {
             Phase::WalkSchedule => "walk_schedule",
             Phase::MigTransfer => "mig_transfer",
             Phase::Other => "other",
+            Phase::Barrier => "barrier",
         }
     }
 
@@ -98,6 +103,7 @@ impl Phase {
             Phase::WalkSchedule => 3,
             Phase::MigTransfer => 4,
             Phase::Other => 5,
+            Phase::Barrier => 6,
         }
     }
 }

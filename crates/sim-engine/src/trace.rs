@@ -225,6 +225,33 @@ impl Tracer {
         }
     }
 
+    /// Creates an empty shard sharing this tracer's enablement and filter.
+    ///
+    /// The parallel event core gives each lane a fork so handlers record
+    /// without synchronisation; [`Tracer::absorb`] folds the shards back in
+    /// a fixed lane order, keeping the export deterministic.
+    #[must_use]
+    pub fn fork(&self) -> Tracer {
+        Tracer {
+            enabled: self.enabled,
+            filter: self.filter.clone(),
+            events: Vec::new(),
+            process_names: BTreeMap::new(),
+            thread_names: BTreeMap::new(),
+        }
+    }
+
+    /// Appends a shard's events (in their emission order) and merges its
+    /// track names; later names win, matching `set_*_name` semantics.
+    pub fn absorb(&mut self, shard: Tracer) {
+        if !self.enabled {
+            return;
+        }
+        self.events.extend(shard.events);
+        self.process_names.extend(shard.process_names);
+        self.thread_names.extend(shard.thread_names);
+    }
+
     /// Number of recorded events (metadata excluded).
     pub fn len(&self) -> usize {
         self.events.len()

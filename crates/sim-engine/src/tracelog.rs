@@ -73,6 +73,12 @@ impl TraceLog {
         self.capacity > 0
     }
 
+    /// The configured ring capacity (0 when disabled). Used to fork
+    /// same-sized per-lane shards in the parallel event core.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Appends a record, evicting the oldest when full.
     pub fn push(&mut self, at: Cycle, component: &'static str, message: String) {
         if self.capacity == 0 {

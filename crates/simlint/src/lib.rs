@@ -20,6 +20,7 @@
 //! | `canon-coverage` | error | a struct/enum covered by `canon.rs` has a member the canonical encoding does not mention, or its shape changed without a canon version bump (see [`CANON_COVERED`]) |
 //! | `lossy-cast` | error | an `as` cast that can truncate in a model crate: any cast to `u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`f32`, or a float expression cast to an integer |
 //! | `hot-path-panic` | error | `unwrap`/`expect`/`panic!`-family calls, or slice indexing with an arithmetic index, inside event-handler modules reachable from the sim loop (see [`HOT_PATHS`]) |
+//! | `cross-domain-mutation` | error | `lanes`, `lock_lane`, `read_host` or `write_host` inside an `impl GpuLane` body; a lane handler owns only its own lane — cross-domain effects must ride the outbox mailbox drained at barrier epochs |
 //! | `bare-allow` | warning | a `simlint: allow(...)` escape without a reason, or naming an unknown rule |
 //!
 //! # Escape hatch
@@ -123,16 +124,19 @@ pub enum Rule {
     LossyCast,
     /// Panic path inside a sim-loop event-handler module.
     HotPathPanic,
+    /// Lane handler touching another domain's state outside the mailbox.
+    CrossDomainMutation,
     /// Malformed or reason-less `allow` escape.
     BareAllow,
 }
 
 impl Rule {
     /// Every rule, in diagnostic-id order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::AmbientRng,
         Rule::BareAllow,
         Rule::CanonCoverage,
+        Rule::CrossDomainMutation,
         Rule::DefaultHasherMap,
         Rule::FloatOrdKey,
         Rule::HotPathPanic,
@@ -153,6 +157,7 @@ impl Rule {
             Rule::CanonCoverage => "canon-coverage",
             Rule::LossyCast => "lossy-cast",
             Rule::HotPathPanic => "hot-path-panic",
+            Rule::CrossDomainMutation => "cross-domain-mutation",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -193,6 +198,9 @@ impl Rule {
             }
             Rule::HotPathPanic => {
                 "no unwrap/expect/panic!/arithmetic indexing in sim-loop event handlers; use typed SimErrors"
+            }
+            Rule::CrossDomainMutation => {
+                "no lanes/lock_lane/read_host/write_host inside impl GpuLane; cross-domain effects ride the outbox mailbox"
             }
             Rule::BareAllow => "simlint allow escapes must name known rules and carry a reason",
         }
@@ -428,6 +436,13 @@ const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 /// Panic-family macro names (`panic!(...)` etc.).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Identifiers that reach another domain's state: the lane array itself and
+/// the cross-domain lock helpers. Legal in host/driver/barrier code (which
+/// owns the synchronization schedule); inside an `impl GpuLane` body they
+/// bypass the outbox mailbox and break the conservative-lookahead contract
+/// that makes the parallel event core byte-identical (`cross-domain-mutation`).
+const LANE_CROSSING_IDENTS: &[&str] = &["lanes", "lock_lane", "read_host", "write_host"];
+
 /// Whether `path` lies in a sim-loop event-handler module.
 fn is_hot_path(path: &str) -> bool {
     HOT_PATHS.iter().any(|p| path.starts_with(p))
@@ -556,6 +571,29 @@ fn lint_crate_analyses(crate_name: &str, analyses: &[FileAnalysis], diags: &mut 
         fa.bare_allow_diags(diags);
         let hot = model && is_hot_path(&fa.path);
         let toks = &fa.toks;
+        // Token ranges of `impl GpuLane { ... }` bodies in this file: the
+        // scope of `cross-domain-mutation`. Lane handlers run concurrently
+        // inside an epoch, so any reach into sibling-lane or host state
+        // there races (or would deadlock through the lane mutexes).
+        let lane_impls: Vec<(usize, usize)> = if model {
+            let mut ranges = Vec::new();
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind == TokKind::Ident
+                    && t.text == "impl"
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokKind::Ident && n.text == "GpuLane")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "{")
+                {
+                    if let Some(close) = matching_close(toks, i + 2) {
+                        ranges.push((i + 2, close));
+                    }
+                }
+            }
+            ranges
+        } else {
+            Vec::new()
+        };
         for i in 0..toks.len() {
             let t = &toks[i];
             let mut push = |rule: Rule, at: &Tok, message: String| {
@@ -677,6 +715,19 @@ fn lint_crate_analyses(crate_name: &str, analyses: &[FileAnalysis], diags: &mut 
                                 }
                             }
                         }
+                    }
+                    if LANE_CROSSING_IDENTS.contains(&word)
+                        && lane_impls
+                            .iter()
+                            .any(|&(open, close)| i > open && i < close)
+                    {
+                        push(
+                            Rule::CrossDomainMutation,
+                            t,
+                            format!(
+                                "`{word}` inside `impl GpuLane` reaches across event-lane domains; a lane handler owns only its own lane — push an outbox message and let the barrier route it"
+                            ),
+                        );
                     }
                     if hot {
                         if PANIC_METHODS.contains(&word)
@@ -1241,5 +1292,60 @@ mod tests {
             assert!(!r.summary().is_empty());
         }
         assert_eq!(Rule::from_id("nope"), None);
+    }
+
+    #[test]
+    fn flags_cross_domain_reach_inside_lane_impls() {
+        let src = "impl GpuLane {\n\
+                   \x20   fn bad(&mut self, lanes: &[Mutex<GpuLane>]) {\n\
+                   \x20       lock_lane(lanes, 0).q.schedule(at, ev);\n\
+                   \x20   }\n\
+                   }\n";
+        let d = crate_of("mgpu-system", src);
+        let hits: Vec<_> = d
+            .iter()
+            .filter(|d| d.rule == Rule::CrossDomainMutation)
+            .collect();
+        // `lanes` in the signature, `lock_lane` and `lanes` in the body.
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[1].message.contains("lock_lane"));
+    }
+
+    #[test]
+    fn cross_domain_rule_scoped_to_lane_impls_and_model_crates() {
+        // The same reach is the host's job: HostState owns the barrier.
+        let host = "impl HostState {\n\
+                    \x20   fn ok(&mut self, lanes: &[Mutex<GpuLane>]) {\n\
+                    \x20       lock_lane(lanes, 0).q.schedule(at, ev);\n\
+                    \x20   }\n\
+                    }\n";
+        assert!(crate_of("mgpu-system", host)
+            .iter()
+            .all(|d| d.rule != Rule::CrossDomainMutation));
+        // Methods after the impl's closing brace are out of scope.
+        let after = "impl GpuLane {\n\
+                     \x20   fn own(&mut self) { self.q.pop(); }\n\
+                     }\n\
+                     fn free(lanes: &[Mutex<GpuLane>]) { lock_lane(lanes, 0); }\n";
+        assert!(crate_of("mgpu-system", after)
+            .iter()
+            .all(|d| d.rule != Rule::CrossDomainMutation));
+        // Non-model crates never run the rule.
+        let bad = "impl GpuLane { fn f(lanes: &L) { write_host(lanes) } }\n";
+        assert!(crate_of("some-tool", bad).is_empty());
+    }
+
+    #[test]
+    fn cross_domain_rule_honors_inline_allow() {
+        let src = "impl GpuLane {\n\
+                   \x20   fn audited(&mut self, host: &RwLock<HostState>) {\n\
+                   \x20       // simlint: allow(cross-domain-mutation) — read-only snapshot taken at epoch open\n\
+                   \x20       let h = read_host(host);\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(crate_of("mgpu-system", src)
+            .iter()
+            .all(|d| d.rule != Rule::CrossDomainMutation));
     }
 }

@@ -202,6 +202,35 @@ fn explicit_baseline_flag_overrides_the_default() {
 }
 
 #[test]
+fn cross_domain_reach_in_lane_impl_fails() {
+    let ws = fixture("crossdomain_bad_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    // `lanes` in the signature (line 6) and `lock_lane`/`lanes` in the body.
+    assert!(
+        stdout.contains("crates/mgpu-system/src/system/lane.rs:6: error[cross-domain-mutation]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("`lock_lane` inside `impl GpuLane`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("outbox"), "{stdout}");
+}
+
+#[test]
+fn cross_domain_rule_spares_host_code_and_honors_allows() {
+    // Outbox-routed lane code, a reasoned allow on the audited reach, and
+    // the identical reach inside `impl HostState` all lint clean.
+    let ws = fixture("crossdomain_good_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
 fn list_rules_prints_the_registry() {
     let out = run(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));
@@ -215,6 +244,7 @@ fn list_rules_prints_the_registry() {
         "canon-coverage",
         "lossy-cast",
         "hot-path-panic",
+        "cross-domain-mutation",
         "bare-allow",
     ] {
         assert!(stdout.contains(id), "missing {id}: {stdout}");

@@ -1,0 +1,9 @@
+//! Fixture lane module: a GpuLane handler reaches across domains, so
+//! `cross-domain-mutation` fires. Never compiled — scanned textually by
+//! the simlint tests.
+
+impl GpuLane {
+    pub(crate) fn on_inval_done(&mut self, lanes: &[Mutex<GpuLane>], vpn: u64) {
+        lock_lane(lanes, 0).q.schedule(self.now, Ev::InvalAck { vpn });
+    }
+}
