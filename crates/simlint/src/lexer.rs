@@ -46,6 +46,12 @@ pub struct Tok {
     pub len: usize,
 }
 
+/// Process-wide count of [`lex`] calls. The single-lex contract — a full
+/// workspace `--check` lexes each file exactly once, with the token stream
+/// shared by every rule family — is asserted against this counter by
+/// `tests/single_lex.rs`.
+pub static LEX_CALLS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
 /// Lexes `src` into a token stream (comments included, whitespace dropped).
 ///
 /// The lexer never fails: unterminated literals or comments swallow the
@@ -53,6 +59,7 @@ pub struct Tok {
 /// for a lint that must keep scanning sibling files.
 #[must_use]
 pub fn lex(src: &str) -> Vec<Tok> {
+    LEX_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     Lexer {
         chars: src.chars().collect(),
         pos: 0,

@@ -21,7 +21,16 @@
 //! | `lossy-cast` | error | an `as` cast that can truncate in a model crate: any cast to `u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`f32`, or a float expression cast to an integer |
 //! | `hot-path-panic` | error | `unwrap`/`expect`/`panic!`-family calls, or slice indexing with an arithmetic index, inside event-handler modules reachable from the sim loop (see [`HOT_PATHS`]) |
 //! | `cross-domain-mutation` | error | `lanes`, `lock_lane`, `read_host` or `write_host` inside an `impl GpuLane` body; a lane handler owns only its own lane — cross-domain effects must ride the outbox mailbox drained at barrier epochs |
+//! | `lane-race` | error | a function transitively reachable from a GPU-lane handler (via the [`graph`] call graph) touches cross-domain state, a model-crate `static`, or an interior-mutability cell; `cross-domain-mutation` is its intra-`impl` fast path |
+//! | `shared-mutability` | error | `static mut`, lazy-global machinery, or an interior-mutability cell (`RefCell`/`Cell`/`Mutex`/atomics) in a model crate outside the sanctioned sync layer (see [`SYNC_SANCTIONED`]) |
+//! | `dead-event` | error | an audited event-enum variant (see [`EVENT_ENUMS`]) constructed but never matched by a dispatch arm, or dispatched but never constructed — schema drift, like canon-coverage for events |
 //! | `bare-allow` | warning | a `simlint: allow(...)` escape without a reason, or naming an unknown rule |
+//!
+//! The first ten rules are per-file token passes. The last three (after
+//! `cross-domain-mutation`) are *workspace* passes: [`graph`] builds a symbol
+//! index and conservative call graph over the model crates' token streams
+//! (each file is lexed exactly once and shared by every rule), then the rule
+//! families in `rules_graph` run reachability from the GPU-phase roots.
 //!
 //! # Escape hatch
 //!
@@ -46,11 +55,14 @@
 //! `simlint` itself are exempt. Everything after a `#[cfg(test)]` attribute
 //! is skipped: tests may use whatever they like.
 
+pub mod graph;
 pub mod lexer;
 
 mod canon;
+mod rules_graph;
 
 pub use canon::{CanonKind, CANON_COVERED};
+pub use rules_graph::{CELL_TYPES, EVENT_ENUMS, LAZY_GLOBAL_IDENTS, SYNC_SANCTIONED};
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -126,21 +138,30 @@ pub enum Rule {
     HotPathPanic,
     /// Lane handler touching another domain's state outside the mailbox.
     CrossDomainMutation,
+    /// Function reachable from a GPU-lane handler touching shared state.
+    LaneRace,
+    /// `static mut`, lazy global, or unsanctioned interior mutability.
+    SharedMutability,
+    /// Event variant constructed-never-dispatched or vice versa.
+    DeadEvent,
     /// Malformed or reason-less `allow` escape.
     BareAllow,
 }
 
 impl Rule {
     /// Every rule, in diagnostic-id order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 13] = [
         Rule::AmbientRng,
         Rule::BareAllow,
         Rule::CanonCoverage,
         Rule::CrossDomainMutation,
+        Rule::DeadEvent,
         Rule::DefaultHasherMap,
         Rule::FloatOrdKey,
         Rule::HotPathPanic,
+        Rule::LaneRace,
         Rule::LossyCast,
+        Rule::SharedMutability,
         Rule::UnorderedIter,
         Rule::WallClock,
     ];
@@ -158,6 +179,9 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::HotPathPanic => "hot-path-panic",
             Rule::CrossDomainMutation => "cross-domain-mutation",
+            Rule::LaneRace => "lane-race",
+            Rule::SharedMutability => "shared-mutability",
+            Rule::DeadEvent => "dead-event",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -201,6 +225,15 @@ impl Rule {
             }
             Rule::CrossDomainMutation => {
                 "no lanes/lock_lane/read_host/write_host inside impl GpuLane; cross-domain effects ride the outbox mailbox"
+            }
+            Rule::LaneRace => {
+                "no function reachable from a GPU-lane handler may touch cross-domain state, statics, or interior-mutability cells (call-graph reachability)"
+            }
+            Rule::SharedMutability => {
+                "no static mut, lazy globals, or interior-mutability cells in model crates outside the sanctioned sync layer"
+            }
+            Rule::DeadEvent => {
+                "every audited event-enum variant is both constructed and matched by a dispatch arm somewhere"
             }
             Rule::BareAllow => "simlint allow escapes must name known rules and carry a reason",
         }
@@ -285,12 +318,13 @@ fn parse_allow(comment: &str) -> Option<AllowSpec> {
 }
 
 /// One preprocessed source file: lexed, split into channels, truncated at
-/// the first `#[cfg(test)]`.
-pub(crate) struct FileAnalysis {
+/// the first `#[cfg(test)]`. Built once per file and shared by every rule
+/// pass, including the [`graph`] workspace rules.
+pub struct FileAnalysis {
     /// Workspace-relative `/`-separated path.
-    pub(crate) path: String,
+    pub path: String,
     /// Code-channel tokens (no comments), truncated at `#[cfg(test)]`.
-    pub(crate) toks: Vec<Tok>,
+    pub toks: Vec<Tok>,
     /// Parsed allow escapes: `(line, col, spec)`.
     allows: Vec<(usize, usize, AllowSpec)>,
     /// Lines that carry at least one code token.
@@ -298,7 +332,10 @@ pub(crate) struct FileAnalysis {
 }
 
 impl FileAnalysis {
-    pub(crate) fn new(path: String, source: &str) -> FileAnalysis {
+    /// Lexes `source` once and splits it into channels. `path` must be the
+    /// workspace-relative `/`-separated path (rule scoping keys off it).
+    #[must_use]
+    pub fn new(path: String, source: &str) -> FileAnalysis {
         let all = lexer::lex(source);
         // Find the `#[cfg(test)]` attribute in the code channel; everything
         // from it on (comments included) is test code, outside our scope.
@@ -353,7 +390,8 @@ impl FileAnalysis {
 
     /// Whether a finding of `rule` on `line` is waived by an allow escape on
     /// the same line or on a directly preceding comment-only line.
-    pub(crate) fn allowed(&self, rule: Rule, line: usize) -> bool {
+    #[must_use]
+    pub fn allowed(&self, rule: Rule, line: usize) -> bool {
         self.allows.iter().any(|(l, _, spec)| {
             spec.covers(rule) && (*l == line || (*l + 1 == line && !self.code_lines.contains(l)))
         })
@@ -860,19 +898,40 @@ impl Baseline {
     /// Renders a baseline covering `diags`, one entry per `(rule, path)`.
     #[must_use]
     pub fn render(diags: &[Diagnostic]) -> String {
+        Baseline::default().render_updated(diags)
+    }
+
+    /// Renders a refreshed baseline covering `diags`: one entry per
+    /// `(rule, path)`, sorted byte-stably by `(rule id, path)`. Reasons
+    /// already recorded in `self` are carried over; new entries get a TODO
+    /// placeholder. Entries of `self` that no longer fire — including files
+    /// that no longer exist — are pruned, so the file only shrinks or
+    /// documents genuinely current findings.
+    #[must_use]
+    pub fn render_updated(&self, diags: &[Diagnostic]) -> String {
         let mut out = String::from(
             "# simlint baseline — grandfathered findings, one `<rule-id> <path> — <reason>` per line.\n\
              # Remove entries as sites are migrated; never add one without a reason.\n",
         );
-        let mut seen: Vec<(Rule, &str)> = Vec::new();
-        for d in diags {
-            if d.rule.severity() == Severity::Error && !seen.contains(&(d.rule, d.path.as_str())) {
-                seen.push((d.rule, d.path.as_str()));
-                out.push_str(d.rule.id());
-                out.push(' ');
-                out.push_str(&d.path);
-                out.push_str(" — TODO: justify or migrate\n");
-            }
+        let mut keys: Vec<(&'static str, &str)> = diags
+            .iter()
+            .filter(|d| d.rule.severity() == Severity::Error)
+            .map(|d| (d.rule.id(), d.path.as_str()))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for (rule_id, path) in keys {
+            let reason = self
+                .entries
+                .iter()
+                .find(|(r, p, _)| r.id() == rule_id && p == path)
+                .map_or("TODO: justify or migrate", |(_, _, reason)| reason.as_str());
+            out.push_str(rule_id);
+            out.push(' ');
+            out.push_str(path);
+            out.push_str(" — ");
+            out.push_str(reason);
+            out.push('\n');
         }
         out
     }
@@ -974,6 +1033,7 @@ pub fn lint_workspace_with(root: &Path, canon_snapshot: Option<&Path>) -> io::Re
     let mut files_scanned = 0;
     let crates_scanned = sources.len();
     let mut all_files: Vec<FileAnalysis> = Vec::new();
+    let mut model_idx: Vec<usize> = Vec::new();
     for (name, files) in &sources {
         files_scanned += files.len();
         let analyses: Vec<FileAnalysis> = files
@@ -981,8 +1041,19 @@ pub fn lint_workspace_with(root: &Path, canon_snapshot: Option<&Path>) -> io::Re
             .map(|(p, s)| FileAnalysis::new(p.clone(), s))
             .collect();
         lint_crate_analyses(name, &analyses, &mut diagnostics);
+        if MODEL_CRATES.contains(&name.as_str()) {
+            model_idx.extend(all_files.len()..all_files.len() + analyses.len());
+        }
         all_files.extend(analyses);
     }
+
+    // Workspace graph pass over the model crates: one symbol index + call
+    // graph built from the already-lexed token streams (no file is re-read
+    // or re-lexed), then the lane-race / shared-mutability / dead-event
+    // families.
+    let model_files: Vec<&FileAnalysis> = model_idx.iter().map(|&i| &all_files[i]).collect();
+    let symbols = graph::SymbolGraph::build(&model_files);
+    rules_graph::check(&symbols, &model_files, &mut diagnostics);
 
     let snapshot_path = canon_snapshot
         .map(Path::to_path_buf)

@@ -4,10 +4,16 @@
 //! cargo run -p simlint -- --check              # lint the workspace (CI entrypoint)
 //! cargo run -p simlint -- --check --strict     # …and fail on stale baseline entries
 //! cargo run -p simlint -- --format json        # machine-readable diagnostics
+//! cargo run -p simlint -- --format sarif       # SARIF 2.1.0 for CI code-scanning upload
 //! cargo run -p simlint -- --list-rules         # print the rule registry
 //! cargo run -p simlint -- --write-baseline     # grandfather current findings
 //! cargo run -p simlint -- --write-canon        # refresh the canon shape snapshot
 //! ```
+//!
+//! `--write-baseline` is reason-preserving: reasons already recorded in the
+//! existing baseline are carried over, entries whose `(rule, path)` no
+//! longer fires (deleted or migrated files) are pruned, and the output is
+//! sorted byte-stably by `(rule, path)`.
 //!
 //! Exit codes: `0` clean, `1` findings outside the baseline (or, under
 //! `--strict`, stale baseline entries), `2` usage or I/O error.
@@ -16,9 +22,18 @@ use std::path::PathBuf;
 
 use simlint::{Baseline, Diagnostic, Rule, ScanReport, Severity};
 
-const USAGE: &str = "usage: simlint [--check] [--strict] [--format text|json] [--list-rules] \
+const USAGE: &str =
+    "usage: simlint [--check] [--strict] [--format text|json|sarif] [--list-rules] \
                      [--write-baseline] [--write-canon] [--root <dir>] [--baseline <file>] \
                      [--canon <file>]";
+
+/// Output renderer for the scan report.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutFormat {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() {
     std::process::exit(run());
@@ -32,7 +47,7 @@ fn run() -> i32 {
     let mut write_canon = false;
     let mut list_rules = false;
     let mut strict = false;
-    let mut json = false;
+    let mut format = OutFormat::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,12 +57,15 @@ fn run() -> i32 {
             "--write-baseline" => write_baseline = true,
             "--write-canon" => write_canon = true,
             "--format" => match args.next().as_deref() {
-                Some("text") => json = false,
-                Some("json") => json = true,
+                Some("text") => format = OutFormat::Text,
+                Some("json") => format = OutFormat::Json,
+                Some("sarif") => format = OutFormat::Sarif,
                 Some(other) => {
-                    return usage_error(&format!("--format must be text or json, got `{other}`"))
+                    return usage_error(&format!(
+                        "--format must be text, json or sarif, got `{other}`"
+                    ))
                 }
-                None => return usage_error("--format needs a value (text|json)"),
+                None => return usage_error("--format needs a value (text|json|sarif)"),
             },
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
@@ -122,24 +140,6 @@ fn run() -> i32 {
         }
     };
 
-    if write_baseline {
-        let text = Baseline::render(&report.diagnostics);
-        if let Err(e) = std::fs::write(&baseline_path, &text) {
-            eprintln!("simlint: cannot write {}: {e}", baseline_path.display());
-            return 2;
-        }
-        let n = text
-            .lines()
-            .filter(|l| !l.starts_with('#') && !l.is_empty())
-            .count();
-        println!(
-            "simlint: wrote {n} baseline entr{} to {}",
-            if n == 1 { "y" } else { "ies" },
-            baseline_path.display()
-        );
-        return 0;
-    }
-
     let baseline = if baseline_path.is_file() {
         let text = match std::fs::read_to_string(&baseline_path) {
             Ok(t) => t,
@@ -158,6 +158,26 @@ fn run() -> i32 {
     } else {
         Baseline::default()
     };
+
+    if write_baseline {
+        // Reason-preserving refresh: carry reasons for entries that still
+        // fire, prune the rest (deleted files included), sort byte-stably.
+        let text = baseline.render_updated(&report.diagnostics);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("simlint: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        let n = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        println!(
+            "simlint: wrote {n} baseline entr{} to {}",
+            if n == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return 0;
+    }
 
     let stale = baseline.stale_entries(&report.diagnostics);
     let mut errors = 0usize;
@@ -181,28 +201,108 @@ fn run() -> i32 {
         warnings += stale.len();
     }
 
-    if json {
-        print!(
+    match format {
+        OutFormat::Json => print!(
             "{}",
             render_json(&report, &shown, &stale, errors, warnings, baselined)
-        );
-    } else {
-        for d in &shown {
-            println!("{d}");
-        }
-        for (rule, path) in &stale {
-            let sev = if strict { "error" } else { "warning" };
+        ),
+        OutFormat::Sarif => print!("{}", render_sarif(&shown, &stale, strict)),
+        OutFormat::Text => {
+            for d in &shown {
+                println!("{d}");
+            }
+            for (rule, path) in &stale {
+                let sev = if strict { "error" } else { "warning" };
+                println!(
+                    "{path}: {sev}[stale-baseline]: baseline entry `{} {path}` no longer fires; remove it",
+                    rule.id()
+                );
+            }
             println!(
-                "{path}: {sev}[stale-baseline]: baseline entry `{} {path}` no longer fires; remove it",
-                rule.id()
+                "simlint: {} error(s), {} warning(s), {} baselined across {} file(s) in {} crate(s)",
+                errors, warnings, baselined, report.files_scanned, report.crates_scanned
             );
         }
-        println!(
-            "simlint: {} error(s), {} warning(s), {} baselined across {} file(s) in {} crate(s)",
-            errors, warnings, baselined, report.files_scanned, report.crates_scanned
-        );
     }
     i32::from(errors > 0)
+}
+
+/// Renders the findings as a SARIF 2.1.0 log, the schema GitHub code
+/// scanning ingests. Hand-rolled like [`render_json`] and byte-stable for a
+/// given workspace state: the rule array is `Rule::ALL` order (plus a final
+/// synthetic `stale-baseline` rule), results keep the scan's
+/// `(path, line, col, rule)` order, stale entries keep baseline-file order.
+fn render_sarif(shown: &[&Diagnostic], stale: &[(Rule, String)], strict: bool) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"simlint\",\n          \"informationUri\": \"https://github.com/idyll-sim/idyll\",\n          \"rules\": [",
+    );
+    for (i, rule) in Rule::ALL.into_iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+            rule.id(),
+            json_escape(rule.summary()),
+            sarif_level(rule.severity())
+        ));
+    }
+    out.push_str(&format!(
+        ",\n            {{\"id\": \"stale-baseline\", \"shortDescription\": {{\"text\": \
+         \"baseline entries must be removed once they stop firing\"}}, \
+         \"defaultConfiguration\": {{\"level\": \"{}\"}}}}\n          ]\n        }}\n      }},\n      \"results\": [",
+        if strict { "error" } else { "warning" }
+    ));
+    let stale_index = Rule::ALL.len();
+    let mut first = true;
+    for d in shown {
+        let rule_index = Rule::ALL
+            .iter()
+            .position(|r| *r == d.rule)
+            .unwrap_or_default();
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"ruleIndex\": {rule_index}, \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}, \"endColumn\": {}}}}}}}]}}",
+            d.rule.id(),
+            sarif_level(d.rule.severity()),
+            json_escape(&d.message),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            d.col + d.len
+        ));
+    }
+    for (rule, path) in stale {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"stale-baseline\", \"ruleIndex\": {stale_index}, \
+             \"level\": \"{}\", \"message\": {{\"text\": \"baseline entry `{} {}` no longer \
+             fires; remove it\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": 1, \
+             \"startColumn\": 1}}}}}}]}}",
+            if strict { "error" } else { "warning" },
+            rule.id(),
+            json_escape(path),
+            json_escape(path)
+        ));
+    }
+    out.push_str(if first {
+        "]\n    }\n  ]\n}\n"
+    } else {
+        "\n      ]\n    }\n  ]\n}\n"
+    });
+    out
+}
+
+fn sarif_level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
 }
 
 /// Renders the machine-readable report. Hand-rolled (std-only crate);

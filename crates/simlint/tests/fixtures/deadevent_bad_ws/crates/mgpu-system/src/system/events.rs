@@ -1,0 +1,24 @@
+//! Fixture: `Ev` schema drift — `InvalAck` is sent but no dispatch arm
+//! matches it (silently dropped), `Ghost` has a handler but is never
+//! constructed (dead handler code). `dead-event` must flag both and leave
+//! the healthy `WarpReady` alone. Never compiled — scanned textually by
+//! the simlint tests.
+
+pub(crate) enum Ev {
+    WarpReady { warp: u64 },
+    InvalAck { vpn: u64 },
+    Ghost { token: u64 },
+}
+
+fn pump(q: &mut Queue) {
+    q.schedule(0, Ev::WarpReady { warp: 1 });
+    q.schedule(0, Ev::InvalAck { vpn: 2 });
+}
+
+fn dispatch(lane: &mut Lane, ev: Ev) {
+    match ev {
+        Ev::WarpReady { warp } => lane.ready(warp),
+        Ev::Ghost { token } => lane.exorcise(token),
+        _ => {}
+    }
+}

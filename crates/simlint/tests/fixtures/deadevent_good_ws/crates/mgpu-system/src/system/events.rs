@@ -1,0 +1,26 @@
+//! Fixture: every `Ev` variant is both constructed and matched by some
+//! dispatch shape — a plain arm, an or-pattern arm, and an `if let` — so
+//! `dead-event` stays quiet. Never compiled — scanned textually by the
+//! simlint tests.
+
+pub(crate) enum Ev {
+    WarpReady { warp: u64 },
+    InvalAck { vpn: u64 },
+    Flush,
+}
+
+fn pump(q: &mut Queue) {
+    q.schedule(0, Ev::WarpReady { warp: 1 });
+    q.schedule(0, Ev::InvalAck { vpn: 2 });
+    q.schedule(0, Ev::Flush);
+}
+
+fn dispatch(lane: &mut Lane, ev: Ev) {
+    if let Ev::Flush = ev {
+        lane.sync();
+    }
+    match ev {
+        Ev::WarpReady { warp } => lane.ready(warp),
+        Ev::InvalAck { .. } | Ev::Flush => lane.ack(),
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: a GpuLane handler calls a helper *outside* the impl that locks
+//! a sibling lane — nothing inside the impl body looks suspicious, so the
+//! token-level `cross-domain-mutation` rule is blind; `lane-race` must fire
+//! through the call graph. Never compiled — scanned textually by the
+//! simlint tests.
+
+impl GpuLane {
+    pub(crate) fn on_inval_done(&mut self, vpn: u64) {
+        forward_ack(self, vpn);
+    }
+}
+
+fn forward_ack(lane: &mut GpuLane, vpn: u64) {
+    steal_sibling(lane.peers, vpn);
+}
+
+fn steal_sibling(lanes: &[Mutex<GpuLane>], vpn: u64) {
+    lock_lane(lanes, 0).q.schedule(0, Ev::InvalAck { vpn });
+}

@@ -1,0 +1,20 @@
+//! Fixture: the same handler shape lints clean when the helper routes the
+//! cross-domain effect through the outbox, and host-phase code that locks
+//! lanes is fine because no GpuLane handler can reach it. Never compiled —
+//! scanned textually by the simlint tests.
+
+impl GpuLane {
+    pub(crate) fn on_inval_done(&mut self, vpn: u64) {
+        forward_ack(self, vpn);
+    }
+}
+
+fn forward_ack(lane: &mut GpuLane, vpn: u64) {
+    lane.outbox.push(Out::InvalAck { vpn });
+}
+
+// Barrier-phase code owns the lanes exclusively; it is not reachable from
+// any GpuLane handler, so lane-race stays quiet here.
+fn drain_at_barrier(lanes: &[Mutex<GpuLane>]) {
+    lock_lane(lanes, 0).q.clear();
+}

@@ -1,0 +1,15 @@
+//! Fixture: every flavor of global mutable state in a model crate —
+//! `shared-mutability` must flag them all. Never compiled — scanned
+//! textually by the simlint tests.
+
+static mut SCRATCH: u64 = 0;
+
+static DECODE_CACHE: OnceLock<u64> = OnceLock::new();
+
+lazy_static! {
+    static ref TABLE: u64 = 0;
+}
+
+pub struct WalkCache {
+    hits: RefCell<u64>,
+}

@@ -1,0 +1,8 @@
+//! Fixture: the sanctioned synchronization layer may own cells — this path
+//! prefix is in `SYNC_SANCTIONED`, so `shared-mutability` stays quiet.
+//! Never compiled — scanned textually by the simlint tests.
+
+pub struct EpochGate {
+    seq: AtomicU64,
+    lanes_done: Mutex<u64>,
+}

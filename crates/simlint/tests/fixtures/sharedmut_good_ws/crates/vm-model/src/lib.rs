@@ -1,0 +1,11 @@
+//! Fixture: constants, plain immutable statics and System-owned state lint
+//! clean under `shared-mutability`. Never compiled — scanned textually by
+//! the simlint tests.
+
+pub const WALK_DEPTH: usize = 4;
+
+static PAGE_SHIFT: u32 = 12;
+
+pub struct WalkCache {
+    hits: u64,
+}

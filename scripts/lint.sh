@@ -2,6 +2,7 @@
 # Workspace lint — the same invocation CI runs.
 #
 #   scripts/lint.sh                    # simlint (strict) + pinned clippy
+#   scripts/lint.sh --sarif out.sarif  # …also write a SARIF 2.1.0 log (non-blocking)
 #   scripts/lint.sh --write-baseline   # grandfather current findings (use sparingly)
 #   scripts/lint.sh --write-canon      # refresh simlint.canon after a shape+version bump
 #
@@ -20,7 +21,30 @@ for arg in "$@"; do
   esac
 done
 
-cargo run -q -p simlint -- --check --strict "$@"
+# --sarif <file>: write the SARIF log for CI code-scanning upload before the
+# blocking gate, so annotations exist even when the strict run fails. The
+# SARIF pass never blocks; the --check --strict run below is the gate.
+sarif_out=""
+pass_args=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sarif)
+      sarif_out="${2:?--sarif needs a file}"
+      shift 2
+      ;;
+    *)
+      pass_args+=("$1")
+      shift
+      ;;
+  esac
+done
+
+if [ -n "$sarif_out" ]; then
+  cargo run -q -p simlint -- --check --strict --format sarif \
+    ${pass_args[0]+"${pass_args[@]}"} > "$sarif_out" || true
+fi
+
+cargo run -q -p simlint -- --check --strict ${pass_args[0]+"${pass_args[@]}"}
 
 # Pinned clippy gate. The cast/length pedantic lints are allowed here, in one
 # place, instead of as scattered `#[allow]` attributes: simlint's lossy-cast
