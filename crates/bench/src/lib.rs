@@ -155,12 +155,15 @@ impl Harness {
     /// Runs spec-level grid cells, preferring a running experiment daemon.
     ///
     /// When `IDYLL_SERVE_ADDR` names a reachable `idyll-serve` daemon the
-    /// cells are submitted there — repeat sweeps then come back from its
-    /// content-addressed result cache byte-identical to local runs. On any
-    /// daemon error (unreachable, draining, failed job) the grid falls
-    /// back to local execution: the daemon is an accelerator, never a
-    /// requirement. Local and remote paths produce identical reports
-    /// because workloads regenerate deterministically from `(spec, n_gpus,
+    /// cells are submitted there as one dependency graph per grid (every
+    /// cell plus a terminal reduce job that fans in from all of them) —
+    /// repeat sweeps then come back from its content-addressed result
+    /// cache byte-identical to local runs, and a daemon restart mid-grid
+    /// resumes from its durable job log. On any daemon error
+    /// (unreachable, draining, failed job) the grid falls back to local
+    /// execution: the daemon is an accelerator, never a requirement.
+    /// Local and remote paths produce identical reports because
+    /// workloads regenerate deterministically from `(spec, n_gpus,
     /// seed)` on either side.
     fn run_cells_recorded(
         &self,
@@ -168,7 +171,7 @@ impl Harness {
     ) -> Result<Vec<(String, SimReport)>, SimError> {
         if let Ok(addr) = std::env::var("IDYLL_SERVE_ADDR") {
             if !addr.is_empty() {
-                match idyll_serve::run_cells(&addr, &cells) {
+                match idyll_serve::run_cells_dag(&addr, &cells) {
                     Ok(timed) => {
                         grid_metrics::record(&timed);
                         return Ok(timed.into_iter().map(|t| (t.scheme, t.report)).collect());

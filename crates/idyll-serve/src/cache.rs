@@ -106,6 +106,27 @@ impl ResultCache {
         }
         Ok(())
     }
+
+    /// Evicts `key` from the map and the backing directory (GC). Returns
+    /// the byte length of the removed entry, or `None` if it was absent.
+    ///
+    /// # Errors
+    /// Propagates file removal failures (the in-memory entry is already
+    /// gone by then; a rerun will regenerate identical bytes regardless).
+    ///
+    /// # Panics
+    /// If the internal lock is poisoned.
+    pub fn remove(&self, key: &str) -> std::io::Result<Option<usize>> {
+        let removed = self.map.lock().expect("cache lock").remove(key);
+        if let Some(dir) = &self.dir {
+            match fs::remove_file(dir.join(key)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(removed.map(|r| r.len()))
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +183,21 @@ mod tests {
         cache.put(key, "same bytes").unwrap();
         assert_eq!(cache.get(key).as_deref(), Some("same bytes"));
         assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_evicts_map_and_disk() {
+        let dir = temp_dir("remove");
+        let key = "00112233445566778899aabbccddeeff";
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.put(key, "gone soon").unwrap();
+        assert!(dir.join(key).exists());
+        assert_eq!(cache.remove(key).unwrap(), Some("gone soon".len()));
+        assert_eq!(cache.get(key), None);
+        assert!(!dir.join(key).exists());
+        // Removing an absent key is a no-op, not an error.
+        assert_eq!(cache.remove(key).unwrap(), None);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -16,7 +16,7 @@ use mgpu_system::config::SystemConfig;
 use mgpu_system::runner::TimedRun;
 use workloads::WorkloadSpec;
 
-use crate::proto::{JobSpec, Request, Response, WatchEvent};
+use crate::proto::{GraphJob, GraphPayload, JobSpec, JobState, Request, Response, WatchEvent};
 
 /// One simulation cell described by value, ready to submit.
 #[derive(Debug, Clone)]
@@ -119,6 +119,69 @@ impl Client {
         }
     }
 
+    /// Submits a dependency graph, sleeping out `busy` backpressure until
+    /// the daemon accepts it. Returns `(graph, ids, cached)` with ids in
+    /// submission order.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, or the server's `error` response.
+    pub fn submit_graph_with_backoff(
+        &mut self,
+        jobs: &[GraphJob],
+    ) -> std::io::Result<(u64, Vec<u64>, Vec<bool>)> {
+        loop {
+            match self.request(&Request::SubmitGraph(jobs.to_vec()))? {
+                Response::GraphSubmitted { graph, ids, cached } => return Ok((graph, ids, cached)),
+                Response::Busy { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(10, 5_000)));
+                }
+                Response::Error { message } => {
+                    return Err(protocol_error(format!("submit_graph rejected: {message}")))
+                }
+                other => {
+                    return Err(protocol_error(format!(
+                        "unexpected submit_graph response: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Cancels job `id` (and, transitively, everything depending on it).
+    /// Returns every affected job id.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, or the server's `error` response (unknown
+    /// id, or the job is already terminal).
+    pub fn cancel(&mut self, id: u64) -> std::io::Result<Vec<u64>> {
+        match self.request(&Request::Cancel { id })? {
+            Response::Cancelled { ids } => Ok(ids),
+            Response::Error { message } => {
+                Err(protocol_error(format!("cancel {id} rejected: {message}")))
+            }
+            other => Err(protocol_error(format!(
+                "unexpected cancel response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches every job of graph `graph` with its current state, in id
+    /// order.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, or an unknown graph id.
+    pub fn graph_status(&mut self, graph: u64) -> std::io::Result<Vec<(u64, JobState)>> {
+        match self.request(&Request::GraphStatus { graph })? {
+            Response::GraphStatus { jobs, .. } => Ok(jobs),
+            Response::Error { message } => Err(protocol_error(format!(
+                "graph_status {graph} rejected: {message}"
+            ))),
+            other => Err(protocol_error(format!(
+                "unexpected graph_status response: {other:?}"
+            ))),
+        }
+    }
+
     /// Blocks until job `id` completes; returns `(canonical report,
     /// wall_secs, cached)`.
     ///
@@ -153,9 +216,27 @@ impl Client {
     pub fn watch(
         &mut self,
         id: u64,
+        on_event: impl FnMut(&WatchEvent),
+    ) -> std::io::Result<WatchEvent> {
+        self.watch_from(id, None, on_event)
+    }
+
+    /// Like [`Client::watch`], resuming after sequence number `from_seq`
+    /// (the last `seq` a previous subscription delivered): only events
+    /// with a later seq are streamed. A stream that drops mid-flight
+    /// surfaces as `UnexpectedEof`, letting callers such as
+    /// [`watch_resumable`] reconnect and resume instead of giving up.
+    ///
+    /// # Errors
+    /// I/O or protocol failures, the server's `error` line (unknown id),
+    /// or a stream that closes before a terminal event (`UnexpectedEof`).
+    pub fn watch_from(
+        &mut self,
+        id: u64,
+        from_seq: Option<u64>,
         mut on_event: impl FnMut(&WatchEvent),
     ) -> std::io::Result<WatchEvent> {
-        let request = Request::Watch { id };
+        let request = Request::Watch { id, from_seq };
         self.writer.write_all(request.encode().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -163,7 +244,10 @@ impl Client {
         loop {
             line.clear();
             if self.reader.read_line(&mut line)? == 0 {
-                return Err(protocol_error("server closed the watch stream"));
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the watch stream",
+                ));
             }
             match Response::decode(line.trim_end()).map_err(protocol_error)? {
                 Response::Watch(event) => {
@@ -241,6 +325,125 @@ pub fn run_cells(addr: &str, cells: &[RemoteCell]) -> std::io::Result<Vec<TimedR
         });
     }
     Ok(runs)
+}
+
+/// Runs a set of cells through the daemon at `addr` as one dependency
+/// graph: every cell as a sim job plus one `reduce` barrier depending on
+/// all of them, so the daemon tracks grid completion as a unit (and a
+/// restarted daemon resumes it from the durable log). Waits on the
+/// barrier first — any cell failure surfaces there — then fetches every
+/// cell result in cell order as [`TimedRun`]s (cache hits report
+/// `wall_secs` 0). Byte-identical to [`run_cells`] and to the local loop:
+/// the DAG only changes scheduling, never simulation inputs.
+///
+/// # Errors
+/// I/O or protocol failures, a rejected batch, or any failed job.
+pub fn run_cells_dag(addr: &str, cells: &[RemoteCell]) -> std::io::Result<Vec<TimedRun>> {
+    let mut client = Client::connect(addr)?;
+    let mut jobs: Vec<GraphJob> = cells
+        .iter()
+        .map(|cell| GraphJob {
+            scheme: cell.scheme.clone(),
+            payload: GraphPayload::Sim {
+                config: canon::encode_config(&cell.config),
+                spec: canon::encode_spec(&cell.spec),
+                seed: cell.seed,
+            },
+            priority: 0,
+            deadline_secs: None,
+            deps: Vec::new(),
+        })
+        .collect();
+    jobs.push(GraphJob {
+        scheme: "reduce".to_string(),
+        payload: GraphPayload::Reduce,
+        priority: 0,
+        deadline_secs: None,
+        deps: (0..cells.len() as u64).collect(),
+    });
+    let (_graph, ids, _cached) = client.submit_graph_with_backoff(&jobs)?;
+    if ids.len() != cells.len() + 1 {
+        return Err(protocol_error(format!(
+            "submitted {} graph jobs, got {} ids",
+            cells.len() + 1,
+            ids.len()
+        )));
+    }
+    let reduce_id = *ids.last().expect("batch has a reduce job");
+    // The barrier completes only when every cell did; a cell failure
+    // fails it transitively, surfacing here before any result fetch.
+    client.wait_result(reduce_id)?;
+    let mut runs = Vec::with_capacity(cells.len());
+    for (cell, id) in cells.iter().zip(&ids) {
+        let (report_text, wall_secs, _cached) = client.wait_result(*id)?;
+        let report = canon::decode_report(&report_text)
+            .map_err(|e| protocol_error(format!("job {id}: bad report: {e}")))?;
+        runs.push(TimedRun {
+            scheme: cell.scheme.clone(),
+            report,
+            wall_secs,
+            profile: None,
+        });
+    }
+    Ok(runs)
+}
+
+/// Whether a watch error is worth a reconnect: connection-level failures
+/// (the daemon restarted, the network hiccuped) are; protocol-level
+/// failures (`InvalidData`: unknown id, malformed line) are not.
+fn watch_error_is_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Watches job `id` at `addr` with automatic reconnection: when the TCP
+/// connection drops mid-stream (daemon restart, network blip), reconnects
+/// and resumes the subscription from the last seen sequence number
+/// instead of erroring out — `on_event` never sees a duplicate. Gives up
+/// after repeated consecutive connection failures, or immediately on a
+/// protocol-level error.
+///
+/// # Errors
+/// A protocol-level failure (unknown id, malformed line), or exhausted
+/// reconnection attempts.
+pub fn watch_resumable(
+    addr: &str,
+    id: u64,
+    mut on_event: impl FnMut(&WatchEvent),
+) -> std::io::Result<WatchEvent> {
+    const MAX_CONSECUTIVE_FAILURES: u32 = 25;
+    let mut last_seen: Option<u64> = None;
+    let mut failures = 0u32;
+    loop {
+        let attempt = Client::connect(addr).and_then(|mut client| {
+            let from_seq = last_seen;
+            client.watch_from(id, from_seq, |event| {
+                last_seen = Some(event.seq);
+                on_event(event);
+            })
+        });
+        match attempt {
+            Ok(terminal) => return Ok(terminal),
+            Err(e) if watch_error_is_retryable(&e) => {
+                failures += 1;
+                if failures >= MAX_CONSECUTIVE_FAILURES {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("watch {id}: giving up after {failures} reconnect attempts: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Reads one `Count` metric out of a metrics-registry JSON document; the

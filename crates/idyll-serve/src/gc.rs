@@ -1,0 +1,303 @@
+//! Size-capped garbage collection for the result cache.
+//!
+//! The durable job log is what makes GC safe: it records which keys
+//! belong to *pending* jobs (submitted but not yet terminal), and those
+//! are never evicted — a restarted daemon replays the log and expects to
+//! find or regenerate exactly those entries. Everything else is fair
+//! game, because evicting a finished job's report only costs a
+//! deterministic, byte-identical rerun if anyone asks again.
+//!
+//! Eviction order is oldest-first by log order: entries never mentioned
+//! in the log (pre-log legacy files) go first, in lexicographic key
+//! order, then finished keys by the position of their first `finish`
+//! record. Eviction stops as soon as the cache fits under the cap.
+
+use std::fs;
+use std::path::Path;
+
+use sim_engine::collections::{DetHashMap, DetHashSet};
+
+use crate::jobgraph::{parse_log, LogPayload, LogRecord};
+
+/// What one GC pass did (or, under `dry_run`, would do).
+#[derive(Debug)]
+pub struct GcReport {
+    /// Cache bytes before the pass.
+    pub bytes_before: u64,
+    /// Cache bytes after the pass (equal to `bytes_before` on dry runs).
+    pub bytes_after: u64,
+    /// `(key, bytes)` evicted, in eviction order.
+    pub evicted: Vec<(String, u64)>,
+    /// Entries kept because a pending job references them.
+    pub pinned: usize,
+    /// Entries remaining after the pass.
+    pub kept: usize,
+    /// Whether this was a dry run (nothing deleted).
+    pub dry_run: bool,
+}
+
+/// Runs one GC pass over `cache_dir`, evicting until total size fits
+/// under `max_bytes`. `log_path` (when present on disk) supplies pin and
+/// ordering information; without a log every entry is unpinned legacy.
+/// Under `dry_run`, reports what would be evicted without deleting.
+///
+/// # Errors
+/// I/O failures reading the cache directory or deleting entries, and
+/// `InvalidData` when the log fails its strict decoder.
+pub fn run_gc(
+    cache_dir: &Path,
+    log_path: &Path,
+    max_bytes: u64,
+    dry_run: bool,
+) -> std::io::Result<GcReport> {
+    // Key → first-finish log position, and the pin set (keys of sims that
+    // were submitted but never reached a terminal record).
+    let mut finish_order: DetHashMap<String, usize> = DetHashMap::default();
+    let mut key_of: DetHashMap<u64, String> = DetHashMap::default();
+    let mut pending: DetHashMap<u64, String> = DetHashMap::default();
+    match fs::read_to_string(log_path) {
+        Ok(text) => {
+            let records = parse_log(&text)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            for (pos, record) in records.iter().enumerate() {
+                match record {
+                    LogRecord::Submit {
+                        id,
+                        payload: LogPayload::Sim { key, .. },
+                        ..
+                    } => {
+                        key_of.insert(*id, key.clone());
+                        pending.insert(*id, key.clone());
+                    }
+                    LogRecord::Submit { .. } | LogRecord::Start { .. } => {}
+                    LogRecord::Finish { id, .. } => {
+                        pending.remove(id);
+                        if let Some(key) = key_of.get(id) {
+                            finish_order.entry(key.clone()).or_insert(pos);
+                        }
+                    }
+                    LogRecord::Fail { id, .. } | LogRecord::Cancel { id } => {
+                        pending.remove(id);
+                    }
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let pinned_keys: DetHashSet<&String> = pending.values().collect();
+
+    // Inventory the cache directory (same 32-hex filter as the cache).
+    let mut entries: Vec<(String, u64)> = Vec::new();
+    for entry in fs::read_dir(cache_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(key) = name.to_str() else { continue };
+        if key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit()) {
+            entries.push((key.to_string(), entry.metadata()?.len()));
+        }
+    }
+    let bytes_before: u64 = entries.iter().map(|(_, size)| size).sum();
+    let pinned = entries
+        .iter()
+        .filter(|(key, _)| pinned_keys.contains(key))
+        .count();
+
+    // Eviction order: unlogged legacy entries first (lexicographic), then
+    // logged entries oldest-first by first-finish position.
+    entries.sort_by(|(a, _), (b, _)| {
+        let rank = |key: &String| {
+            finish_order
+                .get(key)
+                .map_or((0usize, key.clone()), |pos| (1, format!("{pos:020}")))
+        };
+        rank(a).cmp(&rank(b))
+    });
+
+    let mut bytes_after = bytes_before;
+    let mut evicted = Vec::new();
+    for (key, size) in &entries {
+        if bytes_after <= max_bytes {
+            break;
+        }
+        if pinned_keys.contains(key) {
+            continue;
+        }
+        if !dry_run {
+            fs::remove_file(cache_dir.join(key))?;
+        }
+        bytes_after -= size;
+        evicted.push((key.clone(), *size));
+    }
+    let kept = entries.len() - evicted.len();
+    Ok(GcReport {
+        bytes_before,
+        bytes_after: if dry_run { bytes_before } else { bytes_after },
+        evicted,
+        pinned,
+        kept,
+        dry_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("idyll-serve-gc-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn key(n: u8) -> String {
+        format!("{n:032x}")
+    }
+
+    fn write_entry(dir: &Path, key: &str, bytes: usize) {
+        fs::write(dir.join(key), "x".repeat(bytes)).unwrap();
+    }
+
+    fn write_log(path: &Path, records: &[LogRecord]) {
+        let mut file = fs::File::create(path).unwrap();
+        for record in records {
+            writeln!(file, "{}", record.encode()).unwrap();
+        }
+    }
+
+    fn sim_submit(id: u64, key: String) -> LogRecord {
+        LogRecord::Submit {
+            id,
+            graph: 1,
+            scheme: format!("job{id}"),
+            payload: LogPayload::Sim {
+                config: "# idyll-canon config v1\n".into(),
+                spec: "# idyll-canon spec v1\n".into(),
+                seed: 1,
+                key,
+            },
+            priority: 0,
+            deadline_secs: None,
+            deps: vec![],
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_by_log_order_never_pinned() {
+        let dir = temp_dir("order");
+        let log = dir.join("jobs.log");
+        // Three finished entries (finish order 2, 1, 3), one pending.
+        write_log(
+            &log,
+            &[
+                sim_submit(1, key(1)),
+                sim_submit(2, key(2)),
+                sim_submit(3, key(3)),
+                sim_submit(4, key(4)), // pending: submitted, never finished
+                LogRecord::Finish {
+                    id: 2,
+                    key: key(2),
+                    wall_secs: 0.1,
+                },
+                LogRecord::Finish {
+                    id: 1,
+                    key: key(1),
+                    wall_secs: 0.1,
+                },
+                LogRecord::Finish {
+                    id: 3,
+                    key: key(3),
+                    wall_secs: 0.1,
+                },
+            ],
+        );
+        let cache = dir.join("cache");
+        fs::create_dir_all(&cache).unwrap();
+        for k in 1..=4 {
+            write_entry(&cache, &key(k), 100);
+        }
+        // Cap at 200 bytes: must evict two of the four 100-byte entries,
+        // oldest finishes first (2 then 1), never the pending key 4.
+        let report = run_gc(&cache, &log, 200, false).unwrap();
+        assert_eq!(report.bytes_before, 400);
+        assert_eq!(report.bytes_after, 200);
+        assert_eq!(report.pinned, 1);
+        let evicted: Vec<&str> = report.evicted.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(evicted, vec![key(2).as_str(), key(1).as_str()]);
+        assert!(!cache.join(key(2)).exists());
+        assert!(cache.join(key(3)).exists());
+        assert!(cache.join(key(4)).exists(), "pinned entry survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_entries_survive_even_under_pressure() {
+        let dir = temp_dir("pinned");
+        let log = dir.join("jobs.log");
+        write_log(&log, &[sim_submit(1, key(1))]); // pending forever
+        let cache = dir.join("cache");
+        fs::create_dir_all(&cache).unwrap();
+        write_entry(&cache, &key(1), 500);
+        // Cap of zero, but the only entry is pinned: nothing happens.
+        let report = run_gc(&cache, &log, 0, false).unwrap();
+        assert!(report.evicted.is_empty());
+        assert_eq!(report.bytes_after, 500);
+        assert!(cache.join(key(1)).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unlogged_legacy_entries_evict_first_and_dry_run_deletes_nothing() {
+        let dir = temp_dir("legacy");
+        let log = dir.join("jobs.log");
+        write_log(
+            &log,
+            &[
+                sim_submit(1, key(1)),
+                LogRecord::Finish {
+                    id: 1,
+                    key: key(1),
+                    wall_secs: 0.1,
+                },
+            ],
+        );
+        let cache = dir.join("cache");
+        fs::create_dir_all(&cache).unwrap();
+        write_entry(&cache, &key(1), 100);
+        write_entry(&cache, &key(9), 100); // never logged
+        let dry = run_gc(&cache, &log, 100, true).unwrap();
+        assert_eq!(
+            dry.evicted
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec![key(9).as_str()],
+            "legacy entry ranks before logged entry"
+        );
+        assert_eq!(dry.bytes_after, dry.bytes_before, "dry run frees nothing");
+        assert!(cache.join(key(9)).exists(), "dry run deletes nothing");
+        let real = run_gc(&cache, &log, 100, false).unwrap();
+        assert_eq!(real.bytes_after, 100);
+        assert!(!cache.join(key(9)).exists());
+        assert!(cache.join(key(1)).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_log_treats_everything_as_legacy() {
+        let dir = temp_dir("nolog");
+        let cache = dir.join("cache");
+        fs::create_dir_all(&cache).unwrap();
+        write_entry(&cache, &key(1), 50);
+        write_entry(&cache, &key(2), 50);
+        let report = run_gc(&cache, &dir.join("absent.log"), 60, false).unwrap();
+        // Lexicographic: key(1) evicts first.
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(report.evicted[0].0, key(1));
+        assert_eq!(report.pinned, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,941 @@
+//! Durable DAG job graph: append-only log, strict replay, ready-set order.
+//!
+//! The daemon's scheduling state is reconstructible from one append-only
+//! NDJSON file (`results/jobs.log` by default): one [`LogRecord`] per
+//! line, versioned like the `canon` encodings (`"v": 1` on every record)
+//! with strict decoders — unknown record kinds, unknown fields, missing
+//! fields and malformed lines are errors, with one deliberate exception:
+//! a final line without a trailing newline is a torn write from a crash
+//! and is dropped, not rejected.
+//!
+//! ## Record schema (v1)
+//!
+//! | `rec`    | fields                                                        |
+//! |----------|---------------------------------------------------------------|
+//! | `submit` | `id, graph, kind, scheme, priority, deps[, deadline_secs]` + for `kind:"sim"`: `config, spec, seed, key` |
+//! | `start`  | `id`                                                          |
+//! | `finish` | `id, key, wall_secs`                                          |
+//! | `fail`   | `id, error`                                                   |
+//! | `cancel` | `id`                                                          |
+//!
+//! `submit` carries the *full* canonical config/spec documents, so a
+//! restarted daemon can rerun any pending job from the log alone — no
+//! client has to resubmit. Dependency edges always point backwards
+//! (`dep id < job id`), which makes every logged graph acyclic by
+//! construction and lets replay resolve states in one forward pass.
+//!
+//! ## Replay rules
+//!
+//! Records fold in file order; for repeated terminal records the last one
+//! wins (a rerun after cache loss legitimately re-logs `finish`). After
+//! the fold, jobs resolve in id order:
+//!
+//! 1. `finish` + cache hit on `key` → done, served from cache.
+//! 2. `finish` + cache *miss* → pending again (the log has everything
+//!    needed to rerun; the report bytes will be identical).
+//! 3. `fail`/`cancel` → terminal as recorded.
+//! 4. no terminal record → pending (a `start` without `finish` is a run
+//!    the crash interrupted; it reruns).
+//! 5. a pending job with a failed or cancelled dependency is a *dangling
+//!    dependent*: it fails now, and the failure is appended to the log so
+//!    the next replay sees it directly.
+//! 6. a pending `reduce` whose dependencies are all done completes
+//!    immediately (its manifest is a pure function of its dependencies).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Current log format version; bump when the record schema changes.
+pub const LOG_VERSION: u64 = 1;
+
+/// What a submitted job runs: a simulation cell, or a reduce barrier that
+/// completes when its dependencies do and publishes a manifest of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogPayload {
+    /// A simulation cell, fully described by value.
+    Sim {
+        /// Canonical `SystemConfig` document.
+        config: String,
+        /// Canonical `WorkloadSpec` document.
+        spec: String,
+        /// Workload seed.
+        seed: u64,
+        /// Content address (`canon::job_key`) — the cache key.
+        key: String,
+    },
+    /// A dependency barrier; its result is [`reduce_manifest`].
+    Reduce,
+}
+
+/// One line of the durable job log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A job entered the graph.
+    Submit {
+        /// Assigned job id (monotonic across the log).
+        id: u64,
+        /// The graph this job belongs to.
+        graph: u64,
+        /// Display label.
+        scheme: String,
+        /// What the job runs.
+        payload: LogPayload,
+        /// Dispatch priority (higher runs first).
+        priority: u32,
+        /// Optional per-job deadline overriding the daemon default.
+        deadline_secs: Option<f64>,
+        /// Dependency job ids; always `< id`.
+        deps: Vec<u64>,
+    },
+    /// A worker picked the job up.
+    Start {
+        /// The job.
+        id: u64,
+    },
+    /// The job finished; its report is cached under `key` (sim) or
+    /// recomputable from its dependencies (reduce, `key` empty).
+    Finish {
+        /// The job.
+        id: u64,
+        /// Cache key of the stored report (empty for reduce jobs).
+        key: String,
+        /// Host seconds the run took.
+        wall_secs: f64,
+    },
+    /// The job failed.
+    Fail {
+        /// The job.
+        id: u64,
+        /// Human-readable cause.
+        error: String,
+    },
+    /// The job was cancelled.
+    Cancel {
+        /// The job.
+        id: u64,
+    },
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl LogRecord {
+    /// Renders the record as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("v", Json::u64(LOG_VERSION))];
+        match self {
+            LogRecord::Submit {
+                id,
+                graph,
+                scheme,
+                payload,
+                priority,
+                deadline_secs,
+                deps,
+            } => {
+                fields.push(("rec", Json::str("submit")));
+                fields.push(("id", Json::u64(*id)));
+                fields.push(("graph", Json::u64(*graph)));
+                fields.push(("scheme", Json::str(scheme)));
+                match payload {
+                    LogPayload::Sim {
+                        config,
+                        spec,
+                        seed,
+                        key,
+                    } => {
+                        fields.push(("kind", Json::str("sim")));
+                        fields.push(("config", Json::str(config)));
+                        fields.push(("spec", Json::str(spec)));
+                        fields.push(("seed", Json::u64(*seed)));
+                        fields.push(("key", Json::str(key)));
+                    }
+                    LogPayload::Reduce => fields.push(("kind", Json::str("reduce"))),
+                }
+                fields.push(("priority", Json::u64(u64::from(*priority))));
+                if let Some(d) = deadline_secs {
+                    fields.push(("deadline_secs", Json::f64(*d)));
+                }
+                fields.push((
+                    "deps",
+                    Json::Arr(deps.iter().map(|d| Json::u64(*d)).collect()),
+                ));
+            }
+            LogRecord::Start { id } => {
+                fields.push(("rec", Json::str("start")));
+                fields.push(("id", Json::u64(*id)));
+            }
+            LogRecord::Finish { id, key, wall_secs } => {
+                fields.push(("rec", Json::str("finish")));
+                fields.push(("id", Json::u64(*id)));
+                fields.push(("key", Json::str(key)));
+                fields.push(("wall_secs", Json::f64(*wall_secs)));
+            }
+            LogRecord::Fail { id, error } => {
+                fields.push(("rec", Json::str("fail")));
+                fields.push(("id", Json::u64(*id)));
+                fields.push(("error", Json::str(error)));
+            }
+            LogRecord::Cancel { id } => {
+                fields.push(("rec", Json::str("cancel")));
+                fields.push(("id", Json::u64(*id)));
+            }
+        }
+        obj(fields).encode()
+    }
+
+    /// Parses one NDJSON line. Strict: unknown `rec`, unknown fields,
+    /// missing fields and unsupported versions are all errors.
+    ///
+    /// # Errors
+    /// A human-readable message on malformed input.
+    pub fn decode(line: &str) -> Result<LogRecord, String> {
+        let v = Json::parse(line)?;
+        let Json::Obj(ref obj_fields) = v else {
+            return Err("log record is not an object".to_string());
+        };
+        let version = v.get("v").and_then(Json::as_u64).ok_or("missing `v`")?;
+        if version != LOG_VERSION {
+            return Err(format!(
+                "unsupported log version {version} (this build reads v{LOG_VERSION})"
+            ));
+        }
+        let rec = v.get("rec").and_then(Json::as_str).ok_or("missing `rec`")?;
+        let need_u64 = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{rec}: missing `{name}`"))
+        };
+        let need_str = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("{rec}: missing `{name}`"))
+        };
+        let strict_fields = |allowed: &[&str]| {
+            for (k, _) in obj_fields {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(format!("{rec}: unknown field `{k}`"));
+                }
+            }
+            Ok(())
+        };
+        let record = match rec {
+            "submit" => {
+                let kind = need_str("kind")?;
+                let payload = match kind.as_str() {
+                    "sim" => {
+                        strict_fields(&[
+                            "v",
+                            "rec",
+                            "id",
+                            "graph",
+                            "scheme",
+                            "kind",
+                            "config",
+                            "spec",
+                            "seed",
+                            "key",
+                            "priority",
+                            "deadline_secs",
+                            "deps",
+                        ])?;
+                        LogPayload::Sim {
+                            config: need_str("config")?,
+                            spec: need_str("spec")?,
+                            seed: need_u64("seed")?,
+                            key: need_str("key")?,
+                        }
+                    }
+                    "reduce" => {
+                        strict_fields(&[
+                            "v",
+                            "rec",
+                            "id",
+                            "graph",
+                            "scheme",
+                            "kind",
+                            "priority",
+                            "deadline_secs",
+                            "deps",
+                        ])?;
+                        LogPayload::Reduce
+                    }
+                    other => return Err(format!("submit: unknown kind `{other}`")),
+                };
+                let deps = v
+                    .get("deps")
+                    .and_then(Json::as_arr)
+                    .ok_or("submit: missing `deps`")?
+                    .iter()
+                    .map(|d| d.as_u64().ok_or("submit: bad dep id".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let priority = u32::try_from(need_u64("priority")?)
+                    .map_err(|_| "submit: priority out of range".to_string())?;
+                LogRecord::Submit {
+                    id: need_u64("id")?,
+                    graph: need_u64("graph")?,
+                    scheme: need_str("scheme")?,
+                    payload,
+                    priority,
+                    deadline_secs: v.get("deadline_secs").and_then(Json::as_f64),
+                    deps,
+                }
+            }
+            "start" => {
+                strict_fields(&["v", "rec", "id"])?;
+                LogRecord::Start {
+                    id: need_u64("id")?,
+                }
+            }
+            "finish" => {
+                strict_fields(&["v", "rec", "id", "key", "wall_secs"])?;
+                LogRecord::Finish {
+                    id: need_u64("id")?,
+                    key: need_str("key")?,
+                    wall_secs: v
+                        .get("wall_secs")
+                        .and_then(Json::as_f64)
+                        .ok_or("finish: missing `wall_secs`")?,
+                }
+            }
+            "fail" => {
+                strict_fields(&["v", "rec", "id", "error"])?;
+                LogRecord::Fail {
+                    id: need_u64("id")?,
+                    error: need_str("error")?,
+                }
+            }
+            "cancel" => {
+                strict_fields(&["v", "rec", "id"])?;
+                LogRecord::Cancel {
+                    id: need_u64("id")?,
+                }
+            }
+            other => return Err(format!("unknown log record `{other}`")),
+        };
+        Ok(record)
+    }
+}
+
+/// Parses a whole log file. A final line without a trailing newline is a
+/// torn write from a crash: it is dropped. Every terminated line must
+/// decode strictly.
+///
+/// # Errors
+/// The first malformed terminated line, with its 1-based line number.
+pub fn parse_log(text: &str) -> Result<Vec<LogRecord>, String> {
+    let complete = match text.rfind('\n') {
+        Some(last_newline) => &text[..=last_newline],
+        None => "", // a single torn line, or an empty file
+    };
+    complete
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            LogRecord::decode(line).map_err(|e| format!("jobs.log line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// The append side of the durable log. All methods take `&self`; appends
+/// are serialised by an internal mutex and flushed per record, so the
+/// strongest torn-write case a crash can leave is one incomplete final
+/// line — exactly what [`parse_log`] tolerates.
+#[derive(Debug)]
+pub struct JobLog {
+    file: Mutex<Option<std::fs::File>>,
+}
+
+impl JobLog {
+    /// A no-op log (daemon configured without durability).
+    #[must_use]
+    pub fn disabled() -> JobLog {
+        JobLog {
+            file: Mutex::new(None),
+        }
+    }
+
+    /// Opens (creating if needed) the log at `path`, returning the handle
+    /// and every record already on disk, in file order.
+    ///
+    /// # Errors
+    /// I/O failures, or `InvalidData` when an existing record fails the
+    /// strict decoder.
+    pub fn open(path: &Path) -> std::io::Result<(JobLog, Vec<LogRecord>)> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => parse_log(&text)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok((
+            JobLog {
+                file: Mutex::new(Some(file)),
+            },
+            existing,
+        ))
+    }
+
+    /// Appends one record and flushes it. Failures degrade to a warning:
+    /// the in-memory scheduler is still correct, only crash recovery is
+    /// weakened — same policy as cache-write failures.
+    pub fn append(&self, record: &LogRecord) {
+        let mut guard = self.file.lock().expect("job log lock");
+        if let Some(file) = guard.as_mut() {
+            let mut line = record.encode();
+            line.push('\n');
+            if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+                eprintln!("idyll-serve: job log append failed: {e}");
+            }
+        }
+    }
+}
+
+/// How a replayed job comes back to life.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Finished before the crash; `report` holds the served bytes.
+    Done {
+        /// The canonical report (from cache, or a recomputed manifest).
+        report: String,
+    },
+    /// Failed (as recorded, or as a dangling dependent found at replay).
+    Failed(String),
+    /// Cancelled before the crash.
+    Cancelled,
+    /// Still has work to do; goes back through the scheduler.
+    Pending,
+}
+
+/// One job reconstructed from the log.
+#[derive(Debug, Clone)]
+pub struct ReplayJob {
+    /// Job id (preserved across restarts).
+    pub id: u64,
+    /// Graph id (preserved across restarts).
+    pub graph: u64,
+    /// Display label.
+    pub scheme: String,
+    /// What the job runs.
+    pub payload: LogPayload,
+    /// Dispatch priority.
+    pub priority: u32,
+    /// Optional per-job deadline.
+    pub deadline_secs: Option<f64>,
+    /// Dependency job ids.
+    pub deps: Vec<u64>,
+    /// Resolved state.
+    pub disposition: Disposition,
+}
+
+/// The result of replaying a log against the current cache.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every logged job in id order with its resolved state.
+    pub jobs: Vec<ReplayJob>,
+    /// First id the restarted daemon may assign.
+    pub next_id: u64,
+    /// First graph id the restarted daemon may assign.
+    pub next_graph: u64,
+    /// Records the replay itself produced (dangling-dependent failures,
+    /// reduce completions); the caller appends them so the next replay
+    /// reads them directly.
+    pub appended: Vec<LogRecord>,
+}
+
+#[derive(Debug, Clone)]
+enum Terminal {
+    Finished { key: String },
+    Failed(String),
+    Cancelled,
+}
+
+/// Replays `records` (file order) against the cache, applying the replay
+/// rules in the module docs.
+///
+/// # Errors
+/// A human-readable message when the log violates its invariants
+/// (duplicate submits, unknown ids, forward dependency edges).
+pub fn replay(
+    records: &[LogRecord],
+    cache_get: &dyn Fn(&str) -> Option<String>,
+) -> Result<Replay, String> {
+    struct Entry {
+        graph: u64,
+        scheme: String,
+        payload: LogPayload,
+        priority: u32,
+        deadline_secs: Option<f64>,
+        deps: Vec<u64>,
+        terminal: Option<Terminal>,
+    }
+    let mut entries: BTreeMap<u64, Entry> = BTreeMap::new();
+    let mut next_graph = 1u64;
+    for record in records {
+        match record {
+            LogRecord::Submit {
+                id,
+                graph,
+                scheme,
+                payload,
+                priority,
+                deadline_secs,
+                deps,
+            } => {
+                if entries.contains_key(id) {
+                    return Err(format!("duplicate submit for job {id}"));
+                }
+                for dep in deps {
+                    if dep >= id {
+                        return Err(format!("job {id}: forward dependency edge to {dep}"));
+                    }
+                    if !entries.contains_key(dep) {
+                        return Err(format!("job {id}: unknown dependency {dep}"));
+                    }
+                }
+                entries.insert(
+                    *id,
+                    Entry {
+                        graph: *graph,
+                        scheme: scheme.clone(),
+                        payload: payload.clone(),
+                        priority: *priority,
+                        deadline_secs: *deadline_secs,
+                        deps: deps.clone(),
+                        terminal: None,
+                    },
+                );
+                next_graph = next_graph.max(graph + 1);
+            }
+            LogRecord::Start { id } => {
+                if !entries.contains_key(id) {
+                    return Err(format!("start for unknown job {id}"));
+                }
+            }
+            LogRecord::Finish { id, key, .. } => {
+                entries
+                    .get_mut(id)
+                    .ok_or(format!("finish for unknown job {id}"))?
+                    .terminal = Some(Terminal::Finished { key: key.clone() });
+            }
+            LogRecord::Fail { id, error } => {
+                entries
+                    .get_mut(id)
+                    .ok_or(format!("fail for unknown job {id}"))?
+                    .terminal = Some(Terminal::Failed(error.clone()));
+            }
+            LogRecord::Cancel { id } => {
+                entries
+                    .get_mut(id)
+                    .ok_or(format!("cancel for unknown job {id}"))?
+                    .terminal = Some(Terminal::Cancelled);
+            }
+        }
+    }
+
+    let next_id = entries.keys().next_back().map_or(1, |max| max + 1);
+    let mut jobs = Vec::with_capacity(entries.len());
+    let mut dispositions: BTreeMap<u64, Disposition> = BTreeMap::new();
+    let mut appended = Vec::new();
+    // Id order: dependency edges point backwards, so every dep's
+    // disposition is already resolved when its dependent is visited.
+    for (&id, entry) in &entries {
+        let manifest = || {
+            let dep_keys: Vec<(u64, String)> = entry
+                .deps
+                .iter()
+                .map(|d| {
+                    let key = match &entries[d].payload {
+                        LogPayload::Sim { key, .. } => key.clone(),
+                        LogPayload::Reduce => String::new(),
+                    };
+                    (*d, key)
+                })
+                .collect();
+            reduce_manifest(entry.graph, &dep_keys)
+        };
+        let mut disposition = match &entry.terminal {
+            Some(Terminal::Finished { key }) => match &entry.payload {
+                LogPayload::Sim { .. } => match cache_get(key) {
+                    Some(report) => Disposition::Done { report },
+                    // Rule 2: the cache entry was lost (GC, disk loss);
+                    // rerun from the log — the bytes will be identical.
+                    None => Disposition::Pending,
+                },
+                LogPayload::Reduce => Disposition::Done { report: manifest() },
+            },
+            Some(Terminal::Failed(e)) => Disposition::Failed(e.clone()),
+            Some(Terminal::Cancelled) => Disposition::Cancelled,
+            None => Disposition::Pending,
+        };
+        if disposition == Disposition::Pending {
+            let broken_dep = entry.deps.iter().find(|d| {
+                matches!(
+                    dispositions.get(d),
+                    Some(Disposition::Failed(_) | Disposition::Cancelled)
+                )
+            });
+            if let Some(dep) = broken_dep {
+                // Rule 5: dangling dependent.
+                let error = format!("dependency {dep} did not complete");
+                appended.push(LogRecord::Fail {
+                    id,
+                    error: error.clone(),
+                });
+                disposition = Disposition::Failed(error);
+            } else if matches!(entry.payload, LogPayload::Reduce)
+                && entry
+                    .deps
+                    .iter()
+                    .all(|d| matches!(dispositions.get(d), Some(Disposition::Done { .. })))
+            {
+                // Rule 6: reduce with every dependency done.
+                appended.push(LogRecord::Finish {
+                    id,
+                    key: String::new(),
+                    wall_secs: 0.0,
+                });
+                disposition = Disposition::Done { report: manifest() };
+            }
+        }
+        dispositions.insert(id, disposition.clone());
+        jobs.push(ReplayJob {
+            id,
+            graph: entry.graph,
+            scheme: entry.scheme.clone(),
+            payload: entry.payload.clone(),
+            priority: entry.priority,
+            deadline_secs: entry.deadline_secs,
+            deps: entry.deps.clone(),
+            disposition,
+        });
+    }
+    Ok(Replay {
+        jobs,
+        next_id,
+        next_graph,
+        appended,
+    })
+}
+
+/// The canonical result document of a reduce job: one `dep` line per
+/// dependency in edge order, carrying its id and cache key (`-` for
+/// dependencies that are themselves reduce jobs). A pure function of the
+/// graph shape, so it is byte-identical across restarts and reruns.
+#[must_use]
+pub fn reduce_manifest(graph: u64, deps: &[(u64, String)]) -> String {
+    let mut s = format!("# idyll-serve reduce v1\ngraph {graph}\n");
+    for (id, key) in deps {
+        let shown = if key.is_empty() { "-" } else { key.as_str() };
+        s.push_str(&format!("dep {id} {shown}\n"));
+    }
+    s
+}
+
+/// The ready set: jobs whose dependencies are all done, dispatched in
+/// deterministic `(priority desc, submit-seq asc)` order. Job ids are the
+/// submit sequence — they are assigned monotonically and preserved across
+/// restarts — so the dispatch order is reproducible from the log alone.
+#[derive(Debug, Default)]
+pub struct ReadyQueue {
+    set: BTreeSet<(Reverse<u32>, u64)>,
+}
+
+impl ReadyQueue {
+    /// Adds a job.
+    pub fn push(&mut self, priority: u32, id: u64) {
+        self.set.insert((Reverse(priority), id));
+    }
+
+    /// Removes and returns the next job to dispatch.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.set.pop_first().map(|(_, id)| id)
+    }
+
+    /// Removes a specific job (cancellation); returns whether it was
+    /// present.
+    pub fn remove(&mut self, priority: u32, id: u64) -> bool {
+        self.set.remove(&(Reverse(priority), id))
+    }
+
+    /// Jobs currently ready.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no job is ready.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_submit(id: u64, deps: Vec<u64>, priority: u32) -> LogRecord {
+        LogRecord::Submit {
+            id,
+            graph: 1,
+            scheme: format!("job{id}"),
+            payload: LogPayload::Sim {
+                config: "# idyll-canon config v1\n".into(),
+                spec: "# idyll-canon spec v1\n".into(),
+                seed: 42,
+                key: format!("{id:032x}"),
+            },
+            priority,
+            deadline_secs: None,
+            deps,
+        }
+    }
+
+    fn reduce_submit(id: u64, deps: Vec<u64>) -> LogRecord {
+        LogRecord::Submit {
+            id,
+            graph: 1,
+            scheme: format!("reduce{id}"),
+            payload: LogPayload::Reduce,
+            priority: 0,
+            deadline_secs: None,
+            deps,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let with_deadline = match sim_submit(4, vec![], 0) {
+            LogRecord::Submit {
+                id,
+                graph,
+                scheme,
+                payload,
+                priority,
+                deps,
+                ..
+            } => LogRecord::Submit {
+                id,
+                graph,
+                scheme,
+                payload,
+                priority,
+                deadline_secs: Some(1.5),
+                deps,
+            },
+            other => panic!("sim_submit builds a submit: {other:?}"),
+        };
+        let records = [
+            sim_submit(3, vec![1, 2], 7),
+            with_deadline,
+            reduce_submit(5, vec![3, 4]),
+            LogRecord::Start { id: 3 },
+            LogRecord::Finish {
+                id: 3,
+                key: format!("{:032x}", 3u64),
+                wall_secs: 0.25,
+            },
+            LogRecord::Fail {
+                id: 4,
+                error: "simulation error: boom".into(),
+            },
+            LogRecord::Cancel { id: 5 },
+        ];
+        for record in records {
+            let line = record.encode();
+            assert!(!line.contains('\n'), "one line per record: {line}");
+            assert_eq!(LogRecord::decode(&line).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn decode_is_strict() {
+        // Unknown version.
+        assert!(LogRecord::decode("{\"v\":2,\"rec\":\"start\",\"id\":1}").is_err());
+        // Unknown record kind.
+        assert!(LogRecord::decode("{\"v\":1,\"rec\":\"nope\",\"id\":1}").is_err());
+        // Unknown field.
+        assert!(LogRecord::decode("{\"v\":1,\"rec\":\"start\",\"id\":1,\"x\":2}").is_err());
+        // Missing field.
+        assert!(LogRecord::decode("{\"v\":1,\"rec\":\"finish\",\"id\":1}").is_err());
+        // Not JSON at all.
+        assert!(LogRecord::decode("finish 1").is_err());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_bad_lines_are_not() {
+        let good = LogRecord::Start { id: 1 }.encode();
+        let submit = sim_submit(1, vec![], 0).encode();
+        // A torn final line (no trailing newline) parses as if absent.
+        let torn = format!("{submit}\n{good}\n{{\"v\":1,\"rec\":\"fini");
+        let records = parse_log(&torn).expect("torn tail tolerated");
+        assert_eq!(records.len(), 2);
+        // A malformed *terminated* line is an error.
+        let bad = format!("{submit}\nnot json\n");
+        let err = parse_log(&bad).expect_err("strict");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn replay_resolves_states_and_fails_dangling_dependents() {
+        let key1 = format!("{:032x}", 1u64);
+        let records = vec![
+            sim_submit(1, vec![], 0),
+            sim_submit(2, vec![], 0),
+            sim_submit(3, vec![2], 0),
+            sim_submit(4, vec![], 0),
+            sim_submit(5, vec![4], 0),
+            reduce_submit(6, vec![1, 2]),
+            LogRecord::Start { id: 1 },
+            LogRecord::Finish {
+                id: 1,
+                key: key1.clone(),
+                wall_secs: 0.5,
+            },
+            LogRecord::Start { id: 2 },
+            LogRecord::Fail {
+                id: 4,
+                error: "boom".into(),
+            },
+        ];
+        let cache = move |key: &str| (key == key1).then(|| "report 1\n".to_string());
+        let replayed = replay(&records, &cache).expect("valid log");
+        assert_eq!(replayed.next_id, 7);
+        assert_eq!(replayed.next_graph, 2);
+        let by_id: BTreeMap<u64, &ReplayJob> = replayed.jobs.iter().map(|j| (j.id, j)).collect();
+        // 1 finished with a cache hit: done, served bytes.
+        assert_eq!(
+            by_id[&1].disposition,
+            Disposition::Done {
+                report: "report 1\n".into()
+            }
+        );
+        // 2 started but never finished: pending (reruns).
+        assert_eq!(by_id[&2].disposition, Disposition::Pending);
+        // 3 waits on 2: still pending.
+        assert_eq!(by_id[&3].disposition, Disposition::Pending);
+        // 4 failed as recorded; 5 is a dangling dependent.
+        assert_eq!(by_id[&4].disposition, Disposition::Failed("boom".into()));
+        assert!(
+            matches!(&by_id[&5].disposition, Disposition::Failed(e) if e.contains("dependency 4"))
+        );
+        // 6 reduces over {1, 2}; 2 is pending, so the reduce waits too.
+        assert_eq!(by_id[&6].disposition, Disposition::Pending);
+        // The dangling failure is appended for the next replay.
+        assert!(replayed
+            .appended
+            .iter()
+            .any(|r| matches!(r, LogRecord::Fail { id: 5, .. })));
+    }
+
+    #[test]
+    fn replay_reruns_on_cache_loss_and_completes_ready_reduces() {
+        let records = vec![
+            sim_submit(1, vec![], 0),
+            sim_submit(2, vec![], 0),
+            reduce_submit(3, vec![1, 2]),
+            LogRecord::Finish {
+                id: 1,
+                key: format!("{:032x}", 1u64),
+                wall_secs: 0.5,
+            },
+            LogRecord::Finish {
+                id: 2,
+                key: format!("{:032x}", 2u64),
+                wall_secs: 0.5,
+            },
+        ];
+        // Cache serves job 1 but lost job 2.
+        let key1 = format!("{:032x}", 1u64);
+        let cache = move |key: &str| (key == key1).then(|| "r1".to_string());
+        let replayed = replay(&records, &cache).expect("valid log");
+        assert_eq!(replayed.jobs[1].disposition, Disposition::Pending);
+        // The reduce therefore stays pending.
+        assert_eq!(replayed.jobs[2].disposition, Disposition::Pending);
+
+        // With both entries cached, the reduce completes at replay and a
+        // finish record is appended.
+        let cache_all = |_: &str| Some("r".to_string());
+        let replayed = replay(&records, &cache_all).expect("valid log");
+        match &replayed.jobs[2].disposition {
+            Disposition::Done { report } => {
+                assert!(report.starts_with("# idyll-serve reduce v1\n"), "{report}");
+                assert!(report.contains(&format!("dep 1 {:032x}", 1u64)), "{report}");
+            }
+            other => panic!("reduce should complete: {other:?}"),
+        }
+        assert!(replayed
+            .appended
+            .iter()
+            .any(|r| matches!(r, LogRecord::Finish { id: 3, .. })));
+    }
+
+    #[test]
+    fn replay_rejects_invalid_logs() {
+        // Duplicate submit.
+        let dup = vec![sim_submit(1, vec![], 0), sim_submit(1, vec![], 0)];
+        assert!(replay(&dup, &|_| None).is_err());
+        // Forward edge.
+        let fwd = vec![sim_submit(1, vec![1], 0)];
+        assert!(replay(&fwd, &|_| None).is_err());
+        // Unknown id.
+        let unknown = vec![LogRecord::Start { id: 9 }];
+        assert!(replay(&unknown, &|_| None).is_err());
+    }
+
+    #[test]
+    fn ready_queue_orders_by_priority_then_seq() {
+        let mut q = ReadyQueue::default();
+        q.push(0, 10);
+        q.push(5, 12);
+        q.push(5, 11);
+        q.push(1, 9);
+        assert_eq!(q.len(), 4);
+        // Highest priority first; ties break on submit sequence.
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(12));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn job_log_appends_and_reopens() {
+        let dir = std::env::temp_dir().join(format!("idyll-jobgraph-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("jobs.log");
+        {
+            let (log, existing) = JobLog::open(&path).expect("open");
+            assert!(existing.is_empty());
+            log.append(&sim_submit(1, vec![], 3));
+            log.append(&LogRecord::Start { id: 1 });
+        }
+        let (_log, existing) = JobLog::open(&path).expect("reopen");
+        assert_eq!(existing.len(), 2);
+        assert_eq!(existing[1], LogRecord::Start { id: 1 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,9 +33,11 @@
 
 pub mod cache;
 pub mod client;
+pub mod gc;
+pub mod jobgraph;
 pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{metric_count, run_cells, Client, RemoteCell};
+pub use client::{metric_count, run_cells, run_cells_dag, watch_resumable, Client, RemoteCell};
 pub use server::{serve, spawn, ServerConfig, ServerHandle};

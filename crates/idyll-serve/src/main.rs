@@ -1,33 +1,46 @@
 //! `idyll-serve` — daemon and client for the experiment service.
 //!
 //! ```text
-//! idyll-serve serve    [--addr A] [--workers N] [--queue N] [--timeout-secs S] [--cache-dir D]
-//!                      [--progress-every N] [--sim-threads N]
-//! idyll-serve ping     [--addr A]
-//! idyll-serve status   [--addr A]
-//! idyll-serve metrics  [--addr A]
-//! idyll-serve watch    --id N [--addr A]
-//! idyll-serve shutdown [--addr A]
-//! idyll-serve key      --app APP [--scheme S] [--scale S] [--n-gpus N] [--seed N]
-//! idyll-serve smoke    [--jobs N] [--conns N] [--workers N]
+//! idyll-serve serve        [--addr A] [--workers N] [--queue N] [--timeout-secs S] [--cache-dir D]
+//!                          [--log P] [--progress-every N] [--sim-threads N]
+//! idyll-serve ping         [--addr A]
+//! idyll-serve status       [--addr A]
+//! idyll-serve metrics      [--addr A]
+//! idyll-serve watch        --id N [--from-seq N] [--addr A]
+//! idyll-serve cancel       --id N [--addr A]
+//! idyll-serve graph-status --graph N [--addr A]
+//! idyll-serve gc           --max-bytes N [--cache-dir D] [--log P] [--dry-run]
+//! idyll-serve shutdown     [--addr A]
+//! idyll-serve key          --app APP [--scheme S] [--scale S] [--n-gpus N] [--seed N]
+//! idyll-serve smoke        [--jobs N] [--conns N] [--workers N] [--graph]
 //! ```
 //!
 //! `--addr` defaults to `IDYLL_SERVE_ADDR`, then `127.0.0.1:7199`.
 //! `key` prints the content address a job would cache under (used by the
 //! cross-process key-stability test). `watch` streams one job's
 //! `watch_event` lines (state transitions plus progress heartbeats) to
-//! stdout until the job reaches a terminal state. `smoke` is the
-//! self-contained acceptance check CI runs: an ephemeral in-process
-//! daemon, a grid submitted over several concurrent connections,
-//! byte-compared against direct `run_jobs_timed` output, resubmitted to
-//! prove the second pass is served entirely from cache, and one fresh
-//! job watched to completion.
+//! stdout until the job reaches a terminal state, reconnecting and
+//! resuming from the last seen sequence number if the connection drops.
+//! `cancel` cancels a job and everything depending on it; `graph-status`
+//! lists one graph's jobs and states. `gc` shrinks the result cache under
+//! a byte cap, never evicting entries pinned by pending jobs in the
+//! durable log. `smoke` is the self-contained acceptance check CI runs:
+//! an ephemeral daemon, a grid submitted over several concurrent
+//! connections, byte-compared against direct `run_jobs_timed` output,
+//! resubmitted to prove the second pass is served entirely from cache,
+//! and one fresh job watched to completion. `smoke --graph` instead
+//! drives a dependency graph through a *subprocess* daemon, kills it
+//! mid-flight, restarts it on the same log and cache, and byte-compares
+//! the completed graph against direct runs — the crash-recovery
+//! acceptance check.
 
-use std::path::PathBuf;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use idyll_serve::client::{metric_count, Client, RemoteCell};
-use idyll_serve::proto::{JobSpec, JobState, Response};
+use idyll_serve::client::{metric_count, watch_resumable, Client, RemoteCell};
+use idyll_serve::gc::run_gc;
+use idyll_serve::proto::{GraphJob, GraphPayload, JobSpec, JobState, Response};
 use idyll_serve::server::{self, ServerConfig};
 use mgpu_system::canon;
 use mgpu_system::config::SystemConfig;
@@ -38,7 +51,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: idyll-serve <serve|ping|status|metrics|watch|shutdown|key|smoke> [flags]"
+            "usage: idyll-serve <serve|ping|status|metrics|watch|cancel|graph-status|gc|shutdown|key|smoke> [flags]"
         );
         return ExitCode::from(2);
     };
@@ -60,6 +73,9 @@ fn main() -> ExitCode {
             Ok(())
         }),
         "watch" => cmd_watch(rest),
+        "cancel" => cmd_cancel(rest),
+        "graph-status" => cmd_graph_status(rest),
+        "gc" => cmd_gc(rest),
         "shutdown" => cmd_simple(rest, |c| {
             c.shutdown()?;
             println!("draining");
@@ -109,6 +125,10 @@ fn addr_flag(args: &[String]) -> String {
         .unwrap_or_else(|| "127.0.0.1:7199".to_string())
 }
 
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     let config = ServerConfig {
         addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7199".to_string()),
@@ -121,14 +141,18 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         cache_dir: Some(PathBuf::from(
             flag_value(args, "--cache-dir").unwrap_or_else(|| "results/cache".to_string()),
         )),
+        log_path: Some(PathBuf::from(
+            flag_value(args, "--log").unwrap_or_else(|| "results/jobs.log".to_string()),
+        )),
         progress_every_events: parsed_flag(args, "--progress-every", 100_000u64)?,
         sim_threads: parsed_flag(args, "--sim-threads", 1usize)?,
     };
-    // Echo the resolved address so scripts can bind port 0 and discover
-    // where the daemon landed.
-    let listener_probe = config.addr.clone();
-    println!("idyll-serve: listening on {listener_probe}");
-    server::serve(config)?;
+    // Spawn, then echo the *resolved* address so scripts (and the graph
+    // smoke) can bind port 0 and discover where the daemon landed.
+    let handle = server::spawn(config)?;
+    println!("idyll-serve: listening on {}", handle.addr);
+    std::io::stdout().flush()?;
+    handle.join()?;
     println!("idyll-serve: drained, exiting");
     Ok(())
 }
@@ -164,18 +188,83 @@ fn parse_scale(name: &str) -> Result<Scale, AnyError> {
 }
 
 /// Streams one job's `watch_event` lines to stdout until the job reaches
-/// a terminal state; exits nonzero when that state is `failed`.
+/// a terminal state, reconnecting on dropped connections and resuming
+/// from the last seen sequence number; exits nonzero when that state is
+/// `failed` or `cancelled`.
 fn cmd_watch(args: &[String]) -> Result<(), AnyError> {
     let id: u64 = flag_value(args, "--id")
         .ok_or("`watch` needs --id <job-id>")?
         .parse()
         .map_err(|_| "bad value for --id")?;
-    let mut client = Client::connect(&addr_flag(args))?;
-    let terminal = client.watch(id, |event| {
+    let terminal = watch_resumable(&addr_flag(args), id, |event| {
         println!("{}", Response::Watch(event.clone()).encode());
     })?;
-    if terminal.state == JobState::Failed {
-        return Err(format!("job {id} failed").into());
+    match terminal.state {
+        JobState::Failed => Err(format!("job {id} failed").into()),
+        JobState::Cancelled => Err(format!("job {id} cancelled").into()),
+        _ => Ok(()),
+    }
+}
+
+/// Cancels one job (and, transitively, everything depending on it).
+fn cmd_cancel(args: &[String]) -> Result<(), AnyError> {
+    let id: u64 = flag_value(args, "--id")
+        .ok_or("`cancel` needs --id <job-id>")?
+        .parse()
+        .map_err(|_| "bad value for --id")?;
+    let mut client = Client::connect(&addr_flag(args))?;
+    let ids = client.cancel(id)?;
+    println!(
+        "cancelled {} job(s): {}",
+        ids.len(),
+        ids.iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+/// Lists one graph's jobs and their states, one `id state` line each.
+fn cmd_graph_status(args: &[String]) -> Result<(), AnyError> {
+    let graph: u64 = flag_value(args, "--graph")
+        .ok_or("`graph-status` needs --graph <graph-id>")?
+        .parse()
+        .map_err(|_| "bad value for --graph")?;
+    let mut client = Client::connect(&addr_flag(args))?;
+    for (id, state) in client.graph_status(graph)? {
+        println!("{id} {}", state.as_str());
+    }
+    Ok(())
+}
+
+/// Shrinks the result cache under a byte cap. Offline: operates on the
+/// cache directory and durable log directly, no daemon involved.
+fn cmd_gc(args: &[String]) -> Result<(), AnyError> {
+    let max_bytes: u64 = flag_value(args, "--max-bytes")
+        .ok_or("`gc` needs --max-bytes <cap>")?
+        .parse()
+        .map_err(|_| "bad value for --max-bytes")?;
+    let cache_dir = PathBuf::from(
+        flag_value(args, "--cache-dir").unwrap_or_else(|| "results/cache".to_string()),
+    );
+    let log_path =
+        PathBuf::from(flag_value(args, "--log").unwrap_or_else(|| "results/jobs.log".to_string()));
+    let dry_run = has_flag(args, "--dry-run");
+    let report = run_gc(&cache_dir, &log_path, max_bytes, dry_run)?;
+    let verb = if dry_run { "would evict" } else { "evicted" };
+    println!(
+        "gc: {} {} entrie(s) ({} bytes), {} pinned, {} kept, {} -> {} bytes",
+        verb,
+        report.evicted.len(),
+        report.evicted.iter().map(|(_, b)| b).sum::<u64>(),
+        report.pinned,
+        report.kept,
+        report.bytes_before,
+        report.bytes_after,
+    );
+    for (key, bytes) in &report.evicted {
+        println!("gc: {verb} {key} ({bytes} bytes)");
     }
     Ok(())
 }
@@ -281,6 +370,9 @@ fn serve_pass(
 }
 
 fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
+    if has_flag(args, "--graph") {
+        return cmd_smoke_graph(args);
+    }
     let jobs = parsed_flag(args, "--jobs", 100usize)?;
     let conns = parsed_flag(args, "--conns", 4usize)?;
     let workers = parsed_flag(args, "--workers", 4usize)?;
@@ -296,6 +388,7 @@ fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
         queue_capacity: jobs.max(256),
         job_timeout_secs: None,
         cache_dir: Some(cache_dir.clone()),
+        log_path: None,
         // Low cadence so even test-scale jobs emit progress heartbeats
         // for the pass-3 watch check.
         progress_every_events: 1_000,
@@ -442,5 +535,188 @@ fn cmd_smoke(args: &[String]) -> Result<(), AnyError> {
     handle.join()?;
     let _ = std::fs::remove_dir_all(&cache_dir);
     println!("smoke: PASS");
+    Ok(())
+}
+
+/// Spawns this same binary as a `serve` subprocess on an ephemeral port
+/// with the given cache/log, reading the resolved address off its stdout.
+/// A real separate process, so killing it is a real crash.
+fn spawn_daemon(
+    cache_dir: &Path,
+    log_path: &Path,
+    workers: usize,
+) -> Result<(std::process::Child, String), AnyError> {
+    let exe = std::env::current_exe()?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--cache-dir",
+            &cache_dir.display().to_string(),
+            "--log",
+            &log_path.display().to_string(),
+            "--progress-every",
+            "1000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line)?;
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .filter(|a| a.contains(':'))
+        .ok_or_else(|| format!("daemon did not report its address: `{}`", line.trim()))?
+        .to_string();
+    // Keep draining the pipe so the daemon never blocks on a full buffer.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(std::io::BufRead::read_line(&mut reader, &mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok((child, addr))
+}
+
+/// The crash-recovery acceptance check: submit a dependency graph (cells
+/// feeding a reduce barrier) to a subprocess daemon, kill the daemon
+/// after some cells complete, restart it on the same durable log and
+/// cache, and require (a) the graph completes, (b) every cell's report is
+/// byte-identical to a direct run, (c) cells finished before the kill are
+/// served from cache after the restart.
+fn cmd_smoke_graph(args: &[String]) -> Result<(), AnyError> {
+    let jobs = parsed_flag(args, "--jobs", 12usize)?;
+    let workers = parsed_flag(args, "--workers", 1usize)?;
+    let tmp = std::env::temp_dir().join(format!("idyll-serve-gsmoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp)?;
+    let cache_dir = tmp.join("cache");
+    let log_path = tmp.join("jobs.log");
+
+    let cells = smoke_cells(jobs)?;
+    // Reference answers from direct runs, exactly as a non-daemon harness
+    // would produce them.
+    let direct_jobs: Vec<Job> = cells
+        .iter()
+        .map(|cell| Job {
+            scheme: cell.remote.scheme.clone(),
+            config: cell.remote.config.clone(),
+            workload: workloads::generate(
+                &cell.remote.spec,
+                cell.remote.config.n_gpus,
+                cell.workload_seed,
+            ),
+        })
+        .collect();
+    let direct: Vec<String> = run_jobs_timed(direct_jobs, workers.max(1))?
+        .into_iter()
+        .map(|t| canon::encode_report(&t.report))
+        .collect();
+
+    let (mut child, addr) = spawn_daemon(&cache_dir, &log_path, workers)?;
+    println!(
+        "smoke --graph: daemon pid {} on {addr}, {jobs} cells + reduce",
+        child.id()
+    );
+
+    let mut graph_jobs: Vec<GraphJob> = cells
+        .iter()
+        .map(|cell| GraphJob {
+            scheme: cell.remote.scheme.clone(),
+            payload: GraphPayload::Sim {
+                config: canon::encode_config(&cell.remote.config),
+                spec: canon::encode_spec(&cell.remote.spec),
+                seed: cell.remote.seed,
+            },
+            priority: 0,
+            deadline_secs: None,
+            deps: Vec::new(),
+        })
+        .collect();
+    graph_jobs.push(GraphJob {
+        scheme: "reduce".to_string(),
+        payload: GraphPayload::Reduce,
+        priority: 0,
+        deadline_secs: None,
+        deps: (0..jobs as u64).collect(),
+    });
+    let mut client = Client::connect(&addr)?;
+    let (graph, ids, _cached) = client.submit_graph_with_backoff(&graph_jobs)?;
+    let reduce_id = *ids.last().ok_or("graph submit returned no ids")?;
+
+    // Let the daemon finish a few cells, then kill it mid-flight.
+    let target_done = 2.min(jobs);
+    let mut done_before_kill: Vec<u64> = Vec::new();
+    for _ in 0..600 {
+        let status = client.graph_status(graph)?;
+        done_before_kill = status
+            .iter()
+            .filter(|(id, state)| *id != reduce_id && *state == JobState::Done)
+            .map(|(id, _)| *id)
+            .collect();
+        if done_before_kill.len() >= target_done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if done_before_kill.is_empty() {
+        let _ = child.kill();
+        return Err("no cell completed before the kill window closed".into());
+    }
+    drop(client);
+    child.kill()?;
+    let _ = child.wait();
+    println!(
+        "smoke --graph: killed daemon with {}/{jobs} cells done",
+        done_before_kill.len()
+    );
+
+    // Restart on the same log and cache; the replay must resume the graph
+    // under the same job ids.
+    let (mut child, addr) = spawn_daemon(&cache_dir, &log_path, workers)?;
+    let mut client = Client::connect(&addr)?;
+    let (reduce_report, _wall, _cached) = client.wait_result(reduce_id)?;
+    if !reduce_report.starts_with("# idyll-serve reduce v1\n") {
+        let _ = child.kill();
+        return Err(format!("unexpected reduce manifest: {reduce_report}").into());
+    }
+
+    let mut mismatches = 0usize;
+    let mut not_cached: Vec<u64> = Vec::new();
+    for ((cell, id), direct_report) in cells.iter().zip(&ids).zip(&direct) {
+        let (report, _wall, cached) = client.wait_result(*id)?;
+        if report != *direct_report {
+            mismatches += 1;
+            eprintln!("smoke --graph: MISMATCH job {id} ({})", cell.remote.scheme);
+        }
+        if done_before_kill.contains(id) && !cached {
+            not_cached.push(*id);
+        }
+    }
+    client.shutdown()?;
+    let _ = child.wait();
+    if mismatches > 0 {
+        return Err(
+            format!("{mismatches}/{jobs} post-restart results differ from direct runs").into(),
+        );
+    }
+    if !not_cached.is_empty() {
+        return Err(format!(
+            "jobs {not_cached:?} finished before the kill but were not served from cache after restart"
+        )
+        .into());
+    }
+    println!(
+        "smoke --graph: pass — graph completed after restart; {}/{jobs} pre-kill results served from cache; all {jobs} byte-identical to direct runs",
+        done_before_kill.len()
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+    println!("smoke --graph: PASS");
     Ok(())
 }

@@ -7,15 +7,18 @@
 //!
 //! Requests carry a `cmd` discriminator:
 //!
-//! | `cmd`      | fields                                   |
-//! |------------|------------------------------------------|
-//! | `submit`   | `jobs`: array of job objects             |
-//! | `status`   | optional `id`                            |
-//! | `result`   | `id`, optional `wait` (default `true`)   |
-//! | `watch`    | `id`                                     |
-//! | `metrics`  | —                                        |
-//! | `ping`     | —                                        |
-//! | `shutdown` | —                                        |
+//! | `cmd`           | fields                                          |
+//! |-----------------|-------------------------------------------------|
+//! | `submit`        | `jobs`: array of job objects                    |
+//! | `submit_graph`  | `jobs`: array of graph-job objects              |
+//! | `cancel`        | `id`                                            |
+//! | `graph_status`  | `graph`                                         |
+//! | `status`        | optional `id`                                   |
+//! | `result`        | `id`, optional `wait` (default `true`)          |
+//! | `watch`         | `id`, optional `from_seq`                       |
+//! | `metrics`       | —                                               |
+//! | `ping`          | —                                               |
+//! | `shutdown`      | —                                               |
 //!
 //! A job object is `{scheme, config, spec, seed}`: a display label, the
 //! canonical config document, the canonical workload-spec document and the
@@ -23,15 +26,27 @@
 //! workload from these, so a job is fully described by value — no paths,
 //! no client-side state.
 //!
+//! A graph-job object extends that with scheduling fields:
+//! `{scheme, kind, priority, deps[, deadline_secs]}` plus, for
+//! `kind: "sim"`, the same `config`/`spec`/`seed` payload. `kind:
+//! "reduce"` jobs carry no payload — they complete when their
+//! dependencies do and their result is a manifest of dependency ids and
+//! cache keys. `deps` lists *indices into the same batch* (each strictly
+//! less than the job's own index), so a submitted batch is acyclic by
+//! construction; the server maps indices to assigned job ids.
+//!
 //! Responses always carry `ok` (bool). Backpressure is `ok: false` with
 //! `retry_after_ms`, distinguishing "try later" from a malformed request.
 //!
 //! `watch` is the one request answered by a *stream* of lines instead of a
 //! single response: the server emits one `watch_event` line per observed
 //! state change or progress heartbeat, ending with a line whose `final`
-//! field is `true` (the job reached `done` or `failed`, or the id was
-//! unknown — then the terminal line is an `error`). After the terminal
-//! line the connection returns to the normal request/response alternation.
+//! field is `true` (the job reached `done`, `failed` or `cancelled`, or
+//! the id was unknown — then the terminal line is an `error`). Every
+//! event carries a per-job sequence number `seq`; a reconnecting client
+//! passes the last seen value as `from_seq` to resume the stream without
+//! replaying events it already has. After the terminal line the
+//! connection returns to the normal request/response alternation.
 
 use crate::json::Json;
 
@@ -48,11 +63,56 @@ pub struct JobSpec {
     pub seed: u64,
 }
 
+/// What a graph job runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphPayload {
+    /// A simulation cell (same payload as a plain [`JobSpec`]).
+    Sim {
+        /// Canonical `SystemConfig` document.
+        config: String,
+        /// Canonical `WorkloadSpec` document.
+        spec: String,
+        /// Workload generation seed.
+        seed: u64,
+    },
+    /// A dependency barrier: completes when its deps do; its result is a
+    /// manifest of dependency ids and cache keys.
+    Reduce,
+}
+
+/// One job of a `submit_graph` batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphJob {
+    /// Display label.
+    pub scheme: String,
+    /// What the job runs.
+    pub payload: GraphPayload,
+    /// Dispatch priority — higher runs first; ties break on submit order.
+    pub priority: u32,
+    /// Optional per-job deadline overriding the daemon default.
+    pub deadline_secs: Option<f64>,
+    /// Dependencies as indices into the same batch; each must be strictly
+    /// less than this job's own index.
+    pub deps: Vec<u64>,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a batch of jobs.
     Submit(Vec<JobSpec>),
+    /// Submit a dependency graph of jobs as one atomic batch.
+    SubmitGraph(Vec<GraphJob>),
+    /// Cancel a job; propagates to everything depending on it.
+    Cancel {
+        /// Job id from a submit response.
+        id: u64,
+    },
+    /// Every job of one graph with its current state.
+    GraphStatus {
+        /// Graph id from a `submit_graph` response.
+        graph: u64,
+    },
     /// Service status, or one job's state when `id` is given.
     Status(Option<u64>),
     /// Fetch one job's result, blocking until it finishes when `wait`.
@@ -68,6 +128,9 @@ pub enum Request {
     Watch {
         /// Job id from a submit response.
         id: u64,
+        /// Resume after this sequence number (a reconnecting client passes
+        /// the last `seq` it saw; `None` streams from the beginning).
+        from_seq: Option<u64>,
     },
     /// The service metrics registry as JSON.
     Metrics,
@@ -88,6 +151,19 @@ pub enum JobState {
     Done,
     /// Failed (simulation error, timeout, or discarded at shutdown).
     Failed,
+    /// Cancelled by request, or transitively via a cancelled dependency.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state is terminal (`done`, `failed` or `cancelled`).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
 }
 
 impl JobState {
@@ -99,6 +175,7 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
 
@@ -110,6 +187,7 @@ impl JobState {
             "running" => Some(JobState::Running),
             "done" => Some(JobState::Done),
             "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
             _ => None,
         }
     }
@@ -121,6 +199,9 @@ impl JobState {
 pub struct WatchEvent {
     /// The job being watched.
     pub id: u64,
+    /// Per-job sequence number; strictly increasing within a job's stream.
+    /// Clients pass the last seen value as `from_seq` to resume.
+    pub seq: u64,
     /// Its lifecycle state when the line was emitted.
     pub state: JobState,
     /// Simulation events processed so far (present once the first progress
@@ -142,6 +223,29 @@ pub enum Response {
         ids: Vec<u64>,
         /// Whether each job hit the result cache.
         cached: Vec<bool>,
+    },
+    /// A graph accepted; ids are in submission order. `cached[i]` reports
+    /// whether job `i` was answered from the result cache.
+    GraphSubmitted {
+        /// Assigned graph id.
+        graph: u64,
+        /// Assigned job ids, in submission order.
+        ids: Vec<u64>,
+        /// Whether each job hit the result cache.
+        cached: Vec<bool>,
+    },
+    /// Jobs cancelled by a `cancel` request: the target plus every
+    /// transitively dependent job, in id order.
+    Cancelled {
+        /// All jobs the cancellation reached.
+        ids: Vec<u64>,
+    },
+    /// Every job of one graph with its current state, in id order.
+    GraphStatus {
+        /// The graph id queried.
+        graph: u64,
+        /// `(job id, state)` pairs in id order.
+        jobs: Vec<(u64, JobState)>,
     },
     /// Queue full: try again after the given delay.
     Busy {
@@ -229,6 +333,46 @@ impl Request {
                     ),
                 ),
             ]),
+            Request::SubmitGraph(jobs) => obj(vec![
+                ("cmd", Json::str("submit_graph")),
+                (
+                    "jobs",
+                    Json::Arr(
+                        jobs.iter()
+                            .map(|j| {
+                                let mut fields = vec![("scheme", Json::str(&j.scheme))];
+                                match &j.payload {
+                                    GraphPayload::Sim { config, spec, seed } => {
+                                        fields.push(("kind", Json::str("sim")));
+                                        fields.push(("config", Json::str(config)));
+                                        fields.push(("spec", Json::str(spec)));
+                                        fields.push(("seed", Json::u64(*seed)));
+                                    }
+                                    GraphPayload::Reduce => {
+                                        fields.push(("kind", Json::str("reduce")));
+                                    }
+                                }
+                                fields.push(("priority", Json::u64(u64::from(j.priority))));
+                                if let Some(d) = j.deadline_secs {
+                                    fields.push(("deadline_secs", Json::f64(d)));
+                                }
+                                fields.push((
+                                    "deps",
+                                    Json::Arr(j.deps.iter().map(|d| Json::u64(*d)).collect()),
+                                ));
+                                obj(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::Cancel { id } => {
+                obj(vec![("cmd", Json::str("cancel")), ("id", Json::u64(*id))])
+            }
+            Request::GraphStatus { graph } => obj(vec![
+                ("cmd", Json::str("graph_status")),
+                ("graph", Json::u64(*graph)),
+            ]),
             Request::Status(None) => obj(vec![("cmd", Json::str("status"))]),
             Request::Status(Some(id)) => {
                 obj(vec![("cmd", Json::str("status")), ("id", Json::u64(*id))])
@@ -238,7 +382,13 @@ impl Request {
                 ("id", Json::u64(*id)),
                 ("wait", Json::Bool(*wait)),
             ]),
-            Request::Watch { id } => obj(vec![("cmd", Json::str("watch")), ("id", Json::u64(*id))]),
+            Request::Watch { id, from_seq } => {
+                let mut fields = vec![("cmd", Json::str("watch")), ("id", Json::u64(*id))];
+                if let Some(seq) = from_seq {
+                    fields.push(("from_seq", Json::u64(*seq)));
+                }
+                obj(fields)
+            }
             Request::Metrics => obj(vec![("cmd", Json::str("metrics"))]),
             Request::Ping => obj(vec![("cmd", Json::str("ping"))]),
             Request::Shutdown => obj(vec![("cmd", Json::str("shutdown"))]),
@@ -281,6 +431,65 @@ impl Request {
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Request::Submit(jobs))
             }
+            "submit_graph" => {
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `jobs`")?;
+                let jobs = jobs
+                    .iter()
+                    .map(|j| {
+                        let field = |name: &str| {
+                            j.get(name)
+                                .and_then(Json::as_str)
+                                .map(str::to_string)
+                                .ok_or(format!("graph job missing `{name}`"))
+                        };
+                        let kind = field("kind")?;
+                        let payload = match kind.as_str() {
+                            "sim" => GraphPayload::Sim {
+                                config: field("config")?,
+                                spec: field("spec")?,
+                                seed: j
+                                    .get("seed")
+                                    .and_then(Json::as_u64)
+                                    .ok_or("graph job missing `seed`")?,
+                            },
+                            "reduce" => GraphPayload::Reduce,
+                            other => return Err(format!("graph job: unknown kind `{other}`")),
+                        };
+                        let deps = j
+                            .get("deps")
+                            .and_then(Json::as_arr)
+                            .ok_or("graph job missing `deps`")?
+                            .iter()
+                            .map(|d| d.as_u64().ok_or("bad dep index".to_string()))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let priority = j
+                            .get("priority")
+                            .and_then(Json::as_u64)
+                            .ok_or("graph job missing `priority`")?;
+                        Ok(GraphJob {
+                            scheme: field("scheme")?,
+                            payload,
+                            priority: u32::try_from(priority)
+                                .map_err(|_| "priority out of range".to_string())?,
+                            deadline_secs: j.get("deadline_secs").and_then(Json::as_f64),
+                            deps,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Request::SubmitGraph(jobs))
+            }
+            "cancel" => Ok(Request::Cancel {
+                id: v.get("id").and_then(Json::as_u64).ok_or("missing `id`")?,
+            }),
+            "graph_status" => Ok(Request::GraphStatus {
+                graph: v
+                    .get("graph")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing `graph`")?,
+            }),
             "status" => Ok(Request::Status(v.get("id").and_then(Json::as_u64))),
             "result" => Ok(Request::Result {
                 id: v.get("id").and_then(Json::as_u64).ok_or("missing `id`")?,
@@ -288,6 +497,7 @@ impl Request {
             }),
             "watch" => Ok(Request::Watch {
                 id: v.get("id").and_then(Json::as_u64).ok_or("missing `id`")?,
+                from_seq: v.get("from_seq").and_then(Json::as_u64),
             }),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
@@ -312,6 +522,45 @@ impl Response {
                 (
                     "cached",
                     Json::Arr(cached.iter().map(|c| Json::Bool(*c)).collect()),
+                ),
+            ]),
+            Response::GraphSubmitted { graph, ids, cached } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("graph_submitted")),
+                ("graph", Json::u64(*graph)),
+                (
+                    "ids",
+                    Json::Arr(ids.iter().map(|i| Json::u64(*i)).collect()),
+                ),
+                (
+                    "cached",
+                    Json::Arr(cached.iter().map(|c| Json::Bool(*c)).collect()),
+                ),
+            ]),
+            Response::Cancelled { ids } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("cancelled")),
+                (
+                    "ids",
+                    Json::Arr(ids.iter().map(|i| Json::u64(*i)).collect()),
+                ),
+            ]),
+            Response::GraphStatus { graph, jobs } => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("kind", Json::str("graph_status")),
+                ("graph", Json::u64(*graph)),
+                (
+                    "jobs",
+                    Json::Arr(
+                        jobs.iter()
+                            .map(|(id, state)| {
+                                obj(vec![
+                                    ("id", Json::u64(*id)),
+                                    ("state", Json::str(state.as_str())),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
             Response::Busy { retry_after_ms } => obj(vec![
@@ -358,6 +607,7 @@ impl Response {
                     ("ok", Json::Bool(true)),
                     ("kind", Json::str("watch_event")),
                     ("id", Json::u64(ev.id)),
+                    ("seq", Json::u64(ev.seq)),
                     ("state", Json::str(ev.state.as_str())),
                 ];
                 if let Some(events) = ev.events {
@@ -427,6 +677,58 @@ impl Response {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Response::Submitted { ids, cached })
             }
+            "graph_submitted" => {
+                let ids = v
+                    .get("ids")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `ids`")?
+                    .iter()
+                    .map(|i| i.as_u64().ok_or("bad id".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let cached = v
+                    .get("cached")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `cached`")?
+                    .iter()
+                    .map(|c| c.as_bool().ok_or("bad cached flag".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::GraphSubmitted {
+                    graph: need_u64("graph")?,
+                    ids,
+                    cached,
+                })
+            }
+            "cancelled" => {
+                let ids = v
+                    .get("ids")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `ids`")?
+                    .iter()
+                    .map(|i| i.as_u64().ok_or("bad id".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Cancelled { ids })
+            }
+            "graph_status" => {
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `jobs`")?
+                    .iter()
+                    .map(|j| {
+                        let id = j.get("id").and_then(Json::as_u64).ok_or("bad job id")?;
+                        let state = j
+                            .get("state")
+                            .and_then(Json::as_str)
+                            .and_then(JobState::from_str_token)
+                            .ok_or("bad job state")?;
+                        Ok::<_, String>((id, state))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::GraphStatus {
+                    graph: need_u64("graph")?,
+                    jobs,
+                })
+            }
             "busy" => Ok(Response::Busy {
                 retry_after_ms: need_u64("retry_after_ms")?,
             }),
@@ -458,6 +760,7 @@ impl Response {
             }),
             "watch_event" => Ok(Response::Watch(WatchEvent {
                 id: need_u64("id")?,
+                seq: need_u64("seq")?,
                 state: JobState::from_str_token(&need_str("state")?).ok_or("bad `state`")?,
                 events: v.get("events").and_then(Json::as_u64),
                 cycle: v.get("cycle").and_then(Json::as_u64),
@@ -492,16 +795,53 @@ mod tests {
         }
     }
 
+    fn sample_graph_job(deps: Vec<u64>) -> GraphJob {
+        GraphJob {
+            scheme: "km\u{1}idyll".into(),
+            payload: GraphPayload::Sim {
+                config: "# idyll-canon config v1\nn_gpus 4\n".into(),
+                spec: "# idyll-canon spec v1\napp km\n".into(),
+                seed: 42,
+            },
+            priority: 3,
+            deadline_secs: None,
+            deps,
+        }
+    }
+
     #[test]
     fn requests_roundtrip() {
         let requests = [
             Request::Submit(vec![sample_job(), sample_job()]),
             Request::Submit(vec![]),
+            Request::SubmitGraph(vec![
+                sample_graph_job(vec![]),
+                GraphJob {
+                    deadline_secs: Some(2.5),
+                    ..sample_graph_job(vec![0])
+                },
+                GraphJob {
+                    scheme: "reduce".into(),
+                    payload: GraphPayload::Reduce,
+                    priority: 0,
+                    deadline_secs: None,
+                    deps: vec![0, 1],
+                },
+            ]),
+            Request::Cancel { id: 12 },
+            Request::GraphStatus { graph: 4 },
             Request::Status(None),
             Request::Status(Some(7)),
             Request::Result { id: 3, wait: true },
             Request::Result { id: 3, wait: false },
-            Request::Watch { id: 9 },
+            Request::Watch {
+                id: 9,
+                from_seq: None,
+            },
+            Request::Watch {
+                id: 9,
+                from_seq: Some(17),
+            },
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
@@ -519,6 +859,20 @@ mod tests {
             Response::Submitted {
                 ids: vec![1, 2, 3],
                 cached: vec![false, true, false],
+            },
+            Response::GraphSubmitted {
+                graph: 2,
+                ids: vec![4, 5, 6],
+                cached: vec![true, false, false],
+            },
+            Response::Cancelled { ids: vec![5, 6] },
+            Response::GraphStatus {
+                graph: 2,
+                jobs: vec![
+                    (4, JobState::Done),
+                    (5, JobState::Cancelled),
+                    (6, JobState::Queued),
+                ],
             },
             Response::Busy {
                 retry_after_ms: 250,
@@ -542,6 +896,7 @@ mod tests {
             },
             Response::Watch(WatchEvent {
                 id: 4,
+                seq: 1,
                 state: JobState::Queued,
                 events: None,
                 cycle: None,
@@ -549,6 +904,7 @@ mod tests {
             }),
             Response::Watch(WatchEvent {
                 id: 4,
+                seq: 2,
                 state: JobState::Running,
                 events: Some(200_000),
                 cycle: Some(1_234_567),
@@ -556,9 +912,18 @@ mod tests {
             }),
             Response::Watch(WatchEvent {
                 id: 4,
+                seq: 3,
                 state: JobState::Done,
                 events: Some(415_000),
                 cycle: Some(2_000_001),
+                last: true,
+            }),
+            Response::Watch(WatchEvent {
+                id: 4,
+                seq: 4,
+                state: JobState::Cancelled,
+                events: None,
+                cycle: None,
                 last: true,
             }),
             Response::Metrics {
@@ -587,6 +952,7 @@ mod tests {
     fn watch_event_uses_final_on_the_wire() {
         let line = Response::Watch(WatchEvent {
             id: 1,
+            seq: 5,
             state: JobState::Done,
             events: None,
             cycle: None,
@@ -604,6 +970,14 @@ mod tests {
         assert!(Request::decode("{\"cmd\":\"submit\"}").is_err());
         assert!(Request::decode("{\"cmd\":\"result\"}").is_err());
         assert!(Request::decode("{\"cmd\":\"watch\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"submit_graph\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"cancel\"}").is_err());
+        assert!(Request::decode("{\"cmd\":\"graph_status\"}").is_err());
+        // A graph job with an unknown kind is rejected.
+        assert!(Request::decode(
+            "{\"cmd\":\"submit_graph\",\"jobs\":[{\"scheme\":\"x\",\"kind\":\"nope\",\"priority\":0,\"deps\":[]}]}"
+        )
+        .is_err());
         assert!(Response::decode("{\"ok\":true}").is_err());
         assert!(
             Response::decode("{\"kind\":\"job_status\",\"id\":1,\"state\":\"bogus\"}").is_err()

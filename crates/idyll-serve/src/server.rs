@@ -1,36 +1,64 @@
-//! The daemon: accept loop, bounded job queue, worker pool, result cache.
+//! The daemon: accept loop, job graph, ready-set scheduler, worker pool,
+//! result cache, durable log.
 //!
 //! ## Life of a job
 //!
-//! 1. A connection thread decodes a `submit` batch, canonically decodes
-//!    each job's config/spec and computes its content address.
-//! 2. Jobs whose address is already cached complete immediately: the
+//! 1. A connection thread decodes a `submit` or `submit_graph` batch,
+//!    canonically decodes each sim job's config/spec and computes its
+//!    content address. Every accepted job is appended to the durable log
+//!    (when configured) before the response goes out.
+//! 2. Sim jobs whose address is already cached complete immediately: the
 //!    stored canonical report is served verbatim, byte-identical to
 //!    re-running the cell, because the simulator is deterministic and
 //!    every report field is derived from `(config, spec, seed)`.
-//! 3. The rest enter the bounded queue — atomically per batch: if the
-//!    batch does not fit, nothing is enqueued and the client gets
-//!    `busy` with a `retry_after_ms` hint (backpressure, not failure).
-//! 4. Workers pop jobs, regenerate the workload from the spec and run the
-//!    simulation through `mgpu_system::runner::run_jobs_timed`. Fresh
-//!    results are cached, then published to result waiters.
+//! 3. The rest enter the job graph — atomically per batch: if the
+//!    batch's cache misses do not fit under the queue capacity, nothing
+//!    is admitted and the client gets `busy` with a `retry_after_ms`
+//!    hint (backpressure, not failure).
+//! 4. Jobs whose dependencies are all done sit in the *ready set*,
+//!    dispatched to workers in deterministic `(priority desc, submit-seq
+//!    asc)` order. A finishing job releases its dependents; a `reduce`
+//!    job completes the moment its last dependency does, publishing a
+//!    manifest of dependency ids and cache keys.
+//! 5. Workers pop ready jobs, regenerate the workload from the spec and
+//!    run the simulation through `mgpu_system::runner`. Fresh results
+//!    are cached and logged, then published to result waiters.
+//!
+//! ## Cancellation
+//!
+//! `cancel` marks the target and everything transitively depending on it
+//! `cancelled` (dependents are by definition not yet running — they wait
+//! on the target). A running target cannot be preempted: it is marked
+//! immediately, and the worker discards its result on completion (never
+//! cached, never logged as finished). Each cancellation is logged and
+//! emitted as a terminal `watch` event.
+//!
+//! ## Durability
+//!
+//! With a log path configured, startup replays `results/jobs.log` (see
+//! [`crate::jobgraph`]): finished jobs whose reports are still cached are
+//! served from cache; finished jobs whose cache entries were lost rerun
+//! (byte-identical, so nobody can tell); unfinished jobs re-enter the
+//! ready set; pending jobs whose dependencies failed or were cancelled
+//! are failed as dangling dependents. Job and graph ids survive
+//! restarts, so clients resume by id.
 //!
 //! ## Timeouts
 //!
 //! A running simulation cannot be preempted, so the per-job timeout is a
 //! *deadline mark*: the worker checks the deadline when the run finishes;
-//! late results are discarded (reported as failed, never cached). The
-//! timeout therefore bounds result credibility, not worker occupancy.
+//! late results are discarded (reported as failed, never cached). A job's
+//! own `deadline_secs` overrides the daemon-wide default.
 //!
 //! ## Shutdown
 //!
 //! `shutdown` flips the drain flag: the accept loop stops taking new
-//! connections, workers finish every queued job, then the server joins
+//! connections, workers finish every ready job, then the server joins
 //! them and exits. With zero workers (a configuration used by
-//! backpressure tests), queued jobs are discarded as failed instead, since
-//! nobody will ever run them.
+//! backpressure tests), pending jobs are discarded as failed instead,
+//! since nobody will ever run them.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -46,7 +74,10 @@ use sim_engine::stats::{hit_rate, Accumulator, Histogram};
 use workloads::WorkloadSpec;
 
 use crate::cache::ResultCache;
-use crate::proto::{JobSpec, JobState, Request, Response, WatchEvent};
+use crate::jobgraph::{
+    reduce_manifest, replay, Disposition, JobLog, LogPayload, LogRecord, ReadyQueue,
+};
+use crate::proto::{GraphJob, GraphPayload, JobSpec, JobState, Request, Response, WatchEvent};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -54,15 +85,19 @@ pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
     /// Worker threads. Zero is allowed (jobs queue but never run) and is
-    /// used to test backpressure deterministically.
+    /// used to test backpressure and cancellation deterministically.
     pub workers: usize,
-    /// Bounded queue capacity; submit batches that do not fit are rejected
-    /// with a retry hint.
+    /// Bounded capacity on pending sim jobs; submit batches whose cache
+    /// misses do not fit are rejected with a retry hint.
     pub queue_capacity: usize,
     /// Per-job deadline in seconds; results arriving later are discarded.
+    /// A job's own `deadline_secs` overrides this.
     pub job_timeout_secs: Option<f64>,
     /// Result-cache directory; `None` keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Durable job-log path; `None` disables durability (jobs die with
+    /// the process, as before PR 9).
+    pub log_path: Option<PathBuf>,
     /// Simulation-event cadence for `watch` progress updates: a running
     /// job publishes `(events_processed, sim_cycle)` every this many
     /// events. Zero disables progress publication (watchers still see
@@ -84,13 +119,14 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             job_timeout_secs: None,
             cache_dir: None,
+            log_path: None,
             progress_every_events: 100_000,
             sim_threads: 1,
         }
     }
 }
 
-/// A fully decoded job waiting for a worker.
+/// A fully decoded sim job waiting for a worker.
 #[derive(Debug, Clone)]
 struct Work {
     scheme: String,
@@ -98,7 +134,9 @@ struct Work {
     spec: WorkloadSpec,
     seed: u64,
     key: String,
-    /// When the job entered the queue; feeds the `queue_wait_us`
+    /// Per-job deadline override.
+    deadline_secs: Option<f64>,
+    /// When the job entered the graph; feeds the `queue_wait_us`
     /// histogram when a worker finally picks it up.
     enqueued_at: std::time::Instant,
 }
@@ -111,6 +149,24 @@ struct Outcome {
     cached: bool,
 }
 
+/// What a job record runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Sim,
+    Reduce,
+}
+
+/// One buffered `watch` line. Events accumulate per job with strictly
+/// increasing `seq`, so a reconnecting watcher resumes from the last seq
+/// it saw instead of replaying the stream.
+#[derive(Debug, Clone)]
+struct BufferedEvent {
+    seq: u64,
+    state: JobState,
+    events: Option<u64>,
+    cycle: Option<u64>,
+}
+
 #[derive(Debug)]
 struct JobRecord {
     state: JobState,
@@ -119,6 +175,60 @@ struct JobRecord {
     /// Latest `(events_processed, sim_cycle)` heartbeat from the runner's
     /// progress callback; `None` until the first heartbeat arrives.
     progress: Option<(u64, u64)>,
+    kind: JobKind,
+    /// The decoded payload, present while a sim job is pending.
+    work: Option<Box<Work>>,
+    priority: u32,
+    /// Dependency edges (job ids), in submission order.
+    deps: Vec<u64>,
+    /// Reverse edges: jobs waiting on this one.
+    dependents: Vec<u64>,
+    /// Dependencies not yet done; the job is ready at zero.
+    deps_remaining: usize,
+    /// The graph this job belongs to.
+    graph: u64,
+    /// Content address (sims; empty for reduce jobs).
+    key: String,
+    /// Set when `cancel` catches the job mid-run: the worker discards the
+    /// result instead of publishing it.
+    cancel_requested: bool,
+    /// Buffered watch events; `next_seq` is the next seq to assign.
+    events: Vec<BufferedEvent>,
+    next_seq: u64,
+}
+
+impl JobRecord {
+    fn new(kind: JobKind, graph: u64, priority: u32, deps: Vec<u64>, key: String) -> JobRecord {
+        JobRecord {
+            state: JobState::Queued,
+            outcome: None,
+            error: None,
+            progress: None,
+            kind,
+            work: None,
+            priority,
+            deps,
+            dependents: Vec::new(),
+            deps_remaining: 0,
+            graph,
+            key,
+            cancel_requested: false,
+            events: Vec::new(),
+            next_seq: 1,
+        }
+    }
+
+    /// Buffers one watch line snapshotting the current state/progress.
+    fn push_event(&mut self) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(BufferedEvent {
+            seq,
+            state: self.state.clone(),
+            events: self.progress.map(|(events, _)| events),
+            cycle: self.progress.map(|(_, cycle)| cycle),
+        });
+    }
 }
 
 #[derive(Debug, Default)]
@@ -126,12 +236,15 @@ struct Counters {
     submitted: u64,
     completed: u64,
     failed: u64,
+    cancelled: u64,
+    graphs_submitted: u64,
+    replayed: u64,
     cache_hits: u64,
     cache_misses: u64,
     batches_rejected: u64,
     sim_events: u64,
     live_wall: Accumulator,
-    /// Microseconds each job spent queued before a worker picked it up.
+    /// Microseconds each job spent pending before a worker picked it up.
     queue_wait_us: Histogram,
     /// Microseconds of host wall-clock per fresh (non-cached) run.
     run_wall_us: Histogram,
@@ -139,12 +252,35 @@ struct Counters {
 
 #[derive(Debug)]
 struct State {
-    queue: VecDeque<(u64, Work)>,
+    /// Jobs whose dependencies are all done, in dispatch order.
+    ready: ReadyQueue,
     jobs: BTreeMap<u64, JobRecord>,
+    /// Graph id → member job ids in submission (= id) order.
+    graphs: BTreeMap<u64, Vec<u64>>,
     next_id: u64,
+    next_graph: u64,
+    /// Pending sim jobs (ready or waiting on deps); the backpressure
+    /// capacity measure and the `status` queue depth.
+    queued_sims: usize,
     running: u64,
     draining: bool,
     counters: Counters,
+}
+
+impl State {
+    fn empty() -> State {
+        State {
+            ready: ReadyQueue::default(),
+            jobs: BTreeMap::new(),
+            graphs: BTreeMap::new(),
+            next_id: 1,
+            next_graph: 1,
+            queued_sims: 0,
+            running: 0,
+            draining: false,
+            counters: Counters::default(),
+        }
+    }
 }
 
 /// Shared server internals: one mutex-guarded state plus two condition
@@ -154,60 +290,102 @@ struct Shared {
     queue_cv: Condvar,
     done_cv: Condvar,
     cache: ResultCache,
+    log: JobLog,
     config: ServerConfig,
 }
 
+/// Everything `handle_submit_graph` needs after decode, before the lock.
+struct DecodedGraphJob {
+    scheme: String,
+    priority: u32,
+    deadline_secs: Option<f64>,
+    deps: Vec<u64>,
+    /// `Some` for sims, `None` for reduce jobs.
+    sim: Option<(SystemConfig, WorkloadSpec, u64, String)>,
+}
+
 impl Shared {
-    fn new(config: ServerConfig, cache: ResultCache) -> Self {
+    fn new(config: ServerConfig, cache: ResultCache, log: JobLog, state: State) -> Self {
         Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                jobs: BTreeMap::new(),
-                next_id: 1,
-                running: 0,
-                draining: false,
-                counters: Counters::default(),
-            }),
+            state: Mutex::new(state),
             queue_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache,
+            log,
             config,
         }
     }
 
+    /// Legacy flat submit: a graph of independent priority-0 jobs, with
+    /// the original `submitted` response shape.
     fn handle_submit(&self, jobs: Vec<JobSpec>) -> Response {
+        let graph_jobs = jobs
+            .into_iter()
+            .map(|j| GraphJob {
+                scheme: j.scheme,
+                payload: GraphPayload::Sim {
+                    config: j.config,
+                    spec: j.spec,
+                    seed: j.seed,
+                },
+                priority: 0,
+                deadline_secs: None,
+                deps: Vec::new(),
+            })
+            .collect();
+        match self.handle_submit_graph(graph_jobs) {
+            Response::GraphSubmitted { ids, cached, .. } => Response::Submitted { ids, cached },
+            other => other,
+        }
+    }
+
+    fn handle_submit_graph(&self, jobs: Vec<GraphJob>) -> Response {
         // Queue-wait measurement starts at batch arrival; host-side
         // bookkeeping only, never simulation state.
         // simlint: allow(wall-clock) — queue-wait clock at the service edge
         let arrived = std::time::Instant::now();
-        // Decode everything before touching the queue so a malformed batch
-        // rejects atomically.
+        // Decode and validate everything before touching the graph so a
+        // malformed batch rejects atomically.
         let mut decoded = Vec::with_capacity(jobs.len());
         for (i, j) in jobs.iter().enumerate() {
-            let config = match canon::decode_config(&j.config) {
-                Ok(c) => c,
-                Err(e) => {
+            for dep in &j.deps {
+                if *dep as usize >= i {
                     return Response::Error {
-                        message: format!("job {i}: bad config: {e}"),
-                    }
+                        message: format!(
+                            "job {i}: dep index {dep} must reference an earlier job in the batch"
+                        ),
+                    };
                 }
-            };
-            let spec = match canon::decode_spec(&j.spec) {
-                Ok(s) => s,
-                Err(e) => {
-                    return Response::Error {
-                        message: format!("job {i}: bad spec: {e}"),
-                    }
+            }
+            let sim = match &j.payload {
+                GraphPayload::Sim { config, spec, seed } => {
+                    let config = match canon::decode_config(config) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            return Response::Error {
+                                message: format!("job {i}: bad config: {e}"),
+                            }
+                        }
+                    };
+                    let spec = match canon::decode_spec(spec) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            return Response::Error {
+                                message: format!("job {i}: bad spec: {e}"),
+                            }
+                        }
+                    };
+                    let key = canon::job_key(&config, &spec, *seed);
+                    Some((config, spec, *seed, key))
                 }
+                GraphPayload::Reduce => None,
             };
-            let key = canon::job_key(&config, &spec, j.seed);
-            decoded.push(Work {
+            decoded.push(DecodedGraphJob {
                 scheme: j.scheme.clone(),
-                config,
-                spec,
-                seed: j.seed,
-                key,
-                enqueued_at: arrived,
+                priority: j.priority,
+                deadline_secs: j.deadline_secs,
+                deps: j.deps.clone(),
+                sim,
             });
         }
 
@@ -217,71 +395,327 @@ impl Shared {
                 message: "server is draining".to_string(),
             };
         }
-        // Atomic batch admission: either every non-cached job fits in the
-        // queue or the whole batch is pushed back on the client.
+        // Atomic batch admission: either every uncached sim fits under the
+        // capacity or the whole batch is pushed back on the client.
         let misses = decoded
             .iter()
-            .filter(|w| self.cache.get(&w.key).is_none())
+            .filter(|d| {
+                d.sim
+                    .as_ref()
+                    .is_some_and(|(_, _, _, key)| self.cache.get(key).is_none())
+            })
             .count();
-        if state.queue.len() + misses > self.config.queue_capacity {
+        if state.queued_sims + misses > self.config.queue_capacity {
             state.counters.batches_rejected += 1;
-            // Heuristic: ~100ms of drain per queued job, clamped. The hint
-            // is advisory pacing, not a promise of capacity.
-            let retry_after_ms = (100 * (state.queue.len() as u64 + 1)).clamp(100, 5_000);
+            // Heuristic: ~100ms of drain per pending job, clamped. The
+            // hint is advisory pacing, not a promise of capacity.
+            let retry_after_ms = (100 * (state.queued_sims as u64 + 1)).clamp(100, 5_000);
             return Response::Busy { retry_after_ms };
         }
 
+        let graph = state.next_graph;
+        state.next_graph += 1;
+        state.counters.graphs_submitted += 1;
+        let first_id = state.next_id;
         let mut ids = Vec::with_capacity(decoded.len());
         let mut cached_flags = Vec::with_capacity(decoded.len());
-        for work in decoded {
+        for d in decoded {
             let id = state.next_id;
             state.next_id += 1;
             state.counters.submitted += 1;
-            match self.cache.get(&work.key) {
+            // Batch indices → assigned ids (contiguous from `first_id`).
+            let dep_ids: Vec<u64> = d.deps.iter().map(|ix| first_id + ix).collect();
+            let (kind, key, payload) = match &d.sim {
+                Some((config, spec, seed, key)) => (
+                    JobKind::Sim,
+                    key.clone(),
+                    LogPayload::Sim {
+                        config: canon::encode_config(config),
+                        spec: canon::encode_spec(spec),
+                        seed: *seed,
+                        key: key.clone(),
+                    },
+                ),
+                None => (JobKind::Reduce, String::new(), LogPayload::Reduce),
+            };
+            self.log.append(&LogRecord::Submit {
+                id,
+                graph,
+                scheme: d.scheme.clone(),
+                payload,
+                priority: d.priority,
+                deadline_secs: d.deadline_secs,
+                deps: dep_ids.clone(),
+            });
+            let mut rec = JobRecord::new(kind, graph, d.priority, dep_ids.clone(), key.clone());
+            rec.deps_remaining = dep_ids
+                .iter()
+                .filter(|dep| state.jobs[dep].state != JobState::Done)
+                .count();
+            for dep in &dep_ids {
+                state
+                    .jobs
+                    .get_mut(dep)
+                    .expect("dep exists")
+                    .dependents
+                    .push(id);
+            }
+            let cached_report = d
+                .sim
+                .as_ref()
+                .and_then(|(_, _, _, key)| self.cache.get(key));
+            match (kind, cached_report) {
                 // The canonical report is fully determined by
                 // `(config, spec, seed)` — the submit label only exists on
                 // the client's `TimedRun` — so a hit serves the stored
                 // bytes verbatim, trivially byte-identical to a re-run.
-                Some(report) => {
+                (JobKind::Sim, Some(report)) => {
                     state.counters.cache_hits += 1;
                     state.counters.completed += 1;
-                    state.jobs.insert(
+                    rec.state = JobState::Done;
+                    rec.outcome = Some(Outcome {
+                        report,
+                        wall_secs: 0.0,
+                        cached: true,
+                    });
+                    rec.push_event();
+                    self.log.append(&LogRecord::Finish {
                         id,
-                        JobRecord {
-                            state: JobState::Done,
-                            outcome: Some(Outcome {
-                                report,
-                                wall_secs: 0.0,
-                                cached: true,
-                            }),
-                            error: None,
-                            progress: None,
-                        },
-                    );
+                        key,
+                        wall_secs: 0.0,
+                    });
                     cached_flags.push(true);
                 }
-                None => {
+                (JobKind::Sim, None) => {
                     state.counters.cache_misses += 1;
-                    state.jobs.insert(
-                        id,
-                        JobRecord {
-                            state: JobState::Queued,
-                            outcome: None,
-                            error: None,
-                            progress: None,
-                        },
-                    );
-                    state.queue.push_back((id, work));
+                    let (config, spec, seed, _) = d.sim.expect("sim payload");
+                    rec.work = Some(Box::new(Work {
+                        scheme: d.scheme,
+                        config,
+                        spec,
+                        seed,
+                        key,
+                        deadline_secs: d.deadline_secs,
+                        enqueued_at: arrived,
+                    }));
+                    rec.push_event();
+                    let ready_now = rec.deps_remaining == 0;
+                    let priority = rec.priority;
+                    state.queued_sims += 1;
+                    state.jobs.insert(id, rec);
+                    if ready_now {
+                        state.ready.push(priority, id);
+                    }
+                    ids.push(id);
+                    cached_flags.push(false);
+                    continue;
+                }
+                (JobKind::Reduce, _) => {
+                    if rec.deps_remaining == 0 {
+                        // Every dependency already done (or no deps at
+                        // all): the barrier is trivially complete.
+                        state.counters.completed += 1;
+                        rec.state = JobState::Done;
+                        let manifest = {
+                            let dep_keys: Vec<(u64, String)> = dep_ids
+                                .iter()
+                                .map(|dep| (*dep, state.jobs[dep].key.clone()))
+                                .collect();
+                            reduce_manifest(graph, &dep_keys)
+                        };
+                        rec.outcome = Some(Outcome {
+                            report: manifest,
+                            wall_secs: 0.0,
+                            cached: false,
+                        });
+                        rec.push_event();
+                        self.log.append(&LogRecord::Finish {
+                            id,
+                            key: String::new(),
+                            wall_secs: 0.0,
+                        });
+                    } else {
+                        rec.push_event();
+                    }
                     cached_flags.push(false);
                 }
             }
+            state.jobs.insert(id, rec);
             ids.push(id);
         }
+        state.graphs.insert(graph, ids.clone());
+        // Within-batch cache hits could in principle release later batch
+        // members, but dependents are admitted after their deps, so each
+        // deps_remaining was computed against the deps' final states —
+        // nothing is left to release here.
         self.queue_cv.notify_all();
         self.done_cv.notify_all();
-        Response::Submitted {
+        Response::GraphSubmitted {
+            graph,
             ids,
             cached: cached_flags,
+        }
+    }
+
+    /// Releases dependents of a freshly finished job: decrement their
+    /// remaining-dependency counts, move ready sims into the ready set,
+    /// and complete reduce barriers (which may release *their* dependents,
+    /// hence the worklist). Caller holds the state lock.
+    fn propagate_done(&self, state: &mut State, id: u64) {
+        let mut worklist = vec![id];
+        while let Some(done_id) = worklist.pop() {
+            let dependents = state.jobs[&done_id].dependents.clone();
+            for dep_id in dependents {
+                let (kind, priority, ready_now) = {
+                    let rec = state.jobs.get_mut(&dep_id).expect("dependent exists");
+                    if rec.state != JobState::Queued {
+                        continue; // already failed/cancelled transitively
+                    }
+                    rec.deps_remaining -= 1;
+                    (rec.kind, rec.priority, rec.deps_remaining == 0)
+                };
+                if !ready_now {
+                    continue;
+                }
+                match kind {
+                    JobKind::Sim => {
+                        state.ready.push(priority, dep_id);
+                        self.queue_cv.notify_all();
+                    }
+                    JobKind::Reduce => {
+                        let (graph, deps) = {
+                            let rec = &state.jobs[&dep_id];
+                            (rec.graph, rec.deps.clone())
+                        };
+                        let dep_keys: Vec<(u64, String)> = deps
+                            .iter()
+                            .map(|dep| (*dep, state.jobs[dep].key.clone()))
+                            .collect();
+                        let manifest = reduce_manifest(graph, &dep_keys);
+                        let rec = state.jobs.get_mut(&dep_id).expect("dependent exists");
+                        rec.state = JobState::Done;
+                        rec.outcome = Some(Outcome {
+                            report: manifest,
+                            wall_secs: 0.0,
+                            cached: false,
+                        });
+                        rec.push_event();
+                        state.counters.completed += 1;
+                        self.log.append(&LogRecord::Finish {
+                            id: dep_id,
+                            key: String::new(),
+                            wall_secs: 0.0,
+                        });
+                        worklist.push(dep_id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks every non-terminal transitive dependent of `id` terminal with
+    /// the given state (`Failed` or `Cancelled`), logging each. Dependents
+    /// of a non-done job are never in the ready set (they still wait on
+    /// it), so no ready-set surgery is needed. Caller holds the state
+    /// lock. Returns the affected ids.
+    fn propagate_terminal(
+        &self,
+        state: &mut State,
+        id: u64,
+        terminal: &JobState,
+        error_of: &dyn Fn(u64) -> String,
+    ) -> Vec<u64> {
+        let mut affected = Vec::new();
+        let mut worklist = state.jobs[&id].dependents.clone();
+        while let Some(dep_id) = worklist.pop() {
+            {
+                let rec = state.jobs.get_mut(&dep_id).expect("dependent exists");
+                if rec.state.is_terminal() {
+                    continue;
+                }
+                rec.state = terminal.clone();
+                if *terminal == JobState::Failed {
+                    rec.error = Some(error_of(dep_id));
+                }
+                if rec.kind == JobKind::Sim {
+                    state.queued_sims -= 1;
+                }
+                let rec = state.jobs.get_mut(&dep_id).expect("dependent exists");
+                rec.push_event();
+            }
+            match terminal {
+                JobState::Failed => {
+                    state.counters.failed += 1;
+                    self.log.append(&LogRecord::Fail {
+                        id: dep_id,
+                        error: error_of(dep_id),
+                    });
+                }
+                JobState::Cancelled => {
+                    state.counters.cancelled += 1;
+                    self.log.append(&LogRecord::Cancel { id: dep_id });
+                }
+                _ => unreachable!("propagate_terminal only fails or cancels"),
+            }
+            affected.push(dep_id);
+            worklist.extend(state.jobs[&dep_id].dependents.clone());
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        affected
+    }
+
+    fn handle_cancel(&self, id: u64) -> Response {
+        let mut state = self.state.lock().expect("state lock");
+        let Some(rec) = state.jobs.get(&id) else {
+            return Response::Error {
+                message: format!("unknown job id {id}"),
+            };
+        };
+        if rec.state.is_terminal() {
+            return Response::Error {
+                message: format!("job {id} already {}", rec.state.as_str()),
+            };
+        }
+        let was_running = rec.state == JobState::Running;
+        let (kind, priority) = (rec.kind, rec.priority);
+        {
+            let rec = state.jobs.get_mut(&id).expect("job exists");
+            rec.state = JobState::Cancelled;
+            // A running worker cannot be preempted; it checks this flag on
+            // completion and discards the result.
+            rec.cancel_requested = was_running;
+            rec.push_event();
+        }
+        if !was_running {
+            state.ready.remove(priority, id);
+            if kind == JobKind::Sim {
+                state.queued_sims -= 1;
+            }
+        }
+        state.counters.cancelled += 1;
+        self.log.append(&LogRecord::Cancel { id });
+        let mut affected =
+            self.propagate_terminal(&mut state, id, &JobState::Cancelled, &|_| String::new());
+        affected.push(id);
+        affected.sort_unstable();
+        self.done_cv.notify_all();
+        Response::Cancelled { ids: affected }
+    }
+
+    fn handle_graph_status(&self, graph: u64) -> Response {
+        let state = self.state.lock().expect("state lock");
+        match state.graphs.get(&graph) {
+            Some(ids) => Response::GraphStatus {
+                graph,
+                jobs: ids
+                    .iter()
+                    .map(|id| (*id, state.jobs[id].state.clone()))
+                    .collect(),
+            },
+            None => Response::Error {
+                message: format!("unknown graph id {graph}"),
+            },
         }
     }
 
@@ -289,9 +723,11 @@ impl Shared {
         let state = self.state.lock().expect("state lock");
         match id {
             None => Response::Status {
-                queue_depth: state.queue.len() as u64,
+                queue_depth: state.queued_sims as u64,
                 running: state.running,
-                completed: state.counters.completed + state.counters.failed,
+                completed: state.counters.completed
+                    + state.counters.failed
+                    + state.counters.cancelled,
                 workers: self.config.workers as u64,
                 draining: state.draining,
             },
@@ -327,6 +763,9 @@ impl Shared {
                             .clone()
                             .unwrap_or_else(|| "job failed".to_string()),
                     }),
+                    (JobState::Cancelled, _) => Some(Response::Error {
+                        message: format!("job {id} cancelled"),
+                    }),
                     (state_now, _) if !wait => Some(Response::JobStatus {
                         id,
                         state: state_now.clone(),
@@ -353,11 +792,15 @@ impl Shared {
         scope.count("jobs_submitted", state.counters.submitted);
         scope.count("jobs_completed", state.counters.completed);
         scope.count("jobs_failed", state.counters.failed);
+        scope.count("jobs_cancelled", state.counters.cancelled);
+        scope.count("jobs_replayed", state.counters.replayed);
+        scope.count("graphs_submitted", state.counters.graphs_submitted);
         scope.count("cache_hits", state.counters.cache_hits);
         scope.count("cache_misses", state.counters.cache_misses);
         scope.count("batches_rejected", state.counters.batches_rejected);
         scope.count("sim_events_total", state.counters.sim_events);
-        scope.count("queue_depth", state.queue.len() as u64);
+        scope.count("queue_depth", state.queued_sims as u64);
+        scope.count("jobs_ready", state.ready.len() as u64);
         scope.count("jobs_running", state.running);
         scope.count("workers", self.config.workers as u64);
         scope.count("queue_capacity", self.config.queue_capacity as u64);
@@ -375,24 +818,59 @@ impl Shared {
     }
 
     /// Streams `watch_event` lines for one job until it reaches a terminal
-    /// state: the current state immediately, then one line per observed
-    /// state/progress change, closing with a `final: true` line on
-    /// `Done`/`Failed`. An unknown id gets a single `error` line and the
-    /// connection returns to the normal request/response alternation.
+    /// state, resuming after `from_seq` when given: every buffered event
+    /// with a later seq, then one line per new event as workers publish
+    /// them, closing with a `final: true` line on `done`/`failed`/
+    /// `cancelled`. If the job is already terminal and `from_seq` covers
+    /// the whole buffer, the terminal line is re-sent so the stream still
+    /// closes cleanly (a client resuming after the end). A `from_seq` at
+    /// or past the job's seq counter is from a previous daemon epoch
+    /// (seqs restart with the process) and is treated as 0. An unknown id
+    /// gets a single `error` line and the connection returns to the
+    /// normal request/response alternation.
     ///
     /// The state lock is only held to snapshot; every TCP write happens
     /// after release, so a slow watcher can never stall workers.
-    fn stream_watch(&self, id: u64, writer: &mut TcpStream) -> std::io::Result<()> {
-        let mut last_sent: Option<(JobState, Option<(u64, u64)>)> = None;
+    fn stream_watch(
+        &self,
+        id: u64,
+        from_seq: Option<u64>,
+        writer: &mut TcpStream,
+    ) -> std::io::Result<()> {
+        let mut last_seen = from_seq.unwrap_or(0);
+        let mut epoch_checked = false;
         loop {
             let snapshot = {
                 let state = self.state.lock().expect("state lock");
-                state
-                    .jobs
-                    .get(&id)
-                    .map(|rec| (rec.state.clone(), rec.progress))
+                state.jobs.get(&id).map(|rec| {
+                    if !epoch_checked {
+                        epoch_checked = true;
+                        if last_seen >= rec.next_seq {
+                            last_seen = 0; // stale seq from a previous epoch
+                        }
+                        // A plain watch (no resume point) of a job that
+                        // already ended answers with just the terminal
+                        // line, not a history replay.
+                        if from_seq.is_none() && rec.state.is_terminal() {
+                            last_seen = rec.next_seq.saturating_sub(1);
+                        }
+                    }
+                    let fresh: Vec<BufferedEvent> = rec
+                        .events
+                        .iter()
+                        .filter(|ev| ev.seq > last_seen)
+                        .cloned()
+                        .collect();
+                    let resend_terminal = fresh.is_empty() && rec.state.is_terminal();
+                    let events = if resend_terminal {
+                        rec.events.last().cloned().into_iter().collect()
+                    } else {
+                        fresh
+                    };
+                    (events, rec.state.is_terminal())
+                })
             };
-            let Some((job_state, progress)) = snapshot else {
+            let Some((events, terminal)) = snapshot else {
                 let resp = Response::Error {
                     message: format!("unknown job id {id}"),
                 };
@@ -401,31 +879,35 @@ impl Shared {
                 writer.flush()?;
                 return Ok(());
             };
-            let terminal = matches!(job_state, JobState::Done | JobState::Failed);
-            let current = (job_state.clone(), progress);
-            if terminal || last_sent.as_ref() != Some(&current) {
-                let event = WatchEvent {
-                    id,
-                    state: job_state,
-                    events: progress.map(|(events, _)| events),
-                    cycle: progress.map(|(_, cycle)| cycle),
-                    last: terminal,
-                };
-                writer.write_all(Response::Watch(event).encode().as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
-                if terminal {
-                    return Ok(());
-                }
-                last_sent = Some(current);
-            } else {
-                // Nothing new; park until workers publish or the
-                // periodic re-check fires (same pattern as result waiters).
+            if events.is_empty() {
+                // Nothing new; park until workers publish or the periodic
+                // re-check fires (same pattern as result waiters).
                 let state = self.state.lock().expect("state lock");
                 let _ = self
                     .done_cv
                     .wait_timeout(state, Duration::from_millis(200))
                     .expect("state lock");
+                continue;
+            }
+            let n = events.len();
+            for (i, ev) in events.into_iter().enumerate() {
+                last_seen = last_seen.max(ev.seq);
+                let last = terminal && i + 1 == n;
+                let line = Response::Watch(WatchEvent {
+                    id,
+                    seq: ev.seq,
+                    state: ev.state,
+                    events: ev.events,
+                    cycle: ev.cycle,
+                    last,
+                })
+                .encode();
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            writer.flush()?;
+            if terminal {
+                return Ok(());
             }
         }
     }
@@ -438,13 +920,28 @@ impl Shared {
         if self.config.workers == 0 {
             // Nobody will ever run these; fail them instead of hanging the
             // drain forever.
-            while let Some((id, _)) = state.queue.pop_front() {
-                if let Some(rec) = state.jobs.get_mut(&id) {
-                    rec.state = JobState::Failed;
-                    rec.error = Some("discarded at shutdown (no workers)".to_string());
+            let pending: Vec<u64> = state
+                .jobs
+                .iter()
+                .filter(|(_, rec)| !rec.state.is_terminal())
+                .map(|(id, _)| *id)
+                .collect();
+            for id in pending {
+                let rec = state.jobs.get_mut(&id).expect("job exists");
+                rec.state = JobState::Failed;
+                rec.error = Some("discarded at shutdown (no workers)".to_string());
+                if rec.kind == JobKind::Sim {
+                    state.queued_sims = state.queued_sims.saturating_sub(1);
                 }
+                let rec = state.jobs.get_mut(&id).expect("job exists");
+                rec.push_event();
                 state.counters.failed += 1;
+                self.log.append(&LogRecord::Fail {
+                    id,
+                    error: "discarded at shutdown (no workers)".to_string(),
+                });
             }
+            state.ready = ReadyQueue::default();
         }
         self.queue_cv.notify_all();
         self.done_cv.notify_all();
@@ -455,8 +952,10 @@ impl Shared {
             let (id, work) = {
                 let mut state = self.state.lock().expect("state lock");
                 loop {
-                    if let Some(item) = state.queue.pop_front() {
-                        break item;
+                    if let Some(id) = state.ready.pop() {
+                        let rec = state.jobs.get_mut(&id).expect("ready job exists");
+                        let work = rec.work.take().expect("ready sim has work");
+                        break (id, work);
                     }
                     if state.draining {
                         return;
@@ -467,14 +966,17 @@ impl Shared {
             {
                 let mut state = self.state.lock().expect("state lock");
                 state.running += 1;
+                state.queued_sims = state.queued_sims.saturating_sub(1);
                 if let Some(rec) = state.jobs.get_mut(&id) {
                     rec.state = JobState::Running;
+                    rec.push_event();
                 }
                 let waited_us = work.enqueued_at.elapsed().as_micros();
                 state
                     .counters
                     .queue_wait_us
                     .record(u64::try_from(waited_us).unwrap_or(u64::MAX));
+                self.log.append(&LogRecord::Start { id });
             }
             self.done_cv.notify_all();
             // The deadline clock measures host wall time around an
@@ -493,6 +995,9 @@ impl Shared {
                         let mut state = shared.state.lock().expect("state lock");
                         if let Some(rec) = state.jobs.get_mut(&id) {
                             rec.progress = Some((p.events_processed, p.sim_cycle));
+                            if rec.state == JobState::Running {
+                                rec.push_event();
+                            }
                         }
                         drop(state);
                         shared.done_cv.notify_all();
@@ -513,13 +1018,19 @@ impl Shared {
                 &observer,
             );
             let elapsed = started.elapsed().as_secs_f64();
-            let timed_out = self
-                .config
-                .job_timeout_secs
-                .is_some_and(|limit| elapsed > limit);
+            let deadline = work.deadline_secs.or(self.config.job_timeout_secs);
+            let timed_out = deadline.is_some_and(|limit| elapsed > limit);
 
             let mut state = self.state.lock().expect("state lock");
             state.running -= 1;
+            let cancelled_mid_run = state.jobs.get(&id).is_some_and(|rec| rec.cancel_requested);
+            if cancelled_mid_run {
+                // Cancelled while running: the terminal state and log
+                // record were already published by `cancel`; the result is
+                // discarded — never cached, never counted as completed.
+                self.done_cv.notify_all();
+                continue;
+            }
             let rec = state.jobs.get_mut(&id).expect("job record exists");
             match result {
                 Ok(mut runs) if !timed_out => {
@@ -534,6 +1045,7 @@ impl Shared {
                         wall_secs: run.wall_secs,
                         cached: false,
                     });
+                    rec.push_event();
                     state.counters.completed += 1;
                     state.counters.sim_events += run.report.events_processed;
                     state.counters.live_wall.record(run.wall_secs);
@@ -546,21 +1058,41 @@ impl Shared {
                     if let Err(e) = self.cache.put(&work.key, &report) {
                         eprintln!("idyll-serve: cache write failed for {}: {e}", work.key);
                     }
+                    self.log.append(&LogRecord::Finish {
+                        id,
+                        key: work.key.clone(),
+                        wall_secs: run.wall_secs,
+                    });
+                    self.propagate_done(&mut state, id);
                 }
                 Ok(_) => {
                     // A late result is discarded, not cached: the deadline
                     // is the credibility bound the operator asked for.
-                    rec.state = JobState::Failed;
-                    rec.error = Some(format!(
+                    let message = format!(
                         "job exceeded deadline ({elapsed:.1}s > {:.1}s); result discarded",
-                        self.config.job_timeout_secs.unwrap_or(0.0)
-                    ));
+                        deadline.unwrap_or(0.0)
+                    );
+                    rec.state = JobState::Failed;
+                    rec.error = Some(message.clone());
+                    rec.push_event();
                     state.counters.failed += 1;
+                    self.log.append(&LogRecord::Fail { id, error: message });
+                    let failed_dep = id;
+                    self.propagate_terminal(&mut state, id, &JobState::Failed, &|_| {
+                        format!("dependency {failed_dep} failed")
+                    });
                 }
                 Err(e) => {
+                    let message = format!("simulation error: {e}");
                     rec.state = JobState::Failed;
-                    rec.error = Some(format!("simulation error: {e}"));
+                    rec.error = Some(message.clone());
+                    rec.push_event();
                     state.counters.failed += 1;
+                    self.log.append(&LogRecord::Fail { id, error: message });
+                    let failed_dep = id;
+                    self.propagate_terminal(&mut state, id, &JobState::Failed, &|_| {
+                        format!("dependency {failed_dep} failed")
+                    });
                 }
             }
             self.done_cv.notify_all();
@@ -596,15 +1128,144 @@ fn open_cache(config: &ServerConfig) -> std::io::Result<ResultCache> {
     }
 }
 
+/// Opens the durable log (when configured), replays it against the cache,
+/// and rebuilds the scheduler state: job and graph ids, dependency edges,
+/// the ready set, and cached outcomes. Replay-produced records (dangling
+/// failures, reduce completions) are appended back to the log.
+fn open_log_and_replay(
+    config: &ServerConfig,
+    cache: &ResultCache,
+) -> std::io::Result<(JobLog, State)> {
+    let Some(path) = &config.log_path else {
+        return Ok((JobLog::disabled(), State::empty()));
+    };
+    let (log, records) = JobLog::open(path)?;
+    let replayed = replay(&records, &|key| cache.get(key))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    for record in &replayed.appended {
+        log.append(record);
+    }
+    let mut state = State::empty();
+    state.next_id = replayed.next_id;
+    state.next_graph = replayed.next_graph;
+    // Restart instant for replayed queue-wait measurement; host-side only.
+    // simlint: allow(wall-clock) — replayed-job queue-wait clock at startup
+    let restarted_at = std::time::Instant::now();
+    for job in &replayed.jobs {
+        let mut rec = JobRecord::new(
+            match job.payload {
+                LogPayload::Sim { .. } => JobKind::Sim,
+                LogPayload::Reduce => JobKind::Reduce,
+            },
+            job.graph,
+            job.priority,
+            job.deps.clone(),
+            match &job.payload {
+                LogPayload::Sim { key, .. } => key.clone(),
+                LogPayload::Reduce => String::new(),
+            },
+        );
+        state.counters.replayed += 1;
+        match &job.disposition {
+            Disposition::Done { report } => {
+                rec.state = JobState::Done;
+                rec.outcome = Some(Outcome {
+                    report: report.clone(),
+                    wall_secs: 0.0,
+                    cached: rec.kind == JobKind::Sim,
+                });
+                state.counters.completed += 1;
+                if rec.kind == JobKind::Sim {
+                    state.counters.cache_hits += 1;
+                }
+            }
+            Disposition::Failed(error) => {
+                rec.state = JobState::Failed;
+                rec.error = Some(error.clone());
+                state.counters.failed += 1;
+            }
+            Disposition::Cancelled => {
+                rec.state = JobState::Cancelled;
+                state.counters.cancelled += 1;
+            }
+            Disposition::Pending => {
+                rec.deps_remaining = job
+                    .deps
+                    .iter()
+                    .filter(|dep| {
+                        !matches!(
+                            replayed
+                                .jobs
+                                .iter()
+                                .find(|j| j.id == **dep)
+                                .map(|j| &j.disposition),
+                            Some(Disposition::Done { .. })
+                        )
+                    })
+                    .count();
+                match &job.payload {
+                    LogPayload::Sim {
+                        config: config_doc,
+                        spec,
+                        seed,
+                        key,
+                    } => match (canon::decode_config(config_doc), canon::decode_spec(spec)) {
+                        (Ok(config), Ok(spec)) => {
+                            rec.work = Some(Box::new(Work {
+                                scheme: job.scheme.clone(),
+                                config,
+                                spec,
+                                seed: *seed,
+                                key: key.clone(),
+                                deadline_secs: job.deadline_secs,
+                                enqueued_at: restarted_at,
+                            }));
+                            state.queued_sims += 1;
+                            state.counters.cache_misses += 1;
+                            if rec.deps_remaining == 0 {
+                                state.ready.push(rec.priority, job.id);
+                            }
+                        }
+                        (Err(e), _) | (_, Err(e)) => {
+                            // The log outlived the canon schema; the job
+                            // cannot rerun. Fail it durably.
+                            let message = format!("replay: undecodable payload: {e}");
+                            rec.state = JobState::Failed;
+                            rec.error = Some(message.clone());
+                            state.counters.failed += 1;
+                            log.append(&LogRecord::Fail {
+                                id: job.id,
+                                error: message,
+                            });
+                        }
+                    },
+                    LogPayload::Reduce => {}
+                }
+            }
+        }
+        rec.push_event();
+        for dep in &job.deps {
+            if let Some(dep_rec) = state.jobs.get_mut(dep) {
+                dep_rec.dependents.push(job.id);
+            }
+        }
+        state.graphs.entry(job.graph).or_default().push(job.id);
+        state.jobs.insert(job.id, rec);
+    }
+    Ok((log, state))
+}
+
 /// Binds and serves until a client sends `shutdown`. Blocks the calling
 /// thread for the daemon's whole life.
 ///
 /// # Errors
-/// Propagates bind/accept failures and cache-directory errors.
+/// Propagates bind/accept failures, cache-directory errors and durable-log
+/// open/replay errors.
 pub fn serve(config: ServerConfig) -> std::io::Result<()> {
     let listener = TcpListener::bind(&config.addr)?;
     let cache = open_cache(&config)?;
-    let shared = Arc::new(Shared::new(config, cache));
+    let (log, state) = open_log_and_replay(&config, &cache)?;
+    let shared = Arc::new(Shared::new(config, cache, log, state));
     run(listener, shared)
 }
 
@@ -612,12 +1273,13 @@ pub fn serve(config: ServerConfig) -> std::io::Result<()> {
 /// accepting. The handle reports the bound address (useful with port 0).
 ///
 /// # Errors
-/// Propagates bind and cache-directory failures.
+/// Propagates bind, cache-directory and durable-log failures.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let cache = open_cache(&config)?;
-    let shared = Arc::new(Shared::new(config, cache));
+    let (log, state) = open_log_and_replay(&config, &cache)?;
+    let shared = Arc::new(Shared::new(config, cache, log, state));
     let thread = std::thread::spawn(move || run(listener, shared));
     Ok(ServerHandle { addr, thread })
 }
@@ -676,12 +1338,15 @@ fn handle_connection(
         let request = Request::decode(line.trim_end());
         let (response, is_shutdown) = match request {
             Ok(Request::Submit(jobs)) => (shared.handle_submit(jobs), false),
+            Ok(Request::SubmitGraph(jobs)) => (shared.handle_submit_graph(jobs), false),
+            Ok(Request::Cancel { id }) => (shared.handle_cancel(id), false),
+            Ok(Request::GraphStatus { graph }) => (shared.handle_graph_status(graph), false),
             Ok(Request::Status(id)) => (shared.handle_status(id), false),
             // `watch` streams many lines itself, outside the one-response
             // contract below; afterwards the connection resumes the
             // normal request/response alternation.
-            Ok(Request::Watch { id }) => {
-                shared.stream_watch(id, &mut writer)?;
+            Ok(Request::Watch { id, from_seq }) => {
+                shared.stream_watch(id, from_seq, &mut writer)?;
                 continue;
             }
             Ok(Request::Result { id, wait }) => (shared.handle_result(id, wait), false),

@@ -1,0 +1,460 @@
+//! End-to-end job-graph tests.
+//!
+//! These exercise the acceptance properties of the durable DAG scheduler:
+//! graph submissions produce byte-identical per-cell reports plus a
+//! deterministic reduce manifest, ready jobs dispatch in (priority,
+//! submit-seq) order, cancellation propagates down dependency edges, a
+//! hand-crafted crash log replays into the documented dispositions
+//! (cache hits served byte-identically, lost work rerun, dangling
+//! dependents failed), watch streams resume from a sequence number, and
+//! the `smoke --graph` kill/restart harness passes end to end.
+
+use std::fs;
+use std::path::PathBuf;
+
+use idyll_serve::client::Client;
+use idyll_serve::jobgraph::{JobLog, LogPayload, LogRecord};
+use idyll_serve::proto::{GraphJob, GraphPayload, JobState};
+use idyll_serve::server::{spawn, ServerConfig};
+use idyll_serve::RemoteCell;
+use mgpu_system::canon;
+use mgpu_system::config::SystemConfig;
+use mgpu_system::runner::{run_jobs_timed, Job};
+use workloads::{AppId, Scale, WorkloadSpec};
+
+/// A small grid of distinct cells: two apps × two schemes at test scale.
+fn grid_cells() -> Vec<RemoteCell> {
+    let mut cells = Vec::new();
+    for app in [AppId::Km, AppId::Bs] {
+        for (label, config) in [
+            ("baseline", SystemConfig::baseline(2)),
+            ("idyll", SystemConfig::idyll(2)),
+        ] {
+            let mut config = config;
+            config.seed = 42;
+            cells.push(RemoteCell {
+                scheme: format!("{app}/{label}"),
+                config,
+                spec: WorkloadSpec::paper_default(app, Scale::Test),
+                seed: 42,
+            });
+        }
+    }
+    cells
+}
+
+fn canonical_direct(cells: &[RemoteCell]) -> Vec<String> {
+    let jobs: Vec<Job> = cells
+        .iter()
+        .map(|cell| Job {
+            scheme: cell.scheme.clone(),
+            config: cell.config.clone(),
+            workload: workloads::generate(&cell.spec, cell.config.n_gpus, cell.seed),
+        })
+        .collect();
+    run_jobs_timed(jobs, 2)
+        .expect("direct runs succeed")
+        .into_iter()
+        .map(|t| canon::encode_report(&t.report))
+        .collect()
+}
+
+fn sim_job(cell: &RemoteCell, priority: u32, deps: Vec<u64>) -> GraphJob {
+    GraphJob {
+        scheme: cell.scheme.clone(),
+        payload: GraphPayload::Sim {
+            config: canon::encode_config(&cell.config),
+            spec: canon::encode_spec(&cell.spec),
+            seed: cell.seed,
+        },
+        priority,
+        deadline_secs: None,
+        deps,
+    }
+}
+
+fn reduce_job(scheme: &str, deps: Vec<u64>) -> GraphJob {
+    GraphJob {
+        scheme: scheme.to_string(),
+        payload: GraphPayload::Reduce,
+        priority: 0,
+        deadline_secs: None,
+        deps,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("idyll-serve-graph-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A cells-plus-reduce DAG yields byte-identical cell reports, a manifest
+/// listing every dependency's key, and a fully cached resubmission.
+#[test]
+fn graph_cells_reduce_to_a_manifest_and_stay_byte_identical() {
+    let handle = spawn(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    let cells = grid_cells();
+    let direct = canonical_direct(&cells);
+    let mut jobs: Vec<GraphJob> = cells.iter().map(|c| sim_job(c, 0, vec![])).collect();
+    jobs.push(reduce_job("grid", (0..cells.len() as u64).collect()));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (graph, ids, cached) = client.submit_graph_with_backoff(&jobs).expect("submit");
+    assert_eq!(ids.len(), cells.len() + 1);
+    assert!(cached.iter().all(|&c| !c), "fresh graph must not be cached");
+
+    // The reduce completes only after every cell; its manifest names each
+    // dependency id with its content-addressed key.
+    let reduce_id = *ids.last().unwrap();
+    let (manifest, _wall, _cached) = client.wait_result(reduce_id).expect("reduce result");
+    assert!(
+        manifest.starts_with("# idyll-serve reduce v1\n"),
+        "{manifest}"
+    );
+    assert!(manifest.contains(&format!("graph {graph}\n")), "{manifest}");
+    for (i, cell) in cells.iter().enumerate() {
+        let key = canon::job_key(&cell.config, &cell.spec, cell.seed);
+        assert!(
+            manifest.contains(&format!("dep {} {key}\n", ids[i])),
+            "manifest missing dep {}: {manifest}",
+            ids[i]
+        );
+    }
+    for (i, &id) in ids[..cells.len()].iter().enumerate() {
+        let (report, _wall, was_cached) = client.wait_result(id).expect("cell result");
+        assert!(!was_cached, "cell {i} cached on first pass");
+        assert_eq!(report, direct[i], "cell {i} differs from the direct run");
+    }
+
+    // A graph is addressable: status lists every job as done, in id order.
+    let status = client.graph_status(graph).expect("graph_status");
+    assert_eq!(status.len(), ids.len());
+    assert!(status.iter().all(|(_, s)| *s == JobState::Done));
+
+    // Resubmitting the same sims hits the cache.
+    let (_, ids2, cached2) = client
+        .submit_graph_with_backoff(&jobs[..cells.len()])
+        .expect("resubmit");
+    assert!(
+        cached2.iter().all(|&c| c),
+        "resubmitted cells must be cached"
+    );
+    for (i, &id) in ids2.iter().enumerate() {
+        let (report, wall, was_cached) = client.wait_result(id).expect("cached result");
+        assert!(was_cached, "cell {i} not served from cache");
+        assert_eq!(wall, 0.0, "cached answers report zero wall time");
+        assert_eq!(report, direct[i], "cached cell {i} differs from direct");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// With one worker, jobs released together dispatch in priority order
+/// (descending), observable as `start` record order in the durable log.
+#[test]
+fn ready_jobs_dispatch_by_priority() {
+    let dir = temp_dir("priority");
+    let log_path = dir.join("jobs.log");
+    let handle = spawn(ServerConfig {
+        workers: 1,
+        log_path: Some(log_path.clone()),
+        cache_dir: Some(dir.join("cache")),
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    // A gate sim holds the single worker; three dependents with
+    // priorities 1, 5, 3 all become ready at once when the gate finishes.
+    let cells = grid_cells();
+    let jobs = vec![
+        sim_job(&cells[0], 0, vec![]),
+        sim_job(&cells[1], 1, vec![0]),
+        sim_job(&cells[2], 5, vec![0]),
+        sim_job(&cells[3], 3, vec![0]),
+    ];
+    let mut client = Client::connect(&addr).expect("connect");
+    let (_, ids, _) = client.submit_graph_with_backoff(&jobs).expect("submit");
+    for &id in &ids {
+        client.wait_result(id).expect("job completes");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+
+    // The log's start records are the dispatch order: gate first, then
+    // priority 5, 3, 1.
+    let text = fs::read_to_string(&log_path).expect("log exists");
+    let started: Vec<u64> = text
+        .lines()
+        .filter_map(|line| match LogRecord::decode(line) {
+            Ok(LogRecord::Start { id }) => Some(id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        started,
+        vec![ids[0], ids[2], ids[3], ids[1]],
+        "dispatch must follow (priority desc, submit order)"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Cancelling a job cancels its transitive dependents, leaves unrelated
+/// work queued, is observable through watch, and is idempotent-hostile
+/// (a second cancel errors).
+#[test]
+fn cancellation_propagates_down_dependency_edges() {
+    // Zero workers: nothing runs, so the queued/cancelled states are
+    // deterministic.
+    let handle = spawn(ServerConfig {
+        workers: 0,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    let cells = grid_cells();
+    // Chain a → b → c, plus unrelated d.
+    let jobs = vec![
+        sim_job(&cells[0], 0, vec![]),
+        sim_job(&cells[1], 0, vec![0]),
+        sim_job(&cells[2], 0, vec![1]),
+        sim_job(&cells[3], 0, vec![]),
+    ];
+    let mut client = Client::connect(&addr).expect("connect");
+    let (graph, ids, _) = client.submit_graph_with_backoff(&jobs).expect("submit");
+    let (a, b, c, d) = (ids[0], ids[1], ids[2], ids[3]);
+
+    let affected = client.cancel(a).expect("cancel");
+    assert_eq!(affected, vec![a, b, c], "cancel cascades to dependents");
+
+    let status = client.graph_status(graph).expect("graph_status");
+    for (id, state) in status {
+        if id == d {
+            assert_eq!(state, JobState::Queued, "unrelated job keeps its place");
+        } else {
+            assert_eq!(state, JobState::Cancelled, "job {id} must be cancelled");
+        }
+    }
+
+    // The cascade is observable: a watch of a dependent ends in a
+    // terminal cancelled line, and its result is a cancellation error.
+    for id in [b, c] {
+        let terminal = client.watch(id, |_| {}).expect("watch streams");
+        assert_eq!(terminal.state, JobState::Cancelled);
+        assert!(terminal.last);
+        let err = client.wait_result(id).expect_err("cancelled jobs fail");
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    // Cancelling an already-terminal job is an error, not a no-op.
+    let err = client.cancel(a).expect_err("double cancel");
+    assert!(err.to_string().contains("already"), "{err}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// Replaying a hand-crafted crash log resolves every documented
+/// disposition: finished-and-cached jobs serve byte-identical bytes,
+/// finished-but-evicted jobs rerun, started-but-unfinished jobs rerun,
+/// failures stick, dangling dependents fail durably, and fresh ids
+/// continue past the log's maximum.
+#[test]
+fn replayed_log_restores_the_graph_after_a_crash() {
+    let dir = temp_dir("replay");
+    let log_path = dir.join("jobs.log");
+    let cache_dir = dir.join("cache");
+    fs::create_dir_all(&cache_dir).unwrap();
+
+    let cells = grid_cells();
+    let direct = canonical_direct(&cells);
+    let key = |i: usize| canon::job_key(&cells[i].config, &cells[i].spec, cells[i].seed);
+    let submit = |id: u64, graph: u64, i: usize, deps: Vec<u64>| LogRecord::Submit {
+        id,
+        graph,
+        scheme: cells[i].scheme.clone(),
+        payload: LogPayload::Sim {
+            config: canon::encode_config(&cells[i].config),
+            spec: canon::encode_spec(&cells[i].spec),
+            seed: cells[i].seed,
+            key: key(i),
+        },
+        priority: 0,
+        deadline_secs: None,
+        deps,
+    };
+
+    // The "crashed" daemon's log: graph 1 = {1, 2, reduce 3}; 1 finished
+    // (and its report survives in the cache), 2 started but never
+    // finished. Graph 2 = {4, 5←4}; 4 failed.
+    {
+        let (log, records) = JobLog::open(&log_path).expect("fresh log");
+        assert!(records.is_empty());
+        for record in [
+            submit(1, 1, 0, vec![]),
+            submit(2, 1, 1, vec![]),
+            LogRecord::Submit {
+                id: 3,
+                graph: 1,
+                scheme: "reduce".into(),
+                payload: LogPayload::Reduce,
+                priority: 0,
+                deadline_secs: None,
+                deps: vec![1, 2],
+            },
+            submit(4, 2, 2, vec![]),
+            submit(5, 2, 3, vec![4]),
+            LogRecord::Start { id: 1 },
+            LogRecord::Finish {
+                id: 1,
+                key: key(0),
+                wall_secs: 0.5,
+            },
+            LogRecord::Start { id: 2 },
+            LogRecord::Fail {
+                id: 4,
+                error: "simulation error: boom".into(),
+            },
+        ] {
+            log.append(&record);
+        }
+    }
+    fs::write(cache_dir.join(key(0)), &direct[0]).unwrap();
+
+    let handle = spawn(ServerConfig {
+        workers: 1,
+        log_path: Some(log_path),
+        cache_dir: Some(cache_dir),
+        ..ServerConfig::default()
+    })
+    .expect("daemon replays and starts");
+    let addr = handle.addr.to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // 1 finished before the crash: served from cache, byte-identical.
+    let (report, wall, cached) = client.wait_result(1).expect("cached survivor");
+    assert!(cached, "finished job must be served from cache");
+    assert_eq!(wall, 0.0);
+    assert_eq!(report, direct[0], "cached bytes differ from direct run");
+
+    // 2 was mid-flight: rerun, still byte-identical to a direct run.
+    let (report, _wall, cached) = client.wait_result(2).expect("rerun survivor");
+    assert!(!cached, "interrupted job must rerun");
+    assert_eq!(report, direct[1], "rerun bytes differ from direct run");
+
+    // The reduce completes once 2 reruns, naming both keys.
+    let (manifest, _, _) = client.wait_result(3).expect("reduce completes");
+    assert!(
+        manifest.contains(&format!("dep 1 {}\n", key(0))),
+        "{manifest}"
+    );
+    assert!(
+        manifest.contains(&format!("dep 2 {}\n", key(1))),
+        "{manifest}"
+    );
+
+    // 4 failed before the crash; 5 is its dangling dependent.
+    let err = client.wait_result(4).expect_err("failure sticks");
+    assert!(err.to_string().contains("boom"), "{err}");
+    let err = client.wait_result(5).expect_err("dependent fails");
+    assert!(err.to_string().contains("dependency 4"), "{err}");
+
+    // Fresh submissions pick up ids past the replayed maximum.
+    let (_, ids, _) = client
+        .submit_graph_with_backoff(&[sim_job(&cells[0], 0, vec![])])
+        .expect("fresh submit");
+    assert!(
+        ids[0] > 5,
+        "replayed ids must not be reused: got {}",
+        ids[0]
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Watch streams resume: `from_seq` skips already-seen events, a
+/// caught-up terminal watch re-sends the terminal line, and a stale seq
+/// from a daemon's previous life falls back to a full replay.
+#[test]
+fn watch_resumes_from_a_sequence_number() {
+    let handle = spawn(ServerConfig {
+        workers: 1,
+        // Low cadence so even test-scale jobs emit progress heartbeats.
+        progress_every_events: 1_000,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr.to_string();
+
+    let cells = grid_cells();
+    let mut client = Client::connect(&addr).expect("connect");
+    let (_, ids, _) = client
+        .submit_graph_with_backoff(&[sim_job(&cells[0], 0, vec![])])
+        .expect("submit");
+    let id = ids[0];
+    client.wait_result(id).expect("job completes");
+
+    // From seq 0: the full buffered history, strictly increasing from 1.
+    let mut seqs = Vec::new();
+    let terminal = client
+        .watch_from(id, Some(0), |ev| seqs.push(ev.seq))
+        .expect("full replay");
+    assert_eq!(terminal.state, JobState::Done);
+    assert!(seqs.len() >= 2, "history must hold at least submit+done");
+    assert_eq!(seqs[0], 1, "history starts at seq 1");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seqs increase: {seqs:?}"
+    );
+
+    // Resuming after the first event yields exactly the rest.
+    let mut resumed = Vec::new();
+    client
+        .watch_from(id, Some(seqs[0]), |ev| resumed.push(ev.seq))
+        .expect("resume");
+    assert_eq!(resumed, seqs[1..], "resume must skip already-seen events");
+
+    // A caught-up watch of a finished job re-sends the terminal line.
+    let mut caught_up = Vec::new();
+    let terminal = client
+        .watch_from(id, Some(*seqs.last().unwrap()), |ev| caught_up.push(ev.seq))
+        .expect("caught-up watch");
+    assert!(terminal.last);
+    assert_eq!(caught_up, vec![*seqs.last().unwrap()]);
+
+    // A seq from a previous daemon epoch (beyond anything buffered) is
+    // treated as 0: full replay instead of a hang.
+    let mut stale = Vec::new();
+    client
+        .watch_from(id, Some(1_000_000), |ev| stale.push(ev.seq))
+        .expect("stale seq");
+    assert_eq!(stale, seqs, "stale seq must fall back to a full replay");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
+/// The `smoke --graph` harness — submit a DAG, kill the daemon
+/// mid-flight, restart on the same log and cache, byte-compare every
+/// result against direct runs — passes as a subprocess, exactly as CI
+/// runs it.
+#[test]
+fn smoke_graph_survives_a_daemon_kill() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_idyll-serve"))
+        .args(["smoke", "--graph", "--jobs", "4"])
+        .status()
+        .expect("smoke runs");
+    assert!(status.success(), "smoke --graph failed: {status}");
+}
