@@ -192,6 +192,7 @@ impl Irmb {
                 self.offset_evictions += 1;
                 let evicted = MergedEntry {
                     base,
+                    // simlint: allow(hot-path-alloc) — one-word offsets list created only on entry turnover, bounded by IRMB geometry; merges reuse the existing list
                     offsets: std::mem::replace(&mut entry.offsets, vec![offset]),
                     stamp,
                     created: stamp,
@@ -205,6 +206,7 @@ impl Irmb {
         if self.entries.len() < self.config.bases {
             self.entries.push(MergedEntry {
                 base,
+                // simlint: allow(hot-path-alloc) — warmup-only: at most config.bases entries are ever created
                 offsets: vec![offset],
                 stamp,
                 created: stamp,
@@ -214,11 +216,13 @@ impl Irmb {
         // All bases busy: evict a merged entry (§6.3 first rule; LRU by
         // default, FIFO as an ablation).
         self.lru_evictions += 1;
+        // simlint: allow(hot-path-panic) — config.bases ≥ 1 is validated at construction, so the victim scan is over a non-empty table
         let victim = self.victim_index().expect("bases > 0");
         let evicted = std::mem::replace(
             &mut self.entries[victim],
             MergedEntry {
                 base,
+                // simlint: allow(hot-path-alloc) — one-word offsets list created only on LRU entry turnover, bounded by IRMB geometry
                 offsets: vec![offset],
                 stamp,
                 created: stamp,

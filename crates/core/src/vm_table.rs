@@ -129,6 +129,7 @@ impl VmDirectory {
         let line = self
             .cache
             .get_mut(vpn.0)
+            // simlint: allow(hot-path-panic) — private helper with a load-before-store call discipline; the line was faulted in by the preceding load
             .expect("store follows load: line resident");
         line.bits = bits;
         line.dirty = true;

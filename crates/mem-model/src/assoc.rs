@@ -168,6 +168,7 @@ impl<V> SetAssoc<V> {
             .enumerate()
             .min_by_key(|(_, w)| w.stamp)
             .map(|(i, _)| i)
+            // simlint: allow(hot-path-panic) — reached only when the set is full, so the LRU scan is over a non-empty way list
             .expect("set is full, hence non-empty");
         let victim = std::mem::replace(
             &mut slot[lru],

@@ -70,6 +70,7 @@ impl<W> Mshr<W> {
             self.stalls += 1;
             return MshrOutcome::Full;
         }
+        // simlint: allow(hot-path-alloc) — one-waiter list per MSHR entry allocation, bounded by MSHR capacity; merges push into the existing list
         self.entries.insert(key, vec![w]);
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::Allocated
@@ -85,6 +86,7 @@ impl<W> Mshr<W> {
             self.merges += 1;
             return MshrOutcome::Merged;
         }
+        // simlint: allow(hot-path-alloc) — forced entries ride the fault buffer; one-waiter list per entry, freed when the miss completes
         self.entries.insert(key, vec![w]);
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::Allocated

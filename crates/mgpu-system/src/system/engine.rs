@@ -385,7 +385,6 @@ impl Driver<'_> {
             });
             return;
         }
-        // simlint: allow(wall-clock) — heartbeat progress reporting only
         let wall = self.started.elapsed().as_secs_f64().max(1e-9);
         eprintln!(
             "[mgpu-sim] {:>12} events | sim cycle {:>13} | {:>11.0} events/s | {:>12.0} sim-cycles/s | faults {} | migrations {}",

@@ -443,8 +443,9 @@ impl GpuLane {
             match outcome {
                 Some(InsertOutcome::EvictedLru(entry))
                 | Some(InsertOutcome::EvictedOffsets(entry)) => {
-                    let vpns: Vec<Vpn> = entry.vpns().collect();
-                    for v in vpns {
+                    // The evicted entry is owned here, so its VPNs can be
+                    // walked without collecting into a scratch Vec.
+                    for v in entry.vpns() {
                         self.enqueue_walk(v, WalkClass::IrmbWriteback, 0)?;
                     }
                 }

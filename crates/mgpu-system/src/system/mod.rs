@@ -606,7 +606,6 @@ impl System {
     /// Returns this system's lane queues to `pool` for reuse by a later
     /// [`System::new_with_pool`].
     pub fn recycle(self, pool: &mut QueuePool) {
-        // simlint: allow(lane-race) — teardown by value after the run; the name-based call graph reaches here via unrelated `.take()`/`.recycle()` methods, but no lane handler can call a `self`-consuming System method
         for lane in self.lanes {
             let lane = match lane.into_inner() {
                 Ok(l) => l,

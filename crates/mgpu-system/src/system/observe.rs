@@ -388,8 +388,10 @@ impl GpuLane {
     pub(crate) fn warp_track(&mut self, sh: &Shared, cu: usize, warp: usize) -> Track {
         let pid = gpu_pid(self.id);
         let tid = (cu * sh.cfg.gpu.warps_per_cu + warp) as u64;
-        self.tracer
-            .set_thread_name(pid, tid, format!("cu{cu} warp{warp}"));
+        if self.tracer.is_enabled() {
+            self.tracer
+                .set_thread_name(pid, tid, format!("cu{cu} warp{warp}"));
+        }
         Track { pid, tid }
     }
 
@@ -463,8 +465,10 @@ impl HostState {
 
     /// One track per migration id.
     pub(crate) fn mig_track(&mut self, id: u64) -> Track {
-        self.tracer
-            .set_thread_name(MIG_PID, id, format!("migration {id}"));
+        if self.tracer.is_enabled() {
+            self.tracer
+                .set_thread_name(MIG_PID, id, format!("migration {id}"));
+        }
         Track {
             pid: MIG_PID,
             tid: id,
@@ -484,8 +488,10 @@ impl HostState {
             if let Some(r) = req {
                 let pid = gpu_pid(fault.gpu);
                 let tid = (r.cu * sh.cfg.gpu.warps_per_cu + r.warp) as u64;
-                self.tracer
-                    .set_thread_name(pid, tid, format!("cu{} warp{}", r.cu, r.warp));
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .set_thread_name(pid, tid, format!("cu{} warp{}", r.cu, r.warp));
+                }
                 return Track { pid, tid };
             }
         }

@@ -201,8 +201,9 @@ impl GpuLane {
             && self.irmb.as_ref().map(|i| !i.is_empty()).unwrap_or(false);
         if drain_ready {
             if let Some(entry) = self.irmb.as_mut().and_then(|i| i.pop_lru()) {
-                let vpns: Vec<Vpn> = entry.vpns().collect();
-                for vpn in vpns {
+                // `pop_lru` hands the entry over by value, so iterate its
+                // VPNs directly instead of collecting a scratch Vec.
+                for vpn in entry.vpns() {
                     if self
                         .gpu
                         .gmmu

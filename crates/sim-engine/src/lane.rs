@@ -152,6 +152,7 @@ impl<E> LaneQueue<E> {
             }
             None => {
                 let idx = u32::try_from(self.arena.len())
+                    // simlint: allow(hot-path-panic) — capacity backstop: 4G in-flight events per lane means the sim already diverged; there is no recovery to encode
                     .expect("lane arena exceeds u32::MAX in-flight events");
                 self.arena.push(Some(payload));
                 idx
@@ -166,6 +167,7 @@ impl<E> LaneQueue<E> {
         let slot = self.heap.pop()?;
         let payload = self.arena[slot.idx as usize]
             .take()
+            // simlint: allow(hot-path-panic) — heap/arena pairing invariant: a slot index lives on the heap exactly once between push and pop
             .expect("lane arena slot vacated while still on the heap");
         self.free.push(slot.idx);
         Some((slot.at, payload))

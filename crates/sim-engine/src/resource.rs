@@ -82,6 +82,7 @@ impl ThreadPool {
             .iter()
             .copied()
             .min()
+            // simlint: allow(hot-path-panic) — pools are constructed with ≥ 1 thread (validated config), so the min is always defined
             .expect("pool is non-empty")
     }
 

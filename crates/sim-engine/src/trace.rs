@@ -142,7 +142,7 @@ impl Tracer {
     }
 
     #[inline]
-    fn accepts(&self, cat: &str) -> bool {
+    fn cat_enabled(&self, cat: &str) -> bool {
         self.enabled && (self.filter.is_empty() || self.filter.iter().any(|f| f == cat))
     }
 
@@ -161,17 +161,16 @@ impl Tracer {
         end: Cycle,
         args: &[(&'static str, u64)],
     ) {
-        if !self.accepts(cat) {
-            return;
+        if self.cat_enabled(cat) {
+            self.events.push(TraceEvent::Span {
+                cat,
+                name: name.into(),
+                track,
+                start,
+                end: end.max(start),
+                args: args.to_vec(),
+            });
         }
-        self.events.push(TraceEvent::Span {
-            cat,
-            name: name.into(),
-            track,
-            start,
-            end: end.max(start),
-            args: args.to_vec(),
-        });
     }
 
     /// Records a zero-duration marker at `at` on `track`.
@@ -184,23 +183,22 @@ impl Tracer {
         at: Cycle,
         args: &[(&'static str, u64)],
     ) {
-        if !self.accepts(cat) {
-            return;
+        if self.cat_enabled(cat) {
+            self.events.push(TraceEvent::Instant {
+                cat,
+                name: name.into(),
+                track,
+                at,
+                args: args.to_vec(),
+            });
         }
-        self.events.push(TraceEvent::Instant {
-            cat,
-            name: name.into(),
-            track,
-            at,
-            args: args.to_vec(),
-        });
     }
 
     /// Records one sample of a counter-over-time series (rendered by
     /// Perfetto as a filled step chart).
     #[inline]
     pub fn counter(&mut self, name: &'static str, pid: u32, at: Cycle, value: u64) {
-        if !self.accepts("counter") {
+        if !self.cat_enabled("counter") {
             return;
         }
         self.events.push(TraceEvent::Counter {

@@ -28,6 +28,21 @@
 //!   the token level).
 //! - `x.g(...)` resolves to every *method* named `g`; bare `g(...)` prefers
 //!   free functions and falls back to every `g`.
+//! - **Arity filtering**: every candidate set is further filtered by
+//!   argument count. A definition records its parameter count (excluding
+//!   `self`); a call site counts its top-level arguments. A method call
+//!   `x.g(a)` keeps only methods with one non-self parameter; `T::g(a, b)`
+//!   keeps associated functions with two parameters *or* methods with one
+//!   (the UFCS spelling passes the receiver explicitly). Whenever either
+//!   side's count is unknown — a closure literal, a turbofish, or struct
+//!   sugar inside the argument list makes comma counting unreliable — the
+//!   filter is skipped entirely, so an uncertain count can never drop a
+//!   real edge. This is what keeps an `Option::take()` / `q.recycle()`
+//!   call from reaching `QueuePool::take(hint)` / `System::recycle(pool)`.
+//! - `T::g(...)` with a well-known std qualifier (`Vec::new()`,
+//!   `String::from(..)` — see [`STD_QUALIFIERS`]) that is not a workspace
+//!   `impl` type resolves to nothing: the callee lives in std, and edging
+//!   into every same-named workspace fn would only manufacture noise.
 //!
 //! Known holes, accepted and documented (DESIGN.md §10): calls through
 //! function pointers / closures passed as values (`map(Self::g)` without
@@ -39,6 +54,17 @@
 use crate::lexer::{Tok, TokKind};
 use crate::{matching_close, FileAnalysis};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Qualifier identifiers that name well-known std types. A `T::g(...)` call
+/// whose `T` is on this list and is *not* a workspace `impl` type resolves
+/// to no workspace function: `Vec::new()` must not edge into every 0-arg
+/// `new` in the tree. A workspace type shadowing one of these names still
+/// resolves first through the typed lookup, so no real edge is lost.
+const STD_QUALIFIERS: &[&str] = &[
+    "Arc", "Box", "BTreeMap", "BTreeSet", "Cell", "Duration", "HashMap", "HashSet", "Instant",
+    "Option", "Path", "PathBuf", "Rc", "RefCell", "Result", "String", "SystemTime", "Vec",
+    "VecDeque",
+];
 
 /// Keywords that read like calls at the token level (`while (..)`,
 /// `return (..)`, …) and must not produce edges.
@@ -68,6 +94,11 @@ pub struct FnDef {
     /// from the name token through the body's closing brace. `None` for
     /// bodyless declarations (trait signatures, extern blocks).
     pub span: Option<(usize, usize)>,
+    /// Parameter count excluding any `self` receiver; `None` when the
+    /// parameter list could not be counted reliably.
+    pub arity: Option<usize>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
 }
 
 impl FnDef {
@@ -153,6 +184,7 @@ impl SymbolGraph {
                         .min_by_key(|&&(_, open, close)| close - open)
                         .map(|(ty, _, _)| ty.clone());
                     let span = fn_span(toks, i + 1);
+                    let (arity, has_self) = fn_params(toks, i + 1);
                     self.fns.push(FnDef {
                         name: name_tok.text.clone(),
                         impl_type,
@@ -162,6 +194,8 @@ impl SymbolGraph {
                         col: name_tok.col,
                         len: name_tok.len,
                         span,
+                        arity,
+                        has_self,
                     });
                 }
             } else if t.kind == TokKind::Ident
@@ -199,6 +233,7 @@ impl SymbolGraph {
                 continue;
             }
             let name = t.text.as_str();
+            let argc = call_argc(toks, i + 1);
             let prev = i.checked_sub(1).map(|p| &toks[p]);
             let candidates: Vec<usize> = match prev {
                 Some(p) if p.kind == TokKind::Punct && p.text == "." => {
@@ -210,7 +245,7 @@ impl SymbolGraph {
                                 .map(|p| &toks[p])
                                 .is_none_or(|b| b.text != ".")
                     });
-                    if is_self_recv {
+                    let set = if is_self_recv {
                         // `self.name(`: the enclosing type's method wins.
                         enclosing
                             .and_then(|ty| self.by_type.get(&(ty.to_string(), name.to_string())))
@@ -219,7 +254,9 @@ impl SymbolGraph {
                     } else {
                         // `x.name(`: any method with that name.
                         self.methods_named(name)
-                    }
+                    };
+                    // The receiver is implicit: `x.g(a)` matches `g(&self, a)`.
+                    self.arity_filter(set, argc, CallShape::Method)
                 }
                 Some(p) if p.kind == TokKind::Punct && p.text == "::" => {
                     // `T::name(`: T's methods when T is a known impl type.
@@ -227,10 +264,18 @@ impl SymbolGraph {
                     let typed = qual
                         .filter(|q| q.kind == TokKind::Ident)
                         .and_then(|q| self.by_type.get(&(q.text.clone(), name.to_string())));
-                    match typed {
+                    let set = match typed {
                         Some(v) => v.clone(),
+                        None
+                            if qual.is_some_and(|q| {
+                                q.kind == TokKind::Ident && STD_QUALIFIERS.contains(&q.text.as_str())
+                            }) =>
+                        {
+                            Vec::new()
+                        }
                         None => self.named(name),
-                    }
+                    };
+                    self.arity_filter(set, argc, CallShape::Qualified)
                 }
                 _ => {
                     // Bare `name(`: free functions first, any `name` else.
@@ -239,17 +284,47 @@ impl SymbolGraph {
                         .into_iter()
                         .filter(|&j| self.fns[j].impl_type.is_none())
                         .collect();
-                    if free.is_empty() {
+                    let set = if free.is_empty() {
                         self.named(name)
                     } else {
                         free
-                    }
+                    };
+                    self.arity_filter(set, argc, CallShape::Bare)
                 }
             };
             out.extend(candidates);
         }
         out.remove(&f);
         out.into_iter().collect()
+    }
+
+    /// Drops candidates whose parameter count cannot match the call site's
+    /// argument count. Skipped wholesale when the site's count is unknown;
+    /// a candidate with an unparseable parameter list always survives.
+    fn arity_filter(&self, set: Vec<usize>, argc: Option<usize>, shape: CallShape) -> Vec<usize> {
+        let Some(argc) = argc else {
+            return set;
+        };
+        set.into_iter()
+            .filter(|&j| {
+                let f = &self.fns[j];
+                let Some(arity) = f.arity else {
+                    return true;
+                };
+                match shape {
+                    // `x.g(a)`: the receiver rides outside the parens.
+                    CallShape::Method => f.has_self && arity == argc,
+                    // `T::g(a, b)`: associated call, or UFCS with the
+                    // receiver as the first explicit argument.
+                    CallShape::Qualified => {
+                        (!f.has_self && arity == argc) || (f.has_self && arity + 1 == argc)
+                    }
+                    // Bare `g(a)`: free fn of that arity; method candidates
+                    // (the any-`g` fallback) keep both interpretations.
+                    CallShape::Bare => arity == argc || (f.has_self && arity + 1 == argc),
+                }
+            })
+            .collect()
     }
 
     fn named(&self, name: &str) -> Vec<usize> {
@@ -288,7 +363,12 @@ impl SymbolGraph {
         }
         while let Some(f) = queue.pop() {
             for &c in &self.calls[f] {
-                if from.insert(c, f).is_none() {
+                // First visit wins: a plain `insert` would overwrite an
+                // already-recorded parent (even a root's self-edge) when a
+                // call cycle closes back, corrupting the witness forest into
+                // a parent-pointer cycle that `root_of` can never escape.
+                if let std::collections::btree_map::Entry::Vacant(e) = from.entry(c) {
+                    e.insert(f);
                     queue.push(c);
                 }
             }
@@ -314,6 +394,123 @@ impl SymbolGraph {
             .map(|&(_, open, close)| (open, close))
             .collect()
     }
+}
+
+/// How a call site spells its callee, for arity matching.
+#[derive(Debug, Clone, Copy)]
+enum CallShape {
+    /// `x.g(...)` / `self.g(...)` — receiver outside the parens.
+    Method,
+    /// `T::g(...)` — associated or UFCS.
+    Qualified,
+    /// `g(...)` — free-function position.
+    Bare,
+}
+
+/// Counts the top-level arguments of a call whose `(` sits at `open`.
+/// Returns `None` when `open` is not a `(`, the group is unbalanced, or the
+/// argument list contains tokens that make comma counting unreliable at the
+/// token level: a closure literal (`|a, b| …` puts its commas at top
+/// level) or a bare `<` (turbofish or comparison — either way the angle
+/// group's commas are invisible to the depth count). Unknown means "skip
+/// the arity filter", never "drop the edge".
+fn call_argc(toks: &[Tok], open: usize) -> Option<usize> {
+    if toks.get(open).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let close = matching_close(toks, open)?;
+    if close == open + 1 {
+        return Some(0);
+    }
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut last_was_comma = true; // detects a trailing comma
+    for t in &toks[open + 1..close] {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.checked_sub(1)?,
+                "," if depth == 0 => {
+                    commas += 1;
+                    last_was_comma = true;
+                    continue;
+                }
+                "|" | "<" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        last_was_comma = false;
+    }
+    Some(commas + usize::from(!last_was_comma))
+}
+
+/// Parses the parameter list of the fn whose name token sits at `name`:
+/// `(parameter count excluding self, has a self receiver)`. Angle-bracket
+/// groups inside parameter *types* are skipped wholesale so `Map<K, V>`
+/// cannot inflate the count. Returns `(None, _)` when the list cannot be
+/// counted (malformed signature).
+fn fn_params(toks: &[Tok], name: usize) -> (Option<usize>, bool) {
+    // Skip the generic parameter list to the `(`.
+    let mut j = name + 1;
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        j = skip_angles(toks, j);
+    }
+    if toks.get(j).map(|t| t.text.as_str()) != Some("(") {
+        return (None, false);
+    }
+    let Some(close) = matching_close(toks, j) else {
+        return (None, false);
+    };
+    // A `self` receiver is the first parameter: `self`, `mut self`,
+    // `&self`, `&mut self`, `&'a mut self` — i.e. the first identifier
+    // after any `&`/lifetime/`mut` prefix is `self`.
+    let mut k = j + 1;
+    while toks.get(k).is_some_and(|t| {
+        t.kind == TokKind::Lifetime || (t.kind == TokKind::Punct && t.text == "&") || t.text == "mut"
+    }) {
+        k += 1;
+    }
+    let has_self = toks.get(k).is_some_and(|t| t.text == "self") && k < close;
+    // Count top-level parameter segments between the parens.
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut saw_token = false;
+    let mut last_was_comma = true;
+    let mut i = j + 1;
+    while i < close {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" if depth == 0 => {
+                    // Generic group in a parameter type.
+                    i = skip_angles(toks, i);
+                    last_was_comma = false;
+                    saw_token = true;
+                    continue;
+                }
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => match depth.checked_sub(1) {
+                    Some(d) => depth = d,
+                    None => return (None, has_self),
+                },
+                "," if depth == 0 => {
+                    commas += 1;
+                    last_was_comma = true;
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+        last_was_comma = false;
+        i += 1;
+    }
+    if !saw_token {
+        return (Some(0), false);
+    }
+    let total = commas + usize::from(!last_was_comma);
+    (Some(total - usize::from(has_self)), has_self)
 }
 
 /// Finds every `impl` block: `(self type name, body open, body close)`.
@@ -561,6 +758,111 @@ mod tests {
         // `if (`/`while (` are not calls; `f(` matches no workspace fn.
         assert!(g.calls[idx(&g, "real")].is_empty());
         assert!(g.calls[idx(&g, "arrow_bound")].is_empty());
+    }
+
+    #[test]
+    fn witness_forest_survives_call_cycles() {
+        // A cycle closing back onto the root must not overwrite the root's
+        // self-parent in the witness map — `root_of` would chase the
+        // resulting parent loop forever. (Regression: `reachable_from` used
+        // a plain `insert`, which replaces on revisit.)
+        let src = "impl GpuLane { fn on_x(&mut self) { step(1) } }\n\
+                   fn step(n: u64) { again(n) }\n\
+                   fn again(n: u64) { step(n) }\n";
+        let (g, _) = graph_of(src);
+        let on_x = idx(&g, "GpuLane::on_x");
+        let reach = g.reachable_from(&[on_x]);
+        assert_eq!(reach[&on_x], on_x, "root keeps its self-parent");
+        for &f in reach.keys() {
+            assert_eq!(g.root_of(&reach, f), on_x);
+        }
+    }
+
+    #[test]
+    fn arity_severs_recycle_style_collisions() {
+        // The PR 8 false positive in miniature: a handler calls a 0-arg
+        // `.recycle()`, and an unrelated type has a 1-arg `recycle`. Name
+        // resolution alone connects them; arity filtering must not.
+        let src = "impl GpuLane { fn on_x(&mut self, q: &mut LaneQueue) { q.recycle(); } }\n\
+                   impl LaneQueue { fn recycle(&mut self) {} }\n\
+                   impl System { fn recycle(&mut self, pool: QueuePool) { teardown(pool) } }\n\
+                   fn teardown(pool: QueuePool) { drop(pool); }\n";
+        let (g, _) = graph_of(src);
+        let on_x = idx(&g, "GpuLane::on_x");
+        let callees: Vec<String> = g.calls[on_x].iter().map(|&i| g.fns[i].qualified()).collect();
+        assert!(callees.contains(&"LaneQueue::recycle".to_string()), "{callees:?}");
+        assert!(!callees.contains(&"System::recycle".to_string()), "{callees:?}");
+    }
+
+    #[test]
+    fn matching_arity_still_resolves_methods() {
+        let src = "impl System { fn run(&mut self, pool: QueuePool) { self.recycle(pool); } \n\
+                   \x20   fn recycle(&mut self, pool: QueuePool) { drop(pool) } }\n";
+        let (g, _) = graph_of(src);
+        let run = idx(&g, "System::run");
+        assert_eq!(g.calls[run], vec![idx(&g, "System::recycle")]);
+    }
+
+    #[test]
+    fn qualified_calls_accept_ufcs_receiver() {
+        // `T::g(recv, a)` may be UFCS on a `&self` method taking one arg.
+        let src = "fn driver(s: &Lane) { Lane::push(s, 1); Lane::clear(s); }\n\
+                   impl Lane { fn push(&self, v: u64) { drop(v) } fn clear(&self) {} \n\
+                   \x20   fn push3(&self, a: u64, b: u64, c: u64) { drop((a, b, c)) } }\n";
+        let (g, _) = graph_of(src);
+        let driver = idx(&g, "driver");
+        let callees: Vec<String> =
+            g.calls[driver].iter().map(|&i| g.fns[i].qualified()).collect();
+        assert!(callees.contains(&"Lane::push".to_string()), "{callees:?}");
+        assert!(callees.contains(&"Lane::clear".to_string()), "{callees:?}");
+        assert!(!callees.contains(&"Lane::push3".to_string()), "{callees:?}");
+    }
+
+    #[test]
+    fn unknown_arity_sites_keep_every_candidate() {
+        // Closures and comparisons at the top level of the argument list
+        // make comma counting unreliable; the filter must stand down.
+        let src = "fn caller(xs: &[u64], a: u64, b: u64) { apply(|x, y| x + y); gate(a < b); }\n\
+                   fn apply(f: F) { drop(f) }\n\
+                   fn gate(cond: bool, label: &str) { drop((cond, label)) }\n";
+        let (g, _) = graph_of(src);
+        let caller = idx(&g, "caller");
+        let callees: Vec<String> =
+            g.calls[caller].iter().map(|&i| g.fns[i].qualified()).collect();
+        // `apply(|x, y| …)` has 2 top-level commas' worth of noise but still
+        // resolves; `gate(a < b)` passes 1 arg to a 2-arg fn yet survives
+        // because `<` poisons the count.
+        assert!(callees.contains(&"apply".to_string()), "{callees:?}");
+        assert!(callees.contains(&"gate".to_string()), "{callees:?}");
+    }
+
+    #[test]
+    fn generic_parameter_types_count_as_one_param() {
+        let src = "fn caller(m: DetHashMap<u64, u64>) { sink(m); sink2(m, 0); }\n\
+                   fn sink(m: DetHashMap<u64, u64>) { drop(m) }\n\
+                   fn sink2(m: DetHashMap<u64, Vec<(u64, u64)>>, k: u64) { drop((m, k)) }\n";
+        let (g, _) = graph_of(src);
+        let caller = idx(&g, "caller");
+        let callees: Vec<String> =
+            g.calls[caller].iter().map(|&i| g.fns[i].qualified()).collect();
+        assert!(callees.contains(&"sink".to_string()), "{callees:?}");
+        assert!(callees.contains(&"sink2".to_string()), "{callees:?}");
+    }
+
+    #[test]
+    fn trailing_commas_and_nested_calls_count_cleanly() {
+        let src = "fn caller() { two(one(), one(),); zero(); }\n\
+                   fn one() -> u64 { 1 }\n\
+                   fn two(a: u64, b: u64) { drop((a, b)) }\n\
+                   fn zero() {}\n\
+                   fn zero_not(a: u64) { drop(a) }\n";
+        let (g, _) = graph_of(src);
+        let caller = idx(&g, "caller");
+        let callees: Vec<String> =
+            g.calls[caller].iter().map(|&i| g.fns[i].qualified()).collect();
+        assert!(callees.contains(&"two".to_string()), "{callees:?}");
+        assert!(callees.contains(&"zero".to_string()), "{callees:?}");
+        assert!(!callees.contains(&"zero_not".to_string()), "{callees:?}");
     }
 
     #[test]

@@ -19,18 +19,24 @@
 //! | `unordered-iter` | error | `.iter()`/`.keys()`/`.values()`/`.drain()` over a known hash map in a model crate; visit order must never reach event scheduling or exports |
 //! | `canon-coverage` | error | a struct/enum covered by `canon.rs` has a member the canonical encoding does not mention, or its shape changed without a canon version bump (see [`CANON_COVERED`]) |
 //! | `lossy-cast` | error | an `as` cast that can truncate in a model crate: any cast to `u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`f32`, or a float expression cast to an integer |
-//! | `hot-path-panic` | error | `unwrap`/`expect`/`panic!`-family calls, or slice indexing with an arithmetic index, inside event-handler modules reachable from the sim loop (see [`HOT_PATHS`]) |
+//! | `hot-path-panic` | error | `unwrap`/`expect`/`panic!`-family calls, or slice indexing with an arithmetic index, inside event-handler modules reachable from the sim loop (see [`HOT_PATHS`]) — plus, via the [`effects`] summaries, any panic effect *reachable through calls* from a GPU-lane handler or event dispatch arm |
+//! | `hot-path-alloc` | error | an allocation effect (`Box`/`Vec`/`String` constructors, `vec!`/`format!`, `.collect()`/`.to_string()`/`.clone()`) reachable from a GPU-lane handler or an `Ev` dispatch arm; the per-event path must stay allocation-free |
+//! | `io-in-sim-loop` | error | a file/socket/stdio or wall-clock effect reachable from a GPU-lane handler or an `Ev` dispatch arm; sites behind an `is_enabled()`-style observability gate are exempt |
 //! | `cross-domain-mutation` | error | `lanes`, `lock_lane`, `read_host` or `write_host` inside an `impl GpuLane` body; a lane handler owns only its own lane — cross-domain effects must ride the outbox mailbox drained at barrier epochs |
 //! | `lane-race` | error | a function transitively reachable from a GPU-lane handler (via the [`graph`] call graph) touches cross-domain state, a model-crate `static`, or an interior-mutability cell; `cross-domain-mutation` is its intra-`impl` fast path |
 //! | `shared-mutability` | error | `static mut`, lazy-global machinery, or an interior-mutability cell (`RefCell`/`Cell`/`Mutex`/atomics) in a model crate outside the sanctioned sync layer (see [`SYNC_SANCTIONED`]) |
 //! | `dead-event` | error | an audited event-enum variant (see [`EVENT_ENUMS`]) constructed but never matched by a dispatch arm, or dispatched but never constructed — schema drift, like canon-coverage for events |
+//! | `stale-allow` | warning | an inline `allow(...)` escape that no longer suppresses any finding (reported under `--check-allows`; error under `--strict`) |
 //! | `bare-allow` | warning | a `simlint: allow(...)` escape without a reason, or naming an unknown rule |
 //!
-//! The first ten rules are per-file token passes. The last three (after
-//! `cross-domain-mutation`) are *workspace* passes: [`graph`] builds a symbol
-//! index and conservative call graph over the model crates' token streams
-//! (each file is lexed exactly once and shared by every rule), then the rule
-//! families in `rules_graph` run reachability from the GPU-phase roots.
+//! The first ten rules are per-file token passes. The graph-tier families
+//! (`hot-path-alloc`, `io-in-sim-loop`, `lane-race`, `shared-mutability`,
+//! `dead-event`, and `hot-path-panic`'s interprocedural half) are *workspace*
+//! passes: [`graph`] builds a symbol index and conservative call graph over
+//! the model crates' token streams (each file is lexed exactly once and
+//! shared by every rule), [`effects`] computes per-function effect summaries
+//! over it, then the rule families in `rules_graph` run reachability from
+//! the GPU-phase and dispatch roots.
 //!
 //! # Escape hatch
 //!
@@ -55,6 +61,7 @@
 //! `simlint` itself are exempt. Everything after a `#[cfg(test)]` attribute
 //! is skipped: tests may use whatever they like.
 
+pub mod effects;
 pub mod graph;
 pub mod lexer;
 
@@ -134,8 +141,15 @@ pub enum Rule {
     CanonCoverage,
     /// Truncating `as` cast in a model crate.
     LossyCast,
-    /// Panic path inside a sim-loop event-handler module.
+    /// Panic path inside a sim-loop event-handler module, or reachable from
+    /// one through the call graph.
     HotPathPanic,
+    /// Allocation effect reachable from a GPU-lane handler or an event
+    /// dispatch arm.
+    HotPathAlloc,
+    /// IO or wall-clock effect reachable from a GPU-lane handler or an
+    /// event dispatch arm.
+    IoInSimLoop,
     /// Lane handler touching another domain's state outside the mailbox.
     CrossDomainMutation,
     /// Function reachable from a GPU-lane handler touching shared state.
@@ -144,13 +158,15 @@ pub enum Rule {
     SharedMutability,
     /// Event variant constructed-never-dispatched or vice versa.
     DeadEvent,
+    /// Inline allow escape that no longer suppresses any finding.
+    StaleAllow,
     /// Malformed or reason-less `allow` escape.
     BareAllow,
 }
 
 impl Rule {
     /// Every rule, in diagnostic-id order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 16] = [
         Rule::AmbientRng,
         Rule::BareAllow,
         Rule::CanonCoverage,
@@ -158,10 +174,13 @@ impl Rule {
         Rule::DeadEvent,
         Rule::DefaultHasherMap,
         Rule::FloatOrdKey,
+        Rule::HotPathAlloc,
         Rule::HotPathPanic,
+        Rule::IoInSimLoop,
         Rule::LaneRace,
         Rule::LossyCast,
         Rule::SharedMutability,
+        Rule::StaleAllow,
         Rule::UnorderedIter,
         Rule::WallClock,
     ];
@@ -178,10 +197,13 @@ impl Rule {
             Rule::CanonCoverage => "canon-coverage",
             Rule::LossyCast => "lossy-cast",
             Rule::HotPathPanic => "hot-path-panic",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::IoInSimLoop => "io-in-sim-loop",
             Rule::CrossDomainMutation => "cross-domain-mutation",
             Rule::LaneRace => "lane-race",
             Rule::SharedMutability => "shared-mutability",
             Rule::DeadEvent => "dead-event",
+            Rule::StaleAllow => "stale-allow",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -196,7 +218,9 @@ impl Rule {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Rule::BareAllow => Severity::Warning,
+            // `stale-allow` is promoted to error under `--strict`, like
+            // stale baseline entries.
+            Rule::BareAllow | Rule::StaleAllow => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -221,7 +245,13 @@ impl Rule {
                 "no truncating `as` casts (narrow integer targets, float→int) in model crates"
             }
             Rule::HotPathPanic => {
-                "no unwrap/expect/panic!/arithmetic indexing in sim-loop event handlers; use typed SimErrors"
+                "no unwrap/expect/panic!/arithmetic indexing in sim-loop event handlers or reachable from them; use typed SimErrors"
+            }
+            Rule::HotPathAlloc => {
+                "no allocation (Box/Vec/String/format!/collect/clone) reachable from GPU-lane handlers or event dispatch; the per-event path stays allocation-free"
+            }
+            Rule::IoInSimLoop => {
+                "no file/socket/stdio IO or wall-clock reads reachable from GPU-lane handlers or event dispatch"
             }
             Rule::CrossDomainMutation => {
                 "no lanes/lock_lane/read_host/write_host inside impl GpuLane; cross-domain effects ride the outbox mailbox"
@@ -234,6 +264,9 @@ impl Rule {
             }
             Rule::DeadEvent => {
                 "every audited event-enum variant is both constructed and matched by a dispatch arm somewhere"
+            }
+            Rule::StaleAllow => {
+                "inline allow escapes must still suppress at least one finding; prune them as rules sharpen"
             }
             Rule::BareAllow => "simlint allow escapes must name known rules and carry a reason",
         }
@@ -327,6 +360,11 @@ pub struct FileAnalysis {
     pub toks: Vec<Tok>,
     /// Parsed allow escapes: `(line, col, spec)`.
     allows: Vec<(usize, usize, AllowSpec)>,
+    /// Indices into `allows` that suppressed at least one finding this run.
+    /// [`FileAnalysis::allowed`] is the single suppression choke point, so
+    /// marking there is exhaustive; interior mutability because every rule
+    /// pass holds `&FileAnalysis`.
+    used_allows: std::cell::RefCell<BTreeSet<usize>>,
     /// Lines that carry at least one code token.
     code_lines: BTreeSet<usize>,
 }
@@ -384,17 +422,59 @@ impl FileAnalysis {
             path,
             toks,
             allows,
+            used_allows: std::cell::RefCell::new(BTreeSet::new()),
             code_lines,
         }
     }
 
     /// Whether a finding of `rule` on `line` is waived by an allow escape on
-    /// the same line or on a directly preceding comment-only line.
+    /// the same line or on a directly preceding comment-only line. Matching
+    /// escapes are recorded as *used* — `--check-allows` reports the ones
+    /// that never suppress anything.
     #[must_use]
     pub fn allowed(&self, rule: Rule, line: usize) -> bool {
-        self.allows.iter().any(|(l, _, spec)| {
-            spec.covers(rule) && (*l == line || (*l + 1 == line && !self.code_lines.contains(l)))
-        })
+        let mut hit = false;
+        for (i, (l, _, spec)) in self.allows.iter().enumerate() {
+            if spec.covers(rule) && (*l == line || (*l + 1 == line && !self.code_lines.contains(l)))
+            {
+                self.used_allows.borrow_mut().insert(i);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Reports inline escapes that suppressed nothing this run (`stale-allow`).
+    /// Only well-formed escapes naming at least one known rule qualify —
+    /// malformed or unknown-rule escapes are `bare-allow`'s business. Must
+    /// run after every rule pass has consulted [`FileAnalysis::allowed`].
+    fn stale_allow_diags(&self, out: &mut Vec<Diagnostic>) {
+        let used = self.used_allows.borrow();
+        for (i, (line, col, spec)) in self.allows.iter().enumerate() {
+            if used.contains(&i) || spec.malformed {
+                continue;
+            }
+            let known: Vec<&str> = spec
+                .rules
+                .iter()
+                .filter(|r| Rule::from_id(r).is_some())
+                .map(String::as_str)
+                .collect();
+            if known.is_empty() {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: Rule::StaleAllow,
+                path: self.path.clone(),
+                line: *line,
+                col: *col,
+                len: "simlint:".len(),
+                message: format!(
+                    "allow({}) no longer suppresses any finding; remove the escape",
+                    known.join(", ")
+                ),
+            });
+        }
     }
 
     /// Reports malformed / unknown-rule / reason-less escapes.
@@ -469,10 +549,10 @@ const FLOAT_METHODS: &[&str] = &[
 ];
 
 /// Panic-family method names (`.unwrap()` / `.expect(...)`).
-const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+pub(crate) const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
 /// Panic-family macro names (`panic!(...)` etc.).
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Identifiers that reach another domain's state: the lane array itself and
 /// the cross-domain lock helpers. Legal in host/driver/barrier code (which
@@ -482,7 +562,7 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 const LANE_CROSSING_IDENTS: &[&str] = &["lanes", "lock_lane", "read_host", "write_host"];
 
 /// Whether `path` lies in a sim-loop event-handler module.
-fn is_hot_path(path: &str) -> bool {
+pub(crate) fn is_hot_path(path: &str) -> bool {
     HOT_PATHS.iter().any(|p| path.starts_with(p))
 }
 
@@ -942,6 +1022,10 @@ impl Baseline {
 pub struct ScanReport {
     /// All findings, sorted by `(path, line, col, rule)`.
     pub diagnostics: Vec<Diagnostic>,
+    /// `stale-allow` findings — inline escapes that suppressed nothing this
+    /// run, sorted like `diagnostics`. Kept separate so the default mode
+    /// stays byte-identical; `--check-allows` merges them in.
+    pub stale_allows: Vec<Diagnostic>,
     /// Source files scanned.
     pub files_scanned: usize,
     /// Crates scanned.
@@ -1049,11 +1133,12 @@ pub fn lint_workspace_with(root: &Path, canon_snapshot: Option<&Path>) -> io::Re
 
     // Workspace graph pass over the model crates: one symbol index + call
     // graph built from the already-lexed token streams (no file is re-read
-    // or re-lexed), then the lane-race / shared-mutability / dead-event
-    // families.
+    // or re-lexed), one effect-inference fixpoint over it, then the
+    // hot-path / lane-race / shared-mutability / dead-event families.
     let model_files: Vec<&FileAnalysis> = model_idx.iter().map(|&i| &all_files[i]).collect();
     let symbols = graph::SymbolGraph::build(&model_files);
-    rules_graph::check(&symbols, &model_files, &mut diagnostics);
+    let fx = effects::infer(&symbols, &model_files);
+    rules_graph::check(&symbols, &fx, &model_files, &mut diagnostics);
 
     let snapshot_path = canon_snapshot
         .map(Path::to_path_buf)
@@ -1069,8 +1154,20 @@ pub fn lint_workspace_with(root: &Path, canon_snapshot: Option<&Path>) -> io::Re
     diagnostics.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
+
+    // Stale-allow detection must run last: only after every rule family has
+    // consulted `allowed()` do the usage marks cover the whole run.
+    let mut stale_allows = Vec::new();
+    for fa in &all_files {
+        fa.stale_allow_diags(&mut stale_allows);
+    }
+    stale_allows.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
     Ok(ScanReport {
         diagnostics,
+        stale_allows,
         files_scanned,
         crates_scanned,
     })
@@ -1082,6 +1179,25 @@ pub fn lint_workspace_with(root: &Path, canon_snapshot: Option<&Path>) -> io::Re
 /// See [`lint_workspace_with`].
 pub fn lint_workspace(root: &Path) -> io::Result<ScanReport> {
     lint_workspace_with(root, None)
+}
+
+/// Builds the byte-stable `--effects` dump for the workspace at `root`:
+/// every model-crate function's direct and summary effect sets as JSON.
+///
+/// # Errors
+/// Propagates I/O failures reading the workspace tree.
+pub fn render_effects_for(root: &Path) -> io::Result<String> {
+    let sources = workspace_sources(root)?;
+    let mut model_files: Vec<FileAnalysis> = Vec::new();
+    for (name, files) in &sources {
+        if MODEL_CRATES.contains(&name.as_str()) {
+            model_files.extend(files.iter().map(|(p, s)| FileAnalysis::new(p.clone(), s)));
+        }
+    }
+    let refs: Vec<&FileAnalysis> = model_files.iter().collect();
+    let symbols = graph::SymbolGraph::build(&refs);
+    let fx = effects::infer(&symbols, &refs);
+    Ok(effects::render_effects_json(&symbols, &fx))
 }
 
 /// Builds the canon shape snapshot text for the workspace at `root`

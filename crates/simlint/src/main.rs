@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p simlint -- --check              # lint the workspace (CI entrypoint)
 //! cargo run -p simlint -- --check --strict     # …and fail on stale baseline entries
+//! cargo run -p simlint -- --check-allows       # …and report inline allows that suppress nothing
+//! cargo run -p simlint -- --effects            # dump per-function effect summaries as JSON
 //! cargo run -p simlint -- --format json        # machine-readable diagnostics
 //! cargo run -p simlint -- --format sarif       # SARIF 2.1.0 for CI code-scanning upload
 //! cargo run -p simlint -- --list-rules         # print the rule registry
@@ -16,14 +18,20 @@
 //! sorted byte-stably by `(rule, path)`.
 //!
 //! Exit codes: `0` clean, `1` findings outside the baseline (or, under
-//! `--strict`, stale baseline entries), `2` usage or I/O error.
+//! `--strict`, stale baseline entries and stale inline allows), `2` usage
+//! or I/O error.
+//!
+//! `--check-allows` surfaces inline `simlint: allow(...)` escapes that no
+//! longer suppress any finding — a warning by default, an error under
+//! `--strict` — so escapes get pruned as rules sharpen instead of rotting.
 
 use std::path::PathBuf;
 
 use simlint::{Baseline, Diagnostic, Rule, ScanReport, Severity};
 
 const USAGE: &str =
-    "usage: simlint [--check] [--strict] [--format text|json|sarif] [--list-rules] \
+    "usage: simlint [--check] [--strict] [--check-allows] [--effects] \
+                     [--format text|json|sarif] [--list-rules] \
                      [--write-baseline] [--write-canon] [--root <dir>] [--baseline <file>] \
                      [--canon <file>]";
 
@@ -47,12 +55,16 @@ fn run() -> i32 {
     let mut write_canon = false;
     let mut list_rules = false;
     let mut strict = false;
+    let mut check_allows = false;
+    let mut effects = false;
     let mut format = OutFormat::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
             "--strict" => strict = true,
+            "--check-allows" => check_allows = true,
+            "--effects" => effects = true,
             "--list-rules" => list_rules = true,
             "--write-baseline" => write_baseline = true,
             "--write-canon" => write_canon = true,
@@ -107,6 +119,19 @@ fn run() -> i32 {
     };
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("simlint.baseline"));
     let canon_path = canon_path.unwrap_or_else(|| root.join("simlint.canon"));
+
+    if effects {
+        match simlint::render_effects_for(&root) {
+            Ok(t) => {
+                print!("{t}");
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("simlint: cannot infer effects: {e}");
+                return 2;
+            }
+        }
+    }
 
     if write_canon {
         let text = match simlint::render_canon_snapshot_for(&root) {
@@ -200,6 +225,18 @@ fn run() -> i32 {
     } else {
         warnings += stale.len();
     }
+    if check_allows {
+        // Stale allows group after the sorted findings, like stale baseline
+        // entries: they are meta-findings about the escape hatch, not code.
+        for d in &report.stale_allows {
+            shown.push(d);
+            if strict {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+        }
+    }
 
     match format {
         OutFormat::Json => print!(
@@ -209,7 +246,13 @@ fn run() -> i32 {
         OutFormat::Sarif => print!("{}", render_sarif(&shown, &stale, strict)),
         OutFormat::Text => {
             for d in &shown {
-                println!("{d}");
+                if d.rule == Rule::StaleAllow && strict {
+                    // The registry severity is warning; `--strict` promotes
+                    // it, so the printed tag must match the exit code.
+                    println!("{}:{}: error[stale-allow]: {}", d.path, d.line, d.message);
+                } else {
+                    println!("{d}");
+                }
             }
             for (rule, path) in &stale {
                 let sev = if strict { "error" } else { "warning" };
@@ -261,13 +304,21 @@ fn render_sarif(shown: &[&Diagnostic], stale: &[(Rule, String)], strict: bool) -
             .unwrap_or_default();
         out.push_str(if first { "\n" } else { ",\n" });
         first = false;
+        // `stale-allow` is strict-promoted the same way the synthetic
+        // `stale-baseline` rule is: warning by default, error when the run
+        // is expected to be escape-free.
+        let level = if d.rule == Rule::StaleAllow && strict {
+            "error"
+        } else {
+            sarif_level(d.rule.severity())
+        };
         out.push_str(&format!(
             "        {{\"ruleId\": \"{}\", \"ruleIndex\": {rule_index}, \"level\": \"{}\", \
              \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
              \"startColumn\": {}, \"endColumn\": {}}}}}}}]}}",
             d.rule.id(),
-            sarif_level(d.rule.severity()),
+            level,
             json_escape(&d.message),
             json_escape(&d.path),
             d.line,

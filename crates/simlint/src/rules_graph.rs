@@ -1,13 +1,17 @@
-//! The call-graph rule families: `lane-race`, `shared-mutability` and
-//! `dead-event`.
+//! The call-graph rule families: `hot-path-alloc`, `io-in-sim-loop`, the
+//! interprocedural half of `hot-path-panic`, `lane-race`,
+//! `shared-mutability` and `dead-event`.
 //!
-//! All three run over the [`SymbolGraph`](crate::graph::SymbolGraph) built
-//! from the model crates' already-lexed token streams — no file is re-read
-//! or re-lexed here. See DESIGN.md §10 for the conservatism contract.
+//! All of them run over the [`SymbolGraph`](crate::graph::SymbolGraph)
+//! built from the model crates' already-lexed token streams — no file is
+//! re-read or re-lexed here — and the effect-site rules consume the
+//! [`effects`](crate::effects) fixpoint summaries computed over that graph.
+//! See DESIGN.md §10 for the conservatism contract.
 
+use crate::effects::{EffectSet, Effects, SiteKind};
 use crate::graph::SymbolGraph;
 use crate::lexer::{Tok, TokKind};
-use crate::{matching_close, Diagnostic, FileAnalysis, Rule, LANE_CROSSING_IDENTS};
+use crate::{is_hot_path, matching_close, Diagnostic, FileAnalysis, Rule, LANE_CROSSING_IDENTS};
 use std::collections::BTreeMap;
 
 /// Interior-mutability and synchronization cell types. Introducing any of
@@ -42,7 +46,7 @@ pub const LAZY_GLOBAL_IDENTS: &[&str] = &["lazy_static", "once_cell"];
 /// Methods that open an interior-mutability cell. `.load`/`.store` are
 /// deliberately absent — too many innocent methods share those names; the
 /// atomic *types* above catch the declarations instead.
-const CELL_OPEN_METHODS: &[&str] = &[
+pub(crate) const CELL_OPEN_METHODS: &[&str] = &[
     "borrow",
     "borrow_mut",
     "compare_exchange",
@@ -71,28 +75,40 @@ pub const EVENT_ENUMS: &[&str] = &["Ev"];
 /// The type whose `impl` bodies are GPU-phase roots.
 const LANE_TYPE: &str = "GpuLane";
 
-/// Runs all three graph rule families over the model-crate files.
-/// `files` must be exactly the slice the graph was built from (indices are
-/// shared). Respects inline allows via each file's [`FileAnalysis`].
-pub fn check(graph: &SymbolGraph, files: &[&FileAnalysis], diags: &mut Vec<Diagnostic>) {
-    lane_race(graph, files, diags);
+/// Runs every graph rule family over the model-crate files. `files` must be
+/// exactly the slice the graph (and `effects`) was built from — indices are
+/// shared. Respects inline allows via each file's [`FileAnalysis`].
+pub fn check(
+    graph: &SymbolGraph,
+    effects: &Effects,
+    files: &[&FileAnalysis],
+    diags: &mut Vec<Diagnostic>,
+) {
+    lane_race(graph, effects, files, diags);
+    hot_path_effects(graph, effects, files, diags);
     shared_mutability(graph, files, diags);
     dead_event(files, diags);
 }
 
 /// `lane-race`: any function transitively reachable from a GPU-lane handler
-/// that names cross-domain state (`lanes`/`lock_lane`/`read_host`/
-/// `write_host`), a model-crate `static`, or an interior-mutability cell.
-/// Sites *inside* `impl GpuLane` bodies are left to the token-level
+/// whose summary carries a cross-domain-write effect — it names crossing
+/// state (`lanes`/`lock_lane`/`read_host`/`write_host`), a model-crate
+/// `static`, or an interior-mutability cell. The direct sites come from the
+/// effect inference pass (one body scan shared by every rule). Sites
+/// *inside* `impl GpuLane` bodies are left to the token-level
 /// `cross-domain-mutation` rule — its intra-impl fast path — so each site
 /// is reported exactly once.
-fn lane_race(graph: &SymbolGraph, files: &[&FileAnalysis], diags: &mut Vec<Diagnostic>) {
+fn lane_race(
+    graph: &SymbolGraph,
+    effects: &Effects,
+    files: &[&FileAnalysis],
+    diags: &mut Vec<Diagnostic>,
+) {
     let roots = graph.fns_of_type(LANE_TYPE);
     if roots.is_empty() {
         return;
     }
     let reach = graph.reachable_from(&roots);
-    let static_names: Vec<&str> = graph.statics.iter().map(|s| s.name.as_str()).collect();
     for &f in reach.keys() {
         let def = &graph.fns[f];
         // The crossing primitives themselves are the audited boundary; the
@@ -100,16 +116,11 @@ fn lane_race(graph: &SymbolGraph, files: &[&FileAnalysis], diags: &mut Vec<Diagn
         if LANE_CROSSING_IDENTS.contains(&def.name.as_str()) {
             continue;
         }
-        let Some((start, end)) = def.span else {
+        if !effects.direct[f].contains(EffectSet::CROSS_DOMAIN_WRITE) {
             continue;
-        };
+        }
         let fa = files[def.file];
         let lane_impls = graph.impl_ranges_of(def.file, LANE_TYPE);
-        let in_lane_impl = |i: usize| {
-            lane_impls
-                .iter()
-                .any(|&(open, close)| i > open && i < close)
-        };
         let root = graph.root_of(&reach, f);
         let via = if root == f {
             String::new()
@@ -119,69 +130,180 @@ fn lane_race(graph: &SymbolGraph, files: &[&FileAnalysis], diags: &mut Vec<Diagn
                 graph.fns[root].qualified()
             )
         };
-        let toks = &fa.toks;
-        for i in start..=end.min(toks.len().saturating_sub(1)) {
-            let t = &toks[i];
-            if t.kind != TokKind::Ident {
+        for site in &effects.sites[f] {
+            if site.effect != EffectSet::CROSS_DOMAIN_WRITE {
                 continue;
             }
             // Sites inside `impl GpuLane` bodies are `cross-domain-mutation`
             // territory (the intra-impl fast path, with its own audited
             // allows); lane-race owns everything the handlers *reach*.
-            if in_lane_impl(i) {
+            if lane_impls
+                .iter()
+                .any(|&(open, close)| site.tok > open && site.tok < close)
+            {
                 continue;
             }
-            let word = t.text.as_str();
-            let finding = if LANE_CROSSING_IDENTS.contains(&word) {
-                Some(format!(
-                    "`{word}` in `{}`{via} reaches across event-lane domains during the GPU \
+            let what = site.what.as_str();
+            let message = match site.kind {
+                SiteKind::Ident => format!(
+                    "`{what}` in `{}`{via} reaches across event-lane domains during the GPU \
                      phase; route the effect through the outbox mailbox instead",
                     def.qualified()
-                ))
-            } else if static_names.contains(&word) && !is_decl_position(toks, i) {
-                Some(format!(
-                    "static `{word}` touched in `{}`{via}; lane handlers run concurrently — \
+                ),
+                SiteKind::StaticTouch => format!(
+                    "static `{what}` touched in `{}`{via}; lane handlers run concurrently — \
                      shared globals race or serialize the epoch",
                     def.qualified()
-                ))
-            } else if CELL_TYPES.contains(&word) {
-                Some(format!(
-                    "interior-mutability cell `{word}` in `{}`{via}; GPU-phase code must own \
+                ),
+                SiteKind::CellType => format!(
+                    "interior-mutability cell `{what}` in `{}`{via}; GPU-phase code must own \
                      its state exclusively — shared cells break conservative-window race freedom",
                     def.qualified()
-                ))
-            } else if CELL_OPEN_METHODS.contains(&word)
-                && i > 0
-                && toks[i - 1].text == "."
-                && toks.get(i + 1).is_some_and(|n| n.text == "(")
-            {
-                Some(format!(
-                    "`.{word}()` in `{}`{via} opens a shared cell during the GPU phase; \
+                ),
+                SiteKind::MethodCall => format!(
+                    "`{what}` in `{}`{via} opens a shared cell during the GPU phase; \
                      lane state must be lock-free within an epoch",
                     def.qualified()
-                ))
-            } else {
-                None
+                ),
+                _ => continue,
             };
-            if let Some(message) = finding {
-                if !fa.allowed(Rule::LaneRace, t.line) {
-                    diags.push(Diagnostic {
-                        rule: Rule::LaneRace,
-                        path: fa.path.clone(),
-                        line: t.line,
-                        col: t.col,
-                        len: t.len,
-                        message,
-                    });
-                }
+            if !fa.allowed(Rule::LaneRace, site.line) {
+                diags.push(Diagnostic {
+                    rule: Rule::LaneRace,
+                    path: fa.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    len: site.len,
+                    message,
+                });
             }
         }
     }
 }
 
+/// The `hot-path-alloc` / `io-in-sim-loop` / interprocedural
+/// `hot-path-panic` family: walks everything reachable from the GPU-lane
+/// handlers and the `Ev` dispatch arms, and reports the direct effect sites
+/// the summaries lead to — the witness chain names the root and the
+/// effectful callee. Allocation and IO sites behind an observability gate
+/// (`if …is_enabled()…`) are exempt: the default path is effect-free.
+/// Panic sites are *not* exempt (a gated panic still kills the worker when
+/// tracing is on), but sites in [`crate::HOT_PATHS`] files stay the token
+/// tier's territory so nothing is reported twice.
+fn hot_path_effects(
+    graph: &SymbolGraph,
+    effects: &Effects,
+    files: &[&FileAnalysis],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut roots = graph.fns_of_type(LANE_TYPE);
+    roots.extend(dispatch_roots(graph, files));
+    roots.sort_unstable();
+    roots.dedup();
+    if roots.is_empty() {
+        return;
+    }
+    let reach = graph.reachable_from(&roots);
+    for &f in reach.keys() {
+        let def = &graph.fns[f];
+        let fa = files[def.file];
+        let root = graph.root_of(&reach, f);
+        let root_def = &graph.fns[root];
+        let root_desc = if root_def.impl_type.as_deref() == Some(LANE_TYPE) {
+            format!("GPU-lane handler `{}`", root_def.qualified())
+        } else {
+            format!("event dispatch in `{}`", root_def.qualified())
+        };
+        let via = if root == f {
+            String::new()
+        } else {
+            format!(" (reachable from {root_desc})")
+        };
+        for site in &effects.sites[f] {
+            let what = site.what.as_str();
+            let (rule, message) = if site.effect == EffectSet::ALLOCATES && !site.gated {
+                (
+                    Rule::HotPathAlloc,
+                    format!(
+                        "`{what}` allocates in `{}`{via}; the per-event path must stay \
+                         allocation-free — reuse a pooled or arena buffer, or iterate \
+                         without collecting",
+                        def.qualified()
+                    ),
+                )
+            } else if (site.effect == EffectSet::DOES_IO
+                || site.effect == EffectSet::READS_WALL_CLOCK)
+                && !site.gated
+            {
+                let noun = if site.effect == EffectSet::DOES_IO {
+                    "performs IO"
+                } else {
+                    "reads the wall clock"
+                };
+                (
+                    Rule::IoInSimLoop,
+                    format!(
+                        "`{what}` {noun} in `{}`{via}; the sim loop must not touch the \
+                         outside world — gate it behind an observability flag or buffer \
+                         it for the host phase",
+                        def.qualified()
+                    ),
+                )
+            } else if site.effect == EffectSet::MAY_PANIC && !is_hot_path(&fa.path) {
+                (
+                    Rule::HotPathPanic,
+                    format!(
+                        "`{what}` in `{}`{via} can panic on the event path and kill an \
+                         idyll-serve worker; return a typed `SimError` instead",
+                        def.qualified()
+                    ),
+                )
+            } else {
+                continue;
+            };
+            if !fa.allowed(rule, site.line) {
+                diags.push(Diagnostic {
+                    rule,
+                    path: fa.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    len: site.len,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Fn indices whose bodies contain a dispatch-classified use of an audited
+/// event enum (`match ev { Ev::X {..} => … }`): the `Ev` dispatch arms that,
+/// together with the `impl GpuLane` handlers, root the hot-path rules.
+fn dispatch_roots(graph: &SymbolGraph, files: &[&FileAnalysis]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (f, def) in graph.fns.iter().enumerate() {
+        let Some((start, end)) = def.span else {
+            continue;
+        };
+        let toks = &files[def.file].toks;
+        let end = end.min(toks.len().saturating_sub(1));
+        for i in start..=end {
+            if toks[i].kind == TokKind::Ident
+                && EVENT_ENUMS.contains(&toks[i].text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "::")
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                && classify_use(toks, i + 2) == UseKind::Dispatch
+            {
+                out.push(f);
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// Whether the ident at `i` is the *name* in a `static NAME:` declaration
 /// (the declaration itself is `shared-mutability`'s business, not a touch).
-fn is_decl_position(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_decl_position(toks: &[Tok], i: usize) -> bool {
     let prev = |off: usize| i.checked_sub(off).map(|p| toks[p].text.as_str());
     matches!(prev(1), Some("static"))
         || (matches!(prev(1), Some("mut")) && matches!(prev(2), Some("static")))
@@ -461,15 +583,16 @@ mod tests {
         let fa = FileAnalysis::new(path.to_string(), src);
         let files = [&fa];
         let graph = SymbolGraph::build(&files);
+        let fx = crate::effects::infer(&graph, &files);
         let mut diags = Vec::new();
-        check(&graph, &files, &mut diags);
+        check(&graph, &fx, &files, &mut diags);
         diags
     }
 
     #[test]
     fn lane_race_reaches_through_helpers() {
         let src = "impl GpuLane { fn on_x(&mut self) { helper() } }\n\
-                   fn helper() { deeper() }\n\
+                   fn helper() { deeper(&LANES) }\n\
                    fn deeper(lanes: &[Mutex<GpuLane>]) { lock_lane(lanes, 0); }\n\
                    fn unreachable_is_fine(lanes: &[Mutex<GpuLane>]) { lock_lane(lanes, 0); }\n";
         let d = run_rules("crates/x/src/lib.rs", src);

@@ -244,14 +244,22 @@ fn list_rules_prints_the_registry() {
         "canon-coverage",
         "lossy-cast",
         "hot-path-panic",
+        "hot-path-alloc",
+        "io-in-sim-loop",
         "cross-domain-mutation",
         "lane-race",
         "shared-mutability",
         "dead-event",
         "bare-allow",
+        "stale-allow",
     ] {
         assert!(stdout.contains(id), "missing {id}: {stdout}");
     }
+    assert_eq!(
+        stdout.lines().count(),
+        16,
+        "rule registry drifted: {stdout}"
+    );
 }
 
 #[test]
@@ -292,6 +300,114 @@ fn lane_race_spares_outbox_and_unreachable_host_code() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(out.status.code(), Some(0), "{stdout}");
     assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn hot_path_effects_fire_through_the_call_graph() {
+    // Nothing inside the lane impl or the dispatch arm is suspicious; the
+    // allocation, the print and the expect all ride two calls deep into a
+    // different crate, so only the effect summaries can see them — and the
+    // witness chain must name both the root and the effectful callee.
+    let ws = fixture("hotalloc_bad_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(
+        stdout.contains(
+            "error[hot-path-alloc]: `format!` allocates in `describe` \
+             (reachable from GPU-lane handler `GpuLane::on_warp_ready`)"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "error[io-in-sim-loop]: `println!` performs IO in `stamp_fault` \
+             (reachable from event dispatch in `dispatch`)"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "error[hot-path-panic]: `.expect()` in `stamp_fault` \
+             (reachable from event dispatch in `dispatch`)"
+        ),
+        "interprocedural panic must name the dispatch root: {stdout}"
+    );
+}
+
+#[test]
+fn hot_path_effects_spare_gated_and_unreachable_sites() {
+    // The observability-gated allocation, the buffered dispatch helper and
+    // the unreachable post-run reporter all lint clean.
+    let ws = fixture("hotalloc_good_ws");
+    let out = run(&["--check", "--root", ws.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn check_allows_reports_only_the_stale_escape() {
+    let ws = fixture("staleallow_ws");
+    let root = ws.to_str().unwrap();
+
+    // Without the flag the stale escape is invisible (byte-compatible
+    // default mode), and the live escape keeps suppressing its finding.
+    let out = run(&["--check", "--root", root]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(!stdout.contains("stale-allow"), "{stdout}");
+
+    // With it: the dead lossy-cast escape warns; the live wall-clock one
+    // stays silent.
+    let out = run(&["--check", "--check-allows", "--root", root]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "stale allow is a warning: {stdout}");
+    assert!(
+        stdout.contains(
+            "warning[stale-allow]: allow(lossy-cast) no longer suppresses any finding; \
+             remove the escape"
+        ),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("allow(wall-clock)"), "{stdout}");
+
+    // --strict promotes it to a blocking error.
+    let out = run(&["--check", "--check-allows", "--strict", "--root", root]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("error[stale-allow]"), "{stdout}");
+}
+
+#[test]
+fn effects_dump_is_byte_stable_and_summarizes_reachable_effects() {
+    let ws = fixture("hotalloc_bad_ws");
+    let args = ["--effects", "--root", ws.to_str().unwrap()];
+    let a = run(&args);
+    let b = run(&args);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "effects dump must be byte-stable");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(json_ok(&text), "effects dump must be well-formed JSON:\n{text}");
+    // The handler itself is trigger-free but its summary carries everything
+    // its callees do, the schedule effect included.
+    assert!(
+        text.contains(
+            "{\"fn\": \"GpuLane::on_warp_ready\", \
+             \"file\": \"crates/mgpu-system/src/system/hot.rs\", \"line\": 7, \
+             \"direct\": [\"schedules_event\"], \
+             \"summary\": [\"allocates\", \"schedules_event\"]}"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "{\"fn\": \"stamp_fault\", \"file\": \"crates/core/src/label.rs\", \"line\": 11, \
+             \"direct\": [\"may_panic\", \"does_io\"], \
+             \"summary\": [\"may_panic\", \"does_io\"]}"
+        ),
+        "{text}"
+    );
 }
 
 #[test]

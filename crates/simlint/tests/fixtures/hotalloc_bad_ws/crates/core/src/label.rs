@@ -1,0 +1,15 @@
+//! Fixture helpers reached from the lane handler and the dispatch arm in
+//! `mgpu-system`. This file is *not* under a `HOT_PATHS` prefix, so every
+//! finding here comes from the interprocedural tier: the allocation and the
+//! print through `hot-path-alloc`/`io-in-sim-loop` witness chains, the
+//! `.expect()` through summary-based `hot-path-panic`.
+
+pub fn describe(vpn: u64) -> String {
+    format!("vpn {vpn:#x}")
+}
+
+pub fn stamp_fault(host: &mut HostState, at: u64, vpn: u64) {
+    println!("fault {vpn:#x}");
+    host.faults.entry(vpn).or_default().stamp(at);
+    host.quiesced.get(&vpn).expect("fault recorded").check();
+}

@@ -1,0 +1,21 @@
+//! Fixture: nothing inside the lane impl or the dispatch arm allocates,
+//! does IO, or panics — the effects ride in two calls deep, so only the
+//! summary-based rules can see them. Never compiled — scanned textually by
+//! the simlint tests.
+
+impl GpuLane {
+    pub(crate) fn on_warp_ready(&mut self, vpn: u64) {
+        self.q.schedule(0, Ev::FaultAtHost { vpn });
+        record_step(self, vpn);
+    }
+}
+
+fn record_step(lane: &mut GpuLane, vpn: u64) {
+    lane.log.push(describe(vpn));
+}
+
+fn dispatch(host: &mut HostState, at: u64, ev: Ev) {
+    match ev {
+        Ev::FaultAtHost { vpn } => stamp_fault(host, at, vpn),
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixture: the same handler/dispatch shapes lint clean when the effects
+//! are handled properly — the allocation sits inside an observability gate,
+//! the dispatch helper buffers plain fields instead of printing, and
+//! post-run code that no handler reaches may allocate and print freely.
+//! Never compiled — scanned textually by the simlint tests.
+
+impl GpuLane {
+    pub(crate) fn on_warp_ready(&mut self, vpn: u64) {
+        self.q.schedule(0, Ev::FaultAtHost { vpn });
+        record_step(self, vpn);
+    }
+}
+
+fn record_step(lane: &mut GpuLane, vpn: u64) {
+    if lane.tlog.is_enabled() {
+        let label = format!("vpn {vpn:#x}");
+        lane.tlog.note(label);
+    }
+    lane.seen += 1;
+}
+
+fn dispatch(host: &mut HostState, at: u64, ev: Ev) {
+    match ev {
+        Ev::FaultAtHost { vpn } => stamp_fault(host, at, vpn),
+    }
+}
+
+fn stamp_fault(host: &mut HostState, at: u64, vpn: u64) {
+    host.last_fault = vpn;
+    host.fault_at = at;
+}
+
+// Post-run reporting: not reachable from any handler or dispatch arm, so
+// allocation and IO are fine here.
+fn summarize(host: &HostState) -> String {
+    let mut s = format!("faults {}", host.fault_count);
+    println!("{s}");
+    s.push('\n');
+    s
+}

@@ -1,0 +1,15 @@
+//! Fixture: one live escape (the wall-clock finding really fires on the
+//! line below it) and one stale escape (nothing has fired there since a
+//! refactor removed the cast). `--check` passes either way; `--check-allows`
+//! must report exactly the stale one. Never compiled — scanned textually by
+//! the simlint tests.
+
+pub fn heartbeat_secs() -> u64 {
+    // simlint: allow(wall-clock) — harness heartbeat, never in sim time
+    Instant::now().elapsed().as_secs()
+}
+
+pub fn width(x: u64) -> u64 {
+    // simlint: allow(lossy-cast) — bit width is clamped by the caller
+    x + 1
+}

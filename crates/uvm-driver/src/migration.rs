@@ -177,6 +177,7 @@ impl MigrationTable {
     pub fn park_waiter(&mut self, fault: FarFault) {
         self.active
             .get_mut(&fault.vpn)
+            // simlint: allow(hot-path-panic) — documented `# Panics` contract: callers check is_migrating before parking
             .expect("parking on a non-migrating page")
             .waiters
             .push(fault);

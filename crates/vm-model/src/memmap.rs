@@ -89,6 +89,7 @@ impl MemoryMap {
         } else if w == self.n_gpus as u64 {
             Node::Host
         } else {
+            // simlint: allow(hot-path-panic) — documented `# Panics` contract: PPNs come from this map's own windows, so an out-of-range PPN is memory corruption
             panic!("ppn {ppn:#x} beyond physical space");
         }
     }

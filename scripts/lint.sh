@@ -3,11 +3,12 @@
 #
 #   scripts/lint.sh                    # simlint (strict) + pinned clippy
 #   scripts/lint.sh --sarif out.sarif  # …also write a SARIF 2.1.0 log (non-blocking)
+#   scripts/lint.sh --effects out.json # …also dump the effect-inference summaries
 #   scripts/lint.sh --write-baseline   # grandfather current findings (use sparingly)
 #   scripts/lint.sh --write-canon      # refresh simlint.canon after a shape+version bump
 #
 # Exit codes: 0 clean, 1 findings outside the baseline (or stale baseline
-# entries — strict mode), 2 usage/IO error.
+# entries / stale inline allows — strict mode), 2 usage/IO error.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,11 +26,16 @@ done
 # blocking gate, so annotations exist even when the strict run fails. The
 # SARIF pass never blocks; the --check --strict run below is the gate.
 sarif_out=""
+effects_out=""
 pass_args=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --sarif)
       sarif_out="${2:?--sarif needs a file}"
+      shift 2
+      ;;
+    --effects)
+      effects_out="${2:?--effects needs a file}"
       shift 2
       ;;
     *)
@@ -44,7 +50,16 @@ if [ -n "$sarif_out" ]; then
     ${pass_args[0]+"${pass_args[@]}"} > "$sarif_out" || true
 fi
 
-cargo run -q -p simlint -- --check --strict ${pass_args[0]+"${pass_args[@]}"}
+# --effects <file>: dump the interprocedural effect summaries (byte-stable
+# JSON, DESIGN.md §10) as a CI artifact next to the SARIF log. Like the
+# SARIF pass this never blocks; it exists so a reviewer can diff summaries
+# across commits without re-running the scan.
+if [ -n "$effects_out" ]; then
+  cargo run -q -p simlint -- --effects > "$effects_out" || true
+fi
+
+cargo run -q -p simlint -- --check --strict --check-allows \
+  ${pass_args[0]+"${pass_args[@]}"}
 
 # Pinned clippy gate. The cast/length pedantic lints are allowed here, in one
 # place, instead of as scattered `#[allow]` attributes: simlint's lossy-cast
